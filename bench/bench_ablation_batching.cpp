@@ -1,0 +1,65 @@
+// Ablation: IO batching / group commit (§7). "Usually the server would delay
+// all disk write requests for a small time window ... and then flush them
+// together. This is a good utilization of disk resources, especially when
+// disk performs badly handling small writes."
+//
+// Measures small-write throughput with group commit on vs off, HDD vs SSD,
+// for both protocols. Expectation: batching is the difference between
+// IOPS-bound collapse and usable small-write throughput on HDD; on SSD the
+// effect is smaller but still visible. Batching is orthogonal to RS-Paxos
+// (both protocols gain equally), as §7 argues.
+#include <cstdio>
+
+#include "common.h"
+
+using namespace rspaxos;
+using namespace rspaxos::bench;
+
+namespace {
+
+double measure_mbps(bool rs_mode, const DiskKind& disk, bool group_commit,
+                    size_t value_size) {
+  auto world = std::make_unique<sim::SimWorld>(13);
+  kv::SimClusterOptions opts;
+  opts.num_servers = 5;
+  opts.num_groups = 1;
+  opts.rs_mode = rs_mode;
+  opts.f = 1;
+  opts.link = sim::LinkParams::lan();
+  opts.disk = disk.params;
+  opts.replica = bench_replica_options(false);
+  opts.wal_retain = false;
+  kv::SimCluster cluster(world.get(), opts);
+  for (int s = 0; s < 5; ++s) cluster.wal(s, 0).set_group_commit(group_commit);
+  cluster.wait_for_leaders();
+
+  WorkloadSpec spec;
+  spec.value_min = spec.value_max = value_size;
+  spec.num_clients = 32;
+  spec.key_space = 128;
+  spec.total_ops = 1200;
+  WorkloadDriver driver(world.get(), &cluster, spec);
+  RunResult r = driver.run();
+  return r.throughput_mbps();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: IO batching / group commit (paper §7) ===\n");
+  std::printf("32 closed-loop clients, 4 KB writes, local cluster\n\n");
+  std::printf("%-10s %-6s %16s %16s %8s\n", "protocol", "disk", "batched Mbps",
+              "unbatched Mbps", "gain");
+  for (bool rs : {false, true}) {
+    for (const DiskKind& d : {hdd(), ssd()}) {
+      double on = measure_mbps(rs, d, true, 4 << 10);
+      double off = measure_mbps(rs, d, false, 4 << 10);
+      std::printf("%-10s %-6s %16.1f %16.1f %7.1fx\n", rs ? "RS-Paxos" : "Paxos",
+                  d.name, on, off, off > 0 ? on / off : 0.0);
+    }
+  }
+  std::printf("\nshape check: batching multiplies IOPS-bound small-write throughput\n"
+              "(HDD most); gains are protocol-independent — batching is orthogonal\n"
+              "to erasure coding, as §7 argues.\n");
+  return 0;
+}

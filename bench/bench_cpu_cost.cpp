@@ -1,0 +1,87 @@
+// Reproduces the §6.2.3 CPU-cost analysis: how much host CPU the Reed-Solomon
+// kernels consume, and what share of a core the paper's peak throughput
+// (~50 MB/s of encoded data) would require. The paper's claim: coding cost is
+// negligible next to a network/disk-bound storage system.
+#include <chrono>
+#include <cstdio>
+
+#include "ec/rs_code.h"
+#include "util/rng.h"
+
+using namespace rspaxos;
+
+namespace {
+
+double mb_per_s_encode(const ec::RsCode& code, size_t value_size, int iters) {
+  Rng rng(1);
+  Bytes value(value_size);
+  rng.fill(value.data(), value.size());
+  auto t0 = std::chrono::steady_clock::now();
+  size_t sink = 0;
+  for (int i = 0; i < iters; ++i) {
+    auto shares = code.encode(value);
+    sink += shares.back().size();
+  }
+  auto dt = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (sink == 0) std::printf(" ");  // defeat dead-code elimination
+  return static_cast<double>(value_size) * iters / dt / 1e6;
+}
+
+double mb_per_s_decode(const ec::RsCode& code, size_t value_size, int iters,
+                       bool worst_case) {
+  Rng rng(2);
+  Bytes value(value_size);
+  rng.fill(value.data(), value.size());
+  auto shares = code.encode(value);
+  std::map<int, Bytes> input;
+  if (worst_case) {
+    // All-parity reconstruction: full matrix inversion path.
+    for (int i = code.n() - code.m(); i < code.n(); ++i) {
+      input.emplace(i, shares[static_cast<size_t>(i)]);
+    }
+  } else {
+    for (int i = 0; i < code.m(); ++i) input.emplace(i, shares[static_cast<size_t>(i)]);
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    auto out = code.decode(input, value.size());
+    if (!out.is_ok()) return 0;
+  }
+  auto dt = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return static_cast<double>(value_size) * iters / dt / 1e6;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== CPU cost of erasure coding (paper §6.2.3) ===\n");
+  std::printf("%-10s %-8s %14s %16s %16s\n", "theta", "size", "encode MB/s",
+              "decode(sys) MB/s", "decode(par) MB/s");
+  struct Cfg {
+    int m, n;
+  };
+  for (Cfg c : {Cfg{3, 5}, Cfg{2, 4}, Cfg{3, 7}, Cfg{5, 7}}) {
+    const ec::RsCode& code = ec::RsCodeCache::get(c.m, c.n);
+    for (size_t size : {64u << 10, 1u << 20, 16u << 20}) {
+      int iters = size >= (16u << 20) ? 8 : 64;
+      double enc = mb_per_s_encode(code, size, iters);
+      double dec_sys = mb_per_s_decode(code, size, iters, false);
+      double dec_par = mb_per_s_decode(code, size, iters / 2 + 1, true);
+      char theta[16];
+      std::snprintf(theta, sizeof(theta), "(%d,%d)", c.m, c.n);
+      std::printf("%-10s %-8s %14.0f %16.0f %16.0f\n", theta,
+                  (size >= (1u << 20) ? std::to_string(size >> 20) + "M"
+                                      : std::to_string(size >> 10) + "K")
+                      .c_str(),
+                  enc, dec_sys, dec_par);
+    }
+  }
+  const ec::RsCode& paper = ec::RsCodeCache::get(3, 5);
+  double enc = mb_per_s_encode(paper, 1u << 20, 64);
+  std::printf("\npaper check (§6.2.3): \"even with the maximum throughput, the amount\n"
+              "of data the system needs to encode is less than 50MB\" per second.\n"
+              "At %.0f MB/s encode speed, 50 MB/s of writes costs %.1f%% of one core —\n"
+              "consistent with the paper's 10-20%% total CPU observation.\n",
+              enc, 100.0 * 50.0 / enc);
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Kernel microbenchmarks (google-benchmark): GF(2^8) region ops and
+// Reed-Solomon encode/decode across θ configurations and sizes — the
+// substrate the §6.2.3 CPU argument rests on.
+#include <benchmark/benchmark.h>
+
+#include "ec/gf256.h"
+#include "ec/rs_code.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace rspaxos;
+
+void BM_GfMulAddRegion(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  Bytes src(n), dst(n);
+  rng.fill(src.data(), n);
+  rng.fill(dst.data(), n);
+  for (auto _ : state) {
+    gf::mul_add_region(dst.data(), src.data(), 0x57, n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_GfMulAddRegion)->Arg(4 << 10)->Arg(256 << 10)->Arg(4 << 20);
+
+void BM_GfXorRegion(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  Bytes src(n), dst(n);
+  rng.fill(src.data(), n);
+  for (auto _ : state) {
+    gf::mul_add_region(dst.data(), src.data(), 1, n);  // coefficient-1 fast path
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_GfXorRegion)->Arg(256 << 10);
+
+void BM_RsEncode(benchmark::State& state) {
+  int m = static_cast<int>(state.range(0));
+  int n = static_cast<int>(state.range(1));
+  size_t size = static_cast<size_t>(state.range(2));
+  const ec::RsCode& code = ec::RsCodeCache::get(m, n);
+  Rng rng(3);
+  Bytes value(size);
+  rng.fill(value.data(), size);
+  for (auto _ : state) {
+    auto shares = code.encode(value);
+    benchmark::DoNotOptimize(shares.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(size));
+}
+BENCHMARK(BM_RsEncode)
+    ->Args({3, 5, 64 << 10})
+    ->Args({3, 5, 1 << 20})
+    ->Args({3, 5, 16 << 20})
+    ->Args({2, 4, 1 << 20})
+    ->Args({5, 7, 1 << 20})
+    ->Args({3, 7, 1 << 20});
+
+void BM_RsEncodeSingleShare(benchmark::State& state) {
+  const ec::RsCode& code = ec::RsCodeCache::get(3, 5);
+  Rng rng(4);
+  Bytes value(1 << 20);
+  rng.fill(value.data(), value.size());
+  for (auto _ : state) {
+    Bytes share = code.encode_share(value, 4);  // a parity share
+    benchmark::DoNotOptimize(share.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(value.size()));
+}
+BENCHMARK(BM_RsEncodeSingleShare);
+
+void BM_RsDecode(benchmark::State& state) {
+  int m = static_cast<int>(state.range(0));
+  int n = static_cast<int>(state.range(1));
+  size_t size = static_cast<size_t>(state.range(2));
+  bool parity_only = state.range(3) != 0;
+  const ec::RsCode& code = ec::RsCodeCache::get(m, n);
+  Rng rng(5);
+  Bytes value(size);
+  rng.fill(value.data(), size);
+  auto shares = code.encode(value);
+  std::map<int, Bytes> input;
+  if (parity_only) {
+    for (int i = n - m; i < n; ++i) input.emplace(i, shares[static_cast<size_t>(i)]);
+  } else {
+    for (int i = 0; i < m; ++i) input.emplace(i, shares[static_cast<size_t>(i)]);
+  }
+  for (auto _ : state) {
+    auto out = code.decode(input, size);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(size));
+}
+BENCHMARK(BM_RsDecode)
+    ->Args({3, 5, 1 << 20, 0})   // systematic fast path
+    ->Args({3, 5, 1 << 20, 1})   // full reconstruction
+    ->Args({5, 7, 1 << 20, 1});
+
+void BM_RsCodecConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    auto code = ec::RsCode::create(10, 14);
+    benchmark::DoNotOptimize(code);
+  }
+}
+BENCHMARK(BM_RsCodecConstruction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,130 @@
+// Scenario: a metadata/lock service (Chubby-style, the paper's §1
+// motivation) that keeps serving reads and writes while machines die.
+// Narrates a full §6.4-style fail-over: crash the leader, watch a new one
+// win the election, observe the recovery read that rebuilds its value cache,
+// then reconfigure the view to shed the dead member (§4.6) and survive a
+// second crash.
+//
+// Build & run:   ./build/examples/failover_demo
+#include <cstdio>
+
+#include "kv/cluster.h"
+
+using namespace rspaxos;
+
+namespace {
+
+template <typename Pred>
+bool run_until(sim::SimWorld& world, Pred done, DurationMicros max = 60 * kSeconds) {
+  TimeMicros deadline = world.now() + max;
+  while (!done() && world.now() < deadline) world.run_for(5 * kMillis);
+  return done();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fail-over demo — RS-Paxos lock/metadata service, N=5, F=1\n\n");
+  sim::SimWorld world(77);
+  kv::SimClusterOptions opts;
+  opts.num_servers = 5;
+  opts.rs_mode = true;
+  opts.f = 1;
+  opts.replica.heartbeat_interval = 30 * kMillis;
+  opts.replica.election_timeout_min = 250 * kMillis;
+  opts.replica.election_timeout_max = 450 * kMillis;
+  opts.replica.lease_duration = 200 * kMillis;
+  kv::SimCluster cluster(&world, opts);
+  cluster.wait_for_leaders();
+  auto client = cluster.make_client(0);
+
+  int leader = cluster.leader_server_of(0);
+  std::printf("t=%-6.2fs server %d elected leader\n", world.now() / 1e6, leader);
+
+  bool ok = false;
+  client->put("locks/build-farm", to_bytes("owner=ci-runner-42;ttl=30s"), [&](Status s) {
+    ok = s.is_ok();
+  });
+  run_until(world, [&] { return ok; });
+  std::printf("t=%-6.2fs lock record committed through theta(3,5)\n", world.now() / 1e6);
+  // Let the bundled commit notifications reach the followers, so they apply
+  // their coded shares (tagged incomplete) before the leader dies — that is
+  // what makes the post-failover read a genuine §4.4 recovery read.
+  world.run_for(1 * kSeconds);
+
+  // ---- crash 1: the leader dies ------------------------------------------
+  std::printf("\nt=%-6.2fs *** crashing leader (server %d) ***\n", world.now() / 1e6,
+              leader);
+  cluster.crash_server(leader);
+  int old_leader = leader;
+  run_until(world, [&] {
+    int l = cluster.leader_server_of(0);
+    return l >= 0 && l != old_leader;
+  });
+  leader = cluster.leader_server_of(0);
+  std::printf("t=%-6.2fs server %d took over after the lease expired\n",
+              world.now() / 1e6, leader);
+
+  // The new leader only holds a coded share of the lock record; the read
+  // below forces a §4.4 recovery read (gather >= X shares, decode, cache).
+  std::optional<std::string> got;
+  client->get("locks/build-farm", [&](StatusOr<Bytes> r) {
+    if (r.is_ok()) got = rspaxos::to_string(r.value());
+  });
+  run_until(world, [&] { return got.has_value(); });
+  std::printf("t=%-6.2fs read after failover -> \"%s\"\n", world.now() / 1e6,
+              got->c_str());
+  std::printf("         (recovery reads on new leader: %llu)\n",
+              static_cast<unsigned long long>(
+                  cluster.server(leader, 0)->stats().recovery_reads));
+
+  // ---- view change: drop the dead member (§4.6) --------------------------
+  auto& rep = cluster.server(leader, 0)->replica();
+  std::vector<NodeId> members;
+  for (int s = 0; s < 5; ++s) {
+    if (s != old_leader) members.push_back(kv::endpoint_id(s, 0));
+  }
+  auto newc = consensus::GroupConfig::rs_max_x(members, 1, rep.config().epoch + 1);
+  bool reconfigured = false;
+  rep.propose_config(newc.value(), [&](StatusOr<consensus::Slot>) { reconfigured = true; });
+  run_until(world, [&] { return reconfigured; });
+  std::printf("\nt=%-6.2fs view change committed: %s\n", world.now() / 1e6,
+              rep.config().to_string().c_str());
+  std::printf("         re-encode plan old->new: %s (paper's Q' >= X rule)\n",
+              consensus::to_string(consensus::plan_reencode(
+                  consensus::GroupConfig::rs_max_x(
+                      {kv::endpoint_id(0, 0), kv::endpoint_id(1, 0), kv::endpoint_id(2, 0),
+                       kv::endpoint_id(3, 0), kv::endpoint_id(4, 0)},
+                      1)
+                      .value(),
+                  rep.config())));
+
+  // ---- crash 2: now tolerated thanks to the reconfiguration --------------
+  int second_victim = -1;
+  for (int s = 0; s < 5; ++s) {
+    if (s != old_leader && s != leader) {
+      second_victim = s;
+      break;
+    }
+  }
+  std::printf("\nt=%-6.2fs *** crashing follower (server %d) ***\n", world.now() / 1e6,
+              second_victim);
+  cluster.crash_server(second_victim);
+
+  ok = false;
+  client->put("locks/build-farm", to_bytes("owner=ci-runner-43;ttl=30s"),
+              [&](Status s) { ok = s.is_ok(); });
+  run_until(world, [&] { return ok; });
+  std::printf("t=%-6.2fs write still commits with 3 of the original 5 alive\n",
+              world.now() / 1e6);
+
+  got.reset();
+  client->get("locks/build-farm", [&](StatusOr<Bytes> r) {
+    if (r.is_ok()) got = rspaxos::to_string(r.value());
+  });
+  run_until(world, [&] { return got.has_value(); });
+  std::printf("t=%-6.2fs final read -> \"%s\"\n", world.now() / 1e6, got->c_str());
+  std::printf("\nTwo uncorrelated failures absorbed: F=1 per view, with a view\n"
+              "change between them — exactly the paper's §6.1 availability claim.\n");
+  return 0;
+}

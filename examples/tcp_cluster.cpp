@@ -1,0 +1,135 @@
+// Real-stack example: five RS-Paxos replicas over actual TCP sockets on
+// localhost, each with a real fsync'ing file WAL — the same KvServer code
+// that runs under the simulator, now on the §5-style substrate (async
+// messaging over TCP, group-committed disk logs).
+//
+// Build & run:   ./build/examples/tcp_cluster
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+
+#include "consensus/config.h"
+#include "kv/client.h"
+#include "kv/server.h"
+#include "net/tcp_transport.h"
+#include "storage/file_wal.h"
+
+using namespace rspaxos;
+
+int main() {
+  constexpr int kReplicas = 5;
+  auto ports = net::TcpTransport::free_ports(kReplicas + 1);
+  if (ports.size() != kReplicas + 1) {
+    std::fprintf(stderr, "could not allocate ports\n");
+    return 1;
+  }
+  std::map<NodeId, net::PeerAddr> addrs;
+  for (int i = 0; i < kReplicas; ++i) {
+    addrs[static_cast<NodeId>(i + 1)] = net::PeerAddr{"127.0.0.1", ports[static_cast<size_t>(i)]};
+  }
+  constexpr NodeId kClientId = 100;
+  addrs[kClientId] = net::PeerAddr{"127.0.0.1", ports[kReplicas]};
+
+  net::TcpTransport transport(addrs);
+
+  // WAL directory.
+  auto dir = std::filesystem::temp_directory_path() /
+             ("rspaxos_tcp_demo_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+
+  std::vector<NodeId> members;
+  for (int i = 1; i <= kReplicas; ++i) members.push_back(static_cast<NodeId>(i));
+  auto cfg = consensus::GroupConfig::rs_max_x(members, 1).value();
+  std::printf("cluster config: %s over TCP 127.0.0.1:{%u..%u}\n",
+              cfg.to_string().c_str(), ports[0], ports[kReplicas - 1]);
+
+  consensus::ReplicaOptions ropts;
+  ropts.heartbeat_interval = 30 * kMillis;
+  ropts.election_timeout_min = 300 * kMillis;
+  ropts.election_timeout_max = 600 * kMillis;
+  ropts.lease_duration = 250 * kMillis;
+
+  std::vector<std::unique_ptr<storage::FileWal>> wals;
+  std::vector<std::unique_ptr<kv::KvServer>> servers;
+  for (int i = 1; i <= kReplicas; ++i) {
+    auto node = transport.start_node(static_cast<NodeId>(i));
+    if (!node.is_ok()) {
+      std::fprintf(stderr, "start_node %d: %s\n", i, node.status().to_string().c_str());
+      return 1;
+    }
+    auto wal = storage::FileWal::open((dir / ("wal-" + std::to_string(i))).string());
+    if (!wal.is_ok()) {
+      std::fprintf(stderr, "wal %d: %s\n", i, wal.status().to_string().c_str());
+      return 1;
+    }
+    wals.push_back(std::move(wal).value());
+    consensus::ReplicaOptions o = ropts;
+    o.bootstrap_leader = (i == 1);
+    auto server = std::make_unique<kv::KvServer>(node.value(), wals.back().get(), cfg, o);
+    node.value()->set_handler(server.get());
+    server->start();
+    servers.push_back(std::move(server));
+  }
+
+  // Client endpoint.
+  auto cnode = transport.start_node(kClientId);
+  if (!cnode.is_ok()) {
+    std::fprintf(stderr, "client node: %s\n", cnode.status().to_string().c_str());
+    return 1;
+  }
+  kv::RoutingTable routing;
+  routing.shard_members.push_back(members);
+  kv::KvClient::Options copts;
+  copts.request_timeout = 1000 * kMillis;
+  kv::KvClient client(cnode.value(), routing, copts);
+  cnode.value()->set_handler(&client);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));  // let leader settle
+
+  // A few real writes and reads.
+  constexpr int kOps = 25;
+  std::atomic<int> completed{0};
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kOps; ++i) {
+    Bytes value(20'000, static_cast<uint8_t>(i));
+    client.put("user/" + std::to_string(i), std::move(value), [&](Status s) {
+      if (!s.is_ok()) std::fprintf(stderr, "put failed: %s\n", s.to_string().c_str());
+      completed++;
+    });
+  }
+  while (completed.load() < kOps) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  auto write_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  std::printf("committed %d x 20KB writes in %.1f ms (%.2f ms/op, real fsync)\n", kOps,
+              write_ms, write_ms / kOps);
+
+  std::atomic<int> read_ok{0};
+  completed = 0;
+  for (int i = 0; i < kOps; ++i) {
+    client.get("user/" + std::to_string(i), [&, i](StatusOr<Bytes> r) {
+      if (r.is_ok() && r.value().size() == 20'000 &&
+          r.value()[0] == static_cast<uint8_t>(i)) {
+        read_ok++;
+      }
+      completed++;
+    });
+  }
+  while (completed.load() < kOps) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  std::printf("read back %d/%d values correctly via leased fast reads\n", read_ok.load(),
+              kOps);
+
+  uint64_t flushed = 0;
+  for (auto& w : wals) flushed += w->bytes_flushed();
+  std::printf("total WAL bytes fsync'd across replicas: %llu (values were %d x 20KB;\n"
+              "theta(3,5) flushes ~5/3 of the data instead of 5x)\n",
+              static_cast<unsigned long long>(flushed), kOps);
+
+  servers.clear();
+  wals.clear();
+  std::filesystem::remove_all(dir);
+  return 0;
+}

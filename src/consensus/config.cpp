@@ -1,0 +1,95 @@
+#include "consensus/config.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace rspaxos::consensus {
+
+bool GroupConfig::contains(NodeId id) const {
+  return std::find(members.begin(), members.end(), id) != members.end();
+}
+
+int GroupConfig::index_of(NodeId id) const {
+  auto it = std::find(members.begin(), members.end(), id);
+  return it == members.end() ? -1 : static_cast<int>(it - members.begin());
+}
+
+Status GroupConfig::validate() const {
+  if (members.empty()) return Status::invalid("empty membership");
+  std::vector<NodeId> sorted = members;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    return Status::invalid("duplicate member id");
+  }
+  const int N = n();
+  if (qr < 1 || qr > N || qw < 1 || qw > N) {
+    return Status::invalid("quorum out of range");
+  }
+  if (x < 1 || x > std::min(qr, qw)) {
+    return Status::invalid("X out of range");
+  }
+  if (qr + qw - x < N) {
+    // The intersection of any read and write quorum must hold at least X
+    // acceptors, or a chosen value could be unrecoverable (§2.3's bug).
+    // Equality is the paper's minimal-redundancy point; exceeding it is
+    // safe but wasteful (classic majority Paxos on even N does).
+    return Status::invalid("quorum equation QR+QW-X >= N violated");
+  }
+  return Status::ok();
+}
+
+std::string GroupConfig::to_string() const {
+  std::ostringstream os;
+  os << "cfg{N=" << n() << " QR=" << qr << " QW=" << qw << " X=" << x
+     << " F=" << f() << " epoch=" << epoch << "}";
+  return os.str();
+}
+
+GroupConfig GroupConfig::majority(std::vector<NodeId> members, Epoch epoch) {
+  GroupConfig c;
+  c.members = std::move(members);
+  const int N = c.n();
+  // Full-copy replication (X=1) with canonical majorities; on even N the
+  // quorum intersection exceeds 1, which is safe (see validate()).
+  c.x = 1;
+  c.qr = c.qw = N / 2 + 1;
+  c.epoch = epoch;
+  return c;
+}
+
+StatusOr<GroupConfig> GroupConfig::rs_max_x(std::vector<NodeId> members, int f, Epoch epoch) {
+  GroupConfig c;
+  c.members = std::move(members);
+  const int N = c.n();
+  if (f < 0 || N - 2 * f < 1) {
+    return Status::invalid("rs_max_x requires N - 2F >= 1");
+  }
+  c.qr = c.qw = N - f;
+  c.x = N - 2 * f;
+  c.epoch = epoch;
+  RSP_RETURN_IF_ERROR(c.validate());
+  return c;
+}
+
+std::vector<QuorumChoice> enumerate_quorum_choices(int n) {
+  std::vector<QuorumChoice> out;
+  std::map<int, int> best_x_per_f;
+  for (int qw = 1; qw <= n; ++qw) {
+    for (int qr = 1; qr <= qw; ++qr) {
+      int x = qr + qw - n;
+      if (x < 1) continue;
+      int f = n - std::max(qr, qw);
+      if (f < 1) continue;  // Table 1 only lists fault-tolerant configs
+      out.push_back(QuorumChoice{qw, qr, x, f, false});
+      auto it = best_x_per_f.find(f);
+      if (it == best_x_per_f.end() || x > it->second) best_x_per_f[f] = x;
+    }
+  }
+  for (QuorumChoice& qc : out) {
+    qc.max_x_for_f = (best_x_per_f[qc.f] == qc.x);
+  }
+  return out;
+}
+
+}  // namespace rspaxos::consensus

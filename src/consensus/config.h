@@ -1,0 +1,64 @@
+// Group configuration and quorum algebra (§3.2).
+//
+// The whole contribution of RS-Paxos condenses into two equations:
+//     QR + QW - X = N                    (read/write quorums intersect in X)
+//     F = N - max(QR, QW) = min(QR, QW) - X
+// Classic Paxos is the X = 1, QR = QW = floor(N/2)+1 point of this space.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "consensus/types.h"
+#include "util/status.h"
+
+namespace rspaxos::consensus {
+
+/// Static membership + quorum/coding configuration of one Paxos group.
+struct GroupConfig {
+  std::vector<NodeId> members;
+  int qr = 0;       // read quorum size (phase 1)
+  int qw = 0;       // write quorum size (phase 2)
+  int x = 1;        // original data shares of θ(X, N); 1 == classic Paxos
+  Epoch epoch = 0;
+
+  int n() const { return static_cast<int>(members.size()); }
+  /// Tolerated concurrent failures: F = N - max(QR, QW).
+  int f() const { return n() - std::max(qr, qw); }
+  /// Full-copy-equivalent redundancy rate r = n/x (§2.2).
+  double redundancy() const { return static_cast<double>(n()) / x; }
+
+  bool contains(NodeId id) const;
+  /// Index of `id` in members (== the erasure-code share index it stores).
+  int index_of(NodeId id) const;
+
+  /// Checks the quorum-intersection equation and bounds.
+  Status validate() const;
+
+  std::string to_string() const;
+
+  bool operator==(const GroupConfig&) const = default;
+
+  /// Classic majority Paxos: X=1, QR=QW=floor(N/2)+1.
+  static GroupConfig majority(std::vector<NodeId> members, Epoch epoch = 0);
+
+  /// RS-Paxos with symmetric quorums maximizing X for a given F:
+  /// QR = QW = N - F, X = N - 2F (§3.2: "To get the maximum X, we need
+  /// QW = QR"). Requires N - 2F >= 1.
+  static StatusOr<GroupConfig> rs_max_x(std::vector<NodeId> members, int f, Epoch epoch = 0);
+};
+
+/// One row of Table 1: a feasible (QW, QR, X, F) combination.
+struct QuorumChoice {
+  int qw, qr, x, f;
+  bool max_x_for_f;  // highlighted rows: maximum X among rows with equal F
+  bool operator==(const QuorumChoice&) const = default;
+};
+
+/// Enumerates every feasible configuration with X >= 1 and F >= 1 for a
+/// group of size n, in Table 1's order (QW major, QR minor), marking the
+/// maximum-X row per F. Reproduces Table 1 when n == 7.
+std::vector<QuorumChoice> enumerate_quorum_choices(int n);
+
+}  // namespace rspaxos::consensus

@@ -1,0 +1,337 @@
+#include "consensus/msg.h"
+
+namespace rspaxos::consensus {
+
+void encode_ballot(Writer& w, const Ballot& b) {
+  w.u32(b.round);
+  w.u32(b.node);
+}
+
+Status decode_ballot(Reader& r, Ballot& b) {
+  RSP_RETURN_IF_ERROR(r.u32(b.round));
+  RSP_RETURN_IF_ERROR(r.u32(b.node));
+  return Status::ok();
+}
+
+void encode_value_id(Writer& w, const ValueId& v) {
+  w.u32(v.origin);
+  w.u64(v.seq);
+}
+
+Status decode_value_id(Reader& r, ValueId& v) {
+  RSP_RETURN_IF_ERROR(r.u32(v.origin));
+  RSP_RETURN_IF_ERROR(r.u64(v.seq));
+  return Status::ok();
+}
+
+void encode_share(Writer& w, const CodedShare& s) {
+  encode_value_id(w, s.vid);
+  w.u8(static_cast<uint8_t>(s.kind));
+  w.varint(s.share_idx);
+  w.varint(s.x);
+  w.varint(s.n);
+  w.varint(s.value_len);
+  w.bytes(s.header);
+  w.bytes(s.data);
+}
+
+Status decode_share(Reader& r, CodedShare& s) {
+  RSP_RETURN_IF_ERROR(decode_value_id(r, s.vid));
+  uint8_t kind;
+  RSP_RETURN_IF_ERROR(r.u8(kind));
+  if (kind > static_cast<uint8_t>(EntryKind::kConfig)) {
+    return Status::corruption("bad entry kind");
+  }
+  s.kind = static_cast<EntryKind>(kind);
+  uint64_t v;
+  RSP_RETURN_IF_ERROR(r.varint(v));
+  s.share_idx = static_cast<uint32_t>(v);
+  RSP_RETURN_IF_ERROR(r.varint(v));
+  s.x = static_cast<uint32_t>(v);
+  RSP_RETURN_IF_ERROR(r.varint(v));
+  s.n = static_cast<uint32_t>(v);
+  RSP_RETURN_IF_ERROR(r.varint(s.value_len));
+  RSP_RETURN_IF_ERROR(r.bytes(s.header));
+  RSP_RETURN_IF_ERROR(r.bytes(s.data));
+  if (s.x < 1 || s.n < s.x || s.share_idx >= s.n) {
+    return Status::corruption("bad coding metadata");
+  }
+  return Status::ok();
+}
+
+void encode_config(Writer& w, const GroupConfig& c) {
+  w.varint(c.members.size());
+  for (NodeId m : c.members) w.u32(m);
+  w.varint(static_cast<uint64_t>(c.qr));
+  w.varint(static_cast<uint64_t>(c.qw));
+  w.varint(static_cast<uint64_t>(c.x));
+  w.u32(c.epoch);
+}
+
+Status decode_config(Reader& r, GroupConfig& c) {
+  uint64_t n;
+  RSP_RETURN_IF_ERROR(r.varint(n));
+  if (n > 1024) return Status::corruption("membership too large");
+  c.members.resize(n);
+  for (uint64_t i = 0; i < n; ++i) RSP_RETURN_IF_ERROR(r.u32(c.members[i]));
+  uint64_t v;
+  RSP_RETURN_IF_ERROR(r.varint(v));
+  c.qr = static_cast<int>(v);
+  RSP_RETURN_IF_ERROR(r.varint(v));
+  c.qw = static_cast<int>(v);
+  RSP_RETURN_IF_ERROR(r.varint(v));
+  c.x = static_cast<int>(v);
+  RSP_RETURN_IF_ERROR(r.u32(c.epoch));
+  return c.validate();
+}
+
+Bytes PrepareMsg::encode() const {
+  Writer w(32);
+  w.u32(epoch);
+  encode_ballot(w, ballot);
+  w.varint(start_slot);
+  return w.take();
+}
+
+StatusOr<PrepareMsg> PrepareMsg::decode(BytesView b) {
+  Reader r(b);
+  PrepareMsg m;
+  RSP_RETURN_IF_ERROR(r.u32(m.epoch));
+  RSP_RETURN_IF_ERROR(decode_ballot(r, m.ballot));
+  RSP_RETURN_IF_ERROR(r.varint(m.start_slot));
+  return m;
+}
+
+Bytes PromiseMsg::encode() const {
+  Writer w(64);
+  w.u32(epoch);
+  encode_ballot(w, ballot);
+  w.u8(ok ? 1 : 0);
+  encode_ballot(w, promised);
+  w.varint(start_slot);
+  w.varint(last_committed);
+  w.varint(entries.size());
+  for (const PromiseEntry& e : entries) {
+    w.varint(e.slot);
+    encode_ballot(w, e.accepted_ballot);
+    encode_share(w, e.share);
+  }
+  return w.take();
+}
+
+StatusOr<PromiseMsg> PromiseMsg::decode(BytesView b) {
+  Reader r(b);
+  PromiseMsg m;
+  RSP_RETURN_IF_ERROR(r.u32(m.epoch));
+  RSP_RETURN_IF_ERROR(decode_ballot(r, m.ballot));
+  uint8_t ok;
+  RSP_RETURN_IF_ERROR(r.u8(ok));
+  m.ok = ok != 0;
+  RSP_RETURN_IF_ERROR(decode_ballot(r, m.promised));
+  RSP_RETURN_IF_ERROR(r.varint(m.start_slot));
+  RSP_RETURN_IF_ERROR(r.varint(m.last_committed));
+  uint64_t n;
+  RSP_RETURN_IF_ERROR(r.varint(n));
+  if (n > (1u << 16)) return Status::corruption("promise entry count");
+  m.entries.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    PromiseEntry& e = m.entries[i];
+    RSP_RETURN_IF_ERROR(r.varint(e.slot));
+    RSP_RETURN_IF_ERROR(decode_ballot(r, e.accepted_ballot));
+    RSP_RETURN_IF_ERROR(decode_share(r, e.share));
+  }
+  return m;
+}
+
+Bytes AcceptMsg::encode() const {
+  Writer w(64 + share.header.size() + share.data.size());
+  w.u32(epoch);
+  encode_ballot(w, ballot);
+  w.varint(slot);
+  encode_share(w, share);
+  w.varint(commit_index);
+  return w.take();
+}
+
+StatusOr<AcceptMsg> AcceptMsg::decode(BytesView b) {
+  Reader r(b);
+  AcceptMsg m;
+  RSP_RETURN_IF_ERROR(r.u32(m.epoch));
+  RSP_RETURN_IF_ERROR(decode_ballot(r, m.ballot));
+  RSP_RETURN_IF_ERROR(r.varint(m.slot));
+  RSP_RETURN_IF_ERROR(decode_share(r, m.share));
+  RSP_RETURN_IF_ERROR(r.varint(m.commit_index));
+  return m;
+}
+
+Bytes AcceptedMsg::encode() const {
+  Writer w(32);
+  w.u32(epoch);
+  encode_ballot(w, ballot);
+  w.varint(slot);
+  w.u8(ok ? 1 : 0);
+  encode_ballot(w, promised);
+  return w.take();
+}
+
+StatusOr<AcceptedMsg> AcceptedMsg::decode(BytesView b) {
+  Reader r(b);
+  AcceptedMsg m;
+  RSP_RETURN_IF_ERROR(r.u32(m.epoch));
+  RSP_RETURN_IF_ERROR(decode_ballot(r, m.ballot));
+  RSP_RETURN_IF_ERROR(r.varint(m.slot));
+  uint8_t ok;
+  RSP_RETURN_IF_ERROR(r.u8(ok));
+  m.ok = ok != 0;
+  RSP_RETURN_IF_ERROR(decode_ballot(r, m.promised));
+  return m;
+}
+
+Bytes CommitMsg::encode() const {
+  Writer w(32 + recent.size() * 20);
+  w.u32(epoch);
+  encode_ballot(w, ballot);
+  w.varint(commit_index);
+  w.varint(recent.size());
+  for (const auto& [slot, vid] : recent) {
+    w.varint(slot);
+    encode_value_id(w, vid);
+  }
+  return w.take();
+}
+
+StatusOr<CommitMsg> CommitMsg::decode(BytesView b) {
+  Reader r(b);
+  CommitMsg m;
+  RSP_RETURN_IF_ERROR(r.u32(m.epoch));
+  RSP_RETURN_IF_ERROR(decode_ballot(r, m.ballot));
+  RSP_RETURN_IF_ERROR(r.varint(m.commit_index));
+  uint64_t n;
+  RSP_RETURN_IF_ERROR(r.varint(n));
+  if (n > (1u << 16)) return Status::corruption("commit entry count");
+  m.recent.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    RSP_RETURN_IF_ERROR(r.varint(m.recent[i].first));
+    RSP_RETURN_IF_ERROR(decode_value_id(r, m.recent[i].second));
+  }
+  return m;
+}
+
+Bytes HeartbeatAckMsg::encode() const {
+  Writer w(32);
+  w.u32(epoch);
+  encode_ballot(w, ballot);
+  w.varint(last_logged);
+  w.varint(last_committed);
+  return w.take();
+}
+
+StatusOr<HeartbeatAckMsg> HeartbeatAckMsg::decode(BytesView b) {
+  Reader r(b);
+  HeartbeatAckMsg m;
+  RSP_RETURN_IF_ERROR(r.u32(m.epoch));
+  RSP_RETURN_IF_ERROR(decode_ballot(r, m.ballot));
+  RSP_RETURN_IF_ERROR(r.varint(m.last_logged));
+  RSP_RETURN_IF_ERROR(r.varint(m.last_committed));
+  return m;
+}
+
+Bytes CatchupReqMsg::encode() const {
+  Writer w(24);
+  w.u32(epoch);
+  w.varint(from_slot);
+  w.varint(to_slot);
+  return w.take();
+}
+
+StatusOr<CatchupReqMsg> CatchupReqMsg::decode(BytesView b) {
+  Reader r(b);
+  CatchupReqMsg m;
+  RSP_RETURN_IF_ERROR(r.u32(m.epoch));
+  RSP_RETURN_IF_ERROR(r.varint(m.from_slot));
+  RSP_RETURN_IF_ERROR(r.varint(m.to_slot));
+  return m;
+}
+
+Bytes CatchupRepMsg::encode() const {
+  Writer w(64);
+  w.u32(epoch);
+  w.varint(commit_index);
+  w.varint(entries.size());
+  for (const CatchupEntry& e : entries) {
+    w.varint(e.slot);
+    encode_ballot(w, e.ballot);
+    encode_share(w, e.share);
+  }
+  w.u8(config.has_value() ? 1 : 0);
+  if (config.has_value()) encode_config(w, *config);
+  return w.take();
+}
+
+StatusOr<CatchupRepMsg> CatchupRepMsg::decode(BytesView b) {
+  Reader r(b);
+  CatchupRepMsg m;
+  RSP_RETURN_IF_ERROR(r.u32(m.epoch));
+  RSP_RETURN_IF_ERROR(r.varint(m.commit_index));
+  uint64_t n;
+  RSP_RETURN_IF_ERROR(r.varint(n));
+  if (n > (1u << 16)) return Status::corruption("catchup entry count");
+  m.entries.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    CatchupEntry& e = m.entries[i];
+    RSP_RETURN_IF_ERROR(r.varint(e.slot));
+    RSP_RETURN_IF_ERROR(decode_ballot(r, e.ballot));
+    RSP_RETURN_IF_ERROR(decode_share(r, e.share));
+  }
+  uint8_t has_cfg;
+  RSP_RETURN_IF_ERROR(r.u8(has_cfg));
+  if (has_cfg) {
+    GroupConfig c;
+    RSP_RETURN_IF_ERROR(decode_config(r, c));
+    m.config = std::move(c);
+  }
+  return m;
+}
+
+Bytes FetchShareReqMsg::encode() const {
+  Writer w(16);
+  w.u32(epoch);
+  w.varint(slot);
+  return w.take();
+}
+
+StatusOr<FetchShareReqMsg> FetchShareReqMsg::decode(BytesView b) {
+  Reader r(b);
+  FetchShareReqMsg m;
+  RSP_RETURN_IF_ERROR(r.u32(m.epoch));
+  RSP_RETURN_IF_ERROR(r.varint(m.slot));
+  return m;
+}
+
+Bytes FetchShareRepMsg::encode() const {
+  Writer w(64);
+  w.u32(epoch);
+  w.varint(slot);
+  w.u8(have ? 1 : 0);
+  w.u8(committed ? 1 : 0);
+  encode_ballot(w, accepted_ballot);
+  if (have) encode_share(w, share);
+  return w.take();
+}
+
+StatusOr<FetchShareRepMsg> FetchShareRepMsg::decode(BytesView b) {
+  Reader r(b);
+  FetchShareRepMsg m;
+  RSP_RETURN_IF_ERROR(r.u32(m.epoch));
+  RSP_RETURN_IF_ERROR(r.varint(m.slot));
+  uint8_t have, committed;
+  RSP_RETURN_IF_ERROR(r.u8(have));
+  RSP_RETURN_IF_ERROR(r.u8(committed));
+  m.have = have != 0;
+  m.committed = committed != 0;
+  RSP_RETURN_IF_ERROR(decode_ballot(r, m.accepted_ballot));
+  if (m.have) RSP_RETURN_IF_ERROR(decode_share(r, m.share));
+  return m;
+}
+
+}  // namespace rspaxos::consensus

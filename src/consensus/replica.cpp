@@ -1,0 +1,948 @@
+#include "consensus/replica.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace rspaxos::consensus {
+namespace {
+
+// WAL record tags.
+constexpr uint8_t kRecMeta = 1;    // promised ballot
+constexpr uint8_t kRecSlot = 2;    // slot accept state
+constexpr uint8_t kRecConfig = 3;  // applied group config
+
+Bytes encode_meta_record(const Ballot& promised) {
+  Writer w(16);
+  w.u8(kRecMeta);
+  encode_ballot(w, promised);
+  return w.take();
+}
+
+Bytes encode_slot_record(Slot slot, const Ballot& accepted, const CodedShare& share) {
+  Writer w(48 + share.header.size() + share.data.size());
+  w.u8(kRecSlot);
+  w.varint(slot);
+  encode_ballot(w, accepted);
+  encode_share(w, share);
+  return w.take();
+}
+
+Bytes encode_config_record(const GroupConfig& cfg) {
+  Writer w(64);
+  w.u8(kRecConfig);
+  encode_config(w, cfg);
+  return w.take();
+}
+
+}  // namespace
+
+Replica::Replica(NodeContext* ctx, storage::Wal* wal, GroupConfig cfg, ReplicaOptions opts)
+    : ctx_(ctx), wal_(wal), cfg_(std::move(cfg)), opts_(opts) {
+  assert(cfg_.validate().is_ok());
+  assert(cfg_.contains(ctx_->id()));
+}
+
+void Replica::start() {
+  assert(!started_);
+  started_ = true;
+  restore_from_wal();
+  if (opts_.bootstrap_leader) {
+    start_campaign();
+  } else {
+    arm_election_timer();
+  }
+}
+
+DurationMicros Replica::election_timeout() {
+  DurationMicros span = opts_.election_timeout_max - opts_.election_timeout_min;
+  // Deterministic per-node stagger (keeps simulation reproducible and
+  // avoids synchronized campaigns, like randomized timeouts would).
+  DurationMicros offset = span > 0
+      ? static_cast<DurationMicros>((ctx_->id() * 2654435761u + stats_.elections_started * 40503u) %
+                                    static_cast<uint64_t>(span))
+      : 0;
+  return opts_.election_timeout_min + offset;
+}
+
+void Replica::arm_election_timer() {
+  if (election_timer_ != 0) ctx_->cancel_timer(election_timer_);
+  election_timer_ = ctx_->set_timer(election_timeout(), [this] {
+    election_timer_ = 0;
+    if (role_ == Role::kLeader) return;
+    // Respect the previous leader's lease (§4.3): a follower "can only drop
+    // such lease in Δ + δ of time".
+    if (ctx_->now() < follower_lease_until_) {
+      arm_election_timer();
+      return;
+    }
+    start_campaign();
+  });
+}
+
+void Replica::arm_heartbeat_timer() {
+  if (heartbeat_timer_ != 0) ctx_->cancel_timer(heartbeat_timer_);
+  heartbeat_timer_ = ctx_->set_timer(opts_.heartbeat_interval, [this] {
+    heartbeat_timer_ = 0;
+    if (role_ != Role::kLeader) return;
+    send_heartbeat();
+    retransmit_pending();
+    arm_heartbeat_timer();
+  });
+}
+
+NodeId Replica::leader_hint() const {
+  if (role_ == Role::kLeader) return ctx_->id();
+  return leader_;
+}
+
+bool Replica::lease_valid() const {
+  if (role_ != Role::kLeader) return false;
+  // Lease: the (QW-1)-th freshest follower ack plus lease window, minus the
+  // assumed drift bound δ. Counting this replica itself as "fresh now", QW
+  // members vouch for the leadership within the window.
+  std::vector<TimeMicros> acks;
+  acks.push_back(ctx_->now());
+  for (const auto& [node, t] : last_ack_time_) acks.push_back(t);
+  if (static_cast<int>(acks.size()) < cfg_.qw) return false;
+  std::sort(acks.rbegin(), acks.rend());
+  TimeMicros quorum_time = acks[static_cast<size_t>(cfg_.qw - 1)];
+  return ctx_->now() < quorum_time + opts_.lease_duration - opts_.max_clock_drift;
+}
+
+// ---------------------------------------------------------------------------
+// Election (§4.5): phase 1 over the whole open log.
+// ---------------------------------------------------------------------------
+
+void Replica::start_campaign() {
+  role_ = Role::kCandidate;
+  stats_.elections_started++;
+  ballot_ = Ballot{std::max(ballot_.round, promised_.round) + 1, ctx_->id()};
+  promised_ = ballot_;
+  campaign_start_ = applied_index_ + 1;
+  campaign_promises_.clear();
+  RSP_INFO << "node " << ctx_->id() << " campaigning with " << ballot_.to_string()
+           << " from slot " << campaign_start_;
+
+  persist_meta([this, ballot = ballot_] {
+    if (ballot != ballot_ || role_ != Role::kCandidate) return;  // superseded
+    // Self-promise with own accepted entries.
+    PromiseMsg self;
+    self.epoch = cfg_.epoch;
+    self.ballot = ballot_;
+    self.ok = true;
+    self.promised = promised_;
+    self.start_slot = campaign_start_;
+    self.last_committed = commit_index_;
+    for (const auto& [slot, e] : log_) {
+      if (slot >= campaign_start_ && !e.accepted.is_null()) {
+        self.entries.push_back(PromiseEntry{slot, e.accepted, e.share});
+      }
+    }
+    on_promise(ctx_->id(), std::move(self));
+
+    PrepareMsg msg;
+    msg.epoch = cfg_.epoch;
+    msg.ballot = ballot_;
+    msg.start_slot = campaign_start_;
+    Bytes enc = msg.encode();
+    for (NodeId m : cfg_.members) {
+      if (m != ctx_->id()) ctx_->send(m, MsgType::kPrepare, enc);
+    }
+  });
+  arm_election_timer();  // campaign retry with a higher ballot on timeout
+}
+
+void Replica::on_promise(NodeId from, PromiseMsg msg) {
+  if (role_ != Role::kCandidate || msg.ballot != ballot_) return;
+  if (!msg.ok) {
+    if (msg.promised > ballot_) become_follower(msg.promised, kNoNode);
+    return;
+  }
+  campaign_promises_[from] = std::move(msg);
+  if (static_cast<int>(campaign_promises_.size()) >= cfg_.qr) become_leader();
+}
+
+void Replica::become_leader() {
+  role_ = Role::kLeader;
+  leader_ = ctx_->id();
+  stats_.times_elected++;
+  if (election_timer_ != 0) {
+    ctx_->cancel_timer(election_timer_);
+    election_timer_ = 0;
+  }
+  last_ack_time_.clear();
+
+  // Merge per-slot accepted state from the read quorum, then re-propose:
+  // bound values keep their identity; holes become NOOPs (§3.2 1c).
+  std::map<Slot, std::vector<PromiseEntry>> by_slot;
+  Slot max_slot = commit_index_;
+  for (const auto& [node, p] : campaign_promises_) {
+    for (const PromiseEntry& e : p.entries) {
+      by_slot[e.slot].push_back(e);
+      max_slot = std::max(max_slot, e.slot);
+    }
+  }
+  next_slot_ = std::max(next_slot_, max_slot + 1);
+  RSP_INFO << "node " << ctx_->id() << " elected with " << ballot_.to_string()
+           << ", open slots [" << campaign_start_ << ", " << max_slot << "]";
+
+  for (Slot s = campaign_start_; s <= max_slot; ++s) {
+    auto lit = log_.find(s);
+    if (lit != log_.end() && lit->second.committed) continue;  // already decided
+    auto it = by_slot.find(s);
+    Phase1Choice choice;
+    if (it != by_slot.end()) {
+      auto r = choose_phase1_value(it->second);
+      if (r.is_ok()) {
+        choice = std::move(r).value();
+      } else {
+        RSP_ERROR << "phase1 decode failure at slot " << s << ": "
+                  << r.status().to_string();
+      }
+    }
+    if (choice.bound.has_value()) {
+      auto& b = *choice.bound;
+      propose_internal(s, b.kind, b.vid, std::move(b.header), std::move(b.payload),
+                       nullptr);
+    } else {
+      // Hole: fill with NOOP so later slots can execute.
+      propose_internal(s, EntryKind::kNoop, ValueId{ctx_->id(), vid_seq_++}, Bytes{},
+                       Bytes{}, nullptr);
+    }
+  }
+  campaign_promises_.clear();
+  send_heartbeat();
+  arm_heartbeat_timer();
+}
+
+void Replica::become_follower(Ballot seen, NodeId leader) {
+  bool was_leader = (role_ == Role::kLeader);
+  role_ = Role::kFollower;
+  ballot_ = std::max(ballot_, seen);
+  if (leader != kNoNode) leader_ = leader;
+  if (heartbeat_timer_ != 0) {
+    ctx_->cancel_timer(heartbeat_timer_);
+    heartbeat_timer_ = 0;
+  }
+  if (was_leader || !pending_.empty()) {
+    for (auto& [slot, p] : pending_) {
+      if (p.cb) p.cb(Status::aborted("lost leadership"));
+    }
+    pending_.clear();
+  }
+  arm_election_timer();
+}
+
+void Replica::send_heartbeat() {
+  CommitMsg msg;
+  msg.epoch = cfg_.epoch;
+  msg.ballot = ballot_;
+  msg.commit_index = commit_index_;
+  for (const auto& rc : recent_commits_) msg.recent.push_back(rc);
+  recent_commits_.clear();
+  Bytes enc = msg.encode();
+  for (NodeId m : cfg_.members) {
+    if (m != ctx_->id()) ctx_->send(m, MsgType::kCommit, enc);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Proposer path (§3.2 phase 2, leader-optimized).
+// ---------------------------------------------------------------------------
+
+void Replica::propose(Bytes header, Bytes payload, ProposeFn cb) {
+  if (role_ != Role::kLeader) {
+    if (cb) cb(Status::unavailable("not leader; hint=" + std::to_string(leader_hint())));
+    return;
+  }
+  propose_internal(kNoSlot, EntryKind::kNormal, ValueId{ctx_->id(), vid_seq_++},
+                   std::move(header), std::move(payload), std::move(cb));
+}
+
+void Replica::propose_config(GroupConfig new_cfg, ProposeFn cb) {
+  if (role_ != Role::kLeader) {
+    if (cb) cb(Status::unavailable("not leader"));
+    return;
+  }
+  Status st = validate_view_change(cfg_, new_cfg);
+  if (!st.is_ok()) {
+    if (cb) cb(st);
+    return;
+  }
+  Writer w(64);
+  encode_config(w, new_cfg);
+  propose_internal(kNoSlot, EntryKind::kConfig, ValueId{ctx_->id(), vid_seq_++}, w.take(),
+                   Bytes{}, std::move(cb));
+}
+
+void Replica::propose_internal(Slot slot, EntryKind kind, ValueId vid, Bytes header,
+                               Bytes payload, ProposeFn cb) {
+  if (slot == kNoSlot) {
+    slot = next_slot_++;
+  } else {
+    next_slot_ = std::max(next_slot_, slot + 1);
+  }
+  stats_.proposals++;
+
+  PendingProposal p;
+  p.vid = vid;
+  p.kind = kind;
+  p.header = std::move(header);
+  p.value_len = payload.size();
+  p.shares = codec().encode(payload);
+  p.cb = std::move(cb);
+  p.last_sent = ctx_->now();
+
+  // The leader is also an acceptor: record and persist its own share, cache
+  // the full value for serving reads and catch-up (§1: "the leader caches
+  // the original value itself").
+  int my_idx = cfg_.index_of(ctx_->id());
+  LogEntry& e = log_[slot];
+  e.accepted = ballot_;
+  e.share.vid = vid;
+  e.share.kind = kind;
+  e.share.share_idx = static_cast<uint32_t>(my_idx);
+  e.share.x = static_cast<uint32_t>(cfg_.x);
+  e.share.n = static_cast<uint32_t>(cfg_.n());
+  e.share.value_len = p.value_len;
+  e.share.header = p.header;
+  e.share.data = p.shares[static_cast<size_t>(my_idx)];
+  e.full_payload = std::move(payload);
+  e.committed = false;
+
+  auto [it, inserted] = pending_.emplace(slot, std::move(p));
+  assert(inserted);
+  PendingProposal& pp = it->second;
+
+  // Send coded accepts to followers immediately; count ourselves only after
+  // our own share is durable (same rule as every acceptor).
+  for (NodeId m : cfg_.members) {
+    if (m != ctx_->id()) send_accept_to(m, slot, pp);
+  }
+  persist_slot(slot, [this, slot, ballot = ballot_] {
+    auto lit = log_.find(slot);
+    if (lit != log_.end() && lit->second.accepted == ballot) lit->second.durable = true;
+    auto pit = pending_.find(slot);
+    if (pit == pending_.end() || role_ != Role::kLeader || ballot != ballot_) return;
+    pit->second.acks.insert(ctx_->id());
+    if (static_cast<int>(pit->second.acks.size()) >= cfg_.qw) handle_commit_of(slot);
+  });
+}
+
+void Replica::send_accept_to(NodeId member, Slot slot, const PendingProposal& p) {
+  int idx = cfg_.index_of(member);
+  assert(idx >= 0);
+  AcceptMsg msg;
+  msg.epoch = cfg_.epoch;
+  msg.ballot = ballot_;
+  msg.slot = slot;
+  msg.share.vid = p.vid;
+  msg.share.kind = p.kind;
+  msg.share.share_idx = static_cast<uint32_t>(idx);
+  msg.share.x = static_cast<uint32_t>(cfg_.x);
+  msg.share.n = static_cast<uint32_t>(cfg_.n());
+  msg.share.value_len = p.value_len;
+  msg.share.header = p.header;
+  msg.share.data = p.shares[static_cast<size_t>(idx)];
+  msg.commit_index = commit_index_;
+  stats_.accepts_sent++;
+  ctx_->send(member, MsgType::kAccept, msg.encode());
+}
+
+void Replica::on_accepted(NodeId from, AcceptedMsg msg) {
+  if (role_ != Role::kLeader || msg.ballot != ballot_) return;
+  if (!msg.ok) {
+    if (msg.promised > ballot_) {
+      RSP_INFO << "leader " << ctx_->id() << " preempted by " << msg.promised.to_string();
+      become_follower(msg.promised, kNoNode);
+    }
+    return;
+  }
+  auto it = pending_.find(msg.slot);
+  if (it == pending_.end()) return;  // already committed
+  it->second.acks.insert(from);
+  if (static_cast<int>(it->second.acks.size()) >= cfg_.qw) handle_commit_of(msg.slot);
+}
+
+void Replica::handle_commit_of(Slot slot) {
+  auto it = pending_.find(slot);
+  if (it == pending_.end()) return;
+  ProposeFn cb = std::move(it->second.cb);
+  ValueId vid = it->second.vid;
+  pending_.erase(it);
+
+  LogEntry& e = log_[slot];
+  e.committed = true;
+  stats_.commits++;
+  recent_commits_.emplace_back(slot, vid);
+  // Ack the proposer only once the entry has *executed* locally, so a
+  // fast read right after the ack observes the write. advance_commit_index
+  // applies contiguous committed entries and drains the waiter.
+  if (cb) commit_waiters_.emplace(slot, std::move(cb));
+  advance_commit_index(commit_index_);  // recompute contiguous watermark
+}
+
+void Replica::retransmit_pending() {
+  TimeMicros now = ctx_->now();
+  for (auto& [slot, p] : pending_) {
+    if (now - p.last_sent < opts_.retransmit_interval) continue;
+    p.last_sent = now;  // pace re-sends: one per interval, not per heartbeat
+    for (NodeId m : cfg_.members) {
+      if (m != ctx_->id() && !p.acks.count(m)) send_accept_to(m, slot, p);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Acceptor path (§3.2 1b / 2b). Durable before reply (§4.5).
+// ---------------------------------------------------------------------------
+
+void Replica::on_prepare(NodeId from, PrepareMsg msg) {
+  PromiseMsg out;
+  out.epoch = cfg_.epoch;
+  out.ballot = msg.ballot;
+  out.start_slot = msg.start_slot;
+  out.last_committed = commit_index_;
+  if (msg.ballot <= promised_) {
+    out.ok = false;
+    out.promised = promised_;
+    ctx_->send(from, MsgType::kPromise, out.encode());
+    return;
+  }
+  promised_ = msg.ballot;
+  if (role_ == Role::kLeader && msg.ballot > ballot_) become_follower(msg.ballot, kNoNode);
+  arm_election_timer();  // someone is actively campaigning; stand back
+  out.ok = true;
+  out.promised = promised_;
+  for (const auto& [slot, e] : log_) {
+    if (slot >= msg.start_slot && !e.accepted.is_null()) {
+      out.entries.push_back(PromiseEntry{slot, e.accepted, e.share});
+    }
+  }
+  persist_meta([this, from, out = std::move(out)]() mutable {
+    ctx_->send(from, MsgType::kPromise, out.encode());
+  });
+}
+
+void Replica::on_accept(NodeId from, AcceptMsg msg) {
+  AcceptedMsg out;
+  out.epoch = cfg_.epoch;
+  out.ballot = msg.ballot;
+  out.slot = msg.slot;
+  if (msg.ballot < promised_) {
+    out.ok = false;
+    out.promised = promised_;
+    ctx_->send(from, MsgType::kAccepted, out.encode());
+    return;
+  }
+  promised_ = std::max(promised_, msg.ballot);
+  if (role_ != Role::kFollower && msg.ballot > ballot_) {
+    become_follower(msg.ballot, msg.ballot.node);
+  }
+  ballot_ = std::max(ballot_, msg.ballot);
+  leader_ = msg.ballot.node;
+  last_leader_contact_ = ctx_->now();
+  follower_lease_until_ = ctx_->now() + opts_.lease_duration + opts_.max_clock_drift;
+  arm_election_timer();
+
+  LogEntry& e = log_[msg.slot];
+  if (e.committed) {
+    // Already know the decided value; re-ack idempotently.
+    out.ok = true;
+    out.promised = promised_;
+    ctx_->send(from, MsgType::kAccepted, out.encode());
+    advance_commit_index(std::max(commit_index_, msg.commit_index));
+    return;
+  }
+  if (!e.accepted.is_null() && e.accepted == msg.ballot && e.share.vid == msg.share.vid) {
+    // Duplicate of an accept we already hold (retransmission): never
+    // re-persist. Ack right away if durable; otherwise the in-flight persist
+    // callback will ack when the original write completes.
+    if (e.durable) {
+      out.ok = true;
+      out.promised = promised_;
+      ctx_->send(from, MsgType::kAccepted, out.encode());
+    }
+    mark_committed_up_to(msg.commit_index, msg.ballot);
+    advance_commit_index(std::max(commit_index_, msg.commit_index));
+    return;
+  }
+  e.accepted = msg.ballot;
+  e.share = std::move(msg.share);
+  e.durable = false;
+  if (e.share.x == 1) {
+    // Full-copy mode: the share *is* the value (classic Paxos).
+    e.full_payload = e.share.data;
+  }
+  next_slot_ = std::max(next_slot_, msg.slot + 1);
+  out.ok = true;
+  out.promised = promised_;
+  persist_slot(msg.slot, [this, from, slot = msg.slot, ballot = msg.ballot,
+                          out = std::move(out)]() mutable {
+    auto it = log_.find(slot);
+    if (it != log_.end() && it->second.accepted == ballot) it->second.durable = true;
+    ctx_->send(from, MsgType::kAccepted, out.encode());
+  });
+  mark_committed_up_to(msg.commit_index, msg.ballot);
+  advance_commit_index(std::max(commit_index_, msg.commit_index));
+}
+
+// ---------------------------------------------------------------------------
+// Learner path: commits, heartbeats, catch-up (§4.5).
+// ---------------------------------------------------------------------------
+
+void Replica::on_commit(NodeId from, CommitMsg msg) {
+  if (msg.ballot < ballot_ && msg.ballot.node != leader_) return;  // stale leader
+  if (msg.ballot > ballot_) {
+    if (role_ != Role::kFollower) become_follower(msg.ballot, msg.ballot.node);
+    ballot_ = msg.ballot;
+  }
+  leader_ = msg.ballot.node;
+  last_leader_contact_ = ctx_->now();
+  follower_lease_until_ = ctx_->now() + opts_.lease_duration + opts_.max_clock_drift;
+  arm_election_timer();
+
+  // Mark recently decided slots committed if our accepted vid matches; a
+  // mismatch means our entry is from a dead round — catch-up will replace it.
+  for (const auto& [slot, vid] : msg.recent) {
+    auto it = log_.find(slot);
+    if (it != log_.end() && !it->second.accepted.is_null() && it->second.share.vid == vid) {
+      it->second.committed = true;
+    }
+  }
+  mark_committed_up_to(msg.commit_index, msg.ballot);
+  advance_commit_index(std::max(commit_index_, msg.commit_index));
+
+  HeartbeatAckMsg ack;
+  ack.epoch = cfg_.epoch;
+  ack.ballot = msg.ballot;
+  ack.last_logged = next_slot_ - 1;
+  ack.last_committed = applied_index_;
+  ctx_->send(from, MsgType::kHeartbeat, ack.encode());
+  maybe_request_catchup();
+}
+
+void Replica::on_heartbeat_ack(NodeId from, HeartbeatAckMsg msg) {
+  if (role_ != Role::kLeader || msg.ballot != ballot_) return;
+  last_ack_time_[from] = ctx_->now();
+}
+
+void Replica::mark_committed_up_to(Slot ci, const Ballot& leader_ballot) {
+  // Entries we accepted under the leader's *current* ballot are the values
+  // that leader proposed for those slots; if the slot is covered by its
+  // commit watermark, that value is the chosen one (a ballot belongs to one
+  // proposer, which proposes one value per slot).
+  for (auto it = log_.upper_bound(applied_index_); it != log_.end() && it->first <= ci;
+       ++it) {
+    if (!it->second.committed && it->second.accepted == leader_ballot) {
+      it->second.committed = true;
+    }
+  }
+}
+
+void Replica::advance_commit_index(Slot new_commit) {
+  commit_index_ = std::max(commit_index_, new_commit);
+  // A leader's commit watermark also advances through locally decided slots.
+  while (true) {
+    auto it = log_.find(commit_index_ + 1);
+    if (it == log_.end() || !it->second.committed) break;
+    commit_index_++;
+  }
+  try_apply();
+}
+
+void Replica::try_apply() {
+  while (applied_index_ < commit_index_) {
+    auto it = log_.find(applied_index_ + 1);
+    if (it == log_.end() || !it->second.committed) {
+      maybe_request_catchup();
+      return;
+    }
+    LogEntry& e = it->second;
+    Slot slot = applied_index_ + 1;
+    if (e.share.kind == EntryKind::kConfig) {
+      apply_config_entry(e, slot);
+    } else if (apply_ && e.share.kind == EntryKind::kNormal) {
+      ApplyView view;
+      view.slot = slot;
+      view.kind = e.share.kind;
+      view.vid = e.share.vid;
+      view.header = &e.share.header;
+      view.full_payload = e.full_payload.has_value() ? &*e.full_payload : nullptr;
+      view.share = &e.share;
+      apply_(view);
+    }
+    e.applied = true;
+    applied_index_ = slot;
+    auto wit = commit_waiters_.find(slot);
+    if (wit != commit_waiters_.end()) {
+      ProposeFn cb = std::move(wit->second);
+      commit_waiters_.erase(wit);
+      cb(slot);
+    }
+  }
+  maybe_drop_old_payloads();
+}
+
+void Replica::apply_config_entry(const LogEntry& e, Slot slot) {
+  Reader r(e.share.header);
+  GroupConfig new_cfg;
+  Status st = decode_config(r, new_cfg);
+  if (!st.is_ok()) {
+    RSP_ERROR << "bad CONFIG entry at slot " << slot << ": " << st.to_string();
+    return;
+  }
+  GroupConfig old_cfg = cfg_;
+  ReencodeAction action = plan_reencode(old_cfg, new_cfg);
+  RSP_INFO << "node " << ctx_->id() << " view change at slot " << slot << ": "
+           << old_cfg.to_string() << " -> " << new_cfg.to_string()
+           << " action=" << to_string(action);
+  cfg_ = new_cfg;
+  wal_->append(encode_config_record(cfg_), nullptr);
+  // Drop lease bookkeeping for members that left the view, so their stale
+  // acks can never count toward the new quorum.
+  for (auto it = last_ack_time_.begin(); it != last_ack_time_.end();) {
+    it = cfg_.contains(it->first) ? std::next(it) : last_ack_time_.erase(it);
+  }
+  if (!cfg_.contains(ctx_->id())) {
+    // Removed from the group: stop participating (timers die naturally).
+    role_ = Role::kFollower;
+    if (heartbeat_timer_ != 0) ctx_->cancel_timer(heartbeat_timer_);
+    if (election_timer_ != 0) ctx_->cancel_timer(election_timer_);
+  }
+  if (on_config_change_) on_config_change_(old_cfg, cfg_, action);
+}
+
+void Replica::maybe_request_catchup() {
+  if (catchup_in_flight_ || applied_index_ >= commit_index_) return;
+  NodeId target = leader_hint();
+  if (target == kNoNode || target == ctx_->id()) return;
+  // First missing-or-uncommitted slot range.
+  Slot lo = applied_index_ + 1;
+  Slot hi = std::min(commit_index_, lo + 63);  // bounded batches
+  CatchupReqMsg req;
+  req.epoch = cfg_.epoch;
+  req.from_slot = lo;
+  req.to_slot = hi;
+  catchup_in_flight_ = true;
+  ctx_->send(target, MsgType::kCatchupReq, req.encode());
+  ctx_->set_timer(opts_.retransmit_interval * 2, [this] { catchup_in_flight_ = false; });
+}
+
+void Replica::on_catchup_req(NodeId from, CatchupReqMsg msg) {
+  serve_catchup(from, msg.from_slot, msg.to_slot);
+}
+
+void Replica::serve_catchup(NodeId to, Slot from_slot, Slot to_slot) {
+  CatchupRepMsg rep;
+  rep.epoch = cfg_.epoch;
+  rep.commit_index = commit_index_;
+  int to_idx = cfg_.index_of(to);
+  if (to_idx < 0) {
+    ctx_->send(to, MsgType::kCatchupRep, rep.encode());
+    return;
+  }
+  to_slot = std::min(to_slot, commit_index_);
+  std::vector<Slot> need_recovery;
+  for (Slot s = from_slot; s <= to_slot; ++s) {
+    auto it = log_.find(s);
+    if (it == log_.end() || !it->second.committed) continue;
+    LogEntry& e = it->second;
+    CatchupEntry ce;
+    ce.slot = s;
+    ce.ballot = e.accepted;
+    ce.share = e.share;  // copies metadata + header
+    ce.share.share_idx = static_cast<uint32_t>(to_idx);
+    if (e.full_payload.has_value()) {
+      // "The leader needs to re-code the data and send the corresponding
+      // fragment to the recovering server" (§4.5).
+      const ec::RsCode& code = ec::RsCodeCache::get(static_cast<int>(e.share.x),
+                                                    static_cast<int>(e.share.n));
+      ce.share.data = code.encode_share(*e.full_payload, to_idx);
+    } else if (e.share.x == 1 && !(e.share.data.empty() && e.share.value_len > 0)) {
+      // Full copy already (and not compacted away).
+    } else {
+      need_recovery.push_back(s);
+      continue;
+    }
+    stats_.catchup_entries_served++;
+    rep.entries.push_back(std::move(ce));
+  }
+  ctx_->send(to, MsgType::kCatchupRep, rep.encode());
+  // Kick off payload recovery for what we could not serve; the requester
+  // will retry and find the payloads cached.
+  for (Slot s : need_recovery) recover_payload(s, nullptr);
+}
+
+void Replica::on_catchup_rep(NodeId from, CatchupRepMsg msg) {
+  (void)from;
+  catchup_in_flight_ = false;
+  if (msg.config.has_value() && msg.config->epoch > cfg_.epoch) {
+    // Advisory only (the authoritative switch is the CONFIG log entry):
+    // use it to find the current membership for routing.
+    leader_ = kNoNode;
+  }
+  for (CatchupEntry& ce : msg.entries) {
+    LogEntry& e = log_[ce.slot];
+    if (e.applied) continue;
+    e.accepted = ce.ballot;
+    e.share = std::move(ce.share);
+    if (e.share.x == 1) e.full_payload = e.share.data;
+    e.committed = true;
+    persist_slot(ce.slot, nullptr);
+  }
+  advance_commit_index(std::max(commit_index_, msg.commit_index));
+  if (applied_index_ < commit_index_) maybe_request_catchup();
+}
+
+// ---------------------------------------------------------------------------
+// Recovery read support (§4.4): gather >= X shares, decode.
+// ---------------------------------------------------------------------------
+
+void Replica::recover_payload(Slot slot, RecoverFn cb) {
+  auto lit = log_.find(slot);
+  if (lit != log_.end() && lit->second.full_payload.has_value()) {
+    if (cb) cb(*lit->second.full_payload);
+    return;
+  }
+  PendingRecovery& rec = recoveries_[slot];
+  if (cb) rec.cbs.push_back(std::move(cb));
+  if (rec.retry_timer != 0) return;  // fetch already in flight
+
+  stats_.recoveries++;
+  if (lit != log_.end() && lit->second.committed) {
+    rec.vid = lit->second.share.vid;
+    rec.vid_known = true;
+    rec.x = lit->second.share.x;
+    rec.n = lit->second.share.n;
+    rec.value_len = lit->second.share.value_len;
+    rec.shares[static_cast<int>(lit->second.share.share_idx)] = lit->second.share.data;
+  }
+  FetchShareReqMsg req;
+  req.epoch = cfg_.epoch;
+  req.slot = slot;
+  Bytes enc = req.encode();
+  for (NodeId m : cfg_.members) {
+    if (m != ctx_->id()) ctx_->send(m, MsgType::kFetchShareReq, enc);
+  }
+  rec.retry_timer = ctx_->set_timer(opts_.retransmit_interval, [this, slot] {
+    auto it = recoveries_.find(slot);
+    if (it == recoveries_.end()) return;
+    it->second.retry_timer = 0;
+    recover_payload(slot, nullptr);  // re-broadcast fetches
+  });
+}
+
+void Replica::on_fetch_share_req(NodeId from, FetchShareReqMsg msg) {
+  FetchShareRepMsg rep;
+  rep.epoch = cfg_.epoch;
+  rep.slot = msg.slot;
+  auto it = log_.find(msg.slot);
+  bool compacted = it != log_.end() && it->second.share.data.empty() &&
+                   it->second.share.value_len > 0;
+  if (it != log_.end() && !it->second.accepted.is_null() && !compacted) {
+    rep.have = true;
+    rep.committed = it->second.committed;
+    rep.accepted_ballot = it->second.accepted;
+    rep.share = it->second.share;
+    rep.share.header.clear();  // header not needed for payload recovery
+  }
+  ctx_->send(from, MsgType::kFetchShareRep, rep.encode());
+}
+
+void Replica::on_fetch_share_rep(NodeId from, FetchShareRepMsg msg) {
+  (void)from;
+  auto rit = recoveries_.find(msg.slot);
+  if (rit == recoveries_.end()) return;
+  PendingRecovery& rec = rit->second;
+  if (!msg.have) return;
+  // Pin the value id: a committed report is authoritative (Proposition 1 —
+  // later rounds can only carry the chosen value, so all committed shares of
+  // a slot agree on vid). Without one, tentatively chase the first vid seen;
+  // a later committed report overrides it.
+  if (msg.committed && !rec.vid_known) {
+    if (rec.vid != msg.share.vid) rec.shares.clear();
+    rec.vid = msg.share.vid;
+    rec.vid_known = true;
+  } else if (!rec.vid_known && rec.shares.empty()) {
+    rec.vid = msg.share.vid;
+  }
+  if (msg.share.vid != rec.vid) return;
+  rec.x = msg.share.x;
+  rec.n = msg.share.n;
+  rec.value_len = msg.share.value_len;
+  rec.shares[static_cast<int>(msg.share.share_idx)] = std::move(msg.share.data);
+  if (rec.shares.size() < static_cast<size_t>(rec.x)) return;
+
+  const ec::RsCode& code =
+      ec::RsCodeCache::get(static_cast<int>(rec.x), static_cast<int>(rec.n));
+  std::map<int, Bytes> input;
+  for (auto& [idx, data] : rec.shares) input.emplace(idx, data);
+  auto payload = code.decode(input, rec.value_len);
+  std::vector<RecoverFn> cbs = std::move(rec.cbs);
+  if (rec.retry_timer != 0) ctx_->cancel_timer(rec.retry_timer);
+  Slot slot = msg.slot;
+  recoveries_.erase(rit);
+  if (!payload.is_ok()) {
+    for (auto& cb : cbs) {
+      if (cb) cb(payload.status());
+    }
+    return;
+  }
+  Bytes value = std::move(payload).value();
+  auto lit = log_.find(slot);
+  if (lit != log_.end()) lit->second.full_payload = value;  // cache for catch-up
+  for (auto& cb : cbs) {
+    if (cb) cb(value);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence (§4.5).
+// ---------------------------------------------------------------------------
+
+void Replica::persist_meta(std::function<void()> then) {
+  wal_->append(encode_meta_record(promised_), [then = std::move(then)](Status st) {
+    if (st.is_ok() && then) then();
+  });
+}
+
+void Replica::persist_slot(Slot slot, std::function<void()> then) {
+  const LogEntry& e = log_[slot];
+  wal_->append(encode_slot_record(slot, e.accepted, e.share),
+               [then = std::move(then)](Status st) {
+                 if (st.is_ok() && then) then();
+               });
+}
+
+void Replica::restore_from_wal() {
+  wal_->replay([this](BytesView rec) {
+    Reader r(rec);
+    uint8_t tag;
+    if (!r.u8(tag).is_ok()) return;
+    switch (tag) {
+      case kRecMeta: {
+        Ballot b;
+        if (decode_ballot(r, b).is_ok()) {
+          promised_ = std::max(promised_, b);
+          ballot_ = std::max(ballot_, b);
+        }
+        return;
+      }
+      case kRecSlot: {
+        Slot slot;
+        Ballot accepted;
+        CodedShare share;
+        if (r.varint(slot).is_ok() && decode_ballot(r, accepted).is_ok() &&
+            decode_share(r, share).is_ok()) {
+          LogEntry& e = log_[slot];
+          e.accepted = accepted;
+          e.share = std::move(share);
+          if (e.share.x == 1) e.full_payload = e.share.data;
+          next_slot_ = std::max(next_slot_, slot + 1);
+        }
+        return;
+      }
+      case kRecConfig: {
+        GroupConfig c;
+        if (decode_config(r, c).is_ok() && c.epoch >= cfg_.epoch) cfg_ = c;
+        return;
+      }
+      default:
+        return;
+    }
+  });
+  if (!log_.empty()) {
+    RSP_INFO << "node " << ctx_->id() << " restored " << log_.size()
+             << " slots from WAL, promised=" << promised_.to_string();
+  }
+}
+
+void Replica::maybe_drop_old_payloads() {
+  if (opts_.payload_cache_slots != 0 && applied_index_ > opts_.payload_cache_slots) {
+    Slot cutoff = applied_index_ - opts_.payload_cache_slots;
+    // Walk only entries below the cutoff; the map is ordered.
+    for (auto it = log_.begin(); it != log_.end() && it->first <= cutoff; ++it) {
+      if (it->second.applied && it->second.full_payload.has_value() &&
+          it->second.share.x > 1) {
+        it->second.full_payload.reset();
+      }
+    }
+  }
+  if (opts_.share_cache_slots != 0 && applied_index_ > opts_.share_cache_slots) {
+    Slot cutoff = applied_index_ - opts_.share_cache_slots;
+    for (auto it = log_.begin(); it != log_.end() && it->first <= cutoff; ++it) {
+      LogEntry& e = it->second;
+      if (e.applied && !e.share.data.empty()) {
+        e.full_payload.reset();
+        e.share.data.clear();
+        e.share.data.shrink_to_fit();
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------------
+
+void Replica::on_message(NodeId from, MsgType type, BytesView payload) {
+  switch (type) {
+    case MsgType::kPrepare: {
+      auto m = PrepareMsg::decode(payload);
+      if (m.is_ok()) on_prepare(from, std::move(m).value());
+      return;
+    }
+    case MsgType::kPromise: {
+      auto m = PromiseMsg::decode(payload);
+      if (m.is_ok()) on_promise(from, std::move(m).value());
+      return;
+    }
+    case MsgType::kAccept: {
+      auto m = AcceptMsg::decode(payload);
+      if (m.is_ok()) on_accept(from, std::move(m).value());
+      return;
+    }
+    case MsgType::kAccepted: {
+      auto m = AcceptedMsg::decode(payload);
+      if (m.is_ok()) on_accepted(from, std::move(m).value());
+      return;
+    }
+    case MsgType::kCommit: {
+      auto m = CommitMsg::decode(payload);
+      if (m.is_ok()) on_commit(from, std::move(m).value());
+      return;
+    }
+    case MsgType::kHeartbeat: {
+      auto m = HeartbeatAckMsg::decode(payload);
+      if (m.is_ok()) on_heartbeat_ack(from, std::move(m).value());
+      return;
+    }
+    case MsgType::kCatchupReq: {
+      auto m = CatchupReqMsg::decode(payload);
+      if (m.is_ok()) on_catchup_req(from, std::move(m).value());
+      return;
+    }
+    case MsgType::kCatchupRep: {
+      auto m = CatchupRepMsg::decode(payload);
+      if (m.is_ok()) on_catchup_rep(from, std::move(m).value());
+      return;
+    }
+    case MsgType::kFetchShareReq: {
+      auto m = FetchShareReqMsg::decode(payload);
+      if (m.is_ok()) on_fetch_share_req(from, std::move(m).value());
+      return;
+    }
+    case MsgType::kFetchShareRep: {
+      auto m = FetchShareRepMsg::decode(payload);
+      if (m.is_ok()) on_fetch_share_rep(from, std::move(m).value());
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace rspaxos::consensus

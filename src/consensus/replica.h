@@ -1,0 +1,259 @@
+// Multi-Paxos RS-Paxos replication engine (§2.1 Multi-Paxos, §3 RS-Paxos,
+// §4.3 leases, §4.5 crash/recovery, §4.6 view change).
+//
+// One Replica object is a full group member: distinguished-proposer leader
+// when it holds the highest prepared ballot, acceptor and learner always.
+// Design points taken from the paper:
+//   * Batch prepare: one phase-1 exchange covers every slot >= start_slot,
+//     so a stable leader commits values in one round trip (§2.1, §7).
+//   * Accept requests carry exactly one coded share per acceptor; the leader
+//     "caches the original value itself, while sending coded shares to the
+//     followers. Both leader and follower only need to flush the coded
+//     shares into disks" (§1) — the WAL record holds the replica's own
+//     share, never the full value.
+//   * Commit notifications are bundled and ride the heartbeat, off the
+//     critical path (§5); they carry value ids only (§2.1).
+//   * Acceptor state is durable before any reply (§4.5); restart replays
+//     the WAL and rejoins.
+//   * Leader election is itself a consensus round: a candidate wins by
+//     passing phase 1 on the whole log with a higher ballot (§4.5). Leader
+//     leases (§4.3) gate fast reads and delay rival campaigns by lease+drift.
+//   * View changes commit CONFIG entries; each epoch re-parameterizes
+//     quorums and coding (§4.6).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "consensus/msg.h"
+#include "consensus/single.h"
+#include "consensus/view.h"
+#include "ec/rs_code.h"
+#include "net/transport.h"
+#include "storage/wal.h"
+
+namespace rspaxos::consensus {
+
+/// Tuning knobs; defaults suit LAN-scale tests. Benchmarks override them to
+/// match the paper's environments.
+struct ReplicaOptions {
+  DurationMicros heartbeat_interval = 50 * kMillis;
+  DurationMicros election_timeout_min = 300 * kMillis;
+  DurationMicros election_timeout_max = 500 * kMillis;
+  DurationMicros lease_duration = 250 * kMillis;   // Δ of §4.3
+  DurationMicros max_clock_drift = 20 * kMillis;   // δ of §4.3
+  DurationMicros retransmit_interval = 100 * kMillis;
+  /// Full payloads of applied entries older than this many slots behind the
+  /// commit index are dropped; recovery re-gathers shares on demand (§4.4's
+  /// recovery read).
+  uint64_t payload_cache_slots = 512;
+  /// Log compaction: share *data* of applied entries older than this many
+  /// slots is dropped too (metadata kept). 0 keeps everything. The durable
+  /// copy lives in the WAL and the state machine's local store; compacted
+  /// slots simply stop answering fetch-share requests from this replica.
+  uint64_t share_cache_slots = 0;
+  /// If true this node starts campaigning immediately at start() (used to
+  /// give groups a deterministic initial leader).
+  bool bootstrap_leader = false;
+};
+
+/// A committed log entry as handed to the state machine. Followers usually
+/// see only their own coded share (full_payload empty) — the KV layer tags
+/// such values "incomplete" (§4.4).
+struct ApplyView {
+  Slot slot = 0;
+  EntryKind kind = EntryKind::kNormal;
+  ValueId vid;
+  const Bytes* header = nullptr;        // always present (may be empty)
+  const Bytes* full_payload = nullptr;  // present on leader / after recovery
+  const CodedShare* share = nullptr;    // this replica's share
+};
+
+/// Aggregate cost/behaviour counters (the paper's evaluation metrics).
+struct ReplicaStats {
+  uint64_t proposals = 0;
+  uint64_t commits = 0;
+  uint64_t accepts_sent = 0;
+  uint64_t elections_started = 0;
+  uint64_t times_elected = 0;
+  uint64_t catchup_entries_served = 0;
+  uint64_t recoveries = 0;
+};
+
+class Replica final : public MessageHandler {
+ public:
+  using ProposeFn = std::function<void(StatusOr<Slot>)>;
+  using ApplyFn = std::function<void(const ApplyView&)>;
+  using RecoverFn = std::function<void(StatusOr<Bytes>)>;
+  /// Invoked when a CONFIG entry is applied; `action` is the §4.6 re-coding
+  /// plan the new view requires.
+  using ConfigChangeFn =
+      std::function<void(const GroupConfig& old_cfg, const GroupConfig& new_cfg,
+                         ReencodeAction action)>;
+
+  Replica(NodeContext* ctx, storage::Wal* wal, GroupConfig cfg, ReplicaOptions opts = {});
+
+  /// Registers the state-machine hook. Must be set before start().
+  void set_apply(ApplyFn fn) { apply_ = std::move(fn); }
+  void set_on_config_change(ConfigChangeFn fn) { on_config_change_ = std::move(fn); }
+
+  /// Replays the WAL (if non-empty) and begins participating.
+  void start();
+
+  /// Leader-only: replicate a command. `header` is copied to every acceptor
+  /// in full; `payload` is erasure-coded θ(X, N). The callback fires with
+  /// the assigned slot once the value is chosen (QW durable acks), or with
+  /// kUnavailable{leader hint} if this node is not the leader.
+  void propose(Bytes header, Bytes payload, ProposeFn cb);
+
+  /// Leader-only: commit a view change to `new_cfg` (epoch must be
+  /// current+1). Applied like any entry; switches quorums when executed.
+  void propose_config(GroupConfig new_cfg, ProposeFn cb);
+
+  /// Gathers >= X shares of the committed entry in `slot` and returns the
+  /// decoded payload (§4.4 recovery read). Works on any replica.
+  void recover_payload(Slot slot, RecoverFn cb);
+
+  void on_message(NodeId from, MsgType type, BytesView payload) override;
+
+  // --- introspection ---
+  bool is_leader() const { return role_ == Role::kLeader; }
+  /// Best-known leader (kNoNode if unknown).
+  NodeId leader_hint() const;
+  /// True while the §4.3 lease makes a leader-local fast read safe.
+  bool lease_valid() const;
+  Slot commit_index() const { return commit_index_; }
+  Slot last_applied() const { return applied_index_; }
+  const GroupConfig& config() const { return cfg_; }
+  const ReplicaStats& stats() const { return stats_; }
+  Ballot current_ballot() const { return ballot_; }
+
+ private:
+  enum class Role { kFollower, kCandidate, kLeader };
+
+  struct LogEntry {
+    Ballot accepted;
+    CodedShare share;                  // this replica's durable share
+    std::optional<Bytes> full_payload; // cached original value (leader-side)
+    bool durable = false;  // share persisted; duplicate accepts ack directly
+    bool committed = false;
+    bool applied = false;
+  };
+
+  struct PendingProposal {
+    ValueId vid;
+    EntryKind kind = EntryKind::kNormal;
+    Bytes header;
+    std::vector<Bytes> shares;  // per-member shares for retransmission
+    uint64_t value_len = 0;
+    std::set<NodeId> acks;
+    ProposeFn cb;
+    TimeMicros last_sent = 0;
+  };
+
+  struct PendingRecovery {
+    std::map<int, Bytes> shares;  // share_idx -> data, for the chosen vid
+    ValueId vid;                  // vid being gathered (from committed info)
+    bool vid_known = false;
+    uint32_t x = 0, n = 0;
+    uint64_t value_len = 0;
+    std::vector<RecoverFn> cbs;
+    NodeContext::TimerId retry_timer = 0;
+  };
+
+  // --- role / election ---
+  void become_follower(Ballot seen, NodeId leader);
+  void start_campaign();
+  void on_promise(NodeId from, PromiseMsg msg);
+  void become_leader();
+  void arm_election_timer();
+  void arm_heartbeat_timer();
+  void send_heartbeat();
+
+  // --- proposer path ---
+  /// Runs phase 2 for `slot` (pass kNoSlot to assign the next free one).
+  static constexpr Slot kNoSlot = 0;
+  void propose_internal(Slot slot, EntryKind kind, ValueId vid, Bytes header,
+                        Bytes payload, ProposeFn cb);
+  void send_accept_to(NodeId member, Slot slot, const PendingProposal& p);
+  void on_accepted(NodeId from, AcceptedMsg msg);
+  void handle_commit_of(Slot slot);
+  void retransmit_pending();
+
+  // --- acceptor path ---
+  void on_prepare(NodeId from, PrepareMsg msg);
+  void on_accept(NodeId from, AcceptMsg msg);
+
+  // --- learner path ---
+  void on_commit(NodeId from, CommitMsg msg);
+  void on_heartbeat_ack(NodeId from, HeartbeatAckMsg msg);
+  void mark_committed_up_to(Slot ci, const Ballot& leader_ballot);
+  void advance_commit_index(Slot new_commit);
+  void try_apply();
+  void maybe_request_catchup();
+  void on_catchup_req(NodeId from, CatchupReqMsg msg);
+  void serve_catchup(NodeId to, Slot from_slot, Slot to_slot);
+  void on_catchup_rep(NodeId from, CatchupRepMsg msg);
+  void on_fetch_share_req(NodeId from, FetchShareReqMsg msg);
+  void on_fetch_share_rep(NodeId from, FetchShareRepMsg msg);
+  void apply_config_entry(const LogEntry& e, Slot slot);
+
+  // --- persistence ---
+  void persist_meta(std::function<void()> then);
+  void persist_slot(Slot slot, std::function<void()> then);
+  void restore_from_wal();
+
+  // --- misc ---
+  const ec::RsCode& codec() const { return ec::RsCodeCache::get(cfg_.x, cfg_.n()); }
+  void maybe_drop_old_payloads();
+  DurationMicros election_timeout();
+
+  NodeContext* ctx_;
+  storage::Wal* wal_;
+  GroupConfig cfg_;
+  ReplicaOptions opts_;
+  ApplyFn apply_;
+  ConfigChangeFn on_config_change_;
+
+  Role role_ = Role::kFollower;
+  Ballot ballot_;            // highest ballot seen/owned
+  Ballot promised_;          // durable promise covering all slots
+  NodeId leader_ = kNoNode;  // current leader hint
+  uint64_t vid_seq_ = 1;
+
+  std::map<Slot, LogEntry> log_;
+  Slot next_slot_ = 1;       // leader: next slot to assign
+  Slot commit_index_ = 0;    // all slots <= this are committed
+  Slot applied_index_ = 0;
+
+  std::map<Slot, PendingProposal> pending_;
+  // Chosen-but-not-yet-applied proposal callbacks: fired on apply so a
+  // leader-local read after the ack always sees the write.
+  std::map<Slot, ProposeFn> commit_waiters_;
+  std::deque<std::pair<Slot, ValueId>> recent_commits_;  // for bundled commit
+
+  // Campaign state.
+  Slot campaign_start_ = 0;
+  std::map<NodeId, PromiseMsg> campaign_promises_;
+
+  // Lease bookkeeping (§4.3).
+  std::map<NodeId, TimeMicros> last_ack_time_;  // leader: per-follower
+  TimeMicros follower_lease_until_ = 0;         // follower: granted to leader
+  TimeMicros last_leader_contact_ = 0;
+
+  std::map<Slot, PendingRecovery> recoveries_;
+  // Catch-up entries awaiting payload recovery, per requester.
+  bool catchup_in_flight_ = false;
+
+  NodeContext::TimerId election_timer_ = 0;
+  NodeContext::TimerId heartbeat_timer_ = 0;
+  NodeContext::TimerId retransmit_timer_ = 0;
+
+  ReplicaStats stats_;
+  bool started_ = false;
+};
+
+}  // namespace rspaxos::consensus

@@ -1,0 +1,45 @@
+#include "consensus/view.h"
+
+namespace rspaxos::consensus {
+
+const char* to_string(ReencodeAction a) {
+  switch (a) {
+    case ReencodeAction::kNone: return "none";
+    case ReencodeAction::kConfirmShares: return "confirm-shares";
+    case ReencodeAction::kRecode: return "recode";
+  }
+  return "?";
+}
+
+ReencodeAction plan_reencode(const GroupConfig& old_cfg, const GroupConfig& new_cfg) {
+  // Optimization 1 (§4.6): same X — existing fragments are exactly the
+  // original-data splits plus parities of the same θ; shares need not be
+  // re-sent. Example in the paper: (N=5, Q=4, θ(3,5)) -> (N'=5, Q'=4,
+  // θ(3,3)): "no need to re-spread the data".
+  //
+  // Membership growth with the same X also only requires encoding the
+  // *additional* parity shares for the new replicas, never touching
+  // existing ones (systematic RS rows are independent); we classify that as
+  // kConfirmShares since new members must be seeded.
+  if (new_cfg.x == old_cfg.x) {
+    if (new_cfg.members == old_cfg.members) return ReencodeAction::kNone;
+    return ReencodeAction::kConfirmShares;
+  }
+  // Optimization 2 (§4.6): if each replica already stores its share of every
+  // chosen value, the data survives any N - X failures; a new quorum of at
+  // least X can always gather a decodable set. Example in the paper:
+  // (N=5, Q=4, X=3) -> (N'=4, Q'=3, X'=2): confirm-only.
+  int new_quorum = std::min(new_cfg.qr, new_cfg.qw);
+  if (new_quorum >= old_cfg.x) return ReencodeAction::kConfirmShares;
+  return ReencodeAction::kRecode;
+}
+
+Status validate_view_change(const GroupConfig& old_cfg, const GroupConfig& new_cfg) {
+  RSP_RETURN_IF_ERROR(new_cfg.validate());
+  if (new_cfg.epoch != old_cfg.epoch + 1) {
+    return Status::invalid("view change must advance the epoch by exactly 1");
+  }
+  return Status::ok();
+}
+
+}  // namespace rspaxos::consensus

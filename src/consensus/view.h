@@ -1,0 +1,44 @@
+// Reconfiguration / view change planning (§4.6).
+//
+// A view change commits a CONFIG entry carrying the new GroupConfig; every
+// epoch gets its own quorum and coding configuration. Changing θ(X, N) can
+// require re-coding stored data — the paper gives two optimizations that
+// avoid it, both implemented (and unit-tested against the paper's examples):
+//
+//   1. Same-X rule: if the new coding keeps the same number of original
+//      shares X, existing fragments stay valid — "there is no need to
+//      re-spread the data"; the system only confirms every replica holds its
+//      own share.
+//   2. Q' >= X rule: if every replica already stores its share of a chosen
+//      value, the effective fault tolerance is N - X, so a new configuration
+//      whose quorum is at least the old X only needs per-replica share
+//      confirmation, not a re-code.
+#pragma once
+
+#include <string>
+
+#include "consensus/config.h"
+
+namespace rspaxos::consensus {
+
+/// What a view change must do to previously committed data.
+enum class ReencodeAction {
+  /// No data movement: old fragments remain usable as-is (same-X rule).
+  kNone,
+  /// Only confirm each replica holds its existing share (Q' >= X rule).
+  kConfirmShares,
+  /// Full re-code: issue new RS-Paxos instances with the new θ(X', N').
+  kRecode,
+};
+
+const char* to_string(ReencodeAction a);
+
+/// Decides the cheapest safe action for moving committed data from
+/// `old_cfg`'s coding to `new_cfg`'s (§4.6).
+ReencodeAction plan_reencode(const GroupConfig& old_cfg, const GroupConfig& new_cfg);
+
+/// Validates that `new_cfg` is a legal successor of `old_cfg`:
+/// epoch increments by one, config internally consistent.
+Status validate_view_change(const GroupConfig& old_cfg, const GroupConfig& new_cfg);
+
+}  // namespace rspaxos::consensus

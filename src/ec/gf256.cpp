@@ -1,0 +1,114 @@
+#include "ec/gf256.h"
+
+#include <array>
+#include <cassert>
+
+namespace rspaxos::gf {
+namespace {
+
+constexpr unsigned kPoly = 0x11d;  // x^8 + x^4 + x^3 + x^2 + 1
+
+struct FieldTables {
+  // exp_ is doubled so mul can skip the mod-255 reduction on the index sum.
+  std::array<uint8_t, 512> exp_;
+  std::array<uint8_t, 256> log_;
+  // Full 64 KiB product table: mul_[c][x] = c * x. Row pointers feed the
+  // region kernels; the table amortizes to ~1 multiply-free table load per
+  // byte of coded data.
+  std::array<std::array<uint8_t, 256>, 256> mul_;
+
+  FieldTables() {
+    unsigned x = 1;
+    for (unsigned i = 0; i < 255; ++i) {
+      exp_[i] = static_cast<uint8_t>(x);
+      log_[x] = static_cast<uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= kPoly;
+    }
+    for (unsigned i = 255; i < 512; ++i) exp_[i] = exp_[i - 255];
+    log_[0] = 0;  // log(0) is undefined; callers guard zero.
+    for (unsigned c = 0; c < 256; ++c) {
+      for (unsigned v = 0; v < 256; ++v) {
+        if (c == 0 || v == 0) {
+          mul_[c][v] = 0;
+        } else {
+          mul_[c][v] = exp_[log_[c] + log_[v]];
+        }
+      }
+    }
+  }
+};
+
+const FieldTables& tables() {
+  static const FieldTables t;
+  return t;
+}
+
+}  // namespace
+
+uint8_t mul(uint8_t a, uint8_t b) { return tables().mul_[a][b]; }
+
+uint8_t inv(uint8_t a) {
+  assert(a != 0 && "gf::inv(0)");
+  const FieldTables& t = tables();
+  return t.exp_[255 - t.log_[a]];
+}
+
+uint8_t div(uint8_t a, uint8_t b) {
+  assert(b != 0 && "gf::div by 0");
+  if (a == 0) return 0;
+  const FieldTables& t = tables();
+  return t.exp_[t.log_[a] + 255 - t.log_[b]];
+}
+
+uint8_t pow(uint8_t base, unsigned exp) {
+  if (exp == 0) return 1;
+  if (base == 0) return 0;
+  const FieldTables& t = tables();
+  unsigned e = (static_cast<unsigned>(t.log_[base]) * exp) % 255;
+  return t.exp_[e];
+}
+
+const uint8_t* mul_table_row(uint8_t c) { return tables().mul_[c].data(); }
+
+void mul_add_region(uint8_t* dst, const uint8_t* src, uint8_t c, size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    // XOR fast path: word-at-a-time.
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      uint64_t d, s;
+      __builtin_memcpy(&d, dst + i, 8);
+      __builtin_memcpy(&s, src + i, 8);
+      d ^= s;
+      __builtin_memcpy(dst + i, &d, 8);
+    }
+    for (; i < n; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const uint8_t* row = mul_table_row(c);
+  size_t i = 0;
+  // Unrolled table lookups; the compiler keeps `row` in a register.
+  for (; i + 4 <= n; i += 4) {
+    dst[i] ^= row[src[i]];
+    dst[i + 1] ^= row[src[i + 1]];
+    dst[i + 2] ^= row[src[i + 2]];
+    dst[i + 3] ^= row[src[i + 3]];
+  }
+  for (; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+void mul_region(uint8_t* dst, const uint8_t* src, uint8_t c, size_t n) {
+  if (c == 0) {
+    for (size_t i = 0; i < n; ++i) dst[i] = 0;
+    return;
+  }
+  if (c == 1) {
+    if (dst != src) __builtin_memcpy(dst, src, n);
+    return;
+  }
+  const uint8_t* row = mul_table_row(c);
+  for (size_t i = 0; i < n; ++i) dst[i] = row[src[i]];
+}
+
+}  // namespace rspaxos::gf

@@ -1,0 +1,39 @@
+// GF(2^8) arithmetic for Reed-Solomon coding.
+//
+// The field is GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1) (0x11d), the standard
+// choice in storage erasure codes. Single-element ops use log/exp tables;
+// bulk region ops (the encode/decode hot path) use a per-coefficient 256-entry
+// product table, giving table-driven byte-at-a-time multiply-accumulate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rspaxos::gf {
+
+/// Field addition/subtraction (identical in characteristic 2).
+inline uint8_t add(uint8_t a, uint8_t b) { return a ^ b; }
+
+/// Field multiplication.
+uint8_t mul(uint8_t a, uint8_t b);
+
+/// Multiplicative inverse; a must be non-zero.
+uint8_t inv(uint8_t a);
+
+/// a / b; b must be non-zero.
+uint8_t div(uint8_t a, uint8_t b);
+
+/// base^exp (exp >= 0).
+uint8_t pow(uint8_t base, unsigned exp);
+
+/// Returns the row of the 256x256 product table for coefficient c:
+/// table[x] == mul(c, x). Stable pointer, built once at startup.
+const uint8_t* mul_table_row(uint8_t c);
+
+/// dst[i] ^= c * src[i] for i in [0, n). The encode/decode inner loop.
+void mul_add_region(uint8_t* dst, const uint8_t* src, uint8_t c, size_t n);
+
+/// dst[i] = c * src[i] for i in [0, n).
+void mul_region(uint8_t* dst, const uint8_t* src, uint8_t c, size_t n);
+
+}  // namespace rspaxos::gf

@@ -1,0 +1,86 @@
+#include "ec/matrix.h"
+
+#include "ec/gf256.h"
+
+namespace rspaxos::ec {
+
+Matrix Matrix::identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+Matrix Matrix::vandermonde(size_t rows, size_t cols) {
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      m.at(r, c) = gf::pow(static_cast<uint8_t>(r), static_cast<unsigned>(c));
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::times(const Matrix& rhs) const {
+  Matrix out(rows_, rhs.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      uint8_t a = at(r, k);
+      if (a == 0) continue;
+      const uint8_t* mrow = gf::mul_table_row(a);
+      for (size_t c = 0; c < rhs.cols_; ++c) {
+        out.at(r, c) ^= mrow[rhs.at(k, c)];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::select_rows(const std::vector<size_t>& row_indices) const {
+  Matrix out(row_indices.size(), cols_);
+  for (size_t i = 0; i < row_indices.size(); ++i) {
+    for (size_t c = 0; c < cols_; ++c) out.at(i, c) = at(row_indices[i], c);
+  }
+  return out;
+}
+
+StatusOr<Matrix> Matrix::inverted() const {
+  if (rows_ != cols_) return Status::invalid("inverse of non-square matrix");
+  const size_t n = rows_;
+  // Gauss-Jordan on [A | I].
+  Matrix a = *this;
+  Matrix inv = identity(n);
+  for (size_t col = 0; col < n; ++col) {
+    // Find pivot.
+    size_t pivot = col;
+    while (pivot < n && a.at(pivot, col) == 0) ++pivot;
+    if (pivot == n) return Status::invalid("singular matrix");
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) {
+        std::swap(a.at(pivot, c), a.at(col, c));
+        std::swap(inv.at(pivot, c), inv.at(col, c));
+      }
+    }
+    // Normalize pivot row.
+    uint8_t p = a.at(col, col);
+    if (p != 1) {
+      uint8_t pinv = gf::inv(p);
+      for (size_t c = 0; c < n; ++c) {
+        a.at(col, c) = gf::mul(a.at(col, c), pinv);
+        inv.at(col, c) = gf::mul(inv.at(col, c), pinv);
+      }
+    }
+    // Eliminate the column from all other rows.
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      uint8_t f = a.at(r, col);
+      if (f == 0) continue;
+      for (size_t c = 0; c < n; ++c) {
+        a.at(r, c) ^= gf::mul(f, a.at(col, c));
+        inv.at(r, c) ^= gf::mul(f, inv.at(col, c));
+      }
+    }
+  }
+  return inv;
+}
+
+}  // namespace rspaxos::ec

@@ -1,0 +1,49 @@
+// Dense matrices over GF(2^8) with the operations Reed-Solomon needs:
+// multiply, Gaussian-elimination inverse, row selection, and the
+// systematic-Vandermonde construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rspaxos::ec {
+
+/// Row-major matrix over GF(2^8).
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+  static Matrix identity(size_t n);
+
+  /// Extended Vandermonde matrix: element (r, c) = r^c (with 0^0 == 1).
+  /// Any `cols` rows of it are linearly independent for rows < 256.
+  static Matrix vandermonde(size_t rows, size_t cols);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  uint8_t at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  uint8_t& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  const uint8_t* row(size_t r) const { return data_.data() + r * cols_; }
+
+  Matrix times(const Matrix& rhs) const;
+
+  /// Returns a new matrix made of the given rows of this one, in order.
+  Matrix select_rows(const std::vector<size_t>& row_indices) const;
+
+  /// Gauss-Jordan inverse; fails with kInvalidArgument if singular or
+  /// non-square.
+  StatusOr<Matrix> inverted() const;
+
+  bool operator==(const Matrix& o) const = default;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace rspaxos::ec

@@ -1,0 +1,138 @@
+#include "ec/rs_code.h"
+
+#include <cassert>
+#include <cstring>
+#include <mutex>
+
+#include "ec/gf256.h"
+
+namespace rspaxos::ec {
+
+StatusOr<RsCode> RsCode::create(int m, int n) {
+  if (m < 1 || n < m || n > 255) {
+    return Status::invalid("RsCode requires 1 <= m <= n <= 255");
+  }
+  // Build the systematic generator: take the n x m extended Vandermonde V,
+  // and right-multiply by inv(top m x m block). The top block of the result
+  // is the identity (systematic); any m rows remain invertible because they
+  // are products of invertible Vandermonde sub-matrices.
+  Matrix v = Matrix::vandermonde(static_cast<size_t>(n), static_cast<size_t>(m));
+  std::vector<size_t> top(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) top[static_cast<size_t>(i)] = static_cast<size_t>(i);
+  auto top_inv = v.select_rows(top).inverted();
+  if (!top_inv.is_ok()) return top_inv.status();
+  Matrix enc = v.times(top_inv.value());
+  return RsCode(m, n, std::move(enc));
+}
+
+std::vector<Bytes> RsCode::encode(BytesView value) const {
+  const size_t ss = share_size(value.size());
+  std::vector<Bytes> shares(static_cast<size_t>(n_));
+  // Systematic shares: padded splits of the value.
+  for (int i = 0; i < m_; ++i) {
+    Bytes& s = shares[static_cast<size_t>(i)];
+    s.assign(ss, 0);
+    size_t off = static_cast<size_t>(i) * ss;
+    if (off < value.size()) {
+      size_t len = std::min(ss, value.size() - off);
+      std::memcpy(s.data(), value.data() + off, len);
+    }
+  }
+  // Parity shares: row-by-row multiply-accumulate over the data shares.
+  for (int i = m_; i < n_; ++i) {
+    Bytes& s = shares[static_cast<size_t>(i)];
+    s.assign(ss, 0);
+    const uint8_t* row = encode_matrix_.row(static_cast<size_t>(i));
+    for (int j = 0; j < m_; ++j) {
+      gf::mul_add_region(s.data(), shares[static_cast<size_t>(j)].data(), row[j], ss);
+    }
+  }
+  return shares;
+}
+
+Bytes RsCode::encode_share(BytesView value, int index) const {
+  assert(index >= 0 && index < n_);
+  const size_t ss = share_size(value.size());
+  Bytes out(ss, 0);
+  auto data_slice = [&](int j) {
+    // Padded j-th systematic split, materialized only if needed.
+    Bytes s(ss, 0);
+    size_t off = static_cast<size_t>(j) * ss;
+    if (off < value.size()) {
+      size_t len = std::min(ss, value.size() - off);
+      std::memcpy(s.data(), value.data() + off, len);
+    }
+    return s;
+  };
+  if (index < m_) return data_slice(index);
+  const uint8_t* row = encode_matrix_.row(static_cast<size_t>(index));
+  for (int j = 0; j < m_; ++j) {
+    if (row[j] == 0) continue;
+    Bytes dj = data_slice(j);
+    gf::mul_add_region(out.data(), dj.data(), row[j], ss);
+  }
+  return out;
+}
+
+StatusOr<Bytes> RsCode::decode(const std::map<int, Bytes>& shares, size_t value_len) const {
+  const size_t ss = share_size(value_len);
+  // Pick the first m usable shares, preferring systematic ones (cheaper).
+  std::vector<size_t> rows;
+  std::vector<const Bytes*> inputs;
+  for (const auto& [idx, data] : shares) {
+    if (idx < 0 || idx >= n_) return Status::invalid("share index out of range");
+    if (data.size() != ss) return Status::invalid("inconsistent share size");
+    rows.push_back(static_cast<size_t>(idx));
+    inputs.push_back(&data);
+    if (rows.size() == static_cast<size_t>(m_)) break;
+  }
+  if (rows.size() < static_cast<size_t>(m_)) {
+    return Status::failed_precondition("not enough shares to decode");
+  }
+
+  Bytes value(static_cast<size_t>(m_) * ss, 0);
+
+  // Fast path: all m systematic shares present — just concatenate.
+  bool all_systematic = true;
+  for (size_t r : rows) {
+    if (r >= static_cast<size_t>(m_)) {
+      all_systematic = false;
+      break;
+    }
+  }
+  if (all_systematic) {
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::memcpy(value.data() + rows[i] * ss, inputs[i]->data(), ss);
+    }
+  } else {
+    auto dec = encode_matrix_.select_rows(rows).inverted();
+    if (!dec.is_ok()) return dec.status();
+    const Matrix& d = dec.value();
+    for (int out_row = 0; out_row < m_; ++out_row) {
+      uint8_t* dst = value.data() + static_cast<size_t>(out_row) * ss;
+      const uint8_t* coef = d.row(static_cast<size_t>(out_row));
+      for (size_t j = 0; j < rows.size(); ++j) {
+        gf::mul_add_region(dst, inputs[j]->data(), coef[j], ss);
+      }
+    }
+  }
+
+  value.resize(value_len);
+  return value;
+}
+
+const RsCode& RsCodeCache::get(int m, int n) {
+  static std::mutex mu;
+  static std::map<std::pair<int, int>, RsCode>* cache = new std::map<std::pair<int, int>, RsCode>();
+  std::lock_guard<std::mutex> lk(mu);
+  auto key = std::make_pair(m, n);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    auto code = RsCode::create(m, n);
+    assert(code.is_ok() && "RsCodeCache::get with invalid (m, n)");
+    it = cache->emplace(key, std::move(code).value()).first;
+  }
+  return it->second;
+}
+
+}  // namespace rspaxos::ec

@@ -1,0 +1,159 @@
+#include "kv/client.h"
+
+#include "util/logging.h"
+
+namespace rspaxos::kv {
+
+size_t shard_of(const std::string& key, size_t num_shards) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a 64
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return static_cast<size_t>(h % num_shards);
+}
+
+KvClient::KvClient(NodeContext* ctx, RoutingTable routing, Options opts)
+    : ctx_(ctx), routing_(std::move(routing)), opts_(opts),
+      leader_cache_(routing_.num_shards(), kNoNode) {}
+
+KvClient::KvClient(NodeContext* ctx, RoutingTable routing)
+    : KvClient(ctx, std::move(routing), Options{}) {}
+
+void KvClient::put(const std::string& key, Bytes value, PutFn cb) {
+  Outstanding o;
+  o.req.req_id = next_req_id_++;
+  o.req.op = ClientOp::kPut;
+  o.req.key = key;
+  o.req.value = std::move(value);
+  o.shard = shard_of(key, routing_.num_shards());
+  o.put_cb = std::move(cb);
+  uint64_t id = o.req.req_id;
+  outstanding_.emplace(id, std::move(o));
+  dispatch(id);
+}
+
+void KvClient::get(const std::string& key, GetFn cb) {
+  Outstanding o;
+  o.req.req_id = next_req_id_++;
+  o.req.op = ClientOp::kGet;
+  o.req.key = key;
+  o.shard = shard_of(key, routing_.num_shards());
+  o.get_cb = std::move(cb);
+  uint64_t id = o.req.req_id;
+  outstanding_.emplace(id, std::move(o));
+  dispatch(id);
+}
+
+void KvClient::consistent_get(const std::string& key, GetFn cb) {
+  Outstanding o;
+  o.req.req_id = next_req_id_++;
+  o.req.op = ClientOp::kConsistentGet;
+  o.req.key = key;
+  o.shard = shard_of(key, routing_.num_shards());
+  o.get_cb = std::move(cb);
+  uint64_t id = o.req.req_id;
+  outstanding_.emplace(id, std::move(o));
+  dispatch(id);
+}
+
+void KvClient::del(const std::string& key, PutFn cb) {
+  Outstanding o;
+  o.req.req_id = next_req_id_++;
+  o.req.op = ClientOp::kDelete;
+  o.req.key = key;
+  o.shard = shard_of(key, routing_.num_shards());
+  o.put_cb = std::move(cb);
+  uint64_t id = o.req.req_id;
+  outstanding_.emplace(id, std::move(o));
+  dispatch(id);
+}
+
+NodeId KvClient::pick_target(Outstanding& o) {
+  NodeId leader = leader_cache_[o.shard];
+  const auto& members = routing_.shard_members[o.shard];
+  if (leader != kNoNode) return leader;
+  NodeId t = members[o.next_member % members.size()];
+  o.next_member++;
+  return t;
+}
+
+void KvClient::dispatch(uint64_t req_id) {
+  auto it = outstanding_.find(req_id);
+  if (it == outstanding_.end()) return;
+  Outstanding& o = it->second;
+  if (++o.attempts > opts_.max_attempts) {
+    fail(o, Status::timeout("kv request exhausted attempts"));
+    outstanding_.erase(it);
+    return;
+  }
+  NodeId target = pick_target(o);
+  ctx_->send(target, MsgType::kClientRequest, o.req.encode());
+  if (o.timer != 0) ctx_->cancel_timer(o.timer);
+  o.timer = ctx_->set_timer(opts_.request_timeout, [this, req_id] {
+    auto oit = outstanding_.find(req_id);
+    if (oit == outstanding_.end()) return;
+    // No reply in time: forget the cached leader and try the next member.
+    leader_cache_[oit->second.shard] = kNoNode;
+    dispatch(req_id);
+  });
+}
+
+void KvClient::fail(Outstanding& o, Status st) {
+  if (o.timer != 0) ctx_->cancel_timer(o.timer);
+  if (o.put_cb) o.put_cb(st);
+  if (o.get_cb) o.get_cb(std::move(st));
+}
+
+void KvClient::on_message(NodeId from, MsgType type, BytesView payload) {
+  if (type != MsgType::kClientReply) return;
+  auto m = ClientReply::decode(payload);
+  if (!m.is_ok()) return;
+  ClientReply& rep = m.value();
+  auto it = outstanding_.find(rep.req_id);
+  if (it == outstanding_.end()) return;  // duplicate / late reply
+  Outstanding& o = it->second;
+
+  switch (rep.code) {
+    case ReplyCode::kNotLeader: {
+      // Follow the hint; if there is none, probe the next member.
+      leader_cache_[o.shard] = (rep.leader_hint != kNoNode) ? rep.leader_hint : kNoNode;
+      if (rep.leader_hint == kNoNode || rep.leader_hint == from) {
+        leader_cache_[o.shard] = kNoNode;
+      }
+      // Small delay avoids hammering a group mid-election.
+      if (o.timer != 0) ctx_->cancel_timer(o.timer);
+      uint64_t id = rep.req_id;
+      o.timer = ctx_->set_timer(10 * kMillis, [this, id] { dispatch(id); });
+      return;
+    }
+    case ReplyCode::kRetry: {
+      if (o.timer != 0) ctx_->cancel_timer(o.timer);
+      uint64_t id = rep.req_id;
+      o.timer = ctx_->set_timer(20 * kMillis, [this, id] { dispatch(id); });
+      return;
+    }
+    case ReplyCode::kOk:
+    case ReplyCode::kNotFound: {
+      leader_cache_[o.shard] = from;
+      if (o.timer != 0) ctx_->cancel_timer(o.timer);
+      completed_++;
+      PutFn put_cb = std::move(o.put_cb);
+      GetFn get_cb = std::move(o.get_cb);
+      bool found = rep.code == ReplyCode::kOk;
+      Bytes value = std::move(rep.value);
+      outstanding_.erase(it);
+      if (put_cb) put_cb(Status::ok());
+      if (get_cb) {
+        if (found) {
+          get_cb(std::move(value));
+        } else {
+          get_cb(Status::not_found("key not found"));
+        }
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace rspaxos::kv

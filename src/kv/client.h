@@ -1,0 +1,81 @@
+// KV client: shard routing (§4.2), leader tracking, retry/redirect.
+//
+// "On client startup, it firstly gathers the information that which replica
+// is the leader of each data shard, and saves this information in its local
+// cache. Clients send their requests to the leaders." (§4.4)
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kv/command.h"
+#include "net/transport.h"
+
+namespace rspaxos::kv {
+
+/// Deterministic key -> shard mapping (§4.2: "defined by a deterministic
+/// mapping function"). FNV-1a over the key, mod shard count.
+size_t shard_of(const std::string& key, size_t num_shards);
+
+/// Static routing table: for each shard, the server endpoints of its Paxos
+/// group (composite per-group node ids; see cluster.h).
+struct RoutingTable {
+  std::vector<std::vector<NodeId>> shard_members;
+
+  size_t num_shards() const { return shard_members.size(); }
+  const std::vector<NodeId>& members_for(const std::string& key) const {
+    return shard_members[shard_of(key, shard_members.size())];
+  }
+};
+
+/// Asynchronous client. One outstanding request per call; callers may issue
+/// many concurrently. Retries on timeout / kRetry; follows kNotLeader hints.
+class KvClient final : public MessageHandler {
+ public:
+  using PutFn = std::function<void(Status)>;
+  using GetFn = std::function<void(StatusOr<Bytes>)>;
+
+  struct Options {
+    DurationMicros request_timeout = 1000 * kMillis;
+    int max_attempts = 100;
+  };
+
+  KvClient(NodeContext* ctx, RoutingTable routing, Options opts);
+  KvClient(NodeContext* ctx, RoutingTable routing);
+
+  void put(const std::string& key, Bytes value, PutFn cb);
+  void get(const std::string& key, GetFn cb);
+  void consistent_get(const std::string& key, GetFn cb);
+  void del(const std::string& key, PutFn cb);
+
+  void on_message(NodeId from, MsgType type, BytesView payload) override;
+
+  uint64_t ops_completed() const { return completed_; }
+
+ private:
+  struct Outstanding {
+    ClientRequest req;
+    size_t shard;
+    int attempts = 0;
+    size_t next_member = 0;  // round-robin fallback when no leader known
+    PutFn put_cb;
+    GetFn get_cb;
+    NodeContext::TimerId timer = 0;
+  };
+
+  void dispatch(uint64_t req_id);
+  void fail(Outstanding& o, Status st);
+  NodeId pick_target(Outstanding& o);
+
+  NodeContext* ctx_;
+  RoutingTable routing_;
+  Options opts_;
+  uint64_t next_req_id_ = 1;
+  uint64_t completed_ = 0;
+  std::map<uint64_t, Outstanding> outstanding_;
+  std::vector<NodeId> leader_cache_;  // per shard; kNoNode if unknown
+};
+
+}  // namespace rspaxos::kv

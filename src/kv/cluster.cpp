@@ -1,0 +1,133 @@
+#include "kv/cluster.h"
+
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace rspaxos::kv {
+
+using consensus::GroupConfig;
+
+SimCluster::SimCluster(sim::SimWorld* world, SimClusterOptions opts)
+    : world_(world), opts_(opts), network_(world) {
+  assert(opts_.num_servers >= 1 && opts_.num_groups >= 1);
+  network_.set_default_link(opts_.link);
+  disks_.reserve(static_cast<size_t>(opts_.num_servers));
+  for (int s = 0; s < opts_.num_servers; ++s) {
+    disks_.push_back(std::make_unique<sim::SimDisk>(world_, opts_.disk));
+  }
+  wals_.resize(static_cast<size_t>(opts_.num_servers) *
+               static_cast<size_t>(opts_.num_groups));
+  servers_.resize(wals_.size());
+  alive_.assign(static_cast<size_t>(opts_.num_servers), true);
+  for (int s = 0; s < opts_.num_servers; ++s) {
+    for (int g = 0; g < opts_.num_groups; ++g) {
+      wals_[idx(s, g)] = std::make_unique<storage::SimWal>(
+          disks_[static_cast<size_t>(s)].get(), opts_.wal_retain);
+    }
+    build_server(s, /*bootstrap=*/s == 0);
+  }
+}
+
+GroupConfig SimCluster::group_config(int group) const {
+  std::vector<NodeId> members;
+  members.reserve(static_cast<size_t>(opts_.num_servers));
+  for (int s = 0; s < opts_.num_servers; ++s) members.push_back(endpoint_id(s, group));
+  if (opts_.rs_mode) {
+    auto cfg = GroupConfig::rs_max_x(std::move(members), opts_.f);
+    assert(cfg.is_ok());
+    return std::move(cfg).value();
+  }
+  return GroupConfig::majority(std::move(members));
+}
+
+void SimCluster::build_server(int s, bool bootstrap) {
+  for (int g = 0; g < opts_.num_groups; ++g) {
+    sim::SimNode* node = network_.node(endpoint_id(s, g));
+    consensus::ReplicaOptions ropts = opts_.replica;
+    ropts.bootstrap_leader = bootstrap;
+    auto& slot = servers_[idx(s, g)];
+    slot = std::make_unique<KvServer>(node, wals_[idx(s, g)].get(), group_config(g), ropts,
+                                      opts_.kv);
+    node->set_handler(slot.get());
+    slot->start();
+  }
+}
+
+void SimCluster::wait_for_leaders(DurationMicros max_wait) {
+  TimeMicros deadline = world_->now() + max_wait;
+  while (world_->now() < deadline) {
+    bool all = true;
+    for (int g = 0; g < opts_.num_groups; ++g) {
+      if (leader_server_of(g) < 0) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return;
+    world_->run_for(10 * kMillis);
+  }
+  RSP_WARN << "wait_for_leaders: timed out";
+}
+
+RoutingTable SimCluster::routing() const {
+  RoutingTable rt;
+  rt.shard_members.resize(static_cast<size_t>(opts_.num_groups));
+  for (int g = 0; g < opts_.num_groups; ++g) {
+    for (int s = 0; s < opts_.num_servers; ++s) {
+      rt.shard_members[static_cast<size_t>(g)].push_back(endpoint_id(s, g));
+    }
+  }
+  return rt;
+}
+
+std::unique_ptr<KvClient> SimCluster::make_client(int client_idx, KvClient::Options copts) {
+  (void)client_idx;
+  sim::SimNode* node = network_.node(kClientBase + static_cast<NodeId>(next_client_++));
+  auto client = std::make_unique<KvClient>(node, routing(), copts);
+  node->set_handler(client.get());
+  return client;
+}
+
+void SimCluster::crash_server(int s) {
+  alive_[static_cast<size_t>(s)] = false;
+  for (int g = 0; g < opts_.num_groups; ++g) {
+    network_.crash(endpoint_id(s, g));
+    network_.node(endpoint_id(s, g))->set_handler(nullptr);
+    wals_[idx(s, g)]->drop_unflushed();   // power failure: un-synced data gone
+    servers_[idx(s, g)].reset();          // volatile state gone
+  }
+}
+
+void SimCluster::restart_server(int s) {
+  alive_[static_cast<size_t>(s)] = true;
+  for (int g = 0; g < opts_.num_groups; ++g) {
+    network_.restart(endpoint_id(s, g));
+  }
+  build_server(s, /*bootstrap=*/false);  // WAL replay happens in start()
+}
+
+int SimCluster::leader_server_of(int group) const {
+  for (int s = 0; s < opts_.num_servers; ++s) {
+    if (!alive_[static_cast<size_t>(s)]) continue;
+    const auto& srv = servers_[idx(s, group)];
+    if (srv && srv->replica().is_leader()) return s;
+  }
+  return -1;
+}
+
+uint64_t SimCluster::total_network_bytes() const { return network_.total_bytes_sent(); }
+
+uint64_t SimCluster::total_flushed_bytes() const {
+  uint64_t total = 0;
+  for (const auto& w : wals_) total += w->bytes_flushed();
+  return total;
+}
+
+uint64_t SimCluster::total_flush_ops() const {
+  uint64_t total = 0;
+  for (const auto& w : wals_) total += w->flush_ops();
+  return total;
+}
+
+}  // namespace rspaxos::kv

@@ -1,0 +1,100 @@
+// Simulated KV cluster assembly (§6.1's testbed in miniature).
+//
+// A cluster is `num_servers` machines, each hosting one replica of every
+// Paxos group ("data shards" §4.2). Per machine there is one simulated disk
+// shared by all its groups' WALs (so disk contention across groups is
+// modeled, as on the paper's EBS volumes). Endpoint ids are composite:
+// server s, group g  ->  NodeId s * kGroupStride + g, so the unmodified
+// consensus stack routes per-group traffic.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "consensus/replica.h"
+#include "kv/client.h"
+#include "kv/server.h"
+#include "sim/sim_disk.h"
+#include "sim/sim_network.h"
+#include "sim/sim_world.h"
+#include "storage/sim_wal.h"
+
+namespace rspaxos::kv {
+
+constexpr NodeId kGroupStride = 4096;
+constexpr NodeId kClientBase = 1u << 24;
+
+inline NodeId endpoint_id(int server, int group) {
+  return static_cast<NodeId>(server) * kGroupStride + static_cast<NodeId>(group);
+}
+inline int server_of_endpoint(NodeId id) { return static_cast<int>(id / kGroupStride); }
+
+struct SimClusterOptions {
+  int num_servers = 5;
+  int num_groups = 1;
+  /// true: RS-Paxos with QR=QW=N-f, X=N-2f; false: classic majority Paxos.
+  bool rs_mode = true;
+  int f = 1;  // target fault tolerance for rs_mode
+  sim::LinkParams link = sim::LinkParams::lan();
+  sim::DiskParams disk = sim::DiskParams::ssd();
+  consensus::ReplicaOptions replica;
+  KvServerOptions kv;
+  /// false: WALs account durable bytes but keep no records (no replay);
+  /// benchmarks that never restart servers use this to bound host memory.
+  bool wal_retain = true;
+};
+
+/// Owns everything: network, disks, WALs, servers. Crash/restart a whole
+/// machine; rebuild state from the WALs like §4.5 describes.
+class SimCluster {
+ public:
+  SimCluster(sim::SimWorld* world, SimClusterOptions opts);
+
+  /// Runs the simulation until every group has an elected leader.
+  void wait_for_leaders(DurationMicros max_wait = 30 * kSeconds);
+
+  KvServer* server(int s, int g) { return servers_[idx(s, g)].get(); }
+  sim::SimNetwork& network() { return network_; }
+  sim::SimDisk& disk(int s) { return *disks_[static_cast<size_t>(s)]; }
+  storage::SimWal& wal(int s, int g) { return *wals_[idx(s, g)]; }
+  const SimClusterOptions& options() const { return opts_; }
+
+  RoutingTable routing() const;
+
+  /// Creates a client endpoint + KvClient bound to it.
+  std::unique_ptr<KvClient> make_client(int client_idx, KvClient::Options copts = {});
+
+  /// Machine-level crash (§6.4): all groups on the server stop; unflushed
+  /// WAL records are lost; volatile state is destroyed.
+  void crash_server(int s);
+  /// Restart: replay the WALs, rejoin all groups.
+  void restart_server(int s);
+  bool server_alive(int s) const { return alive_[static_cast<size_t>(s)]; }
+
+  /// -1 if no (live) leader.
+  int leader_server_of(int group) const;
+
+  // Cost metrics across the whole cluster (the paper's two cost axes).
+  uint64_t total_network_bytes() const;
+  uint64_t total_flushed_bytes() const;
+  uint64_t total_flush_ops() const;
+
+ private:
+  size_t idx(int s, int g) const {
+    return static_cast<size_t>(s) * static_cast<size_t>(opts_.num_groups) +
+           static_cast<size_t>(g);
+  }
+  consensus::GroupConfig group_config(int group) const;
+  void build_server(int s, bool bootstrap);
+
+  sim::SimWorld* world_;
+  SimClusterOptions opts_;
+  sim::SimNetwork network_;
+  std::vector<std::unique_ptr<sim::SimDisk>> disks_;          // per server
+  std::vector<std::unique_ptr<storage::SimWal>> wals_;        // per (s, g)
+  std::vector<std::unique_ptr<KvServer>> servers_;            // per (s, g)
+  std::vector<bool> alive_;
+  int next_client_ = 0;
+};
+
+}  // namespace rspaxos::kv

@@ -1,0 +1,300 @@
+#include "kv/server.h"
+
+#include "util/logging.h"
+
+namespace rspaxos::kv {
+
+using consensus::ApplyView;
+using consensus::GroupConfig;
+using consensus::ReencodeAction;
+using consensus::ReplicaOptions;
+
+KvServer::KvServer(NodeContext* ctx, storage::Wal* wal, GroupConfig cfg,
+                   ReplicaOptions opts, KvServerOptions kv_opts)
+    : ctx_(ctx), kv_opts_(kv_opts), replica_(ctx, wal, std::move(cfg), opts) {
+  replica_.set_apply([this](const ApplyView& view) { apply_entry(view); });
+  replica_.set_on_config_change(
+      [this](const GroupConfig& o, const GroupConfig& n, ReencodeAction a) {
+        on_config_change(o, n, a);
+      });
+}
+
+void KvServer::on_message(NodeId from, MsgType type, BytesView payload) {
+  if (type == MsgType::kClientRequest) {
+    auto req = ClientRequest::decode(payload);
+    if (req.is_ok()) handle_client(from, std::move(req).value());
+    return;
+  }
+  replica_.on_message(from, type, payload);
+}
+
+void KvServer::reply(NodeId to, uint64_t req_id, ReplyCode code, Bytes value) {
+  ClientReply rep;
+  rep.req_id = req_id;
+  rep.code = code;
+  rep.leader_hint = replica_.leader_hint();
+  rep.value = std::move(value);
+  ctx_->send(to, MsgType::kClientReply, rep.encode());
+}
+
+void KvServer::handle_client(NodeId from, ClientRequest req) {
+  // All consistency-bearing requests go through the leader (§1: "a follower
+  // ... redirects all consistent requests to the leader").
+  if (!replica_.is_leader()) {
+    stats_.redirects++;
+    reply(from, req.req_id, ReplyCode::kNotLeader);
+    return;
+  }
+  switch (req.op) {
+    case ClientOp::kPut:
+      do_put(from, std::move(req));
+      return;
+    case ClientOp::kGet:
+      do_fast_get(from, std::move(req));
+      return;
+    case ClientOp::kConsistentGet:
+      do_consistent_get(from, std::move(req));
+      return;
+    case ClientOp::kDelete:
+      do_delete(from, std::move(req));
+      return;
+  }
+}
+
+void KvServer::do_put(NodeId from, ClientRequest req) {
+  stats_.puts++;
+  if (kv_opts_.batch_window > 0) {
+    enqueue_batch(from, req.req_id, Op::kPut, std::move(req.key), std::move(req.value));
+    return;
+  }
+  CommandHeader h;
+  h.op = Op::kPut;
+  h.key = req.key;
+  uint64_t req_id = req.req_id;
+  replica_.propose(h.encode(), std::move(req.value),
+                   [this, from, req_id](StatusOr<consensus::Slot> r) {
+                     if (r.is_ok()) {
+                       reply(from, req_id, ReplyCode::kOk);
+                     } else {
+                       reply(from, req_id, ReplyCode::kRetry);
+                     }
+                   });
+}
+
+void KvServer::do_delete(NodeId from, ClientRequest req) {
+  // "Delete operations are treated as write(key, NULL)" (§4.4).
+  if (kv_opts_.batch_window > 0) {
+    enqueue_batch(from, req.req_id, Op::kDelete, std::move(req.key), Bytes{});
+    return;
+  }
+  CommandHeader h;
+  h.op = Op::kDelete;
+  h.key = req.key;
+  uint64_t req_id = req.req_id;
+  replica_.propose(h.encode(), Bytes{},
+                   [this, from, req_id](StatusOr<consensus::Slot> r) {
+                     reply(from, req_id, r.is_ok() ? ReplyCode::kOk : ReplyCode::kRetry);
+                   });
+}
+
+void KvServer::enqueue_batch(NodeId from, uint64_t req_id, Op op, std::string key,
+                             Bytes value) {
+  BatchItem item;
+  item.op = op;
+  item.key = std::move(key);
+  item.offset = batch_.payload.size();
+  item.len = value.size();
+  batch_.items.push_back(std::move(item));
+  batch_.payload.insert(batch_.payload.end(), value.begin(), value.end());
+  batch_.waiters.emplace_back(from, req_id);
+
+  if (batch_.payload.size() >= kv_opts_.batch_max_bytes ||
+      batch_.items.size() >= kv_opts_.batch_max_count) {
+    flush_batch();
+    return;
+  }
+  if (batch_timer_ == 0) {
+    batch_timer_ = ctx_->set_timer(kv_opts_.batch_window, [this] {
+      batch_timer_ = 0;
+      flush_batch();
+    });
+  }
+}
+
+void KvServer::flush_batch() {
+  if (batch_timer_ != 0) {
+    ctx_->cancel_timer(batch_timer_);
+    batch_timer_ = 0;
+  }
+  if (batch_.items.empty()) return;
+  PendingBatch batch;
+  std::swap(batch, batch_);
+  BatchHeader h;
+  h.items = std::move(batch.items);
+  auto waiters = std::move(batch.waiters);
+  replica_.propose(h.encode(), std::move(batch.payload),
+                   [this, waiters = std::move(waiters)](StatusOr<consensus::Slot> r) {
+                     ReplyCode code = r.is_ok() ? ReplyCode::kOk : ReplyCode::kRetry;
+                     if (r.is_ok()) stats_.batches_committed++;
+                     for (const auto& [client, req_id] : waiters) {
+                       reply(client, req_id, code);
+                     }
+                   });
+}
+
+void KvServer::do_fast_get(NodeId from, ClientRequest req) {
+  // Fast read is only safe while the lease holds (§4.3/§4.4); otherwise fall
+  // back to a consistent read rather than risk stale data.
+  if (!replica_.lease_valid()) {
+    do_consistent_get(from, std::move(req));
+    return;
+  }
+  stats_.fast_reads++;
+  finish_get(from, req.req_id, req.key);
+}
+
+void KvServer::do_consistent_get(NodeId from, ClientRequest req) {
+  stats_.consistent_reads++;
+  // Preserve client-visible order: everything queued for batching commits
+  // before the read marker.
+  flush_batch();
+  CommandHeader h;
+  h.op = Op::kReadMarker;
+  h.key = req.key;
+  uint64_t req_id = req.req_id;
+  std::string key = req.key;
+  replica_.propose(h.encode(), Bytes{},
+                   [this, from, req_id, key](StatusOr<consensus::Slot> r) {
+                     if (!r.is_ok()) {
+                       reply(from, req_id, ReplyCode::kRetry);
+                       return;
+                     }
+                     finish_get(from, req_id, key);
+                   });
+}
+
+void KvServer::finish_get(NodeId from, uint64_t req_id, const std::string& key) {
+  const LocalStore::Record* rec = store_.find(key);
+  if (rec == nullptr) {
+    reply(from, req_id, ReplyCode::kNotFound);
+    return;
+  }
+  if (rec->complete) {
+    reply(from, req_id, ReplyCode::kOk, rec->data);
+    return;
+  }
+  // Recovery read (§4.4): this (new) leader only has a coded share of the
+  // value; gather >= X shares from the group, decode, cache, reply. "The
+  // cost of a recovery read is similar to a write."
+  stats_.recovery_reads++;
+  uint64_t slot = rec->slot;
+  uint64_t off = rec->slice_off;
+  uint64_t len = rec->slice_len;
+  replica_.recover_payload(slot, [this, from, req_id, key, slot, off,
+                                  len](StatusOr<Bytes> r) {
+    if (!r.is_ok()) {
+      reply(from, req_id, ReplyCode::kRetry);
+      return;
+    }
+    Bytes payload = std::move(r).value();
+    if (off + len > payload.size()) {
+      reply(from, req_id, ReplyCode::kRetry);
+      return;
+    }
+    // The key's value is a slice of the (possibly batched) instance payload.
+    Bytes value(payload.begin() + static_cast<long>(off),
+                payload.begin() + static_cast<long>(off + len));
+    const LocalStore::Record* cur = store_.find(key);
+    if (cur != nullptr && cur->slot == slot && !cur->complete) {
+      store_.put_complete(key, value, slot);
+    }
+    reply(from, req_id, ReplyCode::kOk, std::move(value));
+  });
+}
+
+void KvServer::apply_entry(const ApplyView& view) {
+  auto op = peek_op(*view.header);
+  if (!op.is_ok()) {
+    RSP_ERROR << "kv: undecodable command header at slot " << view.slot;
+    return;
+  }
+  if (op.value() == Op::kBatch) {
+    apply_batch(view);
+    return;
+  }
+  auto h = CommandHeader::decode(*view.header);
+  if (!h.is_ok()) {
+    RSP_ERROR << "kv: undecodable command header at slot " << view.slot;
+    return;
+  }
+  const CommandHeader& cmd = h.value();
+  switch (cmd.op) {
+    case Op::kPut:
+      if (view.full_payload != nullptr) {
+        store_.put_complete(cmd.key, *view.full_payload, view.slot);
+      } else {
+        store_.put_share(cmd.key, view.share->data, view.share->value_len, view.slot,
+                         0, view.share->value_len);
+      }
+      return;
+    case Op::kDelete:
+      store_.erase(cmd.key);
+      return;
+    case Op::kReadMarker:
+    case Op::kBatch:
+      return;  // marker / handled above
+  }
+}
+
+void KvServer::apply_batch(const ApplyView& view) {
+  auto h = BatchHeader::decode(*view.header);
+  if (!h.is_ok()) {
+    RSP_ERROR << "kv: undecodable batch header at slot " << view.slot;
+    return;
+  }
+  for (const BatchItem& item : h.value().items) {
+    if (item.op == Op::kDelete) {
+      store_.erase(item.key);
+      continue;
+    }
+    if (view.full_payload != nullptr) {
+      if (item.offset + item.len > view.full_payload->size()) continue;
+      Bytes value(view.full_payload->begin() + static_cast<long>(item.offset),
+                  view.full_payload->begin() + static_cast<long>(item.offset + item.len));
+      store_.put_complete(item.key, std::move(value), view.slot);
+    } else {
+      // Follower: keep (a copy of) the instance share per touched key with
+      // the key's slice coordinates; a recovery read decodes the instance
+      // payload once and slices out the value.
+      store_.put_share(item.key, view.share->data, view.share->value_len, view.slot,
+                       item.offset, item.len);
+    }
+  }
+}
+
+void KvServer::on_config_change(const GroupConfig& old_cfg, const GroupConfig& new_cfg,
+                                ReencodeAction action) {
+  (void)old_cfg;
+  (void)new_cfg;
+  if (action == ReencodeAction::kRecode && replica_.is_leader()) {
+    reseal_all();
+  }
+}
+
+void KvServer::reseal_all() {
+  // Re-commit every complete value under the new coding configuration.
+  // Incomplete rows are skipped: their slots still decode under the old θ
+  // via recovery read, and the next write re-seals them.
+  std::vector<std::pair<std::string, Bytes>> snapshot;
+  store_.for_each([&](const std::string& key, const LocalStore::Record& rec) {
+    if (rec.complete) snapshot.emplace_back(key, rec.data);
+  });
+  for (auto& [key, value] : snapshot) {
+    CommandHeader h;
+    h.op = Op::kPut;
+    h.key = key;
+    replica_.propose(h.encode(), std::move(value), nullptr);
+  }
+}
+
+}  // namespace rspaxos::kv

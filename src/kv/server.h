@@ -1,0 +1,91 @@
+// Replicated KV server (§4): one per (server, Paxos group).
+//
+// Owns a Replica and a LocalStore, dispatches inbound messages (consensus
+// traffic to the replica, client traffic to the request handlers), and
+// implements the paper's three read kinds:
+//   - fast read: leader-local, gated by the §4.3 lease;
+//   - consistent read: commits an explicit read-marker instance first;
+//   - recovery read: a new leader holding only a share gathers >= X shares
+//     of the key's last write before answering (§4.4, §4.5).
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "consensus/replica.h"
+#include "kv/command.h"
+#include "kv/store.h"
+
+namespace rspaxos::kv {
+
+struct KvServerStats {
+  uint64_t puts = 0;
+  uint64_t fast_reads = 0;
+  uint64_t consistent_reads = 0;
+  uint64_t recovery_reads = 0;
+  uint64_t redirects = 0;
+  uint64_t batches_committed = 0;
+};
+
+/// Server-side behaviour knobs.
+struct KvServerOptions {
+  /// Write batching (§7's IO/RPC batching applied at the instance level):
+  /// writes arriving within the window are committed as ONE composite
+  /// RS-Paxos instance — one quorum round trip and one WAL record for the
+  /// whole batch. 0 disables batching (every write is its own instance).
+  DurationMicros batch_window = 0;
+  size_t batch_max_bytes = 4 << 20;
+  size_t batch_max_count = 64;
+};
+
+class KvServer final : public MessageHandler {
+ public:
+  KvServer(NodeContext* ctx, storage::Wal* wal, consensus::GroupConfig cfg,
+           consensus::ReplicaOptions opts = {}, KvServerOptions kv_opts = {});
+
+  void start() { replica_.start(); }
+
+  void on_message(NodeId from, MsgType type, BytesView payload) override;
+
+  consensus::Replica& replica() { return replica_; }
+  const LocalStore& store() const { return store_; }
+  const KvServerStats& stats() const { return stats_; }
+
+  /// Leader-side sweep after a view change that requires re-coding: re-puts
+  /// every complete value so it is re-committed under the new θ(X', N').
+  void reseal_all();
+
+ private:
+  void handle_client(NodeId from, ClientRequest req);
+  void reply(NodeId to, uint64_t req_id, ReplyCode code, Bytes value = {});
+  void do_put(NodeId from, ClientRequest req);
+  void do_fast_get(NodeId from, ClientRequest req);
+  void do_consistent_get(NodeId from, ClientRequest req);
+  void finish_get(NodeId from, uint64_t req_id, const std::string& key);
+  void do_delete(NodeId from, ClientRequest req);
+  void enqueue_batch(NodeId from, uint64_t req_id, Op op, std::string key, Bytes value);
+  void flush_batch();
+  void apply_entry(const consensus::ApplyView& view);
+  void apply_batch(const consensus::ApplyView& view);
+  void on_config_change(const consensus::GroupConfig& old_cfg,
+                        const consensus::GroupConfig& new_cfg,
+                        consensus::ReencodeAction action);
+
+  NodeContext* ctx_;
+  KvServerOptions kv_opts_;
+  LocalStore store_;
+  KvServerStats stats_;
+
+  // Pending composite instance (leader only; see KvServerOptions).
+  struct PendingBatch {
+    std::vector<BatchItem> items;
+    Bytes payload;
+    std::vector<std::pair<NodeId, uint64_t>> waiters;  // (client, req_id)
+  };
+  PendingBatch batch_;
+  NodeContext::TimerId batch_timer_ = 0;
+
+  consensus::Replica replica_;
+};
+
+}  // namespace rspaxos::kv

@@ -1,0 +1,247 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/crc32.h"
+#include "util/logging.h"
+
+namespace rspaxos::net {
+namespace {
+
+bool read_full(int fd, uint8_t* buf, size_t n) {
+  while (n > 0) {
+    ssize_t r = ::read(fd, buf, n);
+    if (r == 0) return false;  // peer closed
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    buf += r;
+    n -= static_cast<size_t>(r);
+  }
+  return true;
+}
+
+bool write_full(int fd, const uint8_t* buf, size_t n) {
+  while (n > 0) {
+    ssize_t r = ::write(fd, buf, n);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    buf += r;
+    n -= static_cast<size_t>(r);
+  }
+  return true;
+}
+
+void put_u32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, 4); }
+uint32_t get_u32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+}  // namespace
+
+TcpNode::TcpNode(TcpTransport* t, NodeId id, int listen_fd)
+    : transport_(t), id_(id), listen_fd_(listen_fd),
+      accept_thread_([this] { accept_loop(); }) {}
+
+TcpNode::~TcpNode() { shutdown(); }
+
+void TcpNode::shutdown() {
+  if (stopping_.exchange(true)) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    for (auto& [peer, fd] : out_fds_) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
+    out_fds_.clear();
+    // Unblock reader threads parked in read() on accepted connections; the
+    // threads close their own fds on exit.
+    for (int fd : in_fds_) ::shutdown(fd, SHUT_RDWR);
+    readers.swap(reader_threads_);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& t : readers) {
+    if (t.joinable()) t.join();
+  }
+  loop_.stop();
+}
+
+void TcpNode::accept_loop() {
+  while (!stopping_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    in_fds_.push_back(fd);
+    reader_threads_.emplace_back([this, fd] {
+      reader_loop(fd);
+      ::close(fd);
+    });
+  }
+}
+
+void TcpNode::reader_loop(int fd) {
+  while (!stopping_.load()) {
+    uint8_t header[14];
+    if (!read_full(fd, header, sizeof(header))) return;
+    uint32_t len = get_u32(header);
+    uint32_t crc = get_u32(header + 4);
+    uint32_t from = get_u32(header + 8);
+    uint16_t type;
+    std::memcpy(&type, header + 12, 2);
+    if (len > (64u << 20)) {
+      RSP_WARN << "tcp: oversized frame (" << len << " bytes), closing";
+      return;
+    }
+    Bytes payload(len);
+    if (!read_full(fd, payload.data(), len)) return;
+    if (crc32c(payload) != crc) {
+      RSP_WARN << "tcp: frame checksum mismatch from node " << from << ", dropping";
+      continue;
+    }
+    if (stopping_.load()) return;
+    loop_.post([this, from, type, msg = std::move(payload)] {
+      MessageHandler* h = handler_.load();
+      if (h != nullptr) h->on_message(from, static_cast<MsgType>(type), msg);
+    });
+  }
+}
+
+int TcpNode::peer_fd(NodeId to) {
+  std::lock_guard<std::mutex> lk(conn_mu_);
+  auto it = out_fds_.find(to);
+  if (it != out_fds_.end()) return it->second;
+
+  const PeerAddr& addr = transport_->addr(to);
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(addr.port);
+  if (::inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr) != 1) {
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  out_fds_[to] = fd;
+  return fd;
+}
+
+void TcpNode::send(NodeId to, MsgType type, Bytes payload) {
+  bytes_sent_.fetch_add(payload.size(), std::memory_order_relaxed);
+  int fd = peer_fd(to);
+  if (fd < 0) return;  // unreachable peer: datagram semantics, drop
+
+  uint8_t header[14];
+  put_u32(header, static_cast<uint32_t>(payload.size()));
+  put_u32(header + 4, crc32c(payload));
+  put_u32(header + 8, id_);
+  uint16_t t = static_cast<uint16_t>(type);
+  std::memcpy(header + 12, &t, 2);
+
+  std::lock_guard<std::mutex> lk(conn_mu_);
+  auto it = out_fds_.find(to);
+  if (it == out_fds_.end() || it->second != fd) return;  // raced with shutdown
+  if (!write_full(fd, header, sizeof(header)) ||
+      !write_full(fd, payload.data(), payload.size())) {
+    ::close(fd);
+    out_fds_.erase(to);  // next send reconnects
+  }
+}
+
+NodeContext::TimerId TcpNode::set_timer(DurationMicros delay, TimerFn fn) {
+  return loop_.schedule(delay, std::move(fn));
+}
+
+bool TcpNode::cancel_timer(TimerId id) { return loop_.cancel(id); }
+
+TcpTransport::~TcpTransport() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [id, node] : nodes_) node->shutdown();
+}
+
+StatusOr<TcpNode*> TcpTransport::start_node(NodeId id) {
+  auto ait = addrs_.find(id);
+  if (ait == addrs_.end()) return Status::invalid("unknown node id");
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::internal("socket failed");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(ait->second.port);
+  if (::inet_pton(AF_INET, ait->second.host.c_str(), &sa.sin_addr) != 1) {
+    ::close(fd);
+    return Status::invalid("bad host " + ait->second.host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    ::close(fd);
+    return Status::internal("bind failed: " + std::string(std::strerror(errno)));
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    return Status::internal("listen failed");
+  }
+
+  std::lock_guard<std::mutex> lk(mu_);
+  auto [it, inserted] = nodes_.emplace(id, std::unique_ptr<TcpNode>(new TcpNode(this, id, fd)));
+  if (!inserted) {
+    ::close(fd);
+    return Status::failed_precondition("node already started");
+  }
+  return it->second.get();
+}
+
+std::vector<uint16_t> TcpTransport::free_ports(size_t len) {
+  // Bind ephemeral sockets, record the assigned ports, then release them.
+  std::vector<uint16_t> ports;
+  std::vector<int> fds;
+  for (size_t i = 0; i < len; ++i) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    sa.sin_port = 0;
+    if (fd < 0 || ::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+      if (fd >= 0) ::close(fd);
+      continue;
+    }
+    socklen_t slen = sizeof(sa);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &slen);
+    ports.push_back(ntohs(sa.sin_port));
+    fds.push_back(fd);
+  }
+  for (int fd : fds) ::close(fd);
+  return ports;
+}
+
+}  // namespace rspaxos::net

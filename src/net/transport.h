@@ -1,0 +1,84 @@
+// Message-passing abstraction shared by simulated and real execution.
+//
+// Protocol code (consensus, KV) is written against NodeContext only, so the
+// exact same replica code runs over:
+//   - sim::SimWorld        — deterministic discrete-event simulation,
+//   - net::LocalTransport  — real threads + in-process queues,
+//   - net::TcpTransport    — real sockets over localhost/LAN.
+//
+// The model matches the paper's partial-asynchronous assumption (§3.1):
+// messages may be delayed, duplicated or lost; repeated sends between two
+// correct processes eventually go through. Handlers for one node always run
+// single-threaded, so protocol state needs no locks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/bytes.h"
+#include "util/clock.h"
+
+namespace rspaxos {
+
+/// Identifies a process (proposer/acceptor/learner host) in a group.
+using NodeId = uint32_t;
+
+constexpr NodeId kNoNode = 0xffffffffu;
+
+/// Wire message discriminator. One flat space across all protocol layers so
+/// a transport can dispatch without knowing layer boundaries.
+enum class MsgType : uint16_t {
+  // Consensus (src/consensus)
+  kPrepare = 1,
+  kPromise = 2,
+  kAccept = 3,
+  kAccepted = 4,
+  kCommit = 5,
+  kCatchupReq = 6,
+  kCatchupRep = 7,
+  kFetchShareReq = 8,
+  kFetchShareRep = 9,
+  kHeartbeat = 10,
+
+  // KV client protocol (src/kv)
+  kClientRequest = 100,
+  kClientReply = 101,
+
+  // Tests / diagnostics
+  kTestPing = 1000,
+  kTestPong = 1001,
+};
+
+/// Receives messages addressed to one node. Implemented by Replica / KvServer
+/// / test fixtures.
+class MessageHandler {
+ public:
+  virtual ~MessageHandler() = default;
+  virtual void on_message(NodeId from, MsgType type, BytesView payload) = 0;
+};
+
+/// Everything a protocol participant may do to the outside world: learn the
+/// time, send messages, and set timers. One NodeContext per node per
+/// transport; all callbacks fire on the node's (real or simulated) thread.
+class NodeContext : public Clock {
+ public:
+  using TimerId = uint64_t;
+  using TimerFn = std::function<void()>;
+
+  ~NodeContext() override = default;
+
+  virtual NodeId id() const = 0;
+
+  /// Fire-and-forget datagram-style send. Delivery is not guaranteed;
+  /// callers own retransmission (which Paxos does by design).
+  virtual void send(NodeId to, MsgType type, Bytes payload) = 0;
+
+  /// One-shot timer. Returns an id; cancel() before it fires to abort.
+  virtual TimerId set_timer(DurationMicros delay, TimerFn fn) = 0;
+  virtual bool cancel_timer(TimerId id) = 0;
+
+  /// Cumulative bytes handed to send() — the paper's network-cost metric.
+  virtual uint64_t bytes_sent() const = 0;
+};
+
+}  // namespace rspaxos

@@ -1,0 +1,18 @@
+#include "sim/sim_disk.h"
+
+#include <algorithm>
+
+namespace rspaxos::sim {
+
+void SimDisk::write(size_t nbytes, std::function<void()> cb) {
+  bytes_written_ += nbytes;
+  ops_++;
+  DurationMicros op_cost = static_cast<DurationMicros>(1e6 / params_.iops);
+  DurationMicros xfer =
+      static_cast<DurationMicros>(static_cast<double>(nbytes) * 1e6 / params_.write_bw_bytes);
+  TimeMicros start = std::max(world_->now(), busy_until_);
+  busy_until_ = start + op_cost + xfer;
+  world_->schedule(busy_until_ - world_->now(), std::move(cb));
+}
+
+}  // namespace rspaxos::sim

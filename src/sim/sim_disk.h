@@ -1,0 +1,49 @@
+// Simulated durable-storage device.
+//
+// Models the two EBS volume classes of the paper's evaluation (§6.1):
+//   - HDD-class: ~100 IOPS, ~100 MB/s sequential;
+//   - SSD-class: ~4000 IOPS, ~300 MB/s sequential.
+// A flush of s bytes completes after a fixed per-operation cost (1/IOPS) plus
+// s/bandwidth of transfer time, queued FIFO per device. This reproduces the
+// paper's observation that small writes are IOPS-bound (Paxos == RS-Paxos)
+// while large writes are bandwidth-bound (RS-Paxos flushes ~1/X the bytes).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/sim_world.h"
+
+namespace rspaxos::sim {
+
+struct DiskParams {
+  double iops = 4000;          // sync ops per second (seek/flush overhead)
+  double write_bw_bytes = 3e8; // sequential write bandwidth, bytes/second
+
+  /// Regular EBS volume per §6.1 (~100 IOPS) — "traditional hard drives".
+  static DiskParams hdd() { return DiskParams{100, 1e8}; }
+  /// High-performance EBS volume per §6.1 (~4000 IOPS) — "SSD".
+  static DiskParams ssd() { return DiskParams{4000, 3e8}; }
+};
+
+/// One simulated device; writes complete in submission order.
+class SimDisk {
+ public:
+  SimDisk(SimWorld* world, DiskParams params) : world_(world), params_(params) {}
+
+  /// Schedules a durable write of `nbytes`; cb fires when it is on "disk".
+  void write(size_t nbytes, std::function<void()> cb);
+
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t ops() const { return ops_; }
+  DiskParams params() const { return params_; }
+
+ private:
+  SimWorld* world_;
+  DiskParams params_;
+  TimeMicros busy_until_ = 0;
+  uint64_t bytes_written_ = 0;
+  uint64_t ops_ = 0;
+};
+
+}  // namespace rspaxos::sim

@@ -1,0 +1,50 @@
+#include "sim/sim_world.h"
+
+#include <algorithm>
+
+namespace rspaxos::sim {
+
+uint64_t SimWorld::schedule(DurationMicros delay, EventFn fn) {
+  delay = std::max<DurationMicros>(0, delay);
+  uint64_t id = next_id_++;
+  queue_.push(Event{now_ + delay, next_seq_++, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool SimWorld::cancel(uint64_t event_id) { return handlers_.erase(event_id) > 0; }
+
+size_t SimWorld::run_until(TimeMicros t) {
+  size_t executed = 0;
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Event e = queue_.top();
+    queue_.pop();
+    auto it = handlers_.find(e.id);
+    if (it == handlers_.end()) continue;  // cancelled
+    EventFn fn = std::move(it->second);
+    handlers_.erase(it);
+    now_ = e.time;
+    fn();
+    ++executed;
+  }
+  now_ = std::max(now_, t);
+  return executed;
+}
+
+size_t SimWorld::run_to_completion(size_t max_events) {
+  size_t executed = 0;
+  while (!queue_.empty() && executed < max_events) {
+    Event e = queue_.top();
+    queue_.pop();
+    auto it = handlers_.find(e.id);
+    if (it == handlers_.end()) continue;
+    EventFn fn = std::move(it->second);
+    handlers_.erase(it);
+    now_ = e.time;
+    fn();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace rspaxos::sim

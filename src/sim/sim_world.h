@@ -1,0 +1,67 @@
+// Deterministic discrete-event simulation core.
+//
+// The simulator replaces the paper's EC2 testbed (see DESIGN.md §2): the real
+// protocol stack runs unmodified, while time, the network and disks are
+// modeled. Determinism comes from a single event queue ordered by
+// (time, insertion sequence) and a single seeded Rng.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace rspaxos::sim {
+
+/// Owns simulated time and the event queue.
+class SimWorld final : public Clock {
+ public:
+  using EventFn = std::function<void()>;
+
+  explicit SimWorld(uint64_t seed = 1) : rng_(seed) {}
+
+  TimeMicros now() const override { return now_; }
+  Rng& rng() { return rng_; }
+
+  /// Schedules fn at now() + delay (delay clamped to >= 0). Returns an event
+  /// id; cancel() prevents a pending event from running.
+  uint64_t schedule(DurationMicros delay, EventFn fn);
+  bool cancel(uint64_t event_id);
+
+  /// Runs events until the queue is empty or `t` is reached; time advances
+  /// to min(t, last event time). Returns number of events executed.
+  size_t run_until(TimeMicros t);
+  size_t run_for(DurationMicros d) { return run_until(now_ + d); }
+
+  /// Runs until no events remain (with a safety cap on executed events).
+  size_t run_to_completion(size_t max_events = 50'000'000);
+
+  bool idle() const { return queue_.empty(); }
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    TimeMicros time;
+    uint64_t seq;
+    uint64_t id;
+  };
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  TimeMicros now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  Rng rng_;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  // id -> fn; erased on cancel so stale queue entries are skipped.
+  std::unordered_map<uint64_t, EventFn> handlers_;
+};
+
+}  // namespace rspaxos::sim

@@ -1,0 +1,55 @@
+// WAL backed by a simulated disk, with group commit.
+//
+// Appends are staged; a flush is issued either immediately (if the device is
+// idle) or when the in-flight flush completes, so all appends that arrive
+// while the device is busy share the next flush — the batching behaviour the
+// paper relies on for small-write throughput (§6.2.2, §7).
+#pragma once
+
+#include <deque>
+
+#include "sim/sim_disk.h"
+#include "storage/wal.h"
+
+namespace rspaxos::storage {
+
+class SimWal final : public Wal {
+ public:
+  /// With retain_for_replay = false, durable records are accounted but not
+  /// kept in memory (replay returns nothing). Benchmarks that never restart
+  /// nodes use this to bound host memory on multi-GB runs.
+  explicit SimWal(sim::SimDisk* disk, bool retain_for_replay = true)
+      : disk_(disk), retain_(retain_for_replay) {}
+
+  /// Disables group commit: every append becomes its own device flush (the
+  /// §7 IO-batching ablation). Default on.
+  void set_group_commit(bool enabled) { group_commit_ = enabled; }
+
+  void append(Bytes record, DurableFn cb) override;
+  void replay(const std::function<void(BytesView)>& fn) override;
+  uint64_t bytes_flushed() const override { return bytes_flushed_; }
+  uint64_t flush_ops() const override { return flush_ops_; }
+
+  /// Simulated crash helper: records whose flush had not completed are lost,
+  /// mirroring a real power failure. (Durable records always survive.)
+  void drop_unflushed();
+
+ private:
+  void maybe_flush();
+
+  sim::SimDisk* disk_;
+  bool retain_;
+  bool group_commit_ = true;
+  struct Pending {
+    Bytes record;
+    DurableFn cb;
+  };
+  std::deque<Pending> staged_;
+  bool flush_in_flight_ = false;
+  uint64_t wipe_epoch_ = 0;  // invalidates in-flight flushes on crash
+  std::vector<Bytes> durable_;
+  uint64_t bytes_flushed_ = 0;
+  uint64_t flush_ops_ = 0;
+};
+
+}  // namespace rspaxos::storage

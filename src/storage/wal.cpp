@@ -1,0 +1,15 @@
+#include "storage/wal.h"
+
+namespace rspaxos::storage {
+
+void MemWal::append(Bytes record, DurableFn cb) {
+  bytes_ += record.size();
+  records_.push_back(std::move(record));
+  if (cb) cb(Status::ok());
+}
+
+void MemWal::replay(const std::function<void(BytesView)>& fn) {
+  for (const Bytes& r : records_) fn(r);
+}
+
+}  // namespace rspaxos::storage

@@ -1,0 +1,58 @@
+// Write-ahead log abstraction.
+//
+// Acceptors must persist promised/accepted state *before* replying (§4.5:
+// "it needs to log all these decisions into disks before sending out the
+// reply"), so the WAL append API is asynchronous and the callback fires only
+// once the record is durable. Group commit (§7, IO batching) is implemented
+// by the durable backends: appends arriving within a batching window share
+// one device flush.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace rspaxos::storage {
+
+/// Append-only durable record log.
+class Wal {
+ public:
+  using DurableFn = std::function<void(Status)>;
+
+  virtual ~Wal() = default;
+
+  /// Appends one record; cb fires (on the owner's execution context) when
+  /// the record — and everything appended before it — is durable.
+  virtual void append(Bytes record, DurableFn cb) = 0;
+
+  /// Replays all durable records in append order (crash recovery).
+  virtual void replay(const std::function<void(BytesView)>& fn) = 0;
+
+  /// Total bytes made durable — the paper's disk-I/O cost metric.
+  virtual uint64_t bytes_flushed() const = 0;
+  /// Number of device flush operations issued (group commit batches).
+  virtual uint64_t flush_ops() const = 0;
+};
+
+/// Instant in-memory WAL for protocol unit tests: records are "durable"
+/// immediately, callbacks fire inline.
+class MemWal final : public Wal {
+ public:
+  void append(Bytes record, DurableFn cb) override;
+  void replay(const std::function<void(BytesView)>& fn) override;
+  uint64_t bytes_flushed() const override { return bytes_; }
+  uint64_t flush_ops() const override { return records_.size(); }
+
+  /// Clears records (simulating disk loss — used by tests of the *unsafe*
+  /// configurations; never by the protocol).
+  void wipe() { records_.clear(); bytes_ = 0; }
+
+ private:
+  std::vector<Bytes> records_;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace rspaxos::storage

@@ -1,0 +1,27 @@
+// Basic byte-buffer aliases shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rspaxos {
+
+/// Owning byte buffer. All wire payloads and coded shares use this type.
+using Bytes = std::vector<uint8_t>;
+
+/// Non-owning read-only view over a byte buffer.
+using BytesView = std::span<const uint8_t>;
+
+/// Builds a Bytes buffer from a string literal / std::string (test helper).
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Renders a byte buffer as a std::string (test helper; assumes text data).
+inline std::string to_string(BytesView b) {
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace rspaxos

@@ -1,0 +1,39 @@
+// Time representation shared by simulated and real execution.
+//
+// All protocol code expresses time as integer microseconds so the same code
+// runs unchanged under the discrete-event simulator (src/sim) and under the
+// real event loop (src/net). A Clock abstraction supplies "now".
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace rspaxos {
+
+/// Microseconds since an arbitrary epoch (sim start or steady_clock epoch).
+using TimeMicros = int64_t;
+/// A duration in microseconds.
+using DurationMicros = int64_t;
+
+constexpr DurationMicros kMillis = 1000;
+constexpr DurationMicros kSeconds = 1000 * 1000;
+
+/// Source of the current time; implemented by the simulator and by the
+/// real-time event loop.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimeMicros now() const = 0;
+};
+
+/// Wall/steady clock for real execution.
+class SteadyClock final : public Clock {
+ public:
+  TimeMicros now() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+}  // namespace rspaxos

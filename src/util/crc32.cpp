@@ -1,0 +1,49 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace rspaxos {
+namespace {
+
+// Slice-by-4 CRC32C tables, generated once at startup.
+struct Tables {
+  uint32_t t[4][256];
+  Tables() {
+    constexpr uint32_t kPoly = 0x82f63b78u;  // reflected Castagnoli
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xff];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xff];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xff];
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+uint32_t crc32c(const uint8_t* data, size_t n, uint32_t seed) {
+  const Tables& tb = tables();
+  uint32_t c = ~seed;
+  // Process 4 bytes at a time with slice-by-4.
+  while (n >= 4) {
+    c ^= static_cast<uint32_t>(data[0]) | (static_cast<uint32_t>(data[1]) << 8) |
+         (static_cast<uint32_t>(data[2]) << 16) | (static_cast<uint32_t>(data[3]) << 24);
+    c = tb.t[3][c & 0xff] ^ tb.t[2][(c >> 8) & 0xff] ^ tb.t[1][(c >> 16) & 0xff] ^
+        tb.t[0][c >> 24];
+    data += 4;
+    n -= 4;
+  }
+  while (n--) c = tb.t[0][(c ^ *data++) & 0xff] ^ (c >> 8);
+  return ~c;
+}
+
+}  // namespace rspaxos

@@ -1,0 +1,23 @@
+// CRC32C (Castagnoli) checksum.
+//
+// Used to frame WAL records and RPC messages: the paper (§2.1) excludes
+// message corruption "by simple techniques such as checksums" — this is that
+// technique.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace rspaxos {
+
+/// Computes CRC32C over [data, data+n), continuing from `seed` (pass 0 to
+/// start a fresh checksum).
+uint32_t crc32c(const uint8_t* data, size_t n, uint32_t seed = 0);
+
+inline uint32_t crc32c(BytesView b, uint32_t seed = 0) {
+  return crc32c(b.data(), b.size(), seed);
+}
+
+}  // namespace rspaxos

@@ -1,0 +1,94 @@
+#include "util/event_loop.h"
+
+#include <future>
+
+namespace rspaxos {
+
+EventLoop::EventLoop() : thread_([this] { run(); }) {}
+
+EventLoop::~EventLoop() { stop(); }
+
+void EventLoop::post(Task task) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) return;
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+EventLoop::TimerId EventLoop::schedule(DurationMicros delay_us, Task task) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (stopping_) return 0;
+  TimerId id = next_timer_id_++;
+  timers_.push(Timer{clock_.now() + delay_us, id});
+  timer_tasks_.emplace(id, std::move(task));
+  cv_.notify_one();
+  return id;
+}
+
+bool EventLoop::cancel(TimerId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return timer_tasks_.erase(id) > 0;  // stale heap entry is skipped on pop
+}
+
+void EventLoop::drain() {
+  std::promise<void> done;
+  post([&done] { done.set_value(); });
+  done.get_future().wait();
+}
+
+void EventLoop::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) {
+      // Already stopping; just make sure the thread is joined.
+    }
+    stopping_ = true;
+  }
+  cv_.notify_one();
+  if (thread_.joinable()) thread_.join();
+}
+
+TimeMicros EventLoop::now() const { return clock_.now(); }
+
+void EventLoop::run() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    // Fire due timers first, then queued tasks, then sleep.
+    TimeMicros now = clock_.now();
+    while (!timers_.empty() && timers_.top().deadline <= now) {
+      Timer t = timers_.top();
+      timers_.pop();
+      auto it = timer_tasks_.find(t.id);
+      if (it == timer_tasks_.end()) continue;  // cancelled
+      Task task = std::move(it->second);
+      timer_tasks_.erase(it);
+      lk.unlock();
+      task();
+      lk.lock();
+      now = clock_.now();
+    }
+    if (!tasks_.empty()) {
+      Task task = std::move(tasks_.front());
+      tasks_.pop();
+      lk.unlock();
+      task();
+      lk.lock();
+      continue;
+    }
+    if (stopping_ && tasks_.empty()) break;
+    if (timers_.empty()) {
+      cv_.wait(lk, [this] { return stopping_ || !tasks_.empty() || !timers_.empty(); });
+    } else {
+      auto wake = std::chrono::steady_clock::now() +
+                  std::chrono::microseconds(std::max<DurationMicros>(0, timers_.top().deadline - clock_.now()));
+      cv_.wait_until(lk, wake, [this] {
+        return stopping_ || !tasks_.empty() ||
+               (!timers_.empty() && timers_.top().deadline <= clock_.now());
+      });
+    }
+  }
+}
+
+}  // namespace rspaxos

@@ -1,0 +1,75 @@
+// Single-threaded real-time event loop.
+//
+// Each replica in real (non-simulated) execution is driven by one EventLoop
+// thread: tasks posted from any thread run sequentially on the loop thread,
+// which is what lets protocol code stay lock-free (the same property the
+// discrete-event simulator provides in simulated runs).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace rspaxos {
+
+/// Runs posted tasks and timers on a dedicated thread until stopped.
+class EventLoop final : public Clock {
+ public:
+  using Task = std::function<void()>;
+  using TimerId = uint64_t;
+
+  EventLoop();
+  ~EventLoop() override;
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Enqueues a task to run on the loop thread (thread-safe).
+  void post(Task task);
+
+  /// Schedules a task after `delay_us`; returns an id usable with cancel().
+  TimerId schedule(DurationMicros delay_us, Task task);
+
+  /// Cancels a pending timer. Returns false if already fired or unknown.
+  bool cancel(TimerId id);
+
+  /// Blocks until all currently queued tasks have run (test helper).
+  void drain();
+
+  /// Requests shutdown and joins the loop thread. Idempotent.
+  void stop();
+
+  bool on_loop_thread() const { return std::this_thread::get_id() == thread_.get_id(); }
+
+  TimeMicros now() const override;
+
+ private:
+  struct Timer {
+    TimeMicros deadline;
+    TimerId id;
+    bool operator>(const Timer& o) const {
+      return deadline != o.deadline ? deadline > o.deadline : id > o.id;
+    }
+  };
+
+  void run();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<Task> tasks_;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
+  std::map<TimerId, Task> timer_tasks_;
+  TimerId next_timer_id_ = 1;
+  bool stopping_ = false;
+  SteadyClock clock_;
+  std::thread thread_;
+};
+
+}  // namespace rspaxos

@@ -1,0 +1,97 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace rspaxos {
+
+Histogram::Histogram() : buckets_(static_cast<size_t>(kOctaves) * kSubBuckets, 0) {}
+
+int Histogram::bucket_index(int64_t v) {
+  if (v < 0) v = 0;
+  uint64_t u = static_cast<uint64_t>(v);
+  if (u < kSubBuckets) return static_cast<int>(u);
+  // Values with MSB at position m >= kSubBucketBits keep their top
+  // kSubBucketBits bits as the sub-bucket; octave o = m - kSubBucketBits + 1
+  // (indices 0..kSubBuckets-1 form "octave 0", exact small values).
+  int msb = 63 - std::countl_zero(u);
+  int shift = msb - kSubBucketBits;
+  int sub = static_cast<int>(u >> shift) & (kSubBuckets - 1);
+  return (shift + 1) * kSubBuckets + sub;
+}
+
+int64_t Histogram::bucket_midpoint(int index) {
+  if (index < kSubBuckets) return index;
+  int octave = index / kSubBuckets;
+  int sub = index % kSubBuckets;
+  // Reconstruct: value had MSB at position (octave + kSubBucketBits - 1) and
+  // the next bits equal to sub.
+  int64_t base = (static_cast<int64_t>(kSubBuckets) | sub) << (octave - 1);
+  int64_t width = static_cast<int64_t>(1) << (octave - 1);
+  return base + width / 2;
+}
+
+void Histogram::record(int64_t value) {
+  int idx = bucket_index(value);
+  if (idx >= static_cast<int>(buckets_.size())) idx = static_cast<int>(buckets_.size()) - 1;
+  buckets_[idx]++;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_++;
+  sum_ += static_cast<double>(value);
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = max_ = 0;
+}
+
+int64_t Histogram::value_at(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      int64_t v = bucket_midpoint(static_cast<int>(i));
+      return std::clamp(v, min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.1f p50=%lld p99=%lld max=%lld",
+                static_cast<unsigned long long>(count_), mean(),
+                static_cast<long long>(value_at(0.5)),
+                static_cast<long long>(value_at(0.99)),
+                static_cast<long long>(max()));
+  return buf;
+}
+
+}  // namespace rspaxos

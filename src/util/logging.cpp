@@ -1,0 +1,56 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace rspaxos {
+namespace {
+
+std::atomic<int> g_level{[] {
+  const char* env = std::getenv("RSPAXOS_LOG");
+  if (env == nullptr) return static_cast<int>(LogLevel::kWarn);
+  if (std::strcmp(env, "debug") == 0) return static_cast<int>(LogLevel::kDebug);
+  if (std::strcmp(env, "info") == 0) return static_cast<int>(LogLevel::kInfo);
+  if (std::strcmp(env, "warn") == 0) return static_cast<int>(LogLevel::kWarn);
+  if (std::strcmp(env, "error") == 0) return static_cast<int>(LogLevel::kError);
+  if (std::strcmp(env, "off") == 0) return static_cast<int>(LogLevel::kOff);
+  return static_cast<int>(LogLevel::kWarn);
+}()};
+
+std::mutex& emit_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+const char* level_tag(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kError: return "E";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level), std::memory_order_relaxed); }
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+namespace internal {
+
+LogLine::LogLine(LogLevel level, const char* file, int line) : level_(level) {
+  const char* base = std::strrchr(file, '/');
+  ss_ << "[" << level_tag(level) << " " << (base ? base + 1 : file) << ":" << line << "] ";
+}
+
+LogLine::~LogLine() {
+  std::lock_guard<std::mutex> lk(emit_mutex());
+  std::fputs(ss_.str().c_str(), stderr);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace internal
+}  // namespace rspaxos

@@ -1,0 +1,47 @@
+// Minimal thread-safe leveled logging.
+//
+// Protocol code logs through RSP_LOG(level) macros; the global level defaults
+// to WARN so tests and benchmarks stay quiet unless asked (RSPAXOS_LOG env or
+// set_log_level).
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace rspaxos {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace internal {
+
+/// Stream-collecting helper; emits the buffered line on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  ~LogLine();
+  std::ostringstream& stream() { return ss_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+
+}  // namespace internal
+}  // namespace rspaxos
+
+#define RSP_LOG_ENABLED(lvl) \
+  (static_cast<int>(lvl) >= static_cast<int>(::rspaxos::log_level()))
+
+#define RSP_LOG(lvl)                                  \
+  if (!RSP_LOG_ENABLED(::rspaxos::LogLevel::lvl)) {   \
+  } else                                              \
+    ::rspaxos::internal::LogLine(::rspaxos::LogLevel::lvl, __FILE__, __LINE__).stream()
+
+#define RSP_DEBUG RSP_LOG(kDebug)
+#define RSP_INFO RSP_LOG(kInfo)
+#define RSP_WARN RSP_LOG(kWarn)
+#define RSP_ERROR RSP_LOG(kError)

@@ -1,0 +1,5 @@
+#include "util/marshal.h"
+
+// Marshal is header-only today; this TU anchors the library target and keeps
+// a home for future out-of-line helpers.
+namespace rspaxos {}

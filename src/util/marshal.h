@@ -1,0 +1,143 @@
+// Wire serialization: bounds-checked little-endian writer/reader.
+//
+// Every consensus / KV / RPC message implements
+//     void encode(Writer&) const;  static StatusOr<T> decode(Reader&);
+// on top of these primitives. Varints keep small control messages compact;
+// bulk payloads are length-prefixed raw bytes so coded shares are never
+// copied byte-by-byte.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace rspaxos {
+
+/// Appends primitives to an owned byte buffer.
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(uint8_t v) { buf_.push_back(v); }
+  void u16(uint16_t v) { put_le(v); }
+  void u32(uint32_t v) { put_le(v); }
+  void u64(uint64_t v) { put_le(v); }
+  void i64(int64_t v) { put_le(static_cast<uint64_t>(v)); }
+
+  /// LEB128 unsigned varint.
+  void varint(uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<uint8_t>(v));
+  }
+
+  /// Length-prefixed byte blob.
+  void bytes(BytesView b) {
+    varint(b.size());
+    raw(b);
+  }
+
+  /// Length-prefixed string.
+  void str(std::string_view s) {
+    varint(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  /// Raw append with no length prefix (caller manages framing).
+  void raw(BytesView b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+
+  size_t size() const { return buf_.size(); }
+  const Bytes& buffer() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  Bytes buf_;
+};
+
+/// Bounds-checked sequential reader over a byte view. All accessors return
+/// Status on truncation so malformed network input can never over-read.
+class Reader {
+ public:
+  explicit Reader(BytesView b) : data_(b.data()), size_(b.size()) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+
+  Status u8(uint8_t& out) { return get_le(out); }
+  Status u16(uint16_t& out) { return get_le(out); }
+  Status u32(uint32_t& out) { return get_le(out); }
+  Status u64(uint64_t& out) { return get_le(out); }
+  Status i64(int64_t& out) {
+    uint64_t v;
+    RSP_RETURN_IF_ERROR(get_le(v));
+    out = static_cast<int64_t>(v);
+    return Status::ok();
+  }
+
+  Status varint(uint64_t& out) {
+    out = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= size_) return truncated();
+      uint8_t b = data_[pos_++];
+      if (shift >= 63 && b > 1) return Status::corruption("varint overflow");
+      out |= static_cast<uint64_t>(b & 0x7f) << shift;
+      if (!(b & 0x80)) return Status::ok();
+      shift += 7;
+    }
+  }
+
+  Status bytes(Bytes& out) {
+    uint64_t n;
+    RSP_RETURN_IF_ERROR(varint(n));
+    if (n > remaining()) return truncated();
+    out.assign(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return Status::ok();
+  }
+
+  Status str(std::string& out) {
+    uint64_t n;
+    RSP_RETURN_IF_ERROR(varint(n));
+    if (n > remaining()) return truncated();
+    out.assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return Status::ok();
+  }
+
+  /// View over the next n bytes without copying; advances the cursor.
+  Status view(size_t n, BytesView& out) {
+    if (n > remaining()) return truncated();
+    out = BytesView(data_ + pos_, n);
+    pos_ += n;
+    return Status::ok();
+  }
+
+ private:
+  template <typename T>
+  Status get_le(T& out) {
+    if (sizeof(T) > remaining()) return truncated();
+    T v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) v |= static_cast<T>(data_[pos_ + i]) << (8 * i);
+    pos_ += sizeof(T);
+    out = v;
+    return Status::ok();
+  }
+  static Status truncated() { return Status::corruption("truncated message"); }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace rspaxos

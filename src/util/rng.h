@@ -1,0 +1,86 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component (simulated network jitter, workload generators,
+// nemesis schedules) takes an explicit seeded Rng so whole-system runs are
+// reproducible from a single seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace rspaxos {
+
+/// xoshiro256** seeded via splitmix64. Fast, high-quality, deterministic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t next_u64() {
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t next_below(uint64_t bound) {
+    // Lemire's nearly-divisionless method would be overkill; modulo bias is
+    // negligible for our bounds (<< 2^64).
+    return next_u64() % bound;
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t uniform(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(next_below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Exponentially distributed with the given mean (for arrival processes).
+  double exponential(double mean) {
+    double u = next_double();
+    if (u <= 0) u = std::numeric_limits<double>::min();
+    return -mean * std::log(u);
+  }
+
+  /// Fills a buffer with pseudo-random bytes (workload value payloads).
+  void fill(uint8_t* dst, size_t n) {
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      uint64_t v = next_u64();
+      for (int b = 0; b < 8; ++b) dst[i + b] = static_cast<uint8_t>(v >> (8 * b));
+    }
+    if (i < n) {
+      uint64_t v = next_u64();
+      for (; i < n; ++i, v >>= 8) dst[i] = static_cast<uint8_t>(v);
+    }
+  }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+}  // namespace rspaxos

@@ -1,0 +1,108 @@
+// Minimal Status / StatusOr error-propagation types.
+//
+// The library avoids exceptions on hot paths (consensus message handling,
+// coding kernels); fallible operations return Status or StatusOr<T>.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace rspaxos {
+
+enum class Code {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kUnavailable,
+  kCorruption,
+  kTimeout,
+  kAborted,
+  kInternal,
+};
+
+/// Lightweight error status: a code plus an optional human-readable message.
+class Status {
+ public:
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status ok() { return Status(); }
+  static Status invalid(std::string m) { return {Code::kInvalidArgument, std::move(m)}; }
+  static Status not_found(std::string m) { return {Code::kNotFound, std::move(m)}; }
+  static Status failed_precondition(std::string m) { return {Code::kFailedPrecondition, std::move(m)}; }
+  static Status unavailable(std::string m) { return {Code::kUnavailable, std::move(m)}; }
+  static Status corruption(std::string m) { return {Code::kCorruption, std::move(m)}; }
+  static Status timeout(std::string m) { return {Code::kTimeout, std::move(m)}; }
+  static Status aborted(std::string m) { return {Code::kAborted, std::move(m)}; }
+  static Status internal(std::string m) { return {Code::kInternal, std::move(m)}; }
+
+  bool is_ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string to_string() const {
+    if (is_ok()) return "OK";
+    return std::string(code_name(code_)) + ": " + msg_;
+  }
+
+  static const char* code_name(Code c) {
+    switch (c) {
+      case Code::kOk: return "OK";
+      case Code::kInvalidArgument: return "INVALID_ARGUMENT";
+      case Code::kNotFound: return "NOT_FOUND";
+      case Code::kFailedPrecondition: return "FAILED_PRECONDITION";
+      case Code::kUnavailable: return "UNAVAILABLE";
+      case Code::kCorruption: return "CORRUPTION";
+      case Code::kTimeout: return "TIMEOUT";
+      case Code::kAborted: return "ABORTED";
+      case Code::kInternal: return "INTERNAL";
+    }
+    return "UNKNOWN";
+  }
+
+ private:
+  Code code_;
+  std::string msg_;
+};
+
+/// Either a value or an error status. Access to value() requires is_ok().
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : status_(Status::ok()), value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status s) : status_(std::move(s)) {                            // NOLINT
+    assert(!status_.is_ok() && "StatusOr(Status) requires an error status");
+  }
+
+  bool is_ok() const { return status_.is_ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(is_ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(is_ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(is_ok());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace rspaxos
+
+/// Propagates a non-OK Status from the current function.
+#define RSP_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::rspaxos::Status _st = (expr);              \
+    if (!_st.is_ok()) return _st;                \
+  } while (0)

@@ -1,0 +1,179 @@
+// Quorum algebra tests (§3.2) and the exact reproduction of Table 1.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "consensus/config.h"
+
+namespace rspaxos::consensus {
+namespace {
+
+std::vector<NodeId> ids(int n) {
+  std::vector<NodeId> v;
+  for (int i = 0; i < n; ++i) v.push_back(static_cast<NodeId>(i + 1));
+  return v;
+}
+
+TEST(GroupConfig, MajorityPaxos) {
+  GroupConfig c = GroupConfig::majority(ids(5));
+  EXPECT_TRUE(c.validate().is_ok());
+  EXPECT_EQ(c.n(), 5);
+  EXPECT_EQ(c.qr, 3);
+  EXPECT_EQ(c.qw, 3);
+  EXPECT_EQ(c.x, 1);
+  EXPECT_EQ(c.f(), 2);
+  EXPECT_DOUBLE_EQ(c.redundancy(), 5.0);
+}
+
+TEST(GroupConfig, MajorityEvenN) {
+  GroupConfig c = GroupConfig::majority(ids(4));
+  EXPECT_TRUE(c.validate().is_ok());
+  EXPECT_EQ(c.qr, 3);
+  EXPECT_EQ(c.qw, 3);
+  EXPECT_EQ(c.f(), 1);
+}
+
+TEST(GroupConfig, RsMaxXPaperSetup) {
+  // §6.1: N=5, Q=4, X=3 tolerating one failure at a time.
+  auto c = GroupConfig::rs_max_x(ids(5), 1);
+  ASSERT_TRUE(c.is_ok());
+  EXPECT_EQ(c.value().qr, 4);
+  EXPECT_EQ(c.value().qw, 4);
+  EXPECT_EQ(c.value().x, 3);
+  EXPECT_EQ(c.value().f(), 1);
+  // §6.1: "the data redundancy of a 5-node RS-Paxos group is 5/3".
+  EXPECT_DOUBLE_EQ(c.value().redundancy(), 5.0 / 3.0);
+}
+
+TEST(GroupConfig, RsMaxXSevenNodes) {
+  // §3.4 example: N=7, F=2 -> QR=QW=5, X=3.
+  auto c = GroupConfig::rs_max_x(ids(7), 2);
+  ASSERT_TRUE(c.is_ok());
+  EXPECT_EQ(c.value().qr, 5);
+  EXPECT_EQ(c.value().qw, 5);
+  EXPECT_EQ(c.value().x, 3);
+}
+
+TEST(GroupConfig, RsMaxXDegeneratesToPaxosAt3Nodes) {
+  // §6.1: "a 3-replica Paxos, RS-Paxos has no win over Paxos because it has
+  // to set X=1 to tolerate a failure".
+  auto c = GroupConfig::rs_max_x(ids(3), 1);
+  ASSERT_TRUE(c.is_ok());
+  EXPECT_EQ(c.value().x, 1);
+}
+
+TEST(GroupConfig, RsMaxXRejectsInfeasibleF) {
+  EXPECT_FALSE(GroupConfig::rs_max_x(ids(5), 3).is_ok());
+  EXPECT_FALSE(GroupConfig::rs_max_x(ids(3), 2).is_ok());
+  EXPECT_FALSE(GroupConfig::rs_max_x(ids(1), 1).is_ok());
+}
+
+TEST(GroupConfig, ValidateRejectsBrokenIntersection) {
+  GroupConfig c;
+  c.members = ids(5);
+  c.qr = 3;
+  c.qw = 3;
+  c.x = 2;  // 3 + 3 - 2 = 4 < 5: a chosen value could be unrecoverable (§2.3)
+  EXPECT_FALSE(c.validate().is_ok());
+}
+
+TEST(GroupConfig, ValidateRejectsNaiveCombination) {
+  // The §2.3 counterexample: majority quorums with θ(3,5) coding.
+  GroupConfig c;
+  c.members = ids(5);
+  c.qr = 3;
+  c.qw = 3;
+  c.x = 3;
+  EXPECT_FALSE(c.validate().is_ok());
+}
+
+TEST(GroupConfig, ValidateRejectsDuplicatesAndRanges) {
+  GroupConfig c;
+  c.members = {1, 1, 2};
+  c.qr = c.qw = 2;
+  c.x = 1;
+  EXPECT_FALSE(c.validate().is_ok());
+
+  GroupConfig d;
+  d.members = ids(3);
+  d.qr = 0;
+  d.qw = 3;
+  d.x = 1;
+  EXPECT_FALSE(d.validate().is_ok());
+
+  GroupConfig e;
+  e.members = ids(3);
+  e.qr = 4;
+  e.qw = 3;
+  e.x = 1;
+  EXPECT_FALSE(e.validate().is_ok());
+
+  GroupConfig f;
+  f.members = {};
+  EXPECT_FALSE(f.validate().is_ok());
+}
+
+TEST(GroupConfig, IndexOfIsShareIndex) {
+  GroupConfig c = GroupConfig::majority({10, 20, 30});
+  EXPECT_EQ(c.index_of(10), 0);
+  EXPECT_EQ(c.index_of(30), 2);
+  EXPECT_EQ(c.index_of(99), -1);
+  EXPECT_TRUE(c.contains(20));
+  EXPECT_FALSE(c.contains(99));
+}
+
+// --- Table 1 reproduction -------------------------------------------------
+
+TEST(Table1, ExactRowsForN7) {
+  auto rows = enumerate_quorum_choices(7);
+  // The paper's Table 1, in order (N QW QR X F).
+  std::vector<QuorumChoice> expect = {
+      {4, 4, 1, 3, true},  {5, 3, 1, 2, false}, {5, 4, 2, 2, false},
+      {5, 5, 3, 2, true},  {6, 2, 1, 1, false}, {6, 3, 2, 1, false},
+      {6, 4, 3, 1, false}, {6, 5, 4, 1, false}, {6, 6, 5, 1, true},
+  };
+  ASSERT_EQ(rows.size(), expect.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i], expect[i]) << "row " << i;
+  }
+}
+
+TEST(Table1, EveryRowSatisfiesTheEquations) {
+  for (int n : {3, 4, 5, 6, 7, 9, 11}) {
+    for (const QuorumChoice& qc : enumerate_quorum_choices(n)) {
+      EXPECT_EQ(qc.qr + qc.qw - qc.x, n);
+      EXPECT_EQ(qc.f, n - std::max(qc.qr, qc.qw));
+      EXPECT_EQ(qc.f, std::min(qc.qr, qc.qw) - qc.x);
+      EXPECT_GE(qc.x, 1);
+      EXPECT_GE(qc.f, 1);
+    }
+  }
+}
+
+TEST(Table1, MaxXRowsAreSymmetricQuorums) {
+  // §3.2: "To get the maximum X, we need QW = QR".
+  for (int n : {5, 7, 9, 11}) {
+    for (const QuorumChoice& qc : enumerate_quorum_choices(n)) {
+      if (qc.max_x_for_f) {
+        EXPECT_EQ(qc.qw, qc.qr) << "n=" << n << " f=" << qc.f;
+        EXPECT_EQ(qc.x, n - 2 * qc.f);
+      }
+    }
+  }
+}
+
+TEST(Table1, HighlightedXMatchesFormula) {
+  // With fixed F, X_max = min(QR,QW) - F = (N - F) - F.
+  auto rows = enumerate_quorum_choices(9);
+  std::map<int, int> max_x;
+  for (const auto& qc : rows) {
+    if (qc.max_x_for_f) max_x[qc.f] = qc.x;
+  }
+  EXPECT_EQ(max_x[1], 7);
+  EXPECT_EQ(max_x[2], 5);
+  EXPECT_EQ(max_x[3], 3);
+  EXPECT_EQ(max_x[4], 1);
+}
+
+}  // namespace
+}  // namespace rspaxos::consensus

@@ -1,0 +1,311 @@
+// Unit + property tests for the erasure-coding substrate: GF(2^8) axioms,
+// matrix algebra, and the any-X-of-N Reed-Solomon reconstruction guarantee.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "ec/gf256.h"
+#include "ec/matrix.h"
+#include "ec/rs_code.h"
+#include "util/rng.h"
+
+namespace rspaxos {
+namespace {
+
+using ec::Matrix;
+using ec::RsCode;
+
+TEST(Gf256, AdditionIsXor) {
+  EXPECT_EQ(gf::add(0x53, 0xCA), 0x53 ^ 0xCA);
+  EXPECT_EQ(gf::add(7, 7), 0);
+}
+
+TEST(Gf256, MultiplicativeIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(gf::mul(static_cast<uint8_t>(a), 1), a);
+    EXPECT_EQ(gf::mul(1, static_cast<uint8_t>(a)), a);
+    EXPECT_EQ(gf::mul(static_cast<uint8_t>(a), 0), 0);
+  }
+}
+
+TEST(Gf256, MulCommutativeAssociative) {
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    uint8_t a = static_cast<uint8_t>(rng.next_below(256));
+    uint8_t b = static_cast<uint8_t>(rng.next_below(256));
+    uint8_t c = static_cast<uint8_t>(rng.next_below(256));
+    EXPECT_EQ(gf::mul(a, b), gf::mul(b, a));
+    EXPECT_EQ(gf::mul(gf::mul(a, b), c), gf::mul(a, gf::mul(b, c)));
+  }
+}
+
+TEST(Gf256, DistributesOverAddition) {
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    uint8_t a = static_cast<uint8_t>(rng.next_below(256));
+    uint8_t b = static_cast<uint8_t>(rng.next_below(256));
+    uint8_t c = static_cast<uint8_t>(rng.next_below(256));
+    EXPECT_EQ(gf::mul(a, gf::add(b, c)), gf::add(gf::mul(a, b), gf::mul(a, c)));
+  }
+}
+
+TEST(Gf256, InverseRoundTrip) {
+  for (int a = 1; a < 256; ++a) {
+    uint8_t inv = gf::inv(static_cast<uint8_t>(a));
+    EXPECT_EQ(gf::mul(static_cast<uint8_t>(a), inv), 1) << "a=" << a;
+  }
+}
+
+TEST(Gf256, DivisionInvertsMultiplication) {
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    uint8_t a = static_cast<uint8_t>(rng.next_below(256));
+    uint8_t b = static_cast<uint8_t>(1 + rng.next_below(255));
+    EXPECT_EQ(gf::div(gf::mul(a, b), b), a);
+  }
+}
+
+TEST(Gf256, PowMatchesRepeatedMul) {
+  for (int base = 0; base < 256; base += 7) {
+    uint8_t acc = 1;
+    for (unsigned e = 0; e < 20; ++e) {
+      EXPECT_EQ(gf::pow(static_cast<uint8_t>(base), e), acc)
+          << "base=" << base << " e=" << e;
+      acc = gf::mul(acc, static_cast<uint8_t>(base));
+    }
+  }
+}
+
+TEST(Gf256, MulAddRegionMatchesScalar) {
+  Rng rng(4);
+  for (uint8_t c : {0, 1, 2, 0x1d, 0xff}) {
+    Bytes src(1031), dst(1031), expect(1031);
+    rng.fill(src.data(), src.size());
+    rng.fill(dst.data(), dst.size());
+    expect = dst;
+    for (size_t i = 0; i < src.size(); ++i) expect[i] ^= gf::mul(c, src[i]);
+    gf::mul_add_region(dst.data(), src.data(), c, src.size());
+    EXPECT_EQ(dst, expect) << "c=" << static_cast<int>(c);
+  }
+}
+
+TEST(Gf256, MulRegionMatchesScalar) {
+  Rng rng(5);
+  for (uint8_t c : {0, 1, 3, 0x80}) {
+    Bytes src(517), dst(517), expect(517);
+    rng.fill(src.data(), src.size());
+    for (size_t i = 0; i < src.size(); ++i) expect[i] = gf::mul(c, src[i]);
+    gf::mul_region(dst.data(), src.data(), c, src.size());
+    EXPECT_EQ(dst, expect);
+  }
+}
+
+TEST(Matrix, IdentityTimesIsNoop) {
+  Matrix m(3, 3);
+  uint8_t v = 1;
+  for (size_t r = 0; r < 3; ++r)
+    for (size_t c = 0; c < 3; ++c) m.at(r, c) = v++;
+  Matrix i = Matrix::identity(3);
+  EXPECT_EQ(i.times(m), m);
+  EXPECT_EQ(m.times(i), m);
+}
+
+TEST(Matrix, InverseTimesSelfIsIdentity) {
+  Rng rng(6);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t n = 1 + rng.next_below(8);
+    Matrix m(n, n);
+    for (size_t r = 0; r < n; ++r)
+      for (size_t c = 0; c < n; ++c) m.at(r, c) = static_cast<uint8_t>(rng.next_below(256));
+    auto inv = m.inverted();
+    if (!inv.is_ok()) continue;  // singular random matrix: skip
+    EXPECT_EQ(m.times(inv.value()), Matrix::identity(n));
+    EXPECT_EQ(inv.value().times(m), Matrix::identity(n));
+  }
+}
+
+TEST(Matrix, SingularDetected) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 1;
+  m.at(0, 1) = 2;
+  m.at(1, 0) = 1;
+  m.at(1, 1) = 2;  // duplicate row
+  EXPECT_FALSE(m.inverted().is_ok());
+  Matrix z(3, 3);  // all zero
+  EXPECT_FALSE(z.inverted().is_ok());
+}
+
+TEST(Matrix, NonSquareInverseRejected) {
+  Matrix m(2, 3);
+  EXPECT_FALSE(m.inverted().is_ok());
+}
+
+TEST(Matrix, VandermondeSubmatricesInvertible) {
+  // The RS guarantee rests on this: any m rows of the n x m Vandermonde are
+  // independent.
+  Matrix v = Matrix::vandermonde(8, 3);
+  for (size_t a = 0; a < 8; ++a) {
+    for (size_t b = a + 1; b < 8; ++b) {
+      for (size_t c = b + 1; c < 8; ++c) {
+        EXPECT_TRUE(v.select_rows({a, b, c}).inverted().is_ok())
+            << a << "," << b << "," << c;
+      }
+    }
+  }
+}
+
+TEST(RsCode, RejectsBadParams) {
+  EXPECT_FALSE(RsCode::create(0, 5).is_ok());
+  EXPECT_FALSE(RsCode::create(3, 2).is_ok());
+  EXPECT_FALSE(RsCode::create(1, 256).is_ok());
+  EXPECT_TRUE(RsCode::create(1, 1).is_ok());
+  EXPECT_TRUE(RsCode::create(3, 5).is_ok());
+}
+
+TEST(RsCode, SystematicSharesAreDataSplits) {
+  auto code = RsCode::create(3, 5);
+  ASSERT_TRUE(code.is_ok());
+  Bytes value = to_bytes("abcdefghi");  // 9 bytes -> 3 per share
+  auto shares = code.value().encode(value);
+  ASSERT_EQ(shares.size(), 5u);
+  EXPECT_EQ(to_string(shares[0]), "abc");
+  EXPECT_EQ(to_string(shares[1]), "def");
+  EXPECT_EQ(to_string(shares[2]), "ghi");
+}
+
+TEST(RsCode, ShareSizeIsCeilDiv) {
+  auto code = RsCode::create(3, 5);
+  ASSERT_TRUE(code.is_ok());
+  EXPECT_EQ(code.value().share_size(9), 3u);
+  EXPECT_EQ(code.value().share_size(10), 4u);
+  EXPECT_EQ(code.value().share_size(0), 0u);
+  EXPECT_EQ(code.value().share_size(1), 1u);
+}
+
+TEST(RsCode, EncodeShareMatchesFullEncode) {
+  Rng rng(7);
+  auto code = RsCode::create(4, 7);
+  ASSERT_TRUE(code.is_ok());
+  Bytes value(1000);
+  rng.fill(value.data(), value.size());
+  auto shares = code.value().encode(value);
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(code.value().encode_share(value, i), shares[static_cast<size_t>(i)])
+        << "share " << i;
+  }
+}
+
+TEST(RsCode, EmptyValue) {
+  auto code = RsCode::create(3, 5);
+  ASSERT_TRUE(code.is_ok());
+  auto shares = code.value().encode(Bytes{});
+  for (const auto& s : shares) EXPECT_TRUE(s.empty());
+  std::map<int, Bytes> in{{0, {}}, {2, {}}, {4, {}}};
+  auto out = code.value().decode(in, 0);
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_TRUE(out.value().empty());
+}
+
+TEST(RsCode, NotEnoughSharesFails) {
+  auto code = RsCode::create(3, 5);
+  ASSERT_TRUE(code.is_ok());
+  Bytes value(100, 0x42);
+  auto shares = code.value().encode(value);
+  std::map<int, Bytes> in{{0, shares[0]}, {3, shares[3]}};
+  EXPECT_FALSE(code.value().decode(in, value.size()).is_ok());
+}
+
+TEST(RsCode, InconsistentShareSizeRejected) {
+  auto code = RsCode::create(2, 4);
+  ASSERT_TRUE(code.is_ok());
+  Bytes value(64, 1);
+  auto shares = code.value().encode(value);
+  std::map<int, Bytes> in{{0, shares[0]}, {1, Bytes(5, 0)}};
+  EXPECT_FALSE(code.value().decode(in, value.size()).is_ok());
+}
+
+TEST(RsCode, OutOfRangeIndexRejected) {
+  auto code = RsCode::create(2, 4);
+  ASSERT_TRUE(code.is_ok());
+  Bytes value(64, 1);
+  auto shares = code.value().encode(value);
+  std::map<int, Bytes> in{{0, shares[0]}, {7, shares[1]}};
+  EXPECT_FALSE(code.value().decode(in, value.size()).is_ok());
+}
+
+TEST(RsCode, CacheReturnsSameInstance) {
+  const RsCode& a = ec::RsCodeCache::get(3, 5);
+  const RsCode& b = ec::RsCodeCache::get(3, 5);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.m(), 3);
+  EXPECT_EQ(a.n(), 5);
+}
+
+// Property sweep: every (m, n) in a practical range, every subset size m of
+// shares (sampled), every value size including padding edge cases.
+struct RsParam {
+  int m, n;
+  size_t value_len;
+};
+
+class RsRoundTrip : public ::testing::TestWithParam<RsParam> {};
+
+TEST_P(RsRoundTrip, AnyMSubsetReconstructs) {
+  const auto [m, n, value_len] = GetParam();
+  auto code = RsCode::create(m, n);
+  ASSERT_TRUE(code.is_ok());
+  Rng rng(static_cast<uint64_t>(m * 1000 + n * 10) + value_len);
+  Bytes value(value_len);
+  rng.fill(value.data(), value.size());
+  auto shares = code.value().encode(value);
+  ASSERT_EQ(shares.size(), static_cast<size_t>(n));
+
+  // Try up to 20 random m-subsets plus the "last m" and "first m" subsets.
+  std::vector<std::vector<int>> subsets;
+  std::vector<int> first, last;
+  for (int i = 0; i < m; ++i) first.push_back(i);
+  for (int i = n - m; i < n; ++i) last.push_back(i);
+  subsets.push_back(first);
+  subsets.push_back(last);
+  for (int t = 0; t < 20; ++t) {
+    std::vector<int> all(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) all[static_cast<size_t>(i)] = i;
+    for (int i = n - 1; i > 0; --i) {
+      std::swap(all[static_cast<size_t>(i)], all[rng.next_below(static_cast<uint64_t>(i + 1))]);
+    }
+    all.resize(static_cast<size_t>(m));
+    subsets.push_back(all);
+  }
+  for (const auto& subset : subsets) {
+    std::map<int, Bytes> in;
+    for (int idx : subset) in.emplace(idx, shares[static_cast<size_t>(idx)]);
+    auto out = code.value().decode(in, value.size());
+    ASSERT_TRUE(out.is_ok());
+    EXPECT_EQ(out.value(), value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RsRoundTrip,
+    ::testing::Values(
+        RsParam{1, 1, 17}, RsParam{1, 3, 100}, RsParam{1, 5, 64},
+        RsParam{2, 3, 99}, RsParam{2, 4, 1}, RsParam{2, 5, 1000},
+        RsParam{3, 5, 9}, RsParam{3, 5, 10}, RsParam{3, 5, 11},
+        RsParam{3, 5, 65536}, RsParam{3, 7, 12345}, RsParam{4, 6, 1024},
+        RsParam{4, 7, 31}, RsParam{5, 7, 4099}, RsParam{5, 9, 77},
+        RsParam{6, 11, 300}, RsParam{8, 12, 512}, RsParam{10, 14, 129},
+        RsParam{3, 5, 0}, RsParam{7, 7, 1000}));
+
+// The paper's redundancy example (§2.2): n=5, m=3 -> r = 5/3.
+TEST(RsCode, RedundancyMath) {
+  auto code = RsCode::create(3, 5);
+  ASSERT_TRUE(code.is_ok());
+  size_t value = 3 * 1000;
+  size_t total_stored = 5 * code.value().share_size(value);
+  EXPECT_DOUBLE_EQ(static_cast<double>(total_stored) / static_cast<double>(value),
+                   5.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace rspaxos

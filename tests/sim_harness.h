@@ -1,0 +1,93 @@
+// Shared test harness: binds single-decree acceptors/proposers to the
+// simulated network so protocol tests can script adversarial schedules.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "consensus/single.h"
+#include "sim/sim_network.h"
+#include "sim/sim_world.h"
+#include "storage/wal.h"
+
+namespace rspaxos::consensus::testing {
+
+/// Hosts one SingleAcceptor on a sim node: decodes prepare/accept traffic,
+/// runs the acceptor, sends replies. Crash/restart emulates §4.5 recovery
+/// (volatile state lost; WAL replayed).
+class AcceptorHost final : public MessageHandler {
+ public:
+  AcceptorHost(sim::SimNetwork* net, NodeId id)
+      : net_(net), node_(net->node(id)), acceptor_(std::make_unique<SingleAcceptor>(&wal_)) {
+    node_->set_handler(this);
+  }
+
+  void on_message(NodeId from, MsgType type, BytesView payload) override {
+    switch (type) {
+      case MsgType::kPrepare: {
+        auto m = PrepareMsg::decode(payload);
+        if (!m.is_ok()) return;
+        acceptor_->on_prepare(m.value(), [this, from](PromiseMsg rep) {
+          node_->send(from, MsgType::kPromise, rep.encode());
+        });
+        return;
+      }
+      case MsgType::kAccept: {
+        auto m = AcceptMsg::decode(payload);
+        if (!m.is_ok()) return;
+        acceptor_->on_accept(m.value(), [this, from](AcceptedMsg rep) {
+          node_->send(from, MsgType::kAccepted, rep.encode());
+        });
+        return;
+      }
+      default:
+        return;
+    }
+  }
+
+  /// Crash: lose volatile state (keep the WAL), drop off the network.
+  void crash() {
+    net_->crash(node_->id());
+    acceptor_.reset();
+  }
+
+  /// Restart: §4.5 — rebuild promised/accepted state from the durable log.
+  void restart() {
+    net_->restart(node_->id());
+    acceptor_ = std::make_unique<SingleAcceptor>(&wal_);
+    acceptor_->restore_from_wal();
+  }
+
+  SingleAcceptor* acceptor() { return acceptor_.get(); }
+  storage::MemWal& wal() { return wal_; }
+  sim::SimNode* node() { return node_; }
+
+ private:
+  sim::SimNetwork* net_;
+  sim::SimNode* node_;
+  storage::MemWal wal_;
+  std::unique_ptr<SingleAcceptor> acceptor_;
+};
+
+/// Hosts a SingleProposer on a sim node.
+class ProposerHost final : public MessageHandler {
+ public:
+  ProposerHost(sim::SimNetwork* net, NodeId id, GroupConfig cfg,
+               SingleProposer::Options opts = {})
+      : node_(net->node(id)), proposer_(node_, std::move(cfg), opts) {
+    node_->set_handler(this);
+  }
+
+  void on_message(NodeId from, MsgType type, BytesView payload) override {
+    proposer_.on_message(from, type, payload);
+  }
+
+  SingleProposer& proposer() { return proposer_; }
+  sim::SimNode* node() { return node_; }
+
+ private:
+  sim::SimNode* node_;
+  SingleProposer proposer_;
+};
+
+}  // namespace rspaxos::consensus::testing

@@ -1,0 +1,282 @@
+// Tests for the discrete-event simulator: determinism, event ordering,
+// network modeling (latency/jitter/loss/duplication/bandwidth/partitions),
+// crash semantics, and the disk model's IOPS/bandwidth behaviour.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/sim_disk.h"
+#include "sim/sim_network.h"
+#include "sim/sim_world.h"
+
+namespace rspaxos {
+namespace {
+
+using sim::DiskParams;
+using sim::LinkParams;
+using sim::SimDisk;
+using sim::SimNetwork;
+using sim::SimNode;
+using sim::SimWorld;
+
+TEST(SimWorld, EventsRunInTimeOrder) {
+  SimWorld w;
+  std::vector<int> order;
+  w.schedule(300, [&] { order.push_back(3); });
+  w.schedule(100, [&] { order.push_back(1); });
+  w.schedule(200, [&] { order.push_back(2); });
+  w.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(w.now(), 300);
+}
+
+TEST(SimWorld, TiesBreakByInsertionOrder) {
+  SimWorld w;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    w.schedule(50, [&order, i] { order.push_back(i); });
+  }
+  w.run_to_completion();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimWorld, CancelPreventsExecution) {
+  SimWorld w;
+  bool ran = false;
+  uint64_t id = w.schedule(100, [&] { ran = true; });
+  EXPECT_TRUE(w.cancel(id));
+  EXPECT_FALSE(w.cancel(id));  // second cancel is a no-op
+  w.run_to_completion();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimWorld, RunUntilAdvancesTimeEvenWhenIdle) {
+  SimWorld w;
+  w.run_until(12345);
+  EXPECT_EQ(w.now(), 12345);
+}
+
+TEST(SimWorld, NestedSchedulingWorks) {
+  SimWorld w;
+  int depth = 0;
+  std::function<void()> recur = [&] {
+    if (++depth < 5) w.schedule(10, recur);
+  };
+  w.schedule(0, recur);
+  w.run_to_completion();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(w.now(), 40);
+}
+
+TEST(SimWorld, RunForIsRelative) {
+  SimWorld w;
+  int count = 0;
+  w.schedule(100, [&] { count++; });
+  w.schedule(300, [&] { count++; });
+  w.run_for(150);
+  EXPECT_EQ(count, 1);
+  w.run_for(200);
+  EXPECT_EQ(count, 2);
+}
+
+// A trivial recording handler.
+struct Recorder final : MessageHandler {
+  struct Rx {
+    NodeId from;
+    MsgType type;
+    Bytes payload;
+    TimeMicros at;
+  };
+  SimWorld* world;
+  std::vector<Rx> received;
+  explicit Recorder(SimWorld* w) : world(w) {}
+  void on_message(NodeId from, MsgType type, BytesView payload) override {
+    received.push_back(Rx{from, type, Bytes(payload.begin(), payload.end()), world->now()});
+  }
+};
+
+TEST(SimNetwork, DeliversWithLatency) {
+  SimWorld w(1);
+  SimNetwork net(&w);
+  net.set_default_link(LinkParams{1000, 0, 0.0, 0.0, 1e12});
+  Recorder rec(&w);
+  net.node(2)->set_handler(&rec);
+  net.node(1)->send(2, MsgType::kTestPing, to_bytes("hi"));
+  w.run_to_completion();
+  ASSERT_EQ(rec.received.size(), 1u);
+  EXPECT_EQ(rec.received[0].from, 1u);
+  EXPECT_EQ(to_string(rec.received[0].payload), "hi");
+  EXPECT_EQ(rec.received[0].at, 1000);
+}
+
+TEST(SimNetwork, BandwidthSerializesLargeMessages) {
+  SimWorld w(1);
+  SimNetwork net(&w);
+  // 1 MB at 8 Mbps = 1 second of serialization; zero propagation.
+  net.set_default_link(LinkParams{0, 0, 0.0, 0.0, 8e6});
+  Recorder rec(&w);
+  net.node(2)->set_handler(&rec);
+  net.node(1)->send(2, MsgType::kTestPing, Bytes(1'000'000, 0));
+  w.run_to_completion();
+  ASSERT_EQ(rec.received.size(), 1u);
+  EXPECT_EQ(rec.received[0].at, 1'000'000);
+}
+
+TEST(SimNetwork, LinkIsFifoUnderBandwidth) {
+  SimWorld w(1);
+  SimNetwork net(&w);
+  net.set_default_link(LinkParams{0, 0, 0.0, 0.0, 8e6});  // 1 B/us
+  Recorder rec(&w);
+  net.node(2)->set_handler(&rec);
+  net.node(1)->send(2, MsgType::kTestPing, Bytes(100, 1));  // done at t=100
+  net.node(1)->send(2, MsgType::kTestPong, Bytes(10, 2));   // queued: t=110
+  w.run_to_completion();
+  ASSERT_EQ(rec.received.size(), 2u);
+  EXPECT_EQ(rec.received[0].at, 100);
+  EXPECT_EQ(rec.received[1].at, 110);
+}
+
+TEST(SimNetwork, DropProbabilityLosesMessages) {
+  SimWorld w(42);
+  SimNetwork net(&w);
+  net.set_default_link(LinkParams{10, 0, 0.5, 0.0, 1e12});
+  Recorder rec(&w);
+  net.node(2)->set_handler(&rec);
+  for (int i = 0; i < 1000; ++i) net.node(1)->send(2, MsgType::kTestPing, Bytes{1});
+  w.run_to_completion();
+  EXPECT_GT(rec.received.size(), 300u);
+  EXPECT_LT(rec.received.size(), 700u);
+}
+
+TEST(SimNetwork, DuplicationDeliversTwice) {
+  SimWorld w(7);
+  SimNetwork net(&w);
+  net.set_default_link(LinkParams{10, 0, 0.0, 1.0, 1e12});  // always duplicate
+  Recorder rec(&w);
+  net.node(2)->set_handler(&rec);
+  net.node(1)->send(2, MsgType::kTestPing, Bytes{1});
+  w.run_to_completion();
+  EXPECT_EQ(rec.received.size(), 2u);
+}
+
+TEST(SimNetwork, PartitionBlocksBothDirections) {
+  SimWorld w(1);
+  SimNetwork net(&w);
+  Recorder r1(&w), r2(&w);
+  net.node(1)->set_handler(&r1);
+  net.node(2)->set_handler(&r2);
+  net.partition({1}, {2});
+  net.node(1)->send(2, MsgType::kTestPing, Bytes{1});
+  net.node(2)->send(1, MsgType::kTestPing, Bytes{1});
+  w.run_to_completion();
+  EXPECT_TRUE(r1.received.empty());
+  EXPECT_TRUE(r2.received.empty());
+  net.heal_partitions();
+  net.node(1)->send(2, MsgType::kTestPing, Bytes{1});
+  w.run_to_completion();
+  EXPECT_EQ(r2.received.size(), 1u);
+}
+
+TEST(SimNetwork, CrashedNodeNeitherSendsNorReceives) {
+  SimWorld w(1);
+  SimNetwork net(&w);
+  Recorder r2(&w);
+  net.node(2)->set_handler(&r2);
+  net.crash(1);
+  net.node(1)->send(2, MsgType::kTestPing, Bytes{1});
+  w.run_to_completion();
+  EXPECT_TRUE(r2.received.empty());
+
+  Recorder r1(&w);
+  net.node(1)->set_handler(&r1);
+  net.node(2)->send(1, MsgType::kTestPing, Bytes{1});
+  w.run_to_completion();
+  EXPECT_TRUE(r1.received.empty());  // crashed receiver drops
+
+  net.restart(1);
+  net.node(2)->send(1, MsgType::kTestPing, Bytes{1});
+  w.run_to_completion();
+  EXPECT_EQ(r1.received.size(), 1u);
+}
+
+TEST(SimNetwork, CrashDiscardsPendingTimers) {
+  SimWorld w(1);
+  SimNetwork net(&w);
+  bool fired = false;
+  net.node(1)->set_timer(1000, [&] { fired = true; });
+  net.crash(1);
+  net.restart(1);  // new incarnation: old timer must not fire
+  w.run_to_completion();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimNetwork, DeterministicAcrossRuns) {
+  auto run = [](uint64_t seed) {
+    SimWorld w(seed);
+    SimNetwork net(&w);
+    net.set_default_link(LinkParams{100, 50, 0.2, 0.1, 1e9});
+    Recorder rec(&w);
+    net.node(2)->set_handler(&rec);
+    for (int i = 0; i < 200; ++i) {
+      net.node(1)->send(2, MsgType::kTestPing, Bytes{static_cast<uint8_t>(i)});
+    }
+    w.run_to_completion();
+    std::vector<std::pair<TimeMicros, uint8_t>> trace;
+    for (const auto& r : rec.received) trace.emplace_back(r.at, r.payload[0]);
+    return trace;
+  };
+  EXPECT_EQ(run(99), run(99));
+  EXPECT_NE(run(99), run(100));
+}
+
+TEST(SimNetwork, BytesSentAccounting) {
+  SimWorld w(1);
+  SimNetwork net(&w);
+  Recorder rec(&w);
+  net.node(2)->set_handler(&rec);
+  net.node(1)->send(2, MsgType::kTestPing, Bytes(100, 0));
+  net.node(1)->send(2, MsgType::kTestPing, Bytes(28, 0));
+  w.run_to_completion();
+  EXPECT_EQ(net.node(1)->bytes_sent(), 128u);
+  EXPECT_EQ(net.total_bytes_sent(), 128u);
+}
+
+TEST(SimDisk, IopsBoundForSmallWrites) {
+  SimWorld w(1);
+  SimDisk disk(&w, DiskParams{100, 1e9});  // 100 IOPS -> 10 ms per op
+  std::vector<TimeMicros> done;
+  for (int i = 0; i < 3; ++i) {
+    disk.write(16, [&w, &done] { done.push_back(w.now()); });
+  }
+  w.run_to_completion();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0], 10'000);
+  EXPECT_EQ(done[1], 20'000);  // FIFO queueing
+  EXPECT_EQ(done[2], 30'000);
+}
+
+TEST(SimDisk, BandwidthBoundForLargeWrites) {
+  SimWorld w(1);
+  SimDisk disk(&w, DiskParams{1e6, 1e8});  // negligible op cost, 100 MB/s
+  TimeMicros done = 0;
+  disk.write(100'000'000, [&] { done = w.now(); });  // 100 MB -> 1 s
+  w.run_to_completion();
+  EXPECT_NEAR(static_cast<double>(done), 1e6, 1e4);
+}
+
+TEST(SimDisk, HddSlowerThanSsdForSmallWrites) {
+  SimWorld w1(1), w2(1);
+  SimDisk hdd(&w1, DiskParams::hdd());
+  SimDisk ssd(&w2, DiskParams::ssd());
+  TimeMicros t_hdd = 0, t_ssd = 0;
+  for (int i = 0; i < 10; ++i) {
+    hdd.write(4096, [&] { t_hdd = w1.now(); });
+    ssd.write(4096, [&] { t_ssd = w2.now(); });
+  }
+  w1.run_to_completion();
+  w2.run_to_completion();
+  EXPECT_GT(t_hdd, 10 * t_ssd);
+}
+
+}  // namespace
+}  // namespace rspaxos

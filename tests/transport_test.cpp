@@ -1,0 +1,212 @@
+// Real-transport tests: the in-process LocalTransport (threads + queues) and
+// the TCP transport (sockets, framing, CRC rejection, reconnect), both
+// honouring the NodeContext contract the protocol depends on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "net/local_transport.h"
+#include "net/tcp_transport.h"
+
+namespace rspaxos::net {
+namespace {
+
+// Thread-safe message collector.
+struct Collector final : MessageHandler {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::pair<NodeId, Bytes>> received;
+
+  void on_message(NodeId from, MsgType type, BytesView payload) override {
+    (void)type;
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      received.emplace_back(from, Bytes(payload.begin(), payload.end()));
+    }
+    cv.notify_all();
+  }
+
+  bool wait_for(size_t n, int ms = 2000) {
+    std::unique_lock<std::mutex> lk(mu);
+    return cv.wait_for(lk, std::chrono::milliseconds(ms),
+                       [&] { return received.size() >= n; });
+  }
+};
+
+// Echo handler: replies kTestPong with the same payload.
+struct Echo final : MessageHandler {
+  NodeContext* ctx;
+  explicit Echo(NodeContext* c) : ctx(c) {}
+  void on_message(NodeId from, MsgType type, BytesView payload) override {
+    if (type == MsgType::kTestPing) {
+      ctx->send(from, MsgType::kTestPong, Bytes(payload.begin(), payload.end()));
+    }
+  }
+};
+
+TEST(LocalTransport, DeliversBetweenThreads) {
+  LocalTransport t;
+  Collector rx;
+  t.node(2)->set_handler(&rx);
+  t.node(1)->send(2, MsgType::kTestPing, to_bytes("hello"));
+  ASSERT_TRUE(rx.wait_for(1));
+  EXPECT_EQ(rx.received[0].first, 1u);
+  EXPECT_EQ(to_string(rx.received[0].second), "hello");
+}
+
+TEST(LocalTransport, PingPong) {
+  LocalTransport t;
+  Echo echo(t.node(2));
+  t.node(2)->set_handler(&echo);
+  Collector rx;
+  t.node(1)->set_handler(&rx);
+  for (int i = 0; i < 50; ++i) {
+    t.node(1)->send(2, MsgType::kTestPing, Bytes{static_cast<uint8_t>(i)});
+  }
+  ASSERT_TRUE(rx.wait_for(50));
+}
+
+TEST(LocalTransport, OrderPreservedPerSender) {
+  LocalTransport t;
+  Collector rx;
+  t.node(2)->set_handler(&rx);
+  for (int i = 0; i < 200; ++i) {
+    t.node(1)->send(2, MsgType::kTestPing, Bytes{static_cast<uint8_t>(i)});
+  }
+  ASSERT_TRUE(rx.wait_for(200));
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rx.received[static_cast<size_t>(i)].second[0], static_cast<uint8_t>(i));
+  }
+}
+
+TEST(LocalTransport, DisconnectedNodeUnreachable) {
+  LocalTransport t;
+  Collector rx;
+  t.node(2)->set_handler(&rx);
+  t.disconnect(2);
+  t.node(1)->send(2, MsgType::kTestPing, Bytes{1});
+  EXPECT_FALSE(rx.wait_for(1, 100));
+  t.reconnect(2);
+  t.node(1)->send(2, MsgType::kTestPing, Bytes{2});
+  EXPECT_TRUE(rx.wait_for(1));
+}
+
+TEST(LocalTransport, ChaosDropsSomeMessages) {
+  LocalTransport t;
+  t.set_chaos(0, 0, 0.5);
+  Collector rx;
+  t.node(2)->set_handler(&rx);
+  for (int i = 0; i < 400; ++i) t.node(1)->send(2, MsgType::kTestPing, Bytes{1});
+  t.node(1)->loop().drain();
+  t.node(2)->loop().drain();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  size_t n;
+  {
+    std::lock_guard<std::mutex> lk(rx.mu);
+    n = rx.received.size();
+  }
+  EXPECT_GT(n, 100u);
+  EXPECT_LT(n, 300u);
+}
+
+TEST(LocalTransport, TimersFireOnLoopThread) {
+  LocalTransport t;
+  std::atomic<bool> fired{false};
+  t.node(1)->set_timer(2000, [&] { fired = true; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_TRUE(fired.load());
+}
+
+TEST(LocalTransport, BytesSentAccounting) {
+  LocalTransport t;
+  Collector rx;
+  t.node(2)->set_handler(&rx);
+  t.node(1)->send(2, MsgType::kTestPing, Bytes(77, 0));
+  ASSERT_TRUE(rx.wait_for(1));
+  EXPECT_EQ(t.node(1)->bytes_sent(), 77u);
+}
+
+class TcpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ports = TcpTransport::free_ports(2);
+    ASSERT_EQ(ports.size(), 2u);
+    std::map<NodeId, PeerAddr> addrs{
+        {1, PeerAddr{"127.0.0.1", ports[0]}},
+        {2, PeerAddr{"127.0.0.1", ports[1]}},
+    };
+    transport_ = std::make_unique<TcpTransport>(addrs);
+    auto n1 = transport_->start_node(1);
+    auto n2 = transport_->start_node(2);
+    ASSERT_TRUE(n1.is_ok()) << n1.status().to_string();
+    ASSERT_TRUE(n2.is_ok()) << n2.status().to_string();
+    node1_ = n1.value();
+    node2_ = n2.value();
+  }
+
+  std::unique_ptr<TcpTransport> transport_;
+  TcpNode* node1_ = nullptr;
+  TcpNode* node2_ = nullptr;
+};
+
+TEST_F(TcpTest, RoundTripOverSockets) {
+  Collector rx;
+  node2_->set_handler(&rx);
+  node1_->send(2, MsgType::kTestPing, to_bytes("over-tcp"));
+  ASSERT_TRUE(rx.wait_for(1));
+  EXPECT_EQ(rx.received[0].first, 1u);
+  EXPECT_EQ(to_string(rx.received[0].second), "over-tcp");
+}
+
+TEST_F(TcpTest, BidirectionalEcho) {
+  Echo echo(node2_);
+  node2_->set_handler(&echo);
+  Collector rx;
+  node1_->set_handler(&rx);
+  for (int i = 0; i < 20; ++i) {
+    node1_->send(2, MsgType::kTestPing, Bytes{static_cast<uint8_t>(i)});
+  }
+  ASSERT_TRUE(rx.wait_for(20));
+}
+
+TEST_F(TcpTest, LargePayload) {
+  Collector rx;
+  node2_->set_handler(&rx);
+  Bytes big(2 * 1024 * 1024);
+  for (size_t i = 0; i < big.size(); ++i) big[i] = static_cast<uint8_t>(i * 31);
+  node1_->send(2, MsgType::kTestPing, big);
+  ASSERT_TRUE(rx.wait_for(1, 10000));
+  EXPECT_EQ(rx.received[0].second, big);
+}
+
+TEST_F(TcpTest, ManyMessagesKeepOrder) {
+  Collector rx;
+  node2_->set_handler(&rx);
+  for (int i = 0; i < 500; ++i) {
+    Bytes payload{static_cast<uint8_t>(i & 0xff), static_cast<uint8_t>(i >> 8)};
+    node1_->send(2, MsgType::kTestPing, payload);
+  }
+  ASSERT_TRUE(rx.wait_for(500, 10000));
+  for (int i = 0; i < 500; ++i) {
+    int got = rx.received[static_cast<size_t>(i)].second[0] |
+              (rx.received[static_cast<size_t>(i)].second[1] << 8);
+    EXPECT_EQ(got, i);
+  }
+}
+
+TEST_F(TcpTest, SendToUnstartedPeerIsDropNotCrash) {
+  auto ports = TcpTransport::free_ports(1);
+  std::map<NodeId, PeerAddr> addrs{
+      {1, PeerAddr{"127.0.0.1", ports[0]}},
+      {9, PeerAddr{"127.0.0.1", 1}},  // nothing listens on port 1
+  };
+  TcpTransport t(addrs);
+  auto n = t.start_node(1);
+  ASSERT_TRUE(n.is_ok());
+  n.value()->send(9, MsgType::kTestPing, Bytes{1});  // must not crash
+}
+
+}  // namespace
+}  // namespace rspaxos::net

@@ -1,0 +1,266 @@
+// Unit tests for the util substrate: marshal, crc32, rng, histogram,
+// event loop.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <set>
+#include <thread>
+
+#include "util/crc32.h"
+#include "util/event_loop.h"
+#include "util/histogram.h"
+#include "util/marshal.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace rspaxos {
+namespace {
+
+TEST(Status, OkAndErrors) {
+  EXPECT_TRUE(Status::ok().is_ok());
+  Status s = Status::invalid("boom");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), Code::kInvalidArgument);
+  EXPECT_EQ(s.message(), "boom");
+  EXPECT_EQ(s.to_string(), "INVALID_ARGUMENT: boom");
+}
+
+TEST(StatusOr, HoldsValueOrStatus) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.is_ok());
+  EXPECT_EQ(v.value(), 42);
+  StatusOr<int> e(Status::not_found("x"));
+  EXPECT_FALSE(e.is_ok());
+  EXPECT_EQ(e.status().code(), Code::kNotFound);
+}
+
+TEST(Marshal, RoundTripPrimitives) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-12345);
+  Bytes buf = w.take();
+
+  Reader r(buf);
+  uint8_t a;
+  uint16_t b;
+  uint32_t c;
+  uint64_t d;
+  int64_t e;
+  ASSERT_TRUE(r.u8(a).is_ok());
+  ASSERT_TRUE(r.u16(b).is_ok());
+  ASSERT_TRUE(r.u32(c).is_ok());
+  ASSERT_TRUE(r.u64(d).is_ok());
+  ASSERT_TRUE(r.i64(e).is_ok());
+  EXPECT_EQ(a, 0xab);
+  EXPECT_EQ(b, 0xbeef);
+  EXPECT_EQ(c, 0xdeadbeefu);
+  EXPECT_EQ(d, 0x0123456789abcdefULL);
+  EXPECT_EQ(e, -12345);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Marshal, VarintBoundaries) {
+  for (uint64_t v : {0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull,
+                     0xffffffffull, ~0ull}) {
+    Writer w;
+    w.varint(v);
+    Reader r(w.buffer());
+    uint64_t out;
+    ASSERT_TRUE(r.varint(out).is_ok());
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(Marshal, BytesAndStrings) {
+  Writer w;
+  w.bytes(to_bytes("hello"));
+  w.str("world");
+  w.bytes(Bytes{});
+  Bytes buf = w.take();
+  Reader r(buf);
+  Bytes b;
+  std::string s;
+  Bytes empty;
+  ASSERT_TRUE(r.bytes(b).is_ok());
+  ASSERT_TRUE(r.str(s).is_ok());
+  ASSERT_TRUE(r.bytes(empty).is_ok());
+  EXPECT_EQ(to_string(b), "hello");
+  EXPECT_EQ(s, "world");
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(Marshal, TruncationDetected) {
+  Writer w;
+  w.u64(7);
+  Bytes buf = w.take();
+  buf.resize(3);
+  Reader r(buf);
+  uint64_t v;
+  EXPECT_FALSE(r.u64(v).is_ok());
+}
+
+TEST(Marshal, BadLengthPrefixDetected) {
+  Writer w;
+  w.varint(1000);  // claims 1000 bytes follow
+  w.raw(to_bytes("short"));
+  Reader r(w.buffer());
+  Bytes out;
+  EXPECT_FALSE(r.bytes(out).is_ok());
+}
+
+TEST(Crc32, KnownVectors) {
+  // CRC32C("123456789") == 0xE3069283 (iSCSI test vector).
+  Bytes v = to_bytes("123456789");
+  EXPECT_EQ(crc32c(v), 0xE3069283u);
+  EXPECT_EQ(crc32c(BytesView{}), 0u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  Bytes data = to_bytes("the quick brown fox jumps over the lazy dog");
+  uint32_t whole = crc32c(data);
+  uint32_t part = crc32c(data.data(), 10);
+  part = crc32c(data.data() + 10, data.size() - 10, part);
+  EXPECT_EQ(part, whole);
+}
+
+TEST(Crc32, DetectsBitFlip) {
+  Bytes data(1024, 0x5a);
+  uint32_t before = crc32c(data);
+  data[512] ^= 1;
+  EXPECT_NE(crc32c(data), before);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.next_u64() != c.next_u64()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, FillCoversBuffer) {
+  Rng r(11);
+  Bytes buf(37, 0);
+  r.fill(buf.data(), buf.size());
+  std::set<uint8_t> distinct(buf.begin(), buf.end());
+  EXPECT_GT(distinct.size(), 4u);  // astronomically unlikely to fail
+}
+
+TEST(Histogram, BasicStats) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 100);
+  EXPECT_NEAR(h.mean(), 50.5, 0.01);
+  EXPECT_NEAR(static_cast<double>(h.value_at(0.5)), 50, 3);
+  EXPECT_NEAR(static_cast<double>(h.value_at(0.99)), 99, 3);
+}
+
+TEST(Histogram, LargeValuesWithinRelativeError) {
+  Histogram h;
+  int64_t v = 123456789;
+  h.record(v);
+  EXPECT_EQ(h.count(), 1u);
+  int64_t got = h.value_at(0.5);
+  EXPECT_NEAR(static_cast<double>(got), static_cast<double>(v), v * 0.02);
+}
+
+TEST(Histogram, MergeAccumulates) {
+  Histogram a, b;
+  a.record(10);
+  b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.value_at(0.5), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(EventLoop, RunsPostedTasks) {
+  EventLoop loop;
+  std::atomic<int> n{0};
+  for (int i = 0; i < 100; ++i) loop.post([&n] { n++; });
+  loop.drain();
+  EXPECT_EQ(n.load(), 100);
+}
+
+TEST(EventLoop, TasksRunInOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) loop.post([&order, i] { order.push_back(i); });
+  loop.drain();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventLoop, TimersFire) {
+  EventLoop loop;
+  std::promise<void> fired;
+  auto t0 = std::chrono::steady_clock::now();
+  loop.schedule(5000, [&fired] { fired.set_value(); });
+  fired.get_future().wait();
+  auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+  EXPECT_GE(elapsed, 4000);
+}
+
+TEST(EventLoop, CancelledTimerDoesNotFire) {
+  EventLoop loop;
+  std::atomic<bool> fired{false};
+  auto id = loop.schedule(20000, [&fired] { fired = true; });
+  EXPECT_TRUE(loop.cancel(id));
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  loop.drain();
+  EXPECT_FALSE(fired.load());
+}
+
+TEST(EventLoop, PostFromManyThreads) {
+  EventLoop loop;
+  std::atomic<int> n{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&loop, &n] {
+      for (int i = 0; i < 500; ++i) loop.post([&n] { n++; });
+    });
+  }
+  for (auto& t : threads) t.join();
+  loop.drain();
+  EXPECT_EQ(n.load(), 4000);
+}
+
+}  // namespace
+}  // namespace rspaxos
