@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cpu_cost.dir/bench_cpu_cost.cpp.o"
+  "CMakeFiles/bench_cpu_cost.dir/bench_cpu_cost.cpp.o.d"
+  "bench_cpu_cost"
+  "bench_cpu_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cpu_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ec_micro.dir/bench_ec_micro.cpp.o"
+  "CMakeFiles/bench_ec_micro.dir/bench_ec_micro.cpp.o.d"
+  "bench_ec_micro"
+  "bench_ec_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ec_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_macro.dir/bench_fig7_macro.cpp.o"
+  "CMakeFiles/bench_fig7_macro.dir/bench_fig7_macro.cpp.o.d"
+  "bench_fig7_macro"
+  "bench_fig7_macro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_macro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

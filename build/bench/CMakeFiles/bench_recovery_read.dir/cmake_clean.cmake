@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recovery_read.dir/bench_recovery_read.cpp.o"
+  "CMakeFiles/bench_recovery_read.dir/bench_recovery_read.cpp.o.d"
+  "bench_recovery_read"
+  "bench_recovery_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recovery_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rpc_micro.dir/bench_rpc_micro.cpp.o"
+  "CMakeFiles/bench_rpc_micro.dir/bench_rpc_micro.cpp.o.d"
+  "bench_rpc_micro"
+  "bench_rpc_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rpc_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_codec_tool.dir/rs_codec_tool.cpp.o"
+  "CMakeFiles/rs_codec_tool.dir/rs_codec_tool.cpp.o.d"
+  "rs_codec_tool"
+  "rs_codec_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_codec_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

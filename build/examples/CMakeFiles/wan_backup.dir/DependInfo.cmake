@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/wan_backup.cpp" "examples/CMakeFiles/wan_backup.dir/wan_backup.cpp.o" "gcc" "examples/CMakeFiles/wan_backup.dir/wan_backup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kv/CMakeFiles/rspaxos_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/rspaxos_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/rspaxos_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rspaxos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rspaxos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/rspaxos_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rspaxos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

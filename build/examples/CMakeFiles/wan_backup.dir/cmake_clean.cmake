@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_backup.dir/wan_backup.cpp.o"
+  "CMakeFiles/wan_backup.dir/wan_backup.cpp.o.d"
+  "wan_backup"
+  "wan_backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consensus/config.cpp" "src/consensus/CMakeFiles/rspaxos_consensus.dir/config.cpp.o" "gcc" "src/consensus/CMakeFiles/rspaxos_consensus.dir/config.cpp.o.d"
+  "/root/repo/src/consensus/msg.cpp" "src/consensus/CMakeFiles/rspaxos_consensus.dir/msg.cpp.o" "gcc" "src/consensus/CMakeFiles/rspaxos_consensus.dir/msg.cpp.o.d"
+  "/root/repo/src/consensus/replica.cpp" "src/consensus/CMakeFiles/rspaxos_consensus.dir/replica.cpp.o" "gcc" "src/consensus/CMakeFiles/rspaxos_consensus.dir/replica.cpp.o.d"
+  "/root/repo/src/consensus/single.cpp" "src/consensus/CMakeFiles/rspaxos_consensus.dir/single.cpp.o" "gcc" "src/consensus/CMakeFiles/rspaxos_consensus.dir/single.cpp.o.d"
+  "/root/repo/src/consensus/view.cpp" "src/consensus/CMakeFiles/rspaxos_consensus.dir/view.cpp.o" "gcc" "src/consensus/CMakeFiles/rspaxos_consensus.dir/view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rspaxos_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/rspaxos_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rspaxos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/rspaxos_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rspaxos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rspaxos_consensus.dir/config.cpp.o"
+  "CMakeFiles/rspaxos_consensus.dir/config.cpp.o.d"
+  "CMakeFiles/rspaxos_consensus.dir/msg.cpp.o"
+  "CMakeFiles/rspaxos_consensus.dir/msg.cpp.o.d"
+  "CMakeFiles/rspaxos_consensus.dir/replica.cpp.o"
+  "CMakeFiles/rspaxos_consensus.dir/replica.cpp.o.d"
+  "CMakeFiles/rspaxos_consensus.dir/single.cpp.o"
+  "CMakeFiles/rspaxos_consensus.dir/single.cpp.o.d"
+  "CMakeFiles/rspaxos_consensus.dir/view.cpp.o"
+  "CMakeFiles/rspaxos_consensus.dir/view.cpp.o.d"
+  "librspaxos_consensus.a"
+  "librspaxos_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rspaxos_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

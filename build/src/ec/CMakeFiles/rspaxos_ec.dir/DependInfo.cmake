@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ec/gf256.cpp" "src/ec/CMakeFiles/rspaxos_ec.dir/gf256.cpp.o" "gcc" "src/ec/CMakeFiles/rspaxos_ec.dir/gf256.cpp.o.d"
+  "/root/repo/src/ec/matrix.cpp" "src/ec/CMakeFiles/rspaxos_ec.dir/matrix.cpp.o" "gcc" "src/ec/CMakeFiles/rspaxos_ec.dir/matrix.cpp.o.d"
+  "/root/repo/src/ec/rs_code.cpp" "src/ec/CMakeFiles/rspaxos_ec.dir/rs_code.cpp.o" "gcc" "src/ec/CMakeFiles/rspaxos_ec.dir/rs_code.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rspaxos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

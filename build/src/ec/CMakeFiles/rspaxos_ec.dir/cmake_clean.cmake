@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rspaxos_ec.dir/gf256.cpp.o"
+  "CMakeFiles/rspaxos_ec.dir/gf256.cpp.o.d"
+  "CMakeFiles/rspaxos_ec.dir/matrix.cpp.o"
+  "CMakeFiles/rspaxos_ec.dir/matrix.cpp.o.d"
+  "CMakeFiles/rspaxos_ec.dir/rs_code.cpp.o"
+  "CMakeFiles/rspaxos_ec.dir/rs_code.cpp.o.d"
+  "librspaxos_ec.a"
+  "librspaxos_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rspaxos_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/client.cpp" "src/kv/CMakeFiles/rspaxos_kv.dir/client.cpp.o" "gcc" "src/kv/CMakeFiles/rspaxos_kv.dir/client.cpp.o.d"
+  "/root/repo/src/kv/cluster.cpp" "src/kv/CMakeFiles/rspaxos_kv.dir/cluster.cpp.o" "gcc" "src/kv/CMakeFiles/rspaxos_kv.dir/cluster.cpp.o.d"
+  "/root/repo/src/kv/command.cpp" "src/kv/CMakeFiles/rspaxos_kv.dir/command.cpp.o" "gcc" "src/kv/CMakeFiles/rspaxos_kv.dir/command.cpp.o.d"
+  "/root/repo/src/kv/server.cpp" "src/kv/CMakeFiles/rspaxos_kv.dir/server.cpp.o" "gcc" "src/kv/CMakeFiles/rspaxos_kv.dir/server.cpp.o.d"
+  "/root/repo/src/kv/store.cpp" "src/kv/CMakeFiles/rspaxos_kv.dir/store.cpp.o" "gcc" "src/kv/CMakeFiles/rspaxos_kv.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/consensus/CMakeFiles/rspaxos_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rspaxos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/rspaxos_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/rspaxos_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rspaxos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rspaxos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rspaxos_kv.dir/client.cpp.o"
+  "CMakeFiles/rspaxos_kv.dir/client.cpp.o.d"
+  "CMakeFiles/rspaxos_kv.dir/cluster.cpp.o"
+  "CMakeFiles/rspaxos_kv.dir/cluster.cpp.o.d"
+  "CMakeFiles/rspaxos_kv.dir/command.cpp.o"
+  "CMakeFiles/rspaxos_kv.dir/command.cpp.o.d"
+  "CMakeFiles/rspaxos_kv.dir/server.cpp.o"
+  "CMakeFiles/rspaxos_kv.dir/server.cpp.o.d"
+  "CMakeFiles/rspaxos_kv.dir/store.cpp.o"
+  "CMakeFiles/rspaxos_kv.dir/store.cpp.o.d"
+  "librspaxos_kv.a"
+  "librspaxos_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rspaxos_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

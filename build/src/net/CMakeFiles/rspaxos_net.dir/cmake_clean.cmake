@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rspaxos_net.dir/local_transport.cpp.o"
+  "CMakeFiles/rspaxos_net.dir/local_transport.cpp.o.d"
+  "CMakeFiles/rspaxos_net.dir/tcp_transport.cpp.o"
+  "CMakeFiles/rspaxos_net.dir/tcp_transport.cpp.o.d"
+  "librspaxos_net.a"
+  "librspaxos_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rspaxos_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/sim_disk.cpp" "src/sim/CMakeFiles/rspaxos_sim.dir/sim_disk.cpp.o" "gcc" "src/sim/CMakeFiles/rspaxos_sim.dir/sim_disk.cpp.o.d"
+  "/root/repo/src/sim/sim_network.cpp" "src/sim/CMakeFiles/rspaxos_sim.dir/sim_network.cpp.o" "gcc" "src/sim/CMakeFiles/rspaxos_sim.dir/sim_network.cpp.o.d"
+  "/root/repo/src/sim/sim_world.cpp" "src/sim/CMakeFiles/rspaxos_sim.dir/sim_world.cpp.o" "gcc" "src/sim/CMakeFiles/rspaxos_sim.dir/sim_world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rspaxos_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rspaxos_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rspaxos_sim.dir/sim_disk.cpp.o"
+  "CMakeFiles/rspaxos_sim.dir/sim_disk.cpp.o.d"
+  "CMakeFiles/rspaxos_sim.dir/sim_network.cpp.o"
+  "CMakeFiles/rspaxos_sim.dir/sim_network.cpp.o.d"
+  "CMakeFiles/rspaxos_sim.dir/sim_world.cpp.o"
+  "CMakeFiles/rspaxos_sim.dir/sim_world.cpp.o.d"
+  "librspaxos_sim.a"
+  "librspaxos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rspaxos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

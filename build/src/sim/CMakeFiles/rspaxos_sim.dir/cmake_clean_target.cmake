@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librspaxos_sim.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/file_wal.cpp" "src/storage/CMakeFiles/rspaxos_storage.dir/file_wal.cpp.o" "gcc" "src/storage/CMakeFiles/rspaxos_storage.dir/file_wal.cpp.o.d"
+  "/root/repo/src/storage/sim_wal.cpp" "src/storage/CMakeFiles/rspaxos_storage.dir/sim_wal.cpp.o" "gcc" "src/storage/CMakeFiles/rspaxos_storage.dir/sim_wal.cpp.o.d"
+  "/root/repo/src/storage/wal.cpp" "src/storage/CMakeFiles/rspaxos_storage.dir/wal.cpp.o" "gcc" "src/storage/CMakeFiles/rspaxos_storage.dir/wal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rspaxos_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rspaxos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rspaxos_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rspaxos_storage.dir/file_wal.cpp.o"
+  "CMakeFiles/rspaxos_storage.dir/file_wal.cpp.o.d"
+  "CMakeFiles/rspaxos_storage.dir/sim_wal.cpp.o"
+  "CMakeFiles/rspaxos_storage.dir/sim_wal.cpp.o.d"
+  "CMakeFiles/rspaxos_storage.dir/wal.cpp.o"
+  "CMakeFiles/rspaxos_storage.dir/wal.cpp.o.d"
+  "librspaxos_storage.a"
+  "librspaxos_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rspaxos_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

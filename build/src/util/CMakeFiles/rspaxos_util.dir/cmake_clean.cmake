@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rspaxos_util.dir/crc32.cpp.o"
+  "CMakeFiles/rspaxos_util.dir/crc32.cpp.o.d"
+  "CMakeFiles/rspaxos_util.dir/event_loop.cpp.o"
+  "CMakeFiles/rspaxos_util.dir/event_loop.cpp.o.d"
+  "CMakeFiles/rspaxos_util.dir/histogram.cpp.o"
+  "CMakeFiles/rspaxos_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/rspaxos_util.dir/logging.cpp.o"
+  "CMakeFiles/rspaxos_util.dir/logging.cpp.o.d"
+  "CMakeFiles/rspaxos_util.dir/marshal.cpp.o"
+  "CMakeFiles/rspaxos_util.dir/marshal.cpp.o.d"
+  "librspaxos_util.a"
+  "librspaxos_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rspaxos_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_nemesis_test.dir/kv_nemesis_test.cpp.o"
+  "CMakeFiles/kv_nemesis_test.dir/kv_nemesis_test.cpp.o.d"
+  "kv_nemesis_test"
+  "kv_nemesis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_nemesis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

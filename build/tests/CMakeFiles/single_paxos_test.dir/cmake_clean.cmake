@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_paxos_test.dir/single_paxos_test.cpp.o"
+  "CMakeFiles/single_paxos_test.dir/single_paxos_test.cpp.o.d"
+  "single_paxos_test"
+  "single_paxos_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_paxos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
