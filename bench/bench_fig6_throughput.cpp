@@ -56,5 +56,6 @@ int main() {
   run_environment(wide_area());
   std::printf("\nshape check: small writes IOPS-bound (RS ~= Paxos); large writes\n"
               "bandwidth-bound with RS-Paxos ~2.5x Paxos; SSD crossover earlier.\n");
+  emit_metrics_files("bench_fig6_throughput");
   return 0;
 }

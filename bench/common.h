@@ -17,6 +17,9 @@
 #include <vector>
 
 #include "kv/cluster.h"
+#include "obs/metrics.h"
+#include "obs/reporter.h"
+#include "obs/trace.h"
 #include "util/histogram.h"
 #include "util/rng.h"
 
@@ -214,6 +217,9 @@ class WorkloadDriver {
 struct BenchCluster {
   std::unique_ptr<sim::SimWorld> world;
   std::unique_ptr<kv::SimCluster> cluster;
+  // Declared after `cluster` so it is destroyed FIRST: the reporter's timer
+  // lives on a cluster node context and must be cancelled before it dies.
+  std::unique_ptr<obs::StatsReporter> reporter;
 
   BenchCluster(bool rs_mode, const Env& env, const DiskKind& disk, int num_groups = 1,
                uint64_t seed = 17) {
@@ -229,8 +235,32 @@ struct BenchCluster {
     opts.wal_retain = false;  // no restarts in measurement runs
     cluster = std::make_unique<kv::SimCluster>(world.get(), opts);
     cluster->wait_for_leaders();
+    // Periodic registry snapshots in sim time; the cached text doubles as a
+    // liveness probe for the metrics pipeline.
+    reporter = std::make_unique<obs::StatsReporter>(
+        cluster->network().node(kv::endpoint_id(0, 0)), &obs::MetricsRegistry::global(),
+        1 * kSeconds);
+    reporter->start();
   }
 };
+
+/// Writes the uniform benchmark metrics artifacts: `<name>.metrics.prom`,
+/// `<name>.metrics.json` (registry snapshots) and `<name>.traces.json` (the
+/// K slowest commit timelines).
+inline void emit_metrics_files(const std::string& name, size_t k_slowest = 16) {
+  auto write_file = [](const std::string& path, const std::string& body) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+  };
+  auto& reg = obs::MetricsRegistry::global();
+  write_file(name + ".metrics.prom", reg.to_prometheus());
+  write_file(name + ".metrics.json", reg.to_json());
+  write_file(name + ".traces.json", obs::Tracer::global().slowest_json(k_slowest));
+  std::fprintf(stderr, "metrics: wrote %s.metrics.{prom,json} and %s.traces.json\n",
+               name.c_str(), name.c_str());
+}
 
 /// Human-readable size labels used in the paper's figures.
 inline std::string size_label(size_t bytes) {

@@ -7,6 +7,9 @@
 #include <cstdio>
 
 #include "kv/cluster.h"
+#include "obs/metrics.h"
+#include "obs/reporter.h"
+#include "obs/trace.h"
 
 using namespace rspaxos;
 
@@ -27,6 +30,12 @@ uint64_t run_demo(bool rs_mode) {
   opts.f = 1;
   kv::SimCluster cluster(&world, opts);
   cluster.wait_for_leaders();
+
+  // Periodic metrics snapshots on a node's sim-time event loop (every 100 ms
+  // of sim time); the cached Prometheus text is scraped at the end of main().
+  obs::StatsReporter reporter(cluster.network().node(kv::endpoint_id(0, 0)),
+                              &obs::MetricsRegistry::global(), 100 * kMillis);
+  reporter.start();
 
   auto client = cluster.make_client(0);
 
@@ -74,10 +83,23 @@ uint64_t run_demo(bool rs_mode) {
   });
   run_until(world, [&] { return done; });
 
-  std::printf("  network bytes: %llu, flushed bytes: %llu\n",
+  // Idle for half a second of sim time so heartbeats and the periodic
+  // reporter visibly run.
+  world.run_for(500 * kMillis);
+
+  std::printf("  network bytes: %llu, flushed bytes: %llu (reporter ticks: %llu)\n",
               static_cast<unsigned long long>(cluster.total_network_bytes()),
-              static_cast<unsigned long long>(cluster.total_flushed_bytes()));
+              static_cast<unsigned long long>(cluster.total_flushed_bytes()),
+              static_cast<unsigned long long>(reporter.snapshots_taken()));
+  reporter.stop();
   return cluster.total_network_bytes();
+}
+
+void write_file(const char* path, const std::string& body) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return;
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
 }
 
 }  // namespace
@@ -90,5 +112,16 @@ int main() {
   uint64_t paxos = run_demo(false);
   std::printf("\nRS-Paxos moved %.0f%% of Paxos's bytes for the same workload.\n",
               100.0 * static_cast<double>(rs) / static_cast<double>(paxos));
+
+  // Dump the observability artifacts covering both runs.
+  auto& reg = obs::MetricsRegistry::global();
+  write_file("quickstart.metrics.prom", reg.to_prometheus());
+  write_file("quickstart.metrics.json", reg.to_json());
+  write_file("quickstart.traces.json", obs::Tracer::global().slowest_json(8));
+  std::printf("\nmetrics: wrote quickstart.metrics.{prom,json} and quickstart.traces.json\n");
+  std::printf("sample:  rsp_wal_bytes_durable=%llu  traced commits=%zu\n",
+              static_cast<unsigned long long>(
+                  reg.counter("rsp_wal_bytes_durable", "").value()),
+              obs::Tracer::global().completed_count());
   return 0;
 }

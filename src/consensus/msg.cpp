@@ -150,6 +150,7 @@ Bytes AcceptMsg::encode() const {
   w.varint(slot);
   encode_share(w, share);
   w.varint(commit_index);
+  w.varint(trace_id);
   return w.take();
 }
 
@@ -161,6 +162,7 @@ StatusOr<AcceptMsg> AcceptMsg::decode(BytesView b) {
   RSP_RETURN_IF_ERROR(r.varint(m.slot));
   RSP_RETURN_IF_ERROR(decode_share(r, m.share));
   RSP_RETURN_IF_ERROR(r.varint(m.commit_index));
+  RSP_RETURN_IF_ERROR(r.varint(m.trace_id));
   return m;
 }
 

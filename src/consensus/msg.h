@@ -56,6 +56,7 @@ struct AcceptMsg {
   Slot slot = 0;
   CodedShare share;
   Slot commit_index = 0;  // piggybacked leader watermark
+  uint64_t trace_id = 0;  // obs::TraceId; 0 = untraced
 
   Bytes encode() const;
   static StatusOr<AcceptMsg> decode(BytesView b);

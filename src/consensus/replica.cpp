@@ -42,6 +42,48 @@ Replica::Replica(NodeContext* ctx, storage::Wal* wal, GroupConfig cfg, ReplicaOp
     : ctx_(ctx), wal_(wal), cfg_(std::move(cfg)), opts_(opts) {
   assert(cfg_.validate().is_ok());
   assert(cfg_.contains(ctx_->id()));
+  init_metrics();
+}
+
+void Replica::init_metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  std::string node = std::to_string(ctx_->id());
+  auto counter = [&](const char* name, const char* help) {
+    return obs::CounterView(&reg.counter_family(name, help, {"node"}).with({node}));
+  };
+  m_.proposals = counter("rsp_consensus_proposals_total", "Values proposed by this node");
+  m_.commits = counter("rsp_consensus_commits_total", "Slots this node decided as leader");
+  m_.accepts_sent = counter("rsp_consensus_accepts_sent_total", "Phase-2a messages sent");
+  m_.elections_started =
+      counter("rsp_consensus_elections_started_total", "Campaigns begun by this node");
+  m_.times_elected = counter("rsp_consensus_times_elected_total", "Campaigns won");
+  m_.catchup_entries_served =
+      counter("rsp_consensus_catchup_entries_served_total", "Catch-up entries re-coded and sent");
+  m_.recoveries =
+      counter("rsp_consensus_recoveries_total", "Recovery reads started (share gathering)");
+  m_.catchup_bytes =
+      counter("rsp_catchup_bytes_sent", "Share+header bytes served in catch-up replies");
+  m_.quorum_wait_us = &reg.histogram_family("rsp_commit_quorum_wait_us",
+                                            "Propose to write-quorum latency", {"node"})
+                           .with({node});
+  m_.commit_apply_us = &reg.histogram_family("rsp_commit_apply_us",
+                                             "Write-quorum to local apply latency", {"node"})
+                            .with({node});
+  m_.commit_total_us = &reg.histogram_family("rsp_commit_total_us",
+                                             "Propose to local apply latency", {"node"})
+                            .with({node});
+}
+
+ReplicaStats Replica::stats() const {
+  ReplicaStats s;
+  s.proposals = m_.proposals.value();
+  s.commits = m_.commits.value();
+  s.accepts_sent = m_.accepts_sent.value();
+  s.elections_started = m_.elections_started.value();
+  s.times_elected = m_.times_elected.value();
+  s.catchup_entries_served = m_.catchup_entries_served.value();
+  s.recoveries = m_.recoveries.value();
+  return s;
 }
 
 void Replica::start() {
@@ -60,8 +102,9 @@ DurationMicros Replica::election_timeout() {
   // Deterministic per-node stagger (keeps simulation reproducible and
   // avoids synchronized campaigns, like randomized timeouts would).
   DurationMicros offset = span > 0
-      ? static_cast<DurationMicros>((ctx_->id() * 2654435761u + stats_.elections_started * 40503u) %
-                                    static_cast<uint64_t>(span))
+      ? static_cast<DurationMicros>(
+            (ctx_->id() * 2654435761u + m_.elections_started.value() * 40503u) %
+            static_cast<uint64_t>(span))
       : 0;
   return opts_.election_timeout_min + offset;
 }
@@ -117,13 +160,13 @@ bool Replica::lease_valid() const {
 
 void Replica::start_campaign() {
   role_ = Role::kCandidate;
-  stats_.elections_started++;
+  m_.elections_started.inc();
   ballot_ = Ballot{std::max(ballot_.round, promised_.round) + 1, ctx_->id()};
   promised_ = ballot_;
   campaign_start_ = applied_index_ + 1;
   campaign_promises_.clear();
-  RSP_INFO << "node " << ctx_->id() << " campaigning with " << ballot_.to_string()
-           << " from slot " << campaign_start_;
+  RSP_INFO << "campaigning" << RSP_KV("node", ctx_->id())
+           << RSP_KV("ballot", ballot_.to_string()) << RSP_KV("from_slot", campaign_start_);
 
   persist_meta([this, ballot = ballot_] {
     if (ballot != ballot_ || role_ != Role::kCandidate) return;  // superseded
@@ -167,7 +210,7 @@ void Replica::on_promise(NodeId from, PromiseMsg msg) {
 void Replica::become_leader() {
   role_ = Role::kLeader;
   leader_ = ctx_->id();
-  stats_.times_elected++;
+  m_.times_elected.inc();
   if (election_timer_ != 0) {
     ctx_->cancel_timer(election_timer_);
     election_timer_ = 0;
@@ -185,8 +228,8 @@ void Replica::become_leader() {
     }
   }
   next_slot_ = std::max(next_slot_, max_slot + 1);
-  RSP_INFO << "node " << ctx_->id() << " elected with " << ballot_.to_string()
-           << ", open slots [" << campaign_start_ << ", " << max_slot << "]";
+  RSP_INFO << "elected" << RSP_KV("node", ctx_->id()) << RSP_KV("ballot", ballot_.to_string())
+           << RSP_KV("open_from", campaign_start_) << RSP_KV("open_to", max_slot);
 
   for (Slot s = campaign_start_; s <= max_slot; ++s) {
     auto lit = log_.find(s);
@@ -231,6 +274,7 @@ void Replica::become_follower(Ballot seen, NodeId leader) {
       if (p.cb) p.cb(Status::aborted("lost leadership"));
     }
     pending_.clear();
+    inflight_.clear();  // abandoned traces age out of the tracer's active set
   }
   arm_election_timer();
 }
@@ -284,7 +328,12 @@ void Replica::propose_internal(Slot slot, EntryKind kind, ValueId vid, Bytes hea
   } else {
     next_slot_ = std::max(next_slot_, slot + 1);
   }
-  stats_.proposals++;
+  m_.proposals.inc();
+
+  obs::Tracer& tracer = obs::Tracer::global();
+  TimeMicros proposed_at = ctx_->now();
+  obs::TraceId trace = tracer.enabled() ? tracer.mint(ctx_->id()) : obs::kNoTrace;
+  tracer.begin(trace, slot, ctx_->id(), static_cast<int64_t>(proposed_at));
 
   PendingProposal p;
   p.vid = vid;
@@ -293,7 +342,10 @@ void Replica::propose_internal(Slot slot, EntryKind kind, ValueId vid, Bytes hea
   p.value_len = payload.size();
   p.shares = codec().encode(payload);
   p.cb = std::move(cb);
-  p.last_sent = ctx_->now();
+  p.last_sent = proposed_at;
+  p.trace = trace;
+  tracer.event(trace, "encode", ctx_->id(), static_cast<int64_t>(ctx_->now()));
+  inflight_[slot] = Inflight{trace, proposed_at, 0};
 
   // The leader is also an acceptor: record and persist its own share, cache
   // the full value for serving reads and catch-up (§1: "the leader caches
@@ -321,6 +373,7 @@ void Replica::propose_internal(Slot slot, EntryKind kind, ValueId vid, Bytes hea
   for (NodeId m : cfg_.members) {
     if (m != ctx_->id()) send_accept_to(m, slot, pp);
   }
+  tracer.event(trace, "accept_sent", ctx_->id(), static_cast<int64_t>(ctx_->now()));
   persist_slot(slot, [this, slot, ballot = ballot_] {
     auto lit = log_.find(slot);
     if (lit != log_.end() && lit->second.accepted == ballot) lit->second.durable = true;
@@ -347,7 +400,8 @@ void Replica::send_accept_to(NodeId member, Slot slot, const PendingProposal& p)
   msg.share.header = p.header;
   msg.share.data = p.shares[static_cast<size_t>(idx)];
   msg.commit_index = commit_index_;
-  stats_.accepts_sent++;
+  msg.trace_id = p.trace;
+  m_.accepts_sent.inc();
   ctx_->send(member, MsgType::kAccept, msg.encode());
 }
 
@@ -373,9 +427,21 @@ void Replica::handle_commit_of(Slot slot) {
   ValueId vid = it->second.vid;
   pending_.erase(it);
 
+  auto iit = inflight_.find(slot);
+  if (iit != inflight_.end()) {
+    TimeMicros now = ctx_->now();
+    iit->second.quorum_at = now;
+    if (m_.quorum_wait_us != nullptr) {
+      m_.quorum_wait_us->observe(static_cast<int64_t>(now - iit->second.proposed_at));
+    }
+    obs::Tracer& tracer = obs::Tracer::global();
+    tracer.event(iit->second.trace, "quorum", ctx_->id(), static_cast<int64_t>(now));
+    tracer.event(iit->second.trace, "committed", ctx_->id(), static_cast<int64_t>(now));
+  }
+
   LogEntry& e = log_[slot];
   e.committed = true;
-  stats_.commits++;
+  m_.commits.inc();
   recent_commits_.emplace_back(slot, vid);
   // Ack the proposer only once the entry has *executed* locally, so a
   // fast read right after the ack observes the write. advance_commit_index
@@ -427,6 +493,8 @@ void Replica::on_prepare(NodeId from, PrepareMsg msg) {
 }
 
 void Replica::on_accept(NodeId from, AcceptMsg msg) {
+  obs::Tracer::global().event(msg.trace_id, "accept_recv", ctx_->id(),
+                              static_cast<int64_t>(ctx_->now()));
   AcceptedMsg out;
   out.epoch = cfg_.epoch;
   out.ballot = msg.ballot;
@@ -480,9 +548,11 @@ void Replica::on_accept(NodeId from, AcceptMsg msg) {
   out.ok = true;
   out.promised = promised_;
   persist_slot(msg.slot, [this, from, slot = msg.slot, ballot = msg.ballot,
-                          out = std::move(out)]() mutable {
+                          trace = msg.trace_id, out = std::move(out)]() mutable {
     auto it = log_.find(slot);
     if (it != log_.end() && it->second.accepted == ballot) it->second.durable = true;
+    obs::Tracer::global().event(trace, "durable", ctx_->id(),
+                                static_cast<int64_t>(ctx_->now()));
     ctx_->send(from, MsgType::kAccepted, out.encode());
   });
   mark_committed_up_to(msg.commit_index, msg.ballot);
@@ -576,6 +646,18 @@ void Replica::try_apply() {
     }
     e.applied = true;
     applied_index_ = slot;
+    auto iit = inflight_.find(slot);
+    if (iit != inflight_.end()) {
+      TimeMicros now = ctx_->now();
+      if (m_.commit_apply_us != nullptr && iit->second.quorum_at != 0) {
+        m_.commit_apply_us->observe(static_cast<int64_t>(now - iit->second.quorum_at));
+      }
+      if (m_.commit_total_us != nullptr) {
+        m_.commit_total_us->observe(static_cast<int64_t>(now - iit->second.proposed_at));
+      }
+      obs::Tracer::global().finish(iit->second.trace, ctx_->id(), static_cast<int64_t>(now));
+      inflight_.erase(iit);
+    }
     auto wit = commit_waiters_.find(slot);
     if (wit != commit_waiters_.end()) {
       ProposeFn cb = std::move(wit->second);
@@ -667,7 +749,8 @@ void Replica::serve_catchup(NodeId to, Slot from_slot, Slot to_slot) {
       need_recovery.push_back(s);
       continue;
     }
-    stats_.catchup_entries_served++;
+    m_.catchup_entries_served.inc();
+    m_.catchup_bytes.inc(ce.share.header.size() + ce.share.data.size());
     rep.entries.push_back(std::move(ce));
   }
   ctx_->send(to, MsgType::kCatchupRep, rep.encode());
@@ -711,7 +794,7 @@ void Replica::recover_payload(Slot slot, RecoverFn cb) {
   if (cb) rec.cbs.push_back(std::move(cb));
   if (rec.retry_timer != 0) return;  // fetch already in flight
 
-  stats_.recoveries++;
+  m_.recoveries.inc();
   if (lit != log_.end() && lit->second.committed) {
     rec.vid = lit->second.share.vid;
     rec.vid_known = true;

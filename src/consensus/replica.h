@@ -33,6 +33,8 @@
 #include "consensus/view.h"
 #include "ec/rs_code.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/wal.h"
 
 namespace rspaxos::consensus {
@@ -73,6 +75,8 @@ struct ApplyView {
 };
 
 /// Aggregate cost/behaviour counters (the paper's evaluation metrics).
+/// Snapshot assembled from the process-wide obs::MetricsRegistry — kept as
+/// the stable legacy accessor shape; values are per-Replica-instance deltas.
 struct ReplicaStats {
   uint64_t proposals = 0;
   uint64_t commits = 0;
@@ -128,7 +132,7 @@ class Replica final : public MessageHandler {
   Slot commit_index() const { return commit_index_; }
   Slot last_applied() const { return applied_index_; }
   const GroupConfig& config() const { return cfg_; }
-  const ReplicaStats& stats() const { return stats_; }
+  ReplicaStats stats() const;
   Ballot current_ballot() const { return ballot_; }
 
  private:
@@ -152,6 +156,15 @@ class Replica final : public MessageHandler {
     std::set<NodeId> acks;
     ProposeFn cb;
     TimeMicros last_sent = 0;
+    obs::TraceId trace = obs::kNoTrace;
+  };
+
+  /// Per-slot commit-latency bookkeeping, kept from propose until apply so
+  /// quorum-wait / apply spans can be measured and the trace finished.
+  struct Inflight {
+    obs::TraceId trace = obs::kNoTrace;
+    TimeMicros proposed_at = 0;
+    TimeMicros quorum_at = 0;
   };
 
   struct PendingRecovery {
@@ -179,6 +192,7 @@ class Replica final : public MessageHandler {
   void propose_internal(Slot slot, EntryKind kind, ValueId vid, Bytes header,
                         Bytes payload, ProposeFn cb);
   void send_accept_to(NodeId member, Slot slot, const PendingProposal& p);
+  void init_metrics();
   void on_accepted(NodeId from, AcceptedMsg msg);
   void handle_commit_of(Slot slot);
   void retransmit_pending();
@@ -252,7 +266,17 @@ class Replica final : public MessageHandler {
   NodeContext::TimerId heartbeat_timer_ = 0;
   NodeContext::TimerId retransmit_timer_ = 0;
 
-  ReplicaStats stats_;
+  /// Cached registry handles (delta views so stats() stays per-instance even
+  /// when several clusters in one process reuse node ids).
+  struct Metrics {
+    obs::CounterView proposals, commits, accepts_sent;
+    obs::CounterView elections_started, times_elected;
+    obs::CounterView catchup_entries_served, recoveries, catchup_bytes;
+    obs::HistogramMetric* quorum_wait_us = nullptr;
+    obs::HistogramMetric* commit_apply_us = nullptr;
+    obs::HistogramMetric* commit_total_us = nullptr;
+  } m_;
+  std::map<Slot, Inflight> inflight_;
   bool started_ = false;
 };
 

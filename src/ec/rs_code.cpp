@@ -1,12 +1,49 @@
 #include "ec/rs_code.h"
 
 #include <cassert>
+#include <chrono>
 #include <cstring>
 #include <mutex>
 
 #include "ec/gf256.h"
+#include "obs/metrics.h"
 
 namespace rspaxos::ec {
+namespace {
+
+/// Codec cost metrics (the paper's CPU-cost dimension, §6.5). Label-less:
+/// encode/decode cost is a property of the process, not of a node id.
+struct EcMetrics {
+  obs::Counter* encode_ops;
+  obs::Counter* encode_bytes;
+  obs::HistogramMetric* encode_us;
+  obs::Counter* decode_ops;
+  obs::Counter* decode_bytes;
+  obs::HistogramMetric* decode_us;
+
+  static EcMetrics& get() {
+    static EcMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::global();
+      auto* e = new EcMetrics();
+      e->encode_ops = &reg.counter("rsp_ec_encode_total", "RS encode calls (full or one-share)");
+      e->encode_bytes = &reg.counter("rsp_ec_encode_bytes", "Input bytes RS-encoded");
+      e->encode_us = &reg.histogram("rsp_ec_encode_us", "RS encode latency");
+      e->decode_ops = &reg.counter("rsp_ec_decode_total", "RS decode calls");
+      e->decode_bytes = &reg.counter("rsp_ec_decode_bytes", "Output bytes RS-decoded");
+      e->decode_us = &reg.histogram("rsp_ec_decode_us", "RS decode latency");
+      return e;
+    }();
+    return *m;
+  }
+};
+
+int64_t elapsed_us(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 StatusOr<RsCode> RsCode::create(int m, int n) {
   if (m < 1 || n < m || n > 255) {
@@ -26,6 +63,8 @@ StatusOr<RsCode> RsCode::create(int m, int n) {
 }
 
 std::vector<Bytes> RsCode::encode(BytesView value) const {
+  EcMetrics& em = EcMetrics::get();
+  auto start = std::chrono::steady_clock::now();
   const size_t ss = share_size(value.size());
   std::vector<Bytes> shares(static_cast<size_t>(n_));
   // Systematic shares: padded splits of the value.
@@ -47,11 +86,16 @@ std::vector<Bytes> RsCode::encode(BytesView value) const {
       gf::mul_add_region(s.data(), shares[static_cast<size_t>(j)].data(), row[j], ss);
     }
   }
+  em.encode_ops->inc();
+  em.encode_bytes->inc(value.size());
+  em.encode_us->observe(elapsed_us(start));
   return shares;
 }
 
 Bytes RsCode::encode_share(BytesView value, int index) const {
   assert(index >= 0 && index < n_);
+  EcMetrics& em = EcMetrics::get();
+  auto start = std::chrono::steady_clock::now();
   const size_t ss = share_size(value.size());
   Bytes out(ss, 0);
   auto data_slice = [&](int j) {
@@ -64,17 +108,25 @@ Bytes RsCode::encode_share(BytesView value, int index) const {
     }
     return s;
   };
-  if (index < m_) return data_slice(index);
-  const uint8_t* row = encode_matrix_.row(static_cast<size_t>(index));
-  for (int j = 0; j < m_; ++j) {
-    if (row[j] == 0) continue;
-    Bytes dj = data_slice(j);
-    gf::mul_add_region(out.data(), dj.data(), row[j], ss);
+  if (index < m_) {
+    out = data_slice(index);
+  } else {
+    const uint8_t* row = encode_matrix_.row(static_cast<size_t>(index));
+    for (int j = 0; j < m_; ++j) {
+      if (row[j] == 0) continue;
+      Bytes dj = data_slice(j);
+      gf::mul_add_region(out.data(), dj.data(), row[j], ss);
+    }
   }
+  em.encode_ops->inc();
+  em.encode_bytes->inc(value.size());
+  em.encode_us->observe(elapsed_us(start));
   return out;
 }
 
 StatusOr<Bytes> RsCode::decode(const std::map<int, Bytes>& shares, size_t value_len) const {
+  EcMetrics& em = EcMetrics::get();
+  auto start = std::chrono::steady_clock::now();
   const size_t ss = share_size(value_len);
   // Pick the first m usable shares, preferring systematic ones (cheaper).
   std::vector<size_t> rows;
@@ -118,6 +170,9 @@ StatusOr<Bytes> RsCode::decode(const std::map<int, Bytes>& shares, size_t value_
   }
 
   value.resize(value_len);
+  em.decode_ops->inc();
+  em.decode_bytes->inc(value_len);
+  em.decode_us->observe(elapsed_us(start));
   return value;
 }
 

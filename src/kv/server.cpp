@@ -17,6 +17,31 @@ KvServer::KvServer(NodeContext* ctx, storage::Wal* wal, GroupConfig cfg,
       [this](const GroupConfig& o, const GroupConfig& n, ReencodeAction a) {
         on_config_change(o, n, a);
       });
+  auto& reg = obs::MetricsRegistry::global();
+  std::string node = std::to_string(ctx_->id());
+  auto counter = [&](const char* name, const char* help) {
+    return obs::CounterView(&reg.counter_family(name, help, {"node"}).with({node}));
+  };
+  m_.puts = counter("rsp_kv_puts_total", "Put/delete requests accepted by this server");
+  m_.fast_reads = counter("rsp_kv_fast_reads_total", "Lease-gated leader-local reads");
+  m_.consistent_reads =
+      counter("rsp_kv_consistent_reads_total", "Reads committed via a read-marker instance");
+  m_.recovery_reads =
+      counter("rsp_kv_recovery_reads_total", "Reads that gathered shares to decode the value");
+  m_.redirects = counter("rsp_kv_redirects_total", "Client requests bounced to the leader");
+  m_.batches_committed =
+      counter("rsp_kv_batches_committed_total", "Composite batch instances committed");
+}
+
+KvServerStats KvServer::stats() const {
+  KvServerStats s;
+  s.puts = m_.puts.value();
+  s.fast_reads = m_.fast_reads.value();
+  s.consistent_reads = m_.consistent_reads.value();
+  s.recovery_reads = m_.recovery_reads.value();
+  s.redirects = m_.redirects.value();
+  s.batches_committed = m_.batches_committed.value();
+  return s;
 }
 
 void KvServer::on_message(NodeId from, MsgType type, BytesView payload) {
@@ -41,7 +66,7 @@ void KvServer::handle_client(NodeId from, ClientRequest req) {
   // All consistency-bearing requests go through the leader (§1: "a follower
   // ... redirects all consistent requests to the leader").
   if (!replica_.is_leader()) {
-    stats_.redirects++;
+    m_.redirects.inc();
     reply(from, req.req_id, ReplyCode::kNotLeader);
     return;
   }
@@ -62,7 +87,7 @@ void KvServer::handle_client(NodeId from, ClientRequest req) {
 }
 
 void KvServer::do_put(NodeId from, ClientRequest req) {
-  stats_.puts++;
+  m_.puts.inc();
   if (kv_opts_.batch_window > 0) {
     enqueue_batch(from, req.req_id, Op::kPut, std::move(req.key), std::move(req.value));
     return;
@@ -135,7 +160,7 @@ void KvServer::flush_batch() {
   replica_.propose(h.encode(), std::move(batch.payload),
                    [this, waiters = std::move(waiters)](StatusOr<consensus::Slot> r) {
                      ReplyCode code = r.is_ok() ? ReplyCode::kOk : ReplyCode::kRetry;
-                     if (r.is_ok()) stats_.batches_committed++;
+                     if (r.is_ok()) m_.batches_committed.inc();
                      for (const auto& [client, req_id] : waiters) {
                        reply(client, req_id, code);
                      }
@@ -149,12 +174,12 @@ void KvServer::do_fast_get(NodeId from, ClientRequest req) {
     do_consistent_get(from, std::move(req));
     return;
   }
-  stats_.fast_reads++;
+  m_.fast_reads.inc();
   finish_get(from, req.req_id, req.key);
 }
 
 void KvServer::do_consistent_get(NodeId from, ClientRequest req) {
-  stats_.consistent_reads++;
+  m_.consistent_reads.inc();
   // Preserve client-visible order: everything queued for batching commits
   // before the read marker.
   flush_batch();
@@ -186,7 +211,7 @@ void KvServer::finish_get(NodeId from, uint64_t req_id, const std::string& key) 
   // Recovery read (§4.4): this (new) leader only has a coded share of the
   // value; gather >= X shares from the group, decode, cache, reply. "The
   // cost of a recovery read is similar to a write."
-  stats_.recovery_reads++;
+  m_.recovery_reads.inc();
   uint64_t slot = rec->slot;
   uint64_t off = rec->slice_off;
   uint64_t len = rec->slice_len;

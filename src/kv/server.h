@@ -15,9 +15,12 @@
 #include "consensus/replica.h"
 #include "kv/command.h"
 #include "kv/store.h"
+#include "obs/metrics.h"
 
 namespace rspaxos::kv {
 
+/// Snapshot of this server's request counters (per-instance deltas over the
+/// shared obs::MetricsRegistry families).
 struct KvServerStats {
   uint64_t puts = 0;
   uint64_t fast_reads = 0;
@@ -49,7 +52,7 @@ class KvServer final : public MessageHandler {
 
   consensus::Replica& replica() { return replica_; }
   const LocalStore& store() const { return store_; }
-  const KvServerStats& stats() const { return stats_; }
+  KvServerStats stats() const;
 
   /// Leader-side sweep after a view change that requires re-coding: re-puts
   /// every complete value so it is re-committed under the new θ(X', N').
@@ -74,7 +77,11 @@ class KvServer final : public MessageHandler {
   NodeContext* ctx_;
   KvServerOptions kv_opts_;
   LocalStore store_;
-  KvServerStats stats_;
+  /// Cached registry handles, labeled by node id (delta views: see replica.h).
+  struct Metrics {
+    obs::CounterView puts, fast_reads, consistent_reads;
+    obs::CounterView recovery_reads, redirects, batches_committed;
+  } m_;
 
   // Pending composite instance (leader only; see KvServerOptions).
   struct PendingBatch {

@@ -6,6 +6,7 @@ namespace rspaxos::net {
 
 void LocalNode::send(NodeId to, MsgType type, Bytes payload) {
   bytes_sent_.fetch_add(payload.size(), std::memory_order_relaxed);
+  metrics_.on_send(type, payload.size());
   transport_->route(id_, to, type, std::move(payload));
 }
 

@@ -13,7 +13,9 @@
 #include <unordered_map>
 
 #include "net/transport.h"
+#include "obs/transport_metrics.h"
 #include "util/event_loop.h"
+#include "util/logging.h"
 #include "util/rng.h"
 
 namespace rspaxos::net {
@@ -38,12 +40,17 @@ class LocalNode final : public NodeContext {
 
  private:
   friend class LocalTransport;
-  LocalNode(LocalTransport* t, NodeId id) : transport_(t), id_(id) {}
+  LocalNode(LocalTransport* t, NodeId id) : transport_(t), id_(id) {
+    metrics_.init(id);
+    // Tag the node's EventLoop thread so its log lines carry node=<id>.
+    loop_.post([id] { set_log_node(id); });
+  }
 
   LocalTransport* transport_;
   NodeId id_;
   std::atomic<MessageHandler*> handler_{nullptr};
   std::atomic<uint64_t> bytes_sent_{0};
+  obs::TransportMetrics metrics_;
   EventLoop loop_;
 };
 

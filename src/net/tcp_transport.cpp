@@ -53,7 +53,11 @@ uint32_t get_u32(const uint8_t* p) {
 
 TcpNode::TcpNode(TcpTransport* t, NodeId id, int listen_fd)
     : transport_(t), id_(id), listen_fd_(listen_fd),
-      accept_thread_([this] { accept_loop(); }) {}
+      accept_thread_([this] { accept_loop(); }) {
+  metrics_.init(id);
+  // Tag the protocol thread so every log line carries node=<id>.
+  loop_.post([id] { set_log_node(id); });
+}
 
 TcpNode::~TcpNode() { shutdown(); }
 
@@ -157,6 +161,7 @@ int TcpNode::peer_fd(NodeId to) {
 
 void TcpNode::send(NodeId to, MsgType type, Bytes payload) {
   bytes_sent_.fetch_add(payload.size(), std::memory_order_relaxed);
+  metrics_.on_send(type, payload.size());
   int fd = peer_fd(to);
   if (fd < 0) return;  // unreachable peer: datagram semantics, drop
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "net/transport.h"
+#include "obs/transport_metrics.h"
 #include "util/event_loop.h"
 #include "util/status.h"
 
@@ -63,6 +64,7 @@ class TcpNode final : public NodeContext {
   std::atomic<bool> stopping_{false};
   std::atomic<MessageHandler*> handler_{nullptr};
   std::atomic<uint64_t> bytes_sent_{0};
+  obs::TransportMetrics metrics_;
 
   std::mutex conn_mu_;
   std::map<NodeId, int> out_fds_;            // guarded by conn_mu_

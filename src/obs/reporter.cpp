@@ -1,0 +1,34 @@
+#include "obs/reporter.h"
+
+namespace rspaxos::obs {
+
+StatsReporter::StatsReporter(NodeContext* ctx, MetricsRegistry* reg, DurationMicros period,
+                             SnapshotFn fn)
+    : ctx_(ctx), reg_(reg), period_(period), fn_(std::move(fn)) {}
+
+StatsReporter::~StatsReporter() { stop(); }
+
+void StatsReporter::start() {
+  if (running_) return;
+  running_ = true;
+  timer_ = ctx_->set_timer(period_, [this] { tick(); });
+}
+
+void StatsReporter::stop() {
+  if (!running_) return;
+  running_ = false;
+  ctx_->cancel_timer(timer_);
+}
+
+void StatsReporter::tick() {
+  if (!running_) return;
+  snapshots_++;
+  if (fn_) {
+    fn_(*reg_, ctx_->now());
+  } else {
+    last_ = reg_->to_prometheus();
+  }
+  timer_ = ctx_->set_timer(period_, [this] { tick(); });
+}
+
+}  // namespace rspaxos::obs

@@ -1,0 +1,49 @@
+// Periodic stats snapshotter driven by a NodeContext timer, so it works
+// identically in the simulator (deterministic, sim-time periods) and on real
+// transports (wall-clock periods).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "net/transport.h"
+#include "obs/metrics.h"
+
+namespace rspaxos::obs {
+
+/// Every `period` it snapshots the registry and hands the snapshot to a
+/// callback (or, with no callback, caches the latest Prometheus text for
+/// scraping via last_snapshot()).
+class StatsReporter {
+ public:
+  using SnapshotFn = std::function<void(const MetricsRegistry&, TimeMicros now)>;
+
+  StatsReporter(NodeContext* ctx, MetricsRegistry* reg, DurationMicros period,
+                SnapshotFn fn = nullptr);
+  ~StatsReporter();
+
+  StatsReporter(const StatsReporter&) = delete;
+  StatsReporter& operator=(const StatsReporter&) = delete;
+
+  void start();
+  void stop();
+
+  uint64_t snapshots_taken() const { return snapshots_; }
+  /// Prometheus text captured at the most recent tick (empty before the
+  /// first one).
+  const std::string& last_snapshot() const { return last_; }
+
+ private:
+  void tick();
+
+  NodeContext* ctx_;
+  MetricsRegistry* reg_;
+  DurationMicros period_;
+  SnapshotFn fn_;
+  bool running_ = false;
+  NodeContext::TimerId timer_ = 0;
+  uint64_t snapshots_ = 0;
+  std::string last_;
+};
+
+}  // namespace rspaxos::obs

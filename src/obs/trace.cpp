@@ -1,0 +1,106 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace rspaxos::obs {
+
+Tracer& Tracer::global() {
+  static Tracer* t = new Tracer();
+  return *t;
+}
+
+TraceId Tracer::mint(uint32_t node) {
+  uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  TraceId id = (static_cast<uint64_t>(node) << 32) ^ seq;
+  return id == kNoTrace ? 1 : id;
+}
+
+void Tracer::begin(TraceId id, uint64_t slot, uint32_t node, int64_t t_us) {
+  if (id == kNoTrace || !enabled()) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  CommitTrace& t = active_[id];
+  t.id = id;
+  t.slot = slot;
+  t.start_us = t_us;
+  t.spans.push_back(TraceSpan{"propose", node, t_us});
+  // Abandoned proposals (leadership lost before apply) must not accumulate.
+  while (active_.size() > capacity_ * 2) active_.erase(active_.begin());
+}
+
+void Tracer::event(TraceId id, const char* phase, uint32_t node, int64_t t_us) {
+  if (id == kNoTrace || !enabled()) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = active_.find(id);
+  if (it == active_.end()) return;
+  it->second.spans.push_back(TraceSpan{phase, node, t_us});
+}
+
+void Tracer::finish(TraceId id, uint32_t node, int64_t t_us) {
+  if (id == kNoTrace || !enabled()) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = active_.find(id);
+  if (it == active_.end()) return;
+  CommitTrace t = std::move(it->second);
+  active_.erase(it);
+  t.spans.push_back(TraceSpan{"applied", node, t_us});
+  t.end_us = t_us;
+  t.done = true;
+  completed_.push_back(std::move(t));
+  while (completed_.size() > capacity_) completed_.pop_front();
+}
+
+size_t Tracer::completed_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return completed_.size();
+}
+
+size_t Tracer::active_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return active_.size();
+}
+
+std::vector<CommitTrace> Tracer::slowest(size_t k) const {
+  std::vector<CommitTrace> all;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    all.assign(completed_.begin(), completed_.end());
+  }
+  std::stable_sort(all.begin(), all.end(), [](const CommitTrace& a, const CommitTrace& b) {
+    return a.duration_us() > b.duration_us();
+  });
+  if (all.size() > k) all.resize(k);
+  for (CommitTrace& t : all) {
+    std::stable_sort(t.spans.begin(), t.spans.end(),
+                     [](const TraceSpan& a, const TraceSpan& b) { return a.t_us < b.t_us; });
+  }
+  return all;
+}
+
+std::string Tracer::slowest_json(size_t k) const {
+  std::string out = "{\"traces\":[";
+  bool first_t = true;
+  for (const CommitTrace& t : slowest(k)) {
+    if (!first_t) out += ',';
+    first_t = false;
+    out += "{\"trace_id\":" + std::to_string(t.id) + ",\"slot\":" + std::to_string(t.slot) +
+           ",\"duration_us\":" + std::to_string(t.duration_us()) + ",\"spans\":[";
+    bool first_s = true;
+    for (const TraceSpan& s : t.spans) {
+      if (!first_s) out += ',';
+      first_s = false;
+      out += "{\"phase\":\"" + s.phase + "\",\"node\":" + std::to_string(s.node) +
+             ",\"t_us\":" + std::to_string(s.t_us) + "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  active_.clear();
+  completed_.clear();
+}
+
+}  // namespace rspaxos::obs

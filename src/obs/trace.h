@@ -1,0 +1,88 @@
+// Per-request commit tracing: a TraceId is minted at Replica::propose,
+// carried in the consensus accept messages, and every pipeline phase appends
+// a span event (propose -> encode -> accept_sent -> quorum -> committed ->
+// applied, plus follower-side accept_recv/durable). Completed commits land in
+// a bounded ring; the K slowest can be dumped as a JSON timeline.
+//
+// Timestamps are supplied by the caller's NodeContext clock, so under the
+// simulator traces are sim-time and fully deterministic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rspaxos::obs {
+
+using TraceId = uint64_t;
+/// Zero means "not traced"; untraced accepts skip all tracer work.
+constexpr TraceId kNoTrace = 0;
+
+/// One phase event within a commit's lifetime.
+struct TraceSpan {
+  std::string phase;
+  uint32_t node = 0;
+  int64_t t_us = 0;
+};
+
+/// The full timeline of one committed slot.
+struct CommitTrace {
+  TraceId id = kNoTrace;
+  uint64_t slot = 0;
+  std::vector<TraceSpan> spans;
+  bool done = false;
+  int64_t start_us = 0;
+  int64_t end_us = 0;
+
+  int64_t duration_us() const { return end_us - start_us; }
+};
+
+/// Bounded collector of commit traces. All methods are thread-safe; the
+/// in-flight set and the completed ring are both capped so an abandoned
+/// proposal (lost leadership) can never leak memory.
+class Tracer {
+ public:
+  explicit Tracer(size_t capacity = 512) : capacity_(capacity) {}
+
+  /// Process-wide tracer (leaked singleton, same rationale as the registry).
+  static Tracer& global();
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Mints a fresh nonzero id tagged with the proposing node.
+  TraceId mint(uint32_t node);
+
+  /// Opens a trace for `slot` and records the "propose" span.
+  void begin(TraceId id, uint64_t slot, uint32_t node, int64_t t_us);
+  /// Appends a phase span; unknown/evicted ids are ignored.
+  void event(TraceId id, const char* phase, uint32_t node, int64_t t_us);
+  /// Records the terminal "applied" span and moves the trace to the ring.
+  void finish(TraceId id, uint32_t node, int64_t t_us);
+
+  size_t completed_count() const;
+  size_t active_count() const;
+
+  /// The K slowest completed commits (by propose->applied wall time),
+  /// slowest first; spans sorted by timestamp.
+  std::vector<CommitTrace> slowest(size_t k) const;
+  /// Same, as a JSON document: {"traces":[{trace_id,slot,duration_us,spans}]}.
+  std::string slowest_json(size_t k) const;
+
+  void clear();
+
+ private:
+  std::atomic<bool> enabled_{true};
+  std::atomic<uint64_t> seq_{1};
+  const size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::map<TraceId, CommitTrace> active_;
+  std::deque<CommitTrace> completed_;  // ring of finished traces
+};
+
+}  // namespace rspaxos::obs

@@ -1,0 +1,89 @@
+// Per-message-type send accounting shared by all three transports
+// (sim / local-threads / TCP). Header-only so net/ and sim/ can use it
+// without a new link edge beyond rspaxos_obs.
+//
+// Handles for every known MsgType are resolved once at init(); on_send() on
+// the hot path is two relaxed atomic adds.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "net/transport.h"
+#include "obs/metrics.h"
+
+namespace rspaxos::obs {
+
+/// Human-readable wire name for a MsgType (metric label value).
+inline const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kPrepare: return "PREPARE";
+    case MsgType::kPromise: return "PROMISE";
+    case MsgType::kAccept: return "ACCEPT";
+    case MsgType::kAccepted: return "ACCEPTED";
+    case MsgType::kCommit: return "COMMIT";
+    case MsgType::kCatchupReq: return "CATCHUP_REQ";
+    case MsgType::kCatchupRep: return "CATCHUP_REP";
+    case MsgType::kFetchShareReq: return "FETCH_SHARE_REQ";
+    case MsgType::kFetchShareRep: return "FETCH_SHARE_REP";
+    case MsgType::kHeartbeat: return "HEARTBEAT";
+    case MsgType::kClientRequest: return "CLIENT_REQUEST";
+    case MsgType::kClientReply: return "CLIENT_REPLY";
+    case MsgType::kTestPing: return "TEST_PING";
+    case MsgType::kTestPong: return "TEST_PONG";
+  }
+  return "OTHER";
+}
+
+/// One instance per transport node; init() with the node id, then call
+/// on_send() for every outgoing message.
+class TransportMetrics {
+ public:
+  void init(NodeId node) {
+    auto& reg = MetricsRegistry::global();
+    auto& bytes = reg.counter_family("rsp_net_bytes_sent",
+                                     "Payload bytes handed to transport send()",
+                                     {"node", "msg"});
+    auto& msgs = reg.counter_family("rsp_net_msgs_sent",
+                                    "Messages handed to transport send()",
+                                    {"node", "msg"});
+    std::string n = std::to_string(node);
+    for (size_t s = 0; s < kSlots; ++s) {
+      const char* name = slot_name(s);
+      bytes_[s] = &bytes.with({n, name});
+      msgs_[s] = &msgs.with({n, name});
+    }
+  }
+
+  void on_send(MsgType type, size_t nbytes) {
+    size_t s = slot_of(type);
+    if (bytes_[s] == nullptr) return;  // init() not called
+    bytes_[s]->inc(nbytes);
+    msgs_[s]->inc();
+  }
+
+ private:
+  // Dense slot mapping: consensus types 1..10 -> 0..9, client 100/101 ->
+  // 10/11, test 1000/1001 -> 12/13, anything else -> 14.
+  static constexpr size_t kSlots = 15;
+
+  static size_t slot_of(MsgType t) {
+    auto v = static_cast<uint16_t>(t);
+    if (v >= 1 && v <= 10) return v - 1;
+    if (v == 100 || v == 101) return 10 + (v - 100);
+    if (v == 1000 || v == 1001) return 12 + (v - 1000);
+    return 14;
+  }
+
+  static const char* slot_name(size_t s) {
+    if (s < 10) return msg_type_name(static_cast<MsgType>(s + 1));
+    if (s < 12) return msg_type_name(static_cast<MsgType>(100 + (s - 10)));
+    if (s < 14) return msg_type_name(static_cast<MsgType>(1000 + (s - 12)));
+    return "OTHER";
+  }
+
+  std::array<Counter*, kSlots> bytes_{};
+  std::array<Counter*, kSlots> msgs_{};
+};
+
+}  // namespace rspaxos::obs

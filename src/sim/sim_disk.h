@@ -37,6 +37,7 @@ class SimDisk {
   uint64_t bytes_written() const { return bytes_written_; }
   uint64_t ops() const { return ops_; }
   DiskParams params() const { return params_; }
+  SimWorld* world() const { return world_; }
 
  private:
   SimWorld* world_;

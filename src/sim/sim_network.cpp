@@ -12,6 +12,7 @@ void SimNode::send(NodeId to, MsgType type, Bytes payload) {
   if (!alive_) return;  // a crashed node cannot send
   bytes_sent_ += payload.size();
   messages_sent_++;
+  metrics_.on_send(type, payload.size());
   net_->do_send(this, to, type, std::move(payload));
 }
 

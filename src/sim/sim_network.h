@@ -16,6 +16,7 @@
 #include <unordered_map>
 
 #include "net/transport.h"
+#include "obs/transport_metrics.h"
 #include "sim/sim_world.h"
 
 namespace rspaxos::sim {
@@ -55,7 +56,7 @@ class SimNode final : public NodeContext {
 
  private:
   friend class SimNetwork;
-  SimNode(SimNetwork* net, NodeId id) : net_(net), id_(id) {}
+  SimNode(SimNetwork* net, NodeId id) : net_(net), id_(id) { metrics_.init(id); }
 
   SimNetwork* net_;
   NodeId id_;
@@ -64,6 +65,7 @@ class SimNode final : public NodeContext {
   uint64_t incarnation_ = 0;
   uint64_t bytes_sent_ = 0;
   uint64_t messages_sent_ = 0;
+  obs::TransportMetrics metrics_;
 };
 
 /// The network fabric: owns SimNodes and routes messages between them.

@@ -4,12 +4,42 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "util/crc32.h"
 #include "util/marshal.h"
 
 namespace rspaxos::storage {
+namespace {
+
+/// Shared WAL metric handles (one label-less set per process; both WAL
+/// implementations report under the same names).
+struct WalMetrics {
+  obs::Counter* bytes_durable;
+  obs::Counter* flushes;
+  obs::HistogramMetric* fsync_us;
+  obs::HistogramMetric* batch_records;
+
+  static WalMetrics& get() {
+    static WalMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::global();
+      auto* w = new WalMetrics();
+      w->bytes_durable =
+          &reg.counter("rsp_wal_bytes_durable", "Framed WAL bytes written and fsynced");
+      w->flushes = &reg.counter("rsp_wal_flush_total", "Group-commit flush operations");
+      w->fsync_us =
+          &reg.histogram("rsp_wal_fsync_us", "Write+fsync latency per group-commit batch");
+      w->batch_records =
+          &reg.histogram("rsp_wal_batch_records", "Records coalesced per group-commit batch");
+      return w;
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
 
 StatusOr<std::unique_ptr<FileWal>> FileWal::open(const std::string& path,
                                                  int64_t group_commit_window_us) {
@@ -59,6 +89,7 @@ void FileWal::flusher_loop() {
     batch.swap(staged_);
     lk.unlock();
 
+    auto flush_start = std::chrono::steady_clock::now();
     size_t nbytes = 0;
     bool write_ok = true;
     for (const Pending& p : batch) {
@@ -80,6 +111,13 @@ void FileWal::flusher_loop() {
     if (write_ok && ::fdatasync(fd_) != 0) write_ok = false;
     bytes_flushed_.fetch_add(nbytes);
     flush_ops_.fetch_add(1);
+    WalMetrics& wm = WalMetrics::get();
+    wm.bytes_durable->inc(nbytes);
+    wm.flushes->inc();
+    wm.fsync_us->observe(std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - flush_start)
+                             .count());
+    wm.batch_records->observe(static_cast<int64_t>(batch.size()));
     Status st = write_ok ? Status::ok() : Status::internal("wal write/fsync failed");
     for (Pending& p : batch) {
       if (p.cb) p.cb(st);

@@ -1,6 +1,36 @@
 #include "storage/sim_wal.h"
 
+#include "obs/metrics.h"
+
 namespace rspaxos::storage {
+namespace {
+
+/// Same metric names as FileWal so sim and real runs are comparable; fsync
+/// latency here is sim-time (deterministic).
+struct SimWalMetrics {
+  obs::Counter* bytes_durable;
+  obs::Counter* flushes;
+  obs::HistogramMetric* fsync_us;
+  obs::HistogramMetric* batch_records;
+
+  static SimWalMetrics& get() {
+    static SimWalMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::global();
+      auto* w = new SimWalMetrics();
+      w->bytes_durable =
+          &reg.counter("rsp_wal_bytes_durable", "Framed WAL bytes written and fsynced");
+      w->flushes = &reg.counter("rsp_wal_flush_total", "Group-commit flush operations");
+      w->fsync_us =
+          &reg.histogram("rsp_wal_fsync_us", "Write+fsync latency per group-commit batch");
+      w->batch_records =
+          &reg.histogram("rsp_wal_batch_records", "Records coalesced per group-commit batch");
+      return w;
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
 
 void SimWal::append(Bytes record, DurableFn cb) {
   staged_.push_back(Pending{std::move(record), std::move(cb)});
@@ -16,9 +46,15 @@ void SimWal::maybe_flush() {
   for (size_t i = 0; i < batch; ++i) nbytes += staged_[i].record.size();
   flush_in_flight_ = true;
   flush_ops_++;
-  disk_->write(nbytes, [this, batch, nbytes, epoch = wipe_epoch_] {
+  TimeMicros issued_at = disk_->world()->now();
+  disk_->write(nbytes, [this, batch, nbytes, issued_at, epoch = wipe_epoch_] {
     if (epoch != wipe_epoch_) return;  // crashed mid-flush: records lost
     bytes_flushed_ += nbytes;
+    SimWalMetrics& wm = SimWalMetrics::get();
+    wm.bytes_durable->inc(nbytes);
+    wm.flushes->inc();
+    wm.fsync_us->observe(static_cast<int64_t>(disk_->world()->now() - issued_at));
+    wm.batch_records->observe(static_cast<int64_t>(batch));
     std::vector<DurableFn> cbs;
     cbs.reserve(batch);
     for (size_t i = 0; i < batch; ++i) {

@@ -70,7 +70,10 @@ void Histogram::clear() {
 
 int64_t Histogram::value_at(double q) const {
   if (count_ == 0) return 0;
-  q = std::clamp(q, 0.0, 1.0);
+  // Exact at the extremes: bucket midpoints approximate interior quantiles,
+  // but q=0 and q=1 must return the true observed min/max.
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
   uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
   uint64_t seen = 0;
   for (size_t i = 0; i < buckets_.size(); ++i) {

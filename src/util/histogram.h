@@ -24,6 +24,7 @@ class Histogram {
   int64_t min() const { return count_ ? min_ : 0; }
   int64_t max() const { return count_ ? max_ : 0; }
   double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double sum() const { return sum_; }
 
   /// Value at quantile q in [0,1]; e.g. value_at(0.99) is p99.
   int64_t value_at(double q) const;

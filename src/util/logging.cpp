@@ -1,8 +1,10 @@
 #include "util/logging.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <mutex>
 
 namespace rspaxos {
@@ -24,6 +26,23 @@ std::mutex& emit_mutex() {
   return m;
 }
 
+// Guarded by emit_mutex(); shared_ptr so an emitting thread keeps the sink
+// alive even if another thread swaps it mid-line.
+std::shared_ptr<LogSink>& sink_slot() {
+  static std::shared_ptr<LogSink> s;
+  return s;
+}
+
+thread_local uint32_t t_log_node = kNoLogNode;
+
+std::chrono::steady_clock::time_point process_start() {
+  static const std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
+  return t0;
+}
+
+// Force t0 capture at static-init time, not at first log line.
+[[maybe_unused]] const std::chrono::steady_clock::time_point g_t0 = process_start();
+
 const char* level_tag(LogLevel l) {
   switch (l) {
     case LogLevel::kDebug: return "D";
@@ -39,15 +58,35 @@ const char* level_tag(LogLevel l) {
 void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level), std::memory_order_relaxed); }
 LogLevel log_level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
 
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lk(emit_mutex());
+  sink_slot() = sink ? std::make_shared<LogSink>(std::move(sink)) : nullptr;
+}
+
+void set_log_node(uint32_t node) { t_log_node = node; }
+uint32_t log_node() { return t_log_node; }
+
+int64_t log_uptime_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - process_start())
+      .count();
+}
+
 namespace internal {
 
 LogLine::LogLine(LogLevel level, const char* file, int line) : level_(level) {
   const char* base = std::strrchr(file, '/');
-  ss_ << "[" << level_tag(level) << " " << (base ? base + 1 : file) << ":" << line << "] ";
+  ss_ << "[" << level_tag(level) << " " << (base ? base + 1 : file) << ":" << line;
+  if (t_log_node != kNoLogNode) ss_ << " node=" << t_log_node;
+  ss_ << " t=" << log_uptime_us() << "us] ";
 }
 
 LogLine::~LogLine() {
   std::lock_guard<std::mutex> lk(emit_mutex());
+  if (sink_slot()) {
+    (*sink_slot())(level_, ss_.str());
+    return;
+  }
   std::fputs(ss_.str().c_str(), stderr);
   std::fputc('\n', stderr);
 }

@@ -1,11 +1,22 @@
-// Minimal thread-safe leveled logging.
+// Minimal thread-safe leveled logging with structured key=value suffixes.
 //
 // Protocol code logs through RSP_LOG(level) macros; the global level defaults
 // to WARN so tests and benchmarks stay quiet unless asked (RSPAXOS_LOG env or
-// set_log_level).
+// set_log_level). Every line carries a monotonic timestamp (microseconds
+// since process start) and, when set_log_node() has been called on the
+// emitting thread, the node id — so interleaved multi-node output can be
+// de-multiplexed.
+//
+// Structured fields: append ` key=value` pairs with RSP_KV so log lines stay
+// machine-parseable:
+//   RSP_INFO << "elected" << RSP_KV("ballot", b.round) << RSP_KV("slot", s);
+//
+// The sink is swappable (set_log_sink) so tests can capture output.
 #pragma once
 
 #include <atomic>
+#include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -15,6 +26,19 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff =
 
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Receives each fully formatted line (no trailing newline). Installing a
+/// sink replaces stderr output; passing nullptr restores it.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void set_log_sink(LogSink sink);
+
+/// Per-thread node id stamped into every log line (kNoLogNode = omit).
+constexpr uint32_t kNoLogNode = 0xffffffffu;
+void set_log_node(uint32_t node);
+uint32_t log_node();
+
+/// Microseconds since process start (monotonic; the t=<us> field).
+int64_t log_uptime_us();
 
 namespace internal {
 
@@ -29,6 +53,23 @@ class LogLine {
   LogLevel level_;
   std::ostringstream ss_;
 };
+
+/// Typed ` key=value` suffix; streaming it into a LogLine appends one field.
+template <typename T>
+struct KvSuffix {
+  const char* key;
+  const T& value;
+};
+
+template <typename T>
+std::ostream& operator<<(std::ostream& os, const KvSuffix<T>& kv) {
+  return os << ' ' << kv.key << '=' << kv.value;
+}
+
+template <typename T>
+KvSuffix<T> logkv(const char* key, const T& value) {
+  return KvSuffix<T>{key, value};
+}
 
 }  // namespace internal
 }  // namespace rspaxos
@@ -45,3 +86,6 @@ class LogLine {
 #define RSP_INFO RSP_LOG(kInfo)
 #define RSP_WARN RSP_LOG(kWarn)
 #define RSP_ERROR RSP_LOG(kError)
+
+/// Structured field: RSP_INFO << "committed" << RSP_KV("slot", slot);
+#define RSP_KV(key, value) ::rspaxos::internal::logkv((key), (value))

@@ -1,0 +1,333 @@
+// Tests for the observability subsystem: registry semantics and thread
+// safety, exporter golden output, CounterView delta snapshots, the sim-driven
+// StatsReporter, and commit tracing (unit-level and end-to-end over the
+// simulated cluster).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kv/cluster.h"
+#include "obs/metrics.h"
+#include "obs/reporter.h"
+#include "obs/trace.h"
+#include "sim/sim_network.h"
+#include "sim/sim_world.h"
+
+namespace rspaxos {
+namespace {
+
+using obs::Counter;
+using obs::CounterView;
+using obs::MetricsRegistry;
+using obs::Tracer;
+
+// --- registry semantics ---
+
+TEST(Metrics, FamilyHandlesAreStable) {
+  MetricsRegistry reg;
+  auto& fam = reg.counter_family("test_ops_total", "ops", {"node"});
+  Counter& a = fam.with({"1"});
+  Counter& b = fam.with({"1"});
+  EXPECT_EQ(&a, &b);  // cached handles stay valid
+  Counter& other = fam.with({"2"});
+  EXPECT_NE(&a, &other);
+  // Re-requesting the family returns the same object too.
+  EXPECT_EQ(&fam, &reg.counter_family("test_ops_total", "ops", {"node"}));
+}
+
+TEST(Metrics, ResetZeroesButKeepsHandles) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("test_total", "t");
+  auto& h = reg.histogram("test_us", "t");
+  c.inc(5);
+  h.observe(100);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);  // same handle, zeroed
+  EXPECT_EQ(h.count(), 0u);
+  c.inc(1);
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(Metrics, CounterViewReportsOnlyOwnContribution) {
+  Counter shared;
+  shared.inc(5);  // prior owner's traffic
+  CounterView view(&shared);
+  EXPECT_EQ(view.value(), 0u);
+  view.inc(2);
+  view.inc();
+  EXPECT_EQ(view.value(), 3u);
+  EXPECT_EQ(shared.value(), 8u);  // global total keeps everything
+  CounterView later(&shared);
+  EXPECT_EQ(later.value(), 0u);  // a new owner starts from zero again
+  CounterView null_view;
+  null_view.inc(7);  // no backing counter: inert, not a crash
+  EXPECT_EQ(null_view.value(), 0u);
+}
+
+TEST(Metrics, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry reg;
+  auto& fam = reg.counter_family("test_hammer_total", "t", {"node"});
+  auto& hist = reg.histogram("test_hammer_us", "t");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&fam, &hist, t] {
+      // Each thread resolves the child itself: with() must be safe to race.
+      Counter& c = fam.with({"7"});
+      for (int i = 0; i < kPerThread; ++i) {
+        c.inc();
+        hist.observe((t + 1) * 10);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(fam.with({"7"}).value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(hist.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+// --- exporter golden output (private registry => fully deterministic) ---
+
+MetricsRegistry& golden_registry(MetricsRegistry& reg) {
+  auto& ops = reg.counter_family("test_ops_total", "operations", {"node"});
+  ops.with({"1"}).inc(3);
+  ops.with({"0"}).inc(1);
+  reg.gauge("test_depth", "queue depth").set(-2);
+  auto& lat = reg.histogram("test_lat_us", "latency");
+  // Three identical samples make every quantile exactly 7.
+  for (int i = 0; i < 3; ++i) lat.observe(7);
+  return reg;
+}
+
+TEST(Metrics, PrometheusGoldenOutput) {
+  MetricsRegistry reg;
+  const char* want =
+      "# HELP test_ops_total operations\n"
+      "# TYPE test_ops_total counter\n"
+      "test_ops_total{node=\"0\"} 1\n"
+      "test_ops_total{node=\"1\"} 3\n"
+      "# HELP test_depth queue depth\n"
+      "# TYPE test_depth gauge\n"
+      "test_depth -2\n"
+      "# HELP test_lat_us latency\n"
+      "# TYPE test_lat_us summary\n"
+      "test_lat_us{quantile=\"0.5\"} 7\n"
+      "test_lat_us{quantile=\"0.9\"} 7\n"
+      "test_lat_us{quantile=\"0.99\"} 7\n"
+      "test_lat_us_sum 21\n"
+      "test_lat_us_count 3\n";
+  EXPECT_EQ(golden_registry(reg).to_prometheus(), want);
+}
+
+TEST(Metrics, JsonGoldenOutput) {
+  MetricsRegistry reg;
+  const char* want =
+      "{\"counters\":{\"test_ops_total\":["
+      "{\"labels\":{\"node\":\"0\"},\"value\":1},"
+      "{\"labels\":{\"node\":\"1\"},\"value\":3}]},"
+      "\"gauges\":{\"test_depth\":[{\"labels\":{},\"value\":-2}]},"
+      "\"histograms\":{\"test_lat_us\":[{\"labels\":{},\"count\":3,"
+      "\"sum\":21,\"min\":7,\"max\":7,\"mean\":7,\"p50\":7,\"p90\":7,"
+      "\"p99\":7}]}}";
+  EXPECT_EQ(golden_registry(reg).to_json(), want);
+}
+
+TEST(Metrics, LabelValuesAreEscaped) {
+  MetricsRegistry reg;
+  reg.counter_family("test_esc_total", "t", {"k"}).with({"a\"b\\c"}).inc();
+  std::string prom = reg.to_prometheus();
+  EXPECT_NE(prom.find("test_esc_total{k=\"a\\\"b\\\\c\"} 1"), std::string::npos)
+      << prom;
+}
+
+// --- StatsReporter over the simulator ---
+
+TEST(Reporter, TicksOnSimTime) {
+  sim::SimWorld world(3);
+  sim::SimNetwork net(&world);
+  MetricsRegistry reg;
+  reg.counter("test_seen_total", "t").inc(9);
+  obs::StatsReporter reporter(net.node(1), &reg, 10 * kMillis);
+  reporter.start();
+  world.run_for(105 * kMillis);
+  // Ticks at 10,20,...,100 ms of sim time — deterministic.
+  EXPECT_EQ(reporter.snapshots_taken(), 10u);
+  EXPECT_NE(reporter.last_snapshot().find("test_seen_total 9"), std::string::npos);
+  reporter.stop();
+  world.run_for(100 * kMillis);
+  EXPECT_EQ(reporter.snapshots_taken(), 10u);  // no ticks after stop()
+}
+
+TEST(Reporter, CallbackReceivesRegistry) {
+  sim::SimWorld world(4);
+  sim::SimNetwork net(&world);
+  MetricsRegistry reg;
+  reg.counter("test_cb_total", "t").inc(2);
+  uint64_t calls = 0;
+  uint64_t last_value = 0;
+  obs::StatsReporter reporter(
+      net.node(1), &reg, 20 * kMillis,
+      [&](const MetricsRegistry&, TimeMicros) {
+        calls++;
+        last_value = reg.counter("test_cb_total", "t").value();
+      });
+  reporter.start();
+  world.run_for(90 * kMillis);
+  reporter.stop();
+  EXPECT_EQ(calls, 4u);  // 20,40,60,80 ms
+  EXPECT_EQ(last_value, 2u);
+}
+
+// --- tracer unit tests (private instances) ---
+
+TEST(Trace, MintIsNonZeroAndUnique) {
+  Tracer tr(8);
+  obs::TraceId a = tr.mint(1);
+  obs::TraceId b = tr.mint(1);
+  obs::TraceId c = tr.mint(2);
+  EXPECT_NE(a, obs::kNoTrace);
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+}
+
+TEST(Trace, LifecycleAndSpanOrdering) {
+  Tracer tr(8);
+  obs::TraceId id = tr.mint(1);
+  tr.begin(id, /*slot=*/5, /*node=*/1, /*t_us=*/100);
+  // Events arrive out of timestamp order (follower acks race the leader).
+  tr.event(id, "quorum", 1, 130);
+  tr.event(id, "accept_recv", 2, 115);
+  tr.event(id, "encode", 1, 101);
+  EXPECT_EQ(tr.active_count(), 1u);
+  tr.finish(id, 1, 150);
+  EXPECT_EQ(tr.active_count(), 0u);
+  ASSERT_EQ(tr.completed_count(), 1u);
+
+  auto traces = tr.slowest(1);
+  ASSERT_EQ(traces.size(), 1u);
+  const auto& t = traces[0];
+  EXPECT_TRUE(t.done);
+  EXPECT_EQ(t.slot, 5u);
+  EXPECT_EQ(t.duration_us(), 50);
+  ASSERT_EQ(t.spans.size(), 5u);
+  // slowest() returns spans sorted by timestamp regardless of arrival order.
+  for (size_t i = 1; i < t.spans.size(); ++i) {
+    EXPECT_LE(t.spans[i - 1].t_us, t.spans[i].t_us);
+  }
+  EXPECT_EQ(t.spans.front().phase, "propose");
+  EXPECT_EQ(t.spans.back().phase, "applied");
+}
+
+TEST(Trace, UnknownIdsAndNoTraceAreIgnored) {
+  Tracer tr(8);
+  tr.event(obs::kNoTrace, "quorum", 1, 10);
+  tr.event(12345, "quorum", 1, 10);  // never begun
+  tr.finish(12345, 1, 20);
+  EXPECT_EQ(tr.active_count(), 0u);
+  EXPECT_EQ(tr.completed_count(), 0u);
+}
+
+TEST(Trace, RingEvictsOldestCompleted) {
+  Tracer tr(2);
+  struct Spec {
+    uint64_t slot;
+    int64_t dur;
+  };
+  for (Spec s : {Spec{1, 10}, Spec{2, 30}, Spec{3, 20}}) {
+    obs::TraceId id = tr.mint(1);
+    tr.begin(id, s.slot, 1, 0);
+    tr.finish(id, 1, s.dur);
+  }
+  EXPECT_EQ(tr.completed_count(), 2u);  // slot 1 evicted
+  auto traces = tr.slowest(10);
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0].slot, 2u);  // slowest first (30us)
+  EXPECT_EQ(traces[1].slot, 3u);
+}
+
+TEST(Trace, DisabledTracerRecordsNothing) {
+  Tracer tr(8);
+  tr.set_enabled(false);
+  obs::TraceId id = tr.mint(1);
+  tr.begin(id, 1, 1, 0);
+  tr.finish(id, 1, 10);
+  EXPECT_EQ(tr.active_count(), 0u);
+  EXPECT_EQ(tr.completed_count(), 0u);
+}
+
+TEST(Trace, SlowestJsonShape) {
+  Tracer tr(8);
+  obs::TraceId id = tr.mint(3);
+  tr.begin(id, 9, 3, 100);
+  tr.finish(id, 3, 250);
+  std::string json = tr.slowest_json(4);
+  EXPECT_NE(json.find("{\"traces\":["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"slot\":9"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"duration_us\":150"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"phase\":\"propose\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"phase\":\"applied\""), std::string::npos) << json;
+}
+
+// --- end-to-end: a commit through the simulated cluster leaves an ordered,
+// fully-phased trace in the global tracer ---
+
+TEST(TraceE2E, CommittedPutHasOrderedPhases) {
+  sim::SimWorld world(42);
+  kv::SimClusterOptions opts;
+  opts.replica.heartbeat_interval = 20 * kMillis;
+  opts.replica.election_timeout_min = 150 * kMillis;
+  opts.replica.election_timeout_max = 300 * kMillis;
+  opts.replica.lease_duration = 100 * kMillis;
+  opts.replica.max_clock_drift = 10 * kMillis;
+  kv::SimCluster cluster(&world, opts);
+  cluster.wait_for_leaders();
+  auto client = cluster.make_client(0);
+
+  // Only the put below should mint traces from here on.
+  Tracer::global().clear();
+  Tracer::global().set_enabled(true);
+
+  bool done = false;
+  Status st = Status::ok();
+  client->put("traced-key", to_bytes("traced-value"), [&](Status s) {
+    st = s;
+    done = true;
+  });
+  TimeMicros deadline = world.now() + 30 * kSeconds;
+  while (!done && world.now() < deadline) world.run_for(5 * kMillis);
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+  ASSERT_GE(Tracer::global().completed_count(), 1u);
+
+  auto traces = Tracer::global().slowest(8);
+  ASSERT_FALSE(traces.empty());
+  bool found_full = false;
+  for (const auto& t : traces) {
+    EXPECT_TRUE(t.done);
+    EXPECT_GE(t.duration_us(), 0);
+    EXPECT_EQ(t.start_us, t.spans.front().t_us);
+    EXPECT_EQ(t.end_us, t.spans.back().t_us);
+    for (size_t i = 1; i < t.spans.size(); ++i) {
+      EXPECT_LE(t.spans[i - 1].t_us, t.spans[i].t_us)
+          << "span " << t.spans[i - 1].phase << " after " << t.spans[i].phase;
+    }
+    auto has = [&t](const char* phase) {
+      return std::any_of(t.spans.begin(), t.spans.end(),
+                         [phase](const obs::TraceSpan& s) { return s.phase == phase; });
+    };
+    if (has("propose") && has("encode") && has("accept_sent") && has("accept_recv") &&
+        has("durable") && has("quorum") && has("committed") && has("applied")) {
+      found_full = true;
+    }
+  }
+  EXPECT_TRUE(found_full)
+      << "no trace contained the full leader+follower phase set; dump: "
+      << Tracer::global().slowest_json(8);
+}
+
+}  // namespace
+}  // namespace rspaxos

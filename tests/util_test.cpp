@@ -11,6 +11,7 @@
 #include "util/crc32.h"
 #include "util/event_loop.h"
 #include "util/histogram.h"
+#include "util/logging.h"
 #include "util/marshal.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -207,6 +208,40 @@ TEST(Histogram, EmptyIsZero) {
   EXPECT_EQ(h.value_at(0.5), 0);
   EXPECT_EQ(h.min(), 0);
   EXPECT_EQ(h.max(), 0);
+}
+
+TEST(Logging, SinkCapturesStructuredLine) {
+  LogLevel saved = log_level();
+  set_log_level(LogLevel::kWarn);
+  std::vector<std::pair<LogLevel, std::string>> lines;
+  set_log_sink([&lines](LogLevel l, const std::string& s) { lines.emplace_back(l, s); });
+  set_log_node(7);
+  RSP_WARN << "commit stalled" << RSP_KV("slot", 42) << RSP_KV("ballot", "3.1");
+  set_log_node(kNoLogNode);
+  set_log_sink(nullptr);
+  set_log_level(saved);
+
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].first, LogLevel::kWarn);
+  const std::string& s = lines[0].second;
+  EXPECT_NE(s.find("commit stalled"), std::string::npos) << s;
+  EXPECT_NE(s.find(" slot=42"), std::string::npos) << s;       // RSP_KV suffix form
+  EXPECT_NE(s.find(" ballot=3.1"), std::string::npos) << s;
+  EXPECT_NE(s.find("node=7"), std::string::npos) << s;         // per-thread node tag
+  EXPECT_NE(s.find(" t="), std::string::npos) << s;            // monotonic timestamp
+  EXPECT_NE(s.find("util_test.cpp"), std::string::npos) << s;  // source location
+}
+
+TEST(Logging, LevelFiltersBelowThreshold) {
+  LogLevel saved = log_level();
+  set_log_level(LogLevel::kError);
+  int captured = 0;
+  set_log_sink([&captured](LogLevel, const std::string&) { captured++; });
+  RSP_WARN << "should be filtered";
+  RSP_ERROR << "should pass";
+  set_log_sink(nullptr);
+  set_log_level(saved);
+  EXPECT_EQ(captured, 1);
 }
 
 TEST(EventLoop, RunsPostedTasks) {
