@@ -1,8 +1,20 @@
 // Kernel microbenchmarks (google-benchmark): GF(2^8) region ops and
 // Reed-Solomon encode/decode across θ configurations and sizes — the
 // substrate the §6.2.3 CPU argument rests on.
+//
+// Region ops and encode are benchmarked per dispatch tier (scalar reference
+// vs the best SIMD tier the host supports) via gf::force_tier. After the
+// google-benchmark suites, main() runs a chrono-timed scalar-vs-dispatched
+// encode sweep over (m, n, value size) and writes BENCH_ec.json with MB/s
+// and speedup per configuration.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ec/cpu_features.h"
 #include "ec/gf256.h"
 #include "ec/rs_code.h"
 #include "util/rng.h"
@@ -11,7 +23,27 @@ namespace {
 
 using namespace rspaxos;
 
-void BM_GfMulAddRegion(benchmark::State& state) {
+/// Forces a dispatch tier for one benchmark run; restores on destruction.
+class TierScope {
+ public:
+  explicit TierScope(cpu::GfTier tier) : saved_(gf::active_tier()) {
+    ok_ = gf::force_tier(tier);
+  }
+  ~TierScope() { gf::force_tier(saved_); }
+  bool ok() const { return ok_; }
+
+ private:
+  cpu::GfTier saved_;
+  bool ok_ = false;
+};
+
+void gf_mul_add_region_tiered(benchmark::State& state, cpu::GfTier tier) {
+  TierScope scope(tier);
+  if (!scope.ok()) {
+    state.SkipWithError("tier not supported on this host/build");
+    return;
+  }
+  state.SetLabel(cpu::tier_name(tier));
   size_t n = static_cast<size_t>(state.range(0));
   Rng rng(1);
   Bytes src(n), dst(n);
@@ -24,7 +56,16 @@ void BM_GfMulAddRegion(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(n));
 }
+
+void BM_GfMulAddRegion(benchmark::State& state) {
+  gf_mul_add_region_tiered(state, cpu::best_supported_tier());
+}
 BENCHMARK(BM_GfMulAddRegion)->Arg(4 << 10)->Arg(256 << 10)->Arg(4 << 20);
+
+void BM_GfMulAddRegionScalar(benchmark::State& state) {
+  gf_mul_add_region_tiered(state, cpu::GfTier::kScalar);
+}
+BENCHMARK(BM_GfMulAddRegionScalar)->Arg(4 << 10)->Arg(256 << 10)->Arg(4 << 20);
 
 void BM_GfXorRegion(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));
@@ -40,7 +81,13 @@ void BM_GfXorRegion(benchmark::State& state) {
 }
 BENCHMARK(BM_GfXorRegion)->Arg(256 << 10);
 
-void BM_RsEncode(benchmark::State& state) {
+void rs_encode_tiered(benchmark::State& state, cpu::GfTier tier) {
+  TierScope scope(tier);
+  if (!scope.ok()) {
+    state.SkipWithError("tier not supported on this host/build");
+    return;
+  }
+  state.SetLabel(cpu::tier_name(tier));
   int m = static_cast<int>(state.range(0));
   int n = static_cast<int>(state.range(1));
   size_t size = static_cast<size_t>(state.range(2));
@@ -55,6 +102,10 @@ void BM_RsEncode(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(size));
 }
+
+void BM_RsEncode(benchmark::State& state) {
+  rs_encode_tiered(state, cpu::best_supported_tier());
+}
 BENCHMARK(BM_RsEncode)
     ->Args({3, 5, 64 << 10})
     ->Args({3, 5, 1 << 20})
@@ -62,6 +113,34 @@ BENCHMARK(BM_RsEncode)
     ->Args({2, 4, 1 << 20})
     ->Args({5, 7, 1 << 20})
     ->Args({3, 7, 1 << 20});
+
+void BM_RsEncodeScalar(benchmark::State& state) {
+  rs_encode_tiered(state, cpu::GfTier::kScalar);
+}
+BENCHMARK(BM_RsEncodeScalar)->Args({3, 5, 64 << 10})->Args({3, 5, 1 << 20});
+
+void BM_RsEncodeInto(benchmark::State& state) {
+  // Zero-copy path: shares land in caller buffers (as in the proposer's
+  // accept frames), no per-share allocation inside the timed region.
+  int m = static_cast<int>(state.range(0));
+  int n = static_cast<int>(state.range(1));
+  size_t size = static_cast<size_t>(state.range(2));
+  const ec::RsCode& code = ec::RsCodeCache::get(m, n);
+  Rng rng(6);
+  Bytes value(size);
+  rng.fill(value.data(), size);
+  size_t ss = code.share_size(size);
+  std::vector<Bytes> bufs(static_cast<size_t>(n), Bytes(ss));
+  std::vector<uint8_t*> dsts;
+  for (auto& b : bufs) dsts.push_back(b.data());
+  for (auto _ : state) {
+    code.encode_into(value, dsts.data());
+    benchmark::DoNotOptimize(dsts.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(size));
+}
+BENCHMARK(BM_RsEncodeInto)->Args({3, 5, 64 << 10})->Args({3, 5, 1 << 20});
 
 void BM_RsEncodeSingleShare(benchmark::State& state) {
   const ec::RsCode& code = ec::RsCodeCache::get(3, 5);
@@ -81,15 +160,20 @@ void BM_RsDecode(benchmark::State& state) {
   int m = static_cast<int>(state.range(0));
   int n = static_cast<int>(state.range(1));
   size_t size = static_cast<size_t>(state.range(2));
-  bool parity_only = state.range(3) != 0;
+  int mode = static_cast<int>(state.range(3));  // 0 systematic, 1 parity, 2 mixed
   const ec::RsCode& code = ec::RsCodeCache::get(m, n);
   Rng rng(5);
   Bytes value(size);
   rng.fill(value.data(), size);
   auto shares = code.encode(value);
   std::map<int, Bytes> input;
-  if (parity_only) {
+  if (mode == 1) {
     for (int i = n - m; i < n; ++i) input.emplace(i, shares[static_cast<size_t>(i)]);
+  } else if (mode == 2) {
+    // m-1 systematic shares + 1 parity: the partial fast path memcpys the
+    // systematic rows and reconstructs only the missing one.
+    for (int i = 0; i + 1 < m; ++i) input.emplace(i, shares[static_cast<size_t>(i)]);
+    input.emplace(n - 1, shares[static_cast<size_t>(n - 1)]);
   } else {
     for (int i = 0; i < m; ++i) input.emplace(i, shares[static_cast<size_t>(i)]);
   }
@@ -103,6 +187,7 @@ void BM_RsDecode(benchmark::State& state) {
 BENCHMARK(BM_RsDecode)
     ->Args({3, 5, 1 << 20, 0})   // systematic fast path
     ->Args({3, 5, 1 << 20, 1})   // full reconstruction
+    ->Args({3, 5, 1 << 20, 2})   // mixed: 2 systematic + 1 parity
     ->Args({5, 7, 1 << 20, 1});
 
 void BM_RsCodecConstruction(benchmark::State& state) {
@@ -113,6 +198,90 @@ void BM_RsCodecConstruction(benchmark::State& state) {
 }
 BENCHMARK(BM_RsCodecConstruction);
 
+// --- BENCH_ec.json sweep ------------------------------------------------
+
+struct SweepRow {
+  int m, n;
+  size_t value_bytes;
+  double scalar_mbps = 0, simd_mbps = 0;
+};
+
+/// MB/s of encode_into under the given tier, timed over >= 50 ms of work.
+double measure_encode_mbps(const ec::RsCode& code, const Bytes& value,
+                           cpu::GfTier tier) {
+  TierScope scope(tier);
+  if (!scope.ok()) return 0;
+  size_t ss = code.share_size(value.size());
+  std::vector<Bytes> bufs(static_cast<size_t>(code.n()), Bytes(ss));
+  std::vector<uint8_t*> dsts;
+  for (auto& b : bufs) dsts.push_back(b.data());
+  using clock = std::chrono::steady_clock;
+  code.encode_into(value, dsts.data());  // warm tables + cache
+  uint64_t iters = 0;
+  auto start = clock::now();
+  double elapsed = 0;
+  do {
+    code.encode_into(value, dsts.data());
+    ++iters;
+    elapsed = std::chrono::duration<double>(clock::now() - start).count();
+  } while (elapsed < 0.05);
+  double bytes = static_cast<double>(iters) * static_cast<double>(value.size());
+  return bytes / elapsed / 1e6;
+}
+
+void run_json_sweep() {
+  const struct { int m, n; } thetas[] = {{3, 5}, {2, 4}, {5, 7}, {10, 14}};
+  const size_t sizes[] = {64 << 10, 1 << 20};
+  cpu::GfTier best = cpu::best_supported_tier();
+  std::vector<SweepRow> rows;
+  Rng rng(7);
+  std::printf("\n--- encode throughput sweep (scalar vs %s) ---\n",
+              cpu::tier_name(best));
+  std::printf("%8s %12s %14s %14s %9s\n", "theta", "value", "scalar MB/s",
+              "simd MB/s", "speedup");
+  for (auto t : thetas) {
+    const ec::RsCode& code = ec::RsCodeCache::get(t.m, t.n);
+    for (size_t size : sizes) {
+      Bytes value(size);
+      rng.fill(value.data(), size);
+      SweepRow row{t.m, t.n, size};
+      row.scalar_mbps = measure_encode_mbps(code, value, cpu::GfTier::kScalar);
+      row.simd_mbps = measure_encode_mbps(code, value, best);
+      rows.push_back(row);
+      std::printf("θ(%d,%2d) %11zuB %14.0f %14.0f %8.2fx\n", t.m, t.n, size,
+                  row.scalar_mbps, row.simd_mbps,
+                  row.scalar_mbps > 0 ? row.simd_mbps / row.scalar_mbps : 0.0);
+    }
+  }
+  std::FILE* f = std::fopen("BENCH_ec.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write BENCH_ec.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"simd_tier\": \"%s\",\n  \"encode\": [\n",
+               cpu::tier_name(best));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"m\": %d, \"n\": %d, \"value_bytes\": %zu, "
+                 "\"scalar_mbps\": %.1f, \"simd_mbps\": %.1f, "
+                 "\"speedup\": %.2f}%s\n",
+                 r.m, r.n, r.value_bytes, r.scalar_mbps, r.simd_mbps,
+                 r.scalar_mbps > 0 ? r.simd_mbps / r.scalar_mbps : 0.0,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_ec.json\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  run_json_sweep();
+  return 0;
+}

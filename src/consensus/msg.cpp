@@ -24,7 +24,11 @@ Status decode_value_id(Reader& r, ValueId& v) {
   return Status::ok();
 }
 
-void encode_share(Writer& w, const CodedShare& s) {
+namespace {
+
+/// Everything of a share except the trailing data blob (shared between the
+/// regular encoder and the zero-copy accept-frame builder).
+void encode_share_meta(Writer& w, const CodedShare& s) {
   encode_value_id(w, s.vid);
   w.u8(static_cast<uint8_t>(s.kind));
   w.varint(s.share_idx);
@@ -32,7 +36,31 @@ void encode_share(Writer& w, const CodedShare& s) {
   w.varint(s.n);
   w.varint(s.value_len);
   w.bytes(s.header);
+}
+
+}  // namespace
+
+void encode_share(Writer& w, const CodedShare& s) {
+  encode_share_meta(w, s);
   w.bytes(s.data);
+}
+
+size_t share_wire_size(const CodedShare& s) {
+  // vid(12) + kind(1) + 4 varints(<=10 each) + 2 length prefixes(<=5 each).
+  return 63 + s.header.size() + s.data.size();
+}
+
+size_t encode_accept_frame(Writer& w, const AcceptMsg& m, size_t share_size) {
+  w.reserve(32 + share_wire_size(m.share) + share_size);
+  w.u32(m.epoch);
+  encode_ballot(w, m.ballot);
+  w.varint(m.slot);
+  encode_share_meta(w, m.share);
+  w.varint(share_size);
+  size_t gap = w.skip(share_size);
+  w.varint(m.commit_index);
+  w.varint(m.trace_id);
+  return gap;
 }
 
 Status decode_share(Reader& r, CodedShare& s) {
@@ -103,7 +131,11 @@ StatusOr<PrepareMsg> PrepareMsg::decode(BytesView b) {
 }
 
 Bytes PromiseMsg::encode() const {
-  Writer w(64);
+  // Promises can carry the acceptor's whole open log; size the buffer once
+  // instead of doubling through reallocation as entries append.
+  size_t hint = 64;
+  for (const PromiseEntry& e : entries) hint += 24 + share_wire_size(e.share);
+  Writer w(hint);
   w.u32(epoch);
   encode_ballot(w, ballot);
   w.u8(ok ? 1 : 0);
@@ -256,7 +288,9 @@ StatusOr<CatchupReqMsg> CatchupReqMsg::decode(BytesView b) {
 }
 
 Bytes CatchupRepMsg::encode() const {
-  Writer w(64);
+  size_t hint = 80;
+  for (const CatchupEntry& e : entries) hint += 24 + share_wire_size(e.share);
+  Writer w(hint);
   w.u32(epoch);
   w.varint(commit_index);
   w.varint(entries.size());
@@ -311,7 +345,7 @@ StatusOr<FetchShareReqMsg> FetchShareReqMsg::decode(BytesView b) {
 }
 
 Bytes FetchShareRepMsg::encode() const {
-  Writer w(64);
+  Writer w(have ? 32 + share_wire_size(share) : 32);
   w.u32(epoch);
   w.varint(slot);
   w.u8(have ? 1 : 0);

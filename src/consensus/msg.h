@@ -148,6 +148,18 @@ struct FetchShareRepMsg {
   static StatusOr<FetchShareRepMsg> decode(BytesView b);
 };
 
+/// Zero-copy accept frames: encodes the complete AcceptMsg wire image with a
+/// `share_size`-byte gap where `m.share.data` belongs (m.share.data itself is
+/// ignored and may be empty) and returns the gap's byte offset. The proposer
+/// erasure-codes each follower's share directly into its frame through
+/// Writer::data() + offset, so share bytes are written exactly once — no
+/// intermediate per-share Bytes copy. The frame decodes with
+/// AcceptMsg::decode like any other.
+size_t encode_accept_frame(Writer& w, const AcceptMsg& m, size_t share_size);
+
+/// Upper bound on the encoded size of a share (buffer pre-sizing helper).
+size_t share_wire_size(const CodedShare& s);
+
 // Shared sub-encoders (also used by the WAL record format).
 void encode_ballot(Writer& w, const Ballot& b);
 Status decode_ballot(Reader& r, Ballot& b);

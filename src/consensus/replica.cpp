@@ -335,34 +335,65 @@ void Replica::propose_internal(Slot slot, EntryKind kind, ValueId vid, Bytes hea
   obs::TraceId trace = tracer.enabled() ? tracer.mint(ctx_->id()) : obs::kNoTrace;
   tracer.begin(trace, slot, ctx_->id(), static_cast<int64_t>(proposed_at));
 
+  const ec::RsCode& code = codec();
+  const int n = cfg_.n();
+  const int my_idx = cfg_.index_of(ctx_->id());
+  const size_t ss = code.share_size(payload.size());
+
   PendingProposal p;
   p.vid = vid;
   p.kind = kind;
   p.header = std::move(header);
   p.value_len = payload.size();
-  p.shares = codec().encode(payload);
   p.cb = std::move(cb);
   p.last_sent = proposed_at;
   p.trace = trace;
-  tracer.event(trace, "encode", ctx_->id(), static_cast<int64_t>(ctx_->now()));
-  inflight_[slot] = Inflight{trace, proposed_at, 0};
 
   // The leader is also an acceptor: record and persist its own share, cache
   // the full value for serving reads and catch-up (§1: "the leader caches
   // the original value itself").
-  int my_idx = cfg_.index_of(ctx_->id());
   LogEntry& e = log_[slot];
   e.accepted = ballot_;
   e.share.vid = vid;
   e.share.kind = kind;
   e.share.share_idx = static_cast<uint32_t>(my_idx);
   e.share.x = static_cast<uint32_t>(cfg_.x);
-  e.share.n = static_cast<uint32_t>(cfg_.n());
+  e.share.n = static_cast<uint32_t>(n);
   e.share.value_len = p.value_len;
   e.share.header = p.header;
-  e.share.data = p.shares[static_cast<size_t>(my_idx)];
-  e.full_payload = std::move(payload);
   e.committed = false;
+
+  // Zero-copy encode: build every follower's accept frame up front with a
+  // share-sized gap and point the codec's output buffers straight into those
+  // gaps (the leader's own share lands in its log entry). Share bytes are
+  // written exactly once — no per-share staging copy; retransmissions resend
+  // the frames verbatim (their piggybacked commit_index stays as of propose
+  // time, which is harmless: the watermark also rides every heartbeat).
+  AcceptMsg meta;
+  meta.epoch = cfg_.epoch;
+  meta.ballot = ballot_;
+  meta.slot = slot;
+  meta.share = e.share;  // data still empty; per-member share_idx set below
+  meta.commit_index = commit_index_;
+  meta.trace_id = trace;
+  e.share.data.resize(ss);
+  p.frames.assign(static_cast<size_t>(n), Bytes{});
+  std::vector<uint8_t*> dsts(static_cast<size_t>(n), nullptr);
+  for (int idx = 0; idx < n; ++idx) {
+    if (idx == my_idx) {
+      dsts[static_cast<size_t>(idx)] = e.share.data.data();
+      continue;
+    }
+    meta.share.share_idx = static_cast<uint32_t>(idx);
+    Writer w;
+    size_t gap = encode_accept_frame(w, meta, ss);
+    p.frames[static_cast<size_t>(idx)] = w.take();
+    dsts[static_cast<size_t>(idx)] = p.frames[static_cast<size_t>(idx)].data() + gap;
+  }
+  code.encode_into(payload, dsts.data());
+  tracer.event(trace, "encode", ctx_->id(), static_cast<int64_t>(ctx_->now()));
+  e.full_payload = std::move(payload);
+  inflight_[slot] = Inflight{trace, proposed_at, 0};
 
   auto [it, inserted] = pending_.emplace(slot, std::move(p));
   assert(inserted);
@@ -371,7 +402,7 @@ void Replica::propose_internal(Slot slot, EntryKind kind, ValueId vid, Bytes hea
   // Send coded accepts to followers immediately; count ourselves only after
   // our own share is durable (same rule as every acceptor).
   for (NodeId m : cfg_.members) {
-    if (m != ctx_->id()) send_accept_to(m, slot, pp);
+    if (m != ctx_->id()) send_accept_to(m, pp);
   }
   tracer.event(trace, "accept_sent", ctx_->id(), static_cast<int64_t>(ctx_->now()));
   persist_slot(slot, [this, slot, ballot = ballot_] {
@@ -384,25 +415,17 @@ void Replica::propose_internal(Slot slot, EntryKind kind, ValueId vid, Bytes hea
   });
 }
 
-void Replica::send_accept_to(NodeId member, Slot slot, const PendingProposal& p) {
+void Replica::send_accept_to(NodeId member, const PendingProposal& p) {
   int idx = cfg_.index_of(member);
-  assert(idx >= 0);
-  AcceptMsg msg;
-  msg.epoch = cfg_.epoch;
-  msg.ballot = ballot_;
-  msg.slot = slot;
-  msg.share.vid = p.vid;
-  msg.share.kind = p.kind;
-  msg.share.share_idx = static_cast<uint32_t>(idx);
-  msg.share.x = static_cast<uint32_t>(cfg_.x);
-  msg.share.n = static_cast<uint32_t>(cfg_.n());
-  msg.share.value_len = p.value_len;
-  msg.share.header = p.header;
-  msg.share.data = p.shares[static_cast<size_t>(idx)];
-  msg.commit_index = commit_index_;
-  msg.trace_id = p.trace;
+  // Members beyond the frame set (joined in a newer view than this proposal)
+  // get nothing: the proposal's coding geometry predates them, and catch-up
+  // re-codes committed entries for the new view.
+  if (idx < 0 || static_cast<size_t>(idx) >= p.frames.size() ||
+      p.frames[static_cast<size_t>(idx)].empty()) {
+    return;
+  }
   m_.accepts_sent.inc();
-  ctx_->send(member, MsgType::kAccept, msg.encode());
+  ctx_->send(member, MsgType::kAccept, p.frames[static_cast<size_t>(idx)]);
 }
 
 void Replica::on_accepted(NodeId from, AcceptedMsg msg) {
@@ -456,7 +479,7 @@ void Replica::retransmit_pending() {
     if (now - p.last_sent < opts_.retransmit_interval) continue;
     p.last_sent = now;  // pace re-sends: one per interval, not per heartbeat
     for (NodeId m : cfg_.members) {
-      if (m != ctx_->id() && !p.acks.count(m)) send_accept_to(m, slot, p);
+      if (m != ctx_->id() && !p.acks.count(m)) send_accept_to(m, p);
     }
   }
 }

@@ -151,7 +151,11 @@ class Replica final : public MessageHandler {
     ValueId vid;
     EntryKind kind = EntryKind::kNormal;
     Bytes header;
-    std::vector<Bytes> shares;  // per-member shares for retransmission
+    /// Prebuilt AcceptMsg wire frames, one per member index (the proposer's
+    /// own slot stays empty). Shares are erasure-coded directly into the
+    /// frames' data gaps at propose time (zero-copy); retransmissions resend
+    /// the same frames verbatim.
+    std::vector<Bytes> frames;
     uint64_t value_len = 0;
     std::set<NodeId> acks;
     ProposeFn cb;
@@ -191,7 +195,7 @@ class Replica final : public MessageHandler {
   static constexpr Slot kNoSlot = 0;
   void propose_internal(Slot slot, EntryKind kind, ValueId vid, Bytes header,
                         Bytes payload, ProposeFn cb);
-  void send_accept_to(NodeId member, Slot slot, const PendingProposal& p);
+  void send_accept_to(NodeId member, const PendingProposal& p);
   void init_metrics();
   void on_accepted(NodeId from, AcceptedMsg msg);
   void handle_commit_of(Slot slot);

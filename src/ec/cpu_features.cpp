@@ -1,0 +1,59 @@
+#include "ec/cpu_features.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace rspaxos::cpu {
+
+const char* tier_name(GfTier t) {
+  switch (t) {
+    case GfTier::kScalar: return "scalar";
+    case GfTier::kSsse3: return "ssse3";
+    case GfTier::kAvx2: return "avx2";
+    case GfTier::kNeon: return "neon";
+  }
+  return "unknown";
+}
+
+bool tier_supported(GfTier t) {
+  switch (t) {
+    case GfTier::kScalar:
+      return true;
+    case GfTier::kSsse3:
+#if defined(RSPAXOS_GF_SSSE3)
+      return __builtin_cpu_supports("ssse3");
+#else
+      return false;
+#endif
+    case GfTier::kAvx2:
+#if defined(RSPAXOS_GF_AVX2)
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+    case GfTier::kNeon:
+#if defined(RSPAXOS_GF_NEON)
+      return true;  // NEON is architecturally guaranteed on aarch64
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+GfTier best_supported_tier() {
+  if (tier_supported(GfTier::kAvx2)) return GfTier::kAvx2;
+  if (tier_supported(GfTier::kNeon)) return GfTier::kNeon;
+  if (tier_supported(GfTier::kSsse3)) return GfTier::kSsse3;
+  return GfTier::kScalar;
+}
+
+GfTier detect_gf_tier() {
+  const char* force = std::getenv("RSPAXOS_FORCE_SCALAR_GF");
+  if (force != nullptr && force[0] != '\0' && std::strcmp(force, "0") != 0) {
+    return GfTier::kScalar;
+  }
+  return best_supported_tier();
+}
+
+}  // namespace rspaxos::cpu

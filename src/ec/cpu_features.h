@@ -1,0 +1,35 @@
+// Runtime CPU-feature detection for the GF(2^8) region kernels.
+//
+// The library is compiled for a baseline ISA; the SIMD kernels live in
+// separate translation units built with per-file -mssse3 / -mavx2 flags and
+// are only ever called after the running CPU has been probed, so one binary
+// is safe on every x86-64 (and on aarch64, where NEON is baseline).
+#pragma once
+
+namespace rspaxos::cpu {
+
+/// Kernel tiers, fastest-supported wins. kScalar is always available and is
+/// the byte-identical reference implementation.
+enum class GfTier {
+  kScalar = 0,
+  kSsse3 = 1,  // 16-byte pshufb nibble lookups
+  kAvx2 = 2,   // 32-byte vpshufb nibble lookups
+  kNeon = 3,   // 16-byte vqtbl1q nibble lookups (aarch64)
+};
+
+/// Human-readable tier name ("scalar", "ssse3", "avx2", "neon").
+const char* tier_name(GfTier t);
+
+/// True if this build contains the tier's kernels AND the running CPU
+/// supports the required instructions.
+bool tier_supported(GfTier t);
+
+/// Fastest tier the host supports (hardware probe only).
+GfTier best_supported_tier();
+
+/// Tier the GF kernels should start on: best_supported_tier(), unless the
+/// RSPAXOS_FORCE_SCALAR_GF environment variable is set non-empty (and not
+/// "0"), which pins kScalar — the CI hook that keeps the fallback covered.
+GfTier detect_gf_tier();
+
+}  // namespace rspaxos::cpu

@@ -1,7 +1,10 @@
 #include "ec/gf256.h"
 
 #include <array>
+#include <atomic>
 #include <cassert>
+
+#include "ec/gf256_simd.h"
 
 namespace rspaxos::gf {
 namespace {
@@ -13,9 +16,14 @@ struct FieldTables {
   std::array<uint8_t, 512> exp_;
   std::array<uint8_t, 256> log_;
   // Full 64 KiB product table: mul_[c][x] = c * x. Row pointers feed the
-  // region kernels; the table amortizes to ~1 multiply-free table load per
-  // byte of coded data.
+  // scalar region kernels; the table amortizes to ~1 multiply-free table
+  // load per byte of coded data.
   std::array<std::array<uint8_t, 256>, 256> mul_;
+  // Nibble-split tables for the SIMD kernels, one 32-byte row per
+  // coefficient: nib_[c][x] = c*x and nib_[c][16+x] = c*(x<<4) for x < 16,
+  // so c*b = nib_[c][b&15] ^ nib_[c][16+(b>>4)]. 8 KiB total; each half row
+  // is exactly one pshufb/vqtbl1 lookup table.
+  alignas(32) std::array<std::array<uint8_t, 32>, 256> nib_;
 
   FieldTables() {
     unsigned x = 1;
@@ -34,6 +42,10 @@ struct FieldTables {
         } else {
           mul_[c][v] = exp_[log_[c] + log_[v]];
         }
+      }
+      for (unsigned v = 0; v < 16; ++v) {
+        nib_[c][v] = mul_[c][v];
+        nib_[c][16 + v] = mul_[c][v << 4];
       }
     }
   }
@@ -71,7 +83,11 @@ uint8_t pow(uint8_t base, unsigned exp) {
 
 const uint8_t* mul_table_row(uint8_t c) { return tables().mul_[c].data(); }
 
-void mul_add_region(uint8_t* dst, const uint8_t* src, uint8_t c, size_t n) {
+namespace detail {
+
+const uint8_t* nibble_row(uint8_t c) { return tables().nib_[c].data(); }
+
+void mul_add_region_scalar(uint8_t* dst, const uint8_t* src, uint8_t c, size_t n) {
   if (c == 0) return;
   if (c == 1) {
     // XOR fast path: word-at-a-time.
@@ -98,7 +114,7 @@ void mul_add_region(uint8_t* dst, const uint8_t* src, uint8_t c, size_t n) {
   for (; i < n; ++i) dst[i] ^= row[src[i]];
 }
 
-void mul_region(uint8_t* dst, const uint8_t* src, uint8_t c, size_t n) {
+void mul_region_scalar(uint8_t* dst, const uint8_t* src, uint8_t c, size_t n) {
   if (c == 0) {
     for (size_t i = 0; i < n; ++i) dst[i] = 0;
     return;
@@ -109,6 +125,94 @@ void mul_region(uint8_t* dst, const uint8_t* src, uint8_t c, size_t n) {
   }
   const uint8_t* row = mul_table_row(c);
   for (size_t i = 0; i < n; ++i) dst[i] = row[src[i]];
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Runtime dispatch. The function-pointer table is selected once at first use
+// (cpuid probe + RSPAXOS_FORCE_SCALAR_GF override) and can be re-pointed by
+// force_tier() for benchmarks / cross-check tests.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr detail::KernelOps kScalarOps = {&detail::mul_add_region_scalar,
+                                          &detail::mul_region_scalar, "scalar"};
+#if defined(RSPAXOS_GF_SSSE3)
+constexpr detail::KernelOps kSsse3Ops = {&detail::mul_add_region_ssse3,
+                                         &detail::mul_region_ssse3, "ssse3"};
+#endif
+#if defined(RSPAXOS_GF_AVX2)
+constexpr detail::KernelOps kAvx2Ops = {&detail::mul_add_region_avx2,
+                                        &detail::mul_region_avx2, "avx2"};
+#endif
+#if defined(RSPAXOS_GF_NEON)
+constexpr detail::KernelOps kNeonOps = {&detail::mul_add_region_neon,
+                                        &detail::mul_region_neon, "neon"};
+#endif
+
+const detail::KernelOps* ops_for(cpu::GfTier tier) {
+  switch (tier) {
+    case cpu::GfTier::kScalar:
+      return &kScalarOps;
+#if defined(RSPAXOS_GF_SSSE3)
+    case cpu::GfTier::kSsse3:
+      return &kSsse3Ops;
+#endif
+#if defined(RSPAXOS_GF_AVX2)
+    case cpu::GfTier::kAvx2:
+      return &kAvx2Ops;
+#endif
+#if defined(RSPAXOS_GF_NEON)
+    case cpu::GfTier::kNeon:
+      return &kNeonOps;
+#endif
+    default:
+      return nullptr;
+  }
+}
+
+struct Dispatch {
+  std::atomic<const detail::KernelOps*> ops;
+  std::atomic<cpu::GfTier> tier;
+
+  Dispatch() {
+    cpu::GfTier t = cpu::detect_gf_tier();
+    tables();  // force table construction before any kernel can run
+    ops.store(ops_for(t), std::memory_order_relaxed);
+    tier.store(t, std::memory_order_relaxed);
+  }
+};
+
+Dispatch& dispatch() {
+  static Dispatch d;
+  return d;
+}
+
+}  // namespace
+
+void mul_add_region(uint8_t* dst, const uint8_t* src, uint8_t c, size_t n) {
+  dispatch().ops.load(std::memory_order_relaxed)->mul_add(dst, src, c, n);
+}
+
+void mul_region(uint8_t* dst, const uint8_t* src, uint8_t c, size_t n) {
+  dispatch().ops.load(std::memory_order_relaxed)->mul(dst, src, c, n);
+}
+
+cpu::GfTier active_tier() { return dispatch().tier.load(std::memory_order_relaxed); }
+
+const char* kernel_name() {
+  return dispatch().ops.load(std::memory_order_relaxed)->name;
+}
+
+bool force_tier(cpu::GfTier tier) {
+  if (!cpu::tier_supported(tier)) return false;
+  const detail::KernelOps* o = ops_for(tier);
+  if (o == nullptr) return false;
+  dispatch().ops.store(o, std::memory_order_relaxed);
+  dispatch().tier.store(tier, std::memory_order_relaxed);
+  return true;
 }
 
 }  // namespace rspaxos::gf

@@ -1,13 +1,18 @@
 // GF(2^8) arithmetic for Reed-Solomon coding.
 //
 // The field is GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1) (0x11d), the standard
-// choice in storage erasure codes. Single-element ops use log/exp tables;
-// bulk region ops (the encode/decode hot path) use a per-coefficient 256-entry
-// product table, giving table-driven byte-at-a-time multiply-accumulate.
+// choice in storage erasure codes. Single-element ops use log/exp tables.
+// Bulk region ops (the encode/decode hot path) are tiered: a byte-at-a-time
+// 64 KiB-table scalar loop is the always-available reference, and nibble-split
+// pshufb/vqtbl1 SIMD kernels (SSSE3 / AVX2 / NEON) are selected by runtime
+// CPU-feature dispatch — see ec/cpu_features.h and ec/gf256_simd.h. Setting
+// RSPAXOS_FORCE_SCALAR_GF=1 in the environment pins the scalar tier.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+
+#include "ec/cpu_features.h"
 
 namespace rspaxos::gf {
 
@@ -31,9 +36,23 @@ uint8_t pow(uint8_t base, unsigned exp);
 const uint8_t* mul_table_row(uint8_t c);
 
 /// dst[i] ^= c * src[i] for i in [0, n). The encode/decode inner loop.
+/// Dispatches to the fastest kernel the host CPU supports; any src/dst
+/// alignment is accepted (32-byte alignment is fastest).
 void mul_add_region(uint8_t* dst, const uint8_t* src, uint8_t c, size_t n);
 
 /// dst[i] = c * src[i] for i in [0, n).
 void mul_region(uint8_t* dst, const uint8_t* src, uint8_t c, size_t n);
+
+/// Tier the region kernels are currently dispatched to.
+cpu::GfTier active_tier();
+
+/// Name of the active kernel tier ("scalar", "ssse3", "avx2", "neon").
+const char* kernel_name();
+
+/// Re-points the dispatch table at `tier`'s kernels. Returns false (leaving
+/// the dispatch unchanged) if this build/CPU does not support the tier.
+/// For benchmarks and the SIMD-vs-scalar cross-check tests; not intended for
+/// concurrent use with in-flight region ops.
+bool force_tier(cpu::GfTier tier);
 
 }  // namespace rspaxos::gf

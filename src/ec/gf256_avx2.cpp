@@ -1,0 +1,96 @@
+// AVX2 GF(2^8) region kernels: 64 bytes per unrolled step via vpshufb nibble
+// lookups (each 16-byte table broadcast to both lanes). This TU is compiled
+// with -mavx2 and must only be entered after cpu::tier_supported(kAvx2)
+// returned true.
+#if defined(RSPAXOS_GF_AVX2)
+
+#include <immintrin.h>
+
+#include "ec/gf256_simd.h"
+
+namespace rspaxos::gf::detail {
+namespace {
+
+inline void xor_region_avx2(uint8_t* dst, const uint8_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    __m256i s = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), _mm256_xor_si256(d, s));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+inline __m256i mul32(__m256i s, __m256i lo, __m256i hi, __m256i mask) {
+  __m256i pl = _mm256_shuffle_epi8(lo, _mm256_and_si256(s, mask));
+  __m256i ph = _mm256_shuffle_epi8(hi, _mm256_and_si256(_mm256_srli_epi64(s, 4), mask));
+  return _mm256_xor_si256(pl, ph);
+}
+
+}  // namespace
+
+void mul_add_region_avx2(uint8_t* dst, const uint8_t* src, uint8_t c, size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    xor_region_avx2(dst, src, n);
+    return;
+  }
+  const uint8_t* nib = nibble_row(c);
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nib)));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nib + 16)));
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  size_t i = 0;
+  // 2x unroll: two independent load/shuffle/xor chains per iteration keep
+  // both shuffle ports busy.
+  for (; i + 64 <= n; i += 64) {
+    __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    __m256i d0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    __m256i d1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 32));
+    d0 = _mm256_xor_si256(d0, mul32(s0, lo, hi, mask));
+    d1 = _mm256_xor_si256(d1, mul32(s1, lo, hi, mask));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), d0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32), d1);
+  }
+  for (; i + 32 <= n; i += 32) {
+    __m256i s = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    d = _mm256_xor_si256(d, mul32(s, lo, hi, mask));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), d);
+  }
+  for (; i < n; ++i) dst[i] ^= nib_mul(nib, src[i]);
+}
+
+void mul_region_avx2(uint8_t* dst, const uint8_t* src, uint8_t c, size_t n) {
+  if (c == 0) {
+    size_t i = 0;
+    const __m256i z = _mm256_setzero_si256();
+    for (; i + 32 <= n; i += 32) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), z);
+    }
+    for (; i < n; ++i) dst[i] = 0;
+    return;
+  }
+  if (c == 1) {
+    if (dst != src) __builtin_memcpy(dst, src, n);
+    return;
+  }
+  const uint8_t* nib = nibble_row(c);
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nib)));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nib + 16)));
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i s = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), mul32(s, lo, hi, mask));
+  }
+  for (; i < n; ++i) dst[i] = nib_mul(nib, src[i]);
+}
+
+}  // namespace rspaxos::gf::detail
+
+#endif  // RSPAXOS_GF_AVX2

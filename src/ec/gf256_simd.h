@@ -1,0 +1,54 @@
+// Internal interface between the GF(2^8) dispatcher (gf256.cpp) and the
+// per-ISA kernel translation units (gf256_ssse3.cpp, gf256_avx2.cpp,
+// gf256_neon.cpp), each compiled with its own -m<isa> flag.
+//
+// Technique (the classic pshufb trick, cf. Plank et al. "Screaming Fast
+// Galois Field Arithmetic", Uezato arXiv:2108.02692): split each byte b into
+// nibbles, b = hi·16 + lo. By linearity over GF(2),
+//     c*b = c*(hi·16) ^ c*lo,
+// so two 16-entry product tables per coefficient answer any product with two
+// byte-shuffle lookups — and 16-entry tables are exactly what one
+// pshufb/vqtbl1 computes for 16/32 lanes at once.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rspaxos::gf::detail {
+
+/// One dispatchable kernel set. All implementations are byte-identical to
+/// the scalar reference for every coefficient, length, and alignment.
+struct KernelOps {
+  void (*mul_add)(uint8_t* dst, const uint8_t* src, uint8_t c, size_t n);
+  void (*mul)(uint8_t* dst, const uint8_t* src, uint8_t c, size_t n);
+  const char* name;
+};
+
+/// 32-byte nibble row for coefficient c: bytes [0,16) are lo[x] = c*x,
+/// bytes [16,32) are hi[x] = c*(x<<4). 32-byte aligned, built at startup.
+const uint8_t* nibble_row(uint8_t c);
+
+/// Scalar reference kernels (the gf256.cpp table loops, always built).
+void mul_add_region_scalar(uint8_t* dst, const uint8_t* src, uint8_t c, size_t n);
+void mul_region_scalar(uint8_t* dst, const uint8_t* src, uint8_t c, size_t n);
+
+#if defined(RSPAXOS_GF_SSSE3)
+void mul_add_region_ssse3(uint8_t* dst, const uint8_t* src, uint8_t c, size_t n);
+void mul_region_ssse3(uint8_t* dst, const uint8_t* src, uint8_t c, size_t n);
+#endif
+#if defined(RSPAXOS_GF_AVX2)
+void mul_add_region_avx2(uint8_t* dst, const uint8_t* src, uint8_t c, size_t n);
+void mul_region_avx2(uint8_t* dst, const uint8_t* src, uint8_t c, size_t n);
+#endif
+#if defined(RSPAXOS_GF_NEON)
+void mul_add_region_neon(uint8_t* dst, const uint8_t* src, uint8_t c, size_t n);
+void mul_region_neon(uint8_t* dst, const uint8_t* src, uint8_t c, size_t n);
+#endif
+
+/// Scalar nibble-table tail used by every SIMD kernel for the < vector-width
+/// remainder (avoids touching the 64 KiB full-table row from vector code).
+inline uint8_t nib_mul(const uint8_t* nib, uint8_t b) {
+  return static_cast<uint8_t>(nib[b & 0x0f] ^ nib[16 + (b >> 4)]);
+}
+
+}  // namespace rspaxos::gf::detail

@@ -1,0 +1,77 @@
+// SSSE3 GF(2^8) region kernels: 16 bytes per step via two pshufb nibble
+// lookups. This TU is compiled with -mssse3 and must only be entered after
+// cpu::tier_supported(kSsse3) returned true.
+#if defined(RSPAXOS_GF_SSSE3)
+
+#include <tmmintrin.h>
+
+#include "ec/gf256_simd.h"
+
+namespace rspaxos::gf::detail {
+namespace {
+
+inline void xor_region_sse2(uint8_t* dst, const uint8_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(d, s));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+}  // namespace
+
+void mul_add_region_ssse3(uint8_t* dst, const uint8_t* src, uint8_t c, size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    xor_region_sse2(dst, src, n);
+    return;
+  }
+  const uint8_t* nib = nibble_row(c);
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(nib));
+  const __m128i hi = _mm_load_si128(reinterpret_cast<const __m128i*>(nib + 16));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    __m128i pl = _mm_shuffle_epi8(lo, _mm_and_si128(s, mask));
+    __m128i ph = _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi64(s, 4), mask));
+    d = _mm_xor_si128(d, _mm_xor_si128(pl, ph));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), d);
+  }
+  for (; i < n; ++i) dst[i] ^= nib_mul(nib, src[i]);
+}
+
+void mul_region_ssse3(uint8_t* dst, const uint8_t* src, uint8_t c, size_t n) {
+  if (c == 0) {
+    size_t i = 0;
+    const __m128i z = _mm_setzero_si128();
+    for (; i + 16 <= n; i += 16) {
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), z);
+    }
+    for (; i < n; ++i) dst[i] = 0;
+    return;
+  }
+  if (c == 1) {
+    if (dst != src) __builtin_memcpy(dst, src, n);
+    return;
+  }
+  const uint8_t* nib = nibble_row(c);
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(nib));
+  const __m128i hi = _mm_load_si128(reinterpret_cast<const __m128i*>(nib + 16));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    __m128i pl = _mm_shuffle_epi8(lo, _mm_and_si128(s, mask));
+    __m128i ph = _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi64(s, 4), mask));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(pl, ph));
+  }
+  for (; i < n; ++i) dst[i] = nib_mul(nib, src[i]);
+}
+
+}  // namespace rspaxos::gf::detail
+
+#endif  // RSPAXOS_GF_SSSE3

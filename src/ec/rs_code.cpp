@@ -11,12 +11,19 @@
 namespace rspaxos::ec {
 namespace {
 
+/// Column-block width for the matrix kernels. Chosen so one block of every
+/// share (n blocks, n <= 14 in practice) stays resident in L1/L2 while the
+/// inner loops sweep the coefficient tile.
+constexpr size_t kCodeBlock = 16 * 1024;
+
 /// Codec cost metrics (the paper's CPU-cost dimension, §6.5). Label-less:
 /// encode/decode cost is a property of the process, not of a node id.
 struct EcMetrics {
   obs::Counter* encode_ops;
   obs::Counter* encode_bytes;
   obs::HistogramMetric* encode_us;
+  obs::Gauge* encode_mbps;
+  obs::Gauge* kernel_tier;
   obs::Counter* decode_ops;
   obs::Counter* decode_bytes;
   obs::HistogramMetric* decode_us;
@@ -28,9 +35,14 @@ struct EcMetrics {
       e->encode_ops = &reg.counter("rsp_ec_encode_total", "RS encode calls (full or one-share)");
       e->encode_bytes = &reg.counter("rsp_ec_encode_bytes", "Input bytes RS-encoded");
       e->encode_us = &reg.histogram("rsp_ec_encode_us", "RS encode latency");
+      e->encode_mbps =
+          &reg.gauge("rsp_ec_encode_mbps", "Most recent full-encode throughput (MB/s)");
+      e->kernel_tier = &reg.gauge(
+          "rsp_ec_kernel_tier", "Active GF(2^8) kernel tier (0=scalar,1=ssse3,2=avx2,3=neon)");
       e->decode_ops = &reg.counter("rsp_ec_decode_total", "RS decode calls");
       e->decode_bytes = &reg.counter("rsp_ec_decode_bytes", "Output bytes RS-decoded");
       e->decode_us = &reg.histogram("rsp_ec_decode_us", "RS decode latency");
+      e->kernel_tier->set(static_cast<int64_t>(gf::active_tier()));
       return e;
     }();
     return *m;
@@ -62,33 +74,59 @@ StatusOr<RsCode> RsCode::create(int m, int n) {
   return RsCode(m, n, std::move(enc));
 }
 
-std::vector<Bytes> RsCode::encode(BytesView value) const {
+void RsCode::encode_parity_into(uint8_t* const* dsts, size_t ss) const {
+  // Cache-blocked matrix kernel: for each column block, sweep every data
+  // share once while it is hot and accumulate into all n-m parity rows
+  // (row-major coefficient tile). The j == 0 pass initializes parity via
+  // mul_region, so parity buffers never need a separate zeroing pass.
+  for (size_t off = 0; off < ss; off += kCodeBlock) {
+    const size_t len = std::min(kCodeBlock, ss - off);
+    for (int j = 0; j < m_; ++j) {
+      const uint8_t* src = dsts[j] + off;
+      for (int i = m_; i < n_; ++i) {
+        const uint8_t c = encode_matrix_.at(static_cast<size_t>(i), static_cast<size_t>(j));
+        if (j == 0) {
+          gf::mul_region(dsts[i] + off, src, c, len);
+        } else {
+          gf::mul_add_region(dsts[i] + off, src, c, len);
+        }
+      }
+    }
+  }
+}
+
+void RsCode::encode_into(BytesView value, uint8_t* const* dsts) const {
   EcMetrics& em = EcMetrics::get();
   auto start = std::chrono::steady_clock::now();
   const size_t ss = share_size(value.size());
-  std::vector<Bytes> shares(static_cast<size_t>(n_));
-  // Systematic shares: padded splits of the value.
-  for (int i = 0; i < m_; ++i) {
-    Bytes& s = shares[static_cast<size_t>(i)];
-    s.assign(ss, 0);
-    size_t off = static_cast<size_t>(i) * ss;
-    if (off < value.size()) {
-      size_t len = std::min(ss, value.size() - off);
-      std::memcpy(s.data(), value.data() + off, len);
+  if (ss > 0) {
+    // Systematic shares: padded splits of the value.
+    for (int i = 0; i < m_; ++i) {
+      uint8_t* d = dsts[i];
+      const size_t off = static_cast<size_t>(i) * ss;
+      const size_t len = off < value.size() ? std::min(ss, value.size() - off) : 0;
+      if (len > 0) std::memcpy(d, value.data() + off, len);
+      if (len < ss) std::memset(d + len, 0, ss - len);
     }
-  }
-  // Parity shares: row-by-row multiply-accumulate over the data shares.
-  for (int i = m_; i < n_; ++i) {
-    Bytes& s = shares[static_cast<size_t>(i)];
-    s.assign(ss, 0);
-    const uint8_t* row = encode_matrix_.row(static_cast<size_t>(i));
-    for (int j = 0; j < m_; ++j) {
-      gf::mul_add_region(s.data(), shares[static_cast<size_t>(j)].data(), row[j], ss);
-    }
+    encode_parity_into(dsts, ss);
   }
   em.encode_ops->inc();
   em.encode_bytes->inc(value.size());
-  em.encode_us->observe(elapsed_us(start));
+  int64_t us = elapsed_us(start);
+  em.encode_us->observe(us);
+  // bytes per microsecond == MB/s; only meaningful when the clock moved.
+  if (us > 0) em.encode_mbps->set(static_cast<int64_t>(value.size()) / us);
+}
+
+std::vector<Bytes> RsCode::encode(BytesView value) const {
+  const size_t ss = share_size(value.size());
+  std::vector<Bytes> shares(static_cast<size_t>(n_));
+  std::vector<uint8_t*> dsts(static_cast<size_t>(n_));
+  for (int i = 0; i < n_; ++i) {
+    shares[static_cast<size_t>(i)].resize(ss);
+    dsts[static_cast<size_t>(i)] = shares[static_cast<size_t>(i)].data();
+  }
+  encode_into(value, dsts.data());
   return shares;
 }
 
@@ -128,7 +166,8 @@ StatusOr<Bytes> RsCode::decode(const std::map<int, Bytes>& shares, size_t value_
   EcMetrics& em = EcMetrics::get();
   auto start = std::chrono::steady_clock::now();
   const size_t ss = share_size(value_len);
-  // Pick the first m usable shares, preferring systematic ones (cheaper).
+  // Pick the first m usable shares. The map is index-ordered, so systematic
+  // shares (cheaper: straight copies) are always preferred when present.
   std::vector<size_t> rows;
   std::vector<const Bytes*> inputs;
   for (const auto& [idx, data] : shares) {
@@ -144,27 +183,44 @@ StatusOr<Bytes> RsCode::decode(const std::map<int, Bytes>& shares, size_t value_
 
   Bytes value(static_cast<size_t>(m_) * ss, 0);
 
-  // Fast path: all m systematic shares present — just concatenate.
-  bool all_systematic = true;
-  for (size_t r : rows) {
-    if (r >= static_cast<size_t>(m_)) {
-      all_systematic = false;
-      break;
+  // Any systematic share among the inputs *is* its split of the value: the
+  // corresponding row of the inverted decode matrix is necessarily the unit
+  // vector selecting it (the selected matrix carries the identity row), so a
+  // straight memcpy is byte-identical and skips the whole kernel pass.
+  std::vector<size_t> input_of(static_cast<size_t>(m_), SIZE_MAX);
+  for (size_t j = 0; j < rows.size(); ++j) {
+    if (rows[j] < static_cast<size_t>(m_)) input_of[rows[j]] = j;
+  }
+  std::vector<int> missing;
+  for (int out_row = 0; out_row < m_; ++out_row) {
+    size_t j = input_of[static_cast<size_t>(out_row)];
+    if (j != SIZE_MAX) {
+      if (ss > 0) {
+        std::memcpy(value.data() + static_cast<size_t>(out_row) * ss, inputs[j]->data(), ss);
+      }
+    } else {
+      missing.push_back(out_row);
     }
   }
-  if (all_systematic) {
-    for (size_t i = 0; i < rows.size(); ++i) {
-      std::memcpy(value.data() + rows[i] * ss, inputs[i]->data(), ss);
-    }
-  } else {
+  if (!missing.empty()) {
+    // Only the missing splits pay the inversion + multiply-accumulate, with
+    // the same cache-blocked sweep as the encode kernel.
     auto dec = encode_matrix_.select_rows(rows).inverted();
     if (!dec.is_ok()) return dec.status();
     const Matrix& d = dec.value();
-    for (int out_row = 0; out_row < m_; ++out_row) {
-      uint8_t* dst = value.data() + static_cast<size_t>(out_row) * ss;
-      const uint8_t* coef = d.row(static_cast<size_t>(out_row));
+    for (size_t off = 0; off < ss; off += kCodeBlock) {
+      const size_t len = std::min(kCodeBlock, ss - off);
       for (size_t j = 0; j < rows.size(); ++j) {
-        gf::mul_add_region(dst, inputs[j]->data(), coef[j], ss);
+        const uint8_t* src = inputs[j]->data() + off;
+        for (int out_row : missing) {
+          uint8_t* dst = value.data() + static_cast<size_t>(out_row) * ss + off;
+          const uint8_t c = d.at(static_cast<size_t>(out_row), j);
+          if (j == 0) {
+            gf::mul_region(dst, src, c, len);
+          } else {
+            gf::mul_add_region(dst, src, c, len);
+          }
+        }
       }
     }
   }

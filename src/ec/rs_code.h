@@ -37,6 +37,14 @@ class RsCode {
   /// splits of the value). Works for empty values (all shares empty).
   std::vector<Bytes> encode(BytesView value) const;
 
+  /// Zero-copy encode: writes share i into dsts[i] for i in [0, n), each a
+  /// caller-provided buffer of share_size(value.size()) writable bytes (the
+  /// proposer points these straight into its outgoing wire frames). Any
+  /// alignment works; 32-byte-aligned buffers hit the fastest kernel path.
+  /// Parity is produced by a cache-blocked matrix kernel that walks each
+  /// data block once while hot and accumulates into every parity row.
+  void encode_into(BytesView value, uint8_t* const* dsts) const;
+
   /// Encodes only the single share `index` (what a proposer needs when
   /// re-sending one follower's fragment during catch-up §4.5).
   Bytes encode_share(BytesView value, int index) const;
@@ -44,7 +52,10 @@ class RsCode {
   /// Reconstructs the original value (of known length `value_len`) from any
   /// >= m shares, keyed by share index. Fails with kFailedPrecondition if
   /// fewer than m distinct valid indices are supplied, kInvalidArgument on
-  /// inconsistent share sizes.
+  /// inconsistent share sizes. Systematic shares among the inputs are copied
+  /// straight through; the inversion + multiply-accumulate kernel only runs
+  /// for the splits that are actually missing (and is skipped entirely when
+  /// all m systematic shares are present).
   StatusOr<Bytes> decode(const std::map<int, Bytes>& shares, size_t value_len) const;
 
   /// The full n x m encoding matrix (row i generates share i). Exposed for
@@ -53,6 +64,8 @@ class RsCode {
 
  private:
   RsCode(int m, int n, Matrix enc) : m_(m), n_(n), encode_matrix_(std::move(enc)) {}
+
+  void encode_parity_into(uint8_t* const* dsts, size_t ss) const;
 
   int m_;
   int n_;

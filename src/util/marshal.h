@@ -22,6 +22,10 @@ class Writer {
   Writer() = default;
   explicit Writer(size_t reserve) { buf_.reserve(reserve); }
 
+  /// Pre-sizes the buffer for `n` more bytes so a burst of appends (a bulk
+  /// share, a promise's entry list) never reallocates mid-encode.
+  void reserve(size_t n) { buf_.reserve(buf_.size() + n); }
+
   void u8(uint8_t v) { buf_.push_back(v); }
   void u16(uint16_t v) { put_le(v); }
   void u32(uint32_t v) { put_le(v); }
@@ -52,8 +56,20 @@ class Writer {
   /// Raw append with no length prefix (caller manages framing).
   void raw(BytesView b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
 
+  /// Appends `n` zeroed bytes and returns their offset: the zero-copy
+  /// encode-into-frame hook. The caller fills the gap in place through
+  /// data() + offset (e.g. the proposer erasure-codes shares directly into
+  /// the outgoing accept frames instead of staging them in Bytes copies).
+  size_t skip(size_t n) {
+    size_t off = buf_.size();
+    buf_.resize(off + n);
+    return off;
+  }
+
   size_t size() const { return buf_.size(); }
   const Bytes& buffer() const { return buf_; }
+  /// Mutable view of the encoded bytes (for filling a skip() gap in place).
+  uint8_t* data() { return buf_.data(); }
   Bytes take() { return std::move(buf_); }
 
  private:

@@ -2,6 +2,8 @@
 // malformed/truncated/hostile input is rejected without UB.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "consensus/msg.h"
 #include "kv/command.h"
 #include "util/rng.h"
@@ -79,6 +81,32 @@ TEST(Msg, AcceptRoundTrip) {
   EXPECT_EQ(d.value().slot, 42u);
   EXPECT_EQ(d.value().commit_index, 41u);
   EXPECT_TRUE(share_eq(d.value().share, m.share));
+}
+
+TEST(Msg, AcceptFrameMatchesEncode) {
+  // The zero-copy frame (share-sized gap filled in place) must be
+  // byte-identical to the plain AcceptMsg::encode wire image.
+  AcceptMsg m;
+  m.epoch = 2;
+  m.ballot = Ballot{7, 3};
+  m.slot = 42;
+  m.share = sample_share();
+  m.commit_index = 41;
+  m.trace_id = 99;
+
+  AcceptMsg gap = m;
+  gap.share.data.clear();  // frame encoder ignores data, only its size
+  Writer w;
+  size_t off = encode_accept_frame(w, gap, m.share.data.size());
+  Bytes frame = w.take();
+  ASSERT_LE(off + m.share.data.size(), frame.size());
+  std::copy(m.share.data.begin(), m.share.data.end(), frame.begin() + off);
+  EXPECT_EQ(frame, m.encode());
+
+  auto d = AcceptMsg::decode(frame);
+  ASSERT_TRUE(d.is_ok());
+  EXPECT_TRUE(share_eq(d.value().share, m.share));
+  EXPECT_EQ(d.value().trace_id, 99u);
 }
 
 TEST(Msg, AcceptedRoundTrip) {
