@@ -1,14 +1,31 @@
 // RPC/marshalling microbenchmarks (google-benchmark), sanity-matching §5's
 // claim that the messaging substrate sustains ~1M small batched ops/s:
 // message encode/decode, CRC32C framing, and in-process transport round
-// trips.
+// trips. main() additionally runs a frame-size sweep over the real epoll TCP
+// transport against a blocking-socket reference sender (the pre-epoll send
+// path: one shared connection, a mutex, two write() syscalls per frame) and
+// writes BENCH_rpc.json.
 #include <benchmark/benchmark.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstring>
 #include <future>
+#include <thread>
 
 #include "consensus/msg.h"
+#include "net/frame.h"
 #include "net/local_transport.h"
+#include "net/tcp_transport.h"
 #include "util/crc32.h"
+#include "util/event_loop.h"
 
 namespace {
 
@@ -114,6 +131,281 @@ void BM_LocalTransportRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_LocalTransportRoundTrip)->Unit(benchmark::kMicrosecond);
 
+// --- BENCH_rpc.json sweep: blocking reference vs epoll transport ----------
+
+struct RxCount final : MessageHandler {
+  std::atomic<uint64_t> frames{0};
+  std::atomic<uint64_t> bytes{0};
+  void on_message(NodeId, MsgType, BytesView p) override {
+    frames.fetch_add(1, std::memory_order_relaxed);
+    bytes.fetch_add(p.size(), std::memory_order_relaxed);
+  }
+};
+
+struct RpcRow {
+  size_t frame_bytes;
+  double blocking_mps = 0, blocking_mbps = 0;
+  double epoll_mps = 0, epoll_mbps = 0;
+};
+
+constexpr int kSweepThreads = 4;
+constexpr double kSweepSeconds = 0.8;
+
+/// Waits (bounded) for the receiver to drain everything the senders pushed,
+/// then returns delivered-frames-per-second over the whole run.
+double finish_rate(RxCount& rx, uint64_t rx_base, uint64_t sent,
+                   std::chrono::steady_clock::time_point t0,
+                   uint64_t* delivered_out) {
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (rx.frames.load() - rx_base < sent &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  uint64_t delivered = rx.frames.load() - rx_base;
+  double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  *delivered_out = delivered;
+  return secs > 0 ? static_cast<double>(delivered) / secs : 0;
+}
+
+bool read_full(int fd, uint8_t* buf, size_t n) {
+  while (n > 0) {
+    ssize_t r = ::read(fd, buf, n);
+    if (r == 0) return false;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    buf += r;
+    n -= static_cast<size_t>(r);
+  }
+  return true;
+}
+
+/// The pre-epoll transport, reproduced end to end as the reference:
+///  - send: a mutex-guarded shared blocking socket, CRC + two write()
+///    syscalls per frame (header, then payload), from kSweepThreads threads;
+///  - receive: a dedicated blocking reader thread doing two read_full()s and
+///    a fresh Bytes(len) per frame, posting one EventLoop task per message.
+double run_blocking_side(RxCount& rx, size_t frame_bytes) {
+  int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (lfd < 0) return 0;
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  sa.sin_port = 0;  // ephemeral
+  if (::bind(lfd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0 ||
+      ::listen(lfd, 1) != 0) {
+    ::close(lfd);
+    return 0;
+  }
+  socklen_t slen = sizeof(sa);
+  ::getsockname(lfd, reinterpret_cast<sockaddr*>(&sa), &slen);
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    if (fd >= 0) ::close(fd);
+    ::close(lfd);
+    return 0;
+  }
+  int afd = ::accept(lfd, nullptr, nullptr);
+  ::close(lfd);
+  if (afd < 0) {
+    ::close(fd);
+    return 0;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  ::setsockopt(afd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  uint64_t rx_base = rx.frames.load();
+  EventLoop loop;  // the old per-message delivery hop
+  std::thread reader([&] {
+    while (true) {
+      uint8_t header[net::kFrameHeaderBytes];
+      if (!read_full(afd, header, sizeof(header))) return;
+      net::FrameHeader h = net::decode_frame_header(header);
+      Bytes payload(h.payload_len);  // per-message allocation, as before
+      if (!read_full(afd, payload.data(), h.payload_len)) return;
+      if (crc32c(payload) != h.crc) continue;
+      loop.post([&rx, h, msg = std::move(payload)] {
+        rx.on_message(h.from, static_cast<MsgType>(h.type), msg);
+      });
+    }
+  });
+
+  std::mutex wr_mu;
+  std::atomic<uint64_t> sent{0};
+  std::atomic<bool> stop{false};
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kSweepThreads; ++t) {
+    threads.emplace_back([&] {
+      Bytes src(frame_bytes, 0xab);
+      uint8_t hdr[net::kFrameHeaderBytes];
+      while (!stop.load(std::memory_order_relaxed)) {
+        // The old send(to, type, Bytes) API took ownership of a fresh buffer
+        // per call; model that cost here for parity with the epoll side.
+        Bytes payload(src);
+        net::encode_frame_header(hdr, static_cast<uint32_t>(payload.size()),
+                                 crc32c(payload), 1, MsgType::kTestPing);
+        std::lock_guard<std::mutex> lk(wr_mu);
+        bool ok = ::send(fd, hdr, sizeof(hdr), MSG_NOSIGNAL) ==
+                  static_cast<ssize_t>(sizeof(hdr));
+        size_t off = 0;
+        while (ok && off < payload.size()) {
+          ssize_t n = ::send(fd, payload.data() + off, payload.size() - off,
+                             MSG_NOSIGNAL);
+          if (n <= 0) ok = false;
+          else off += static_cast<size_t>(n);
+        }
+        if (!ok) return;
+        sent.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  while (std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count() <
+         kSweepSeconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true);
+  for (auto& th : threads) th.join();
+  uint64_t delivered = 0;
+  double rate = finish_rate(rx, rx_base, sent.load(), t0, &delivered);
+  ::shutdown(afd, SHUT_RDWR);
+  ::close(fd);
+  ::close(afd);
+  reader.join();
+  loop.stop();
+  return rate;
+}
+
+/// The new path: kSweepThreads threads hammer TcpNode::send (lock-light
+/// enqueue; the io thread coalesces frames into vectored sendmsg calls).
+/// In-flight frames are capped below the per-peer queue bounds so the bench
+/// measures throughput, not drop-oldest backpressure.
+double run_epoll_side(net::TcpNode* sender, RxCount& rx, size_t frame_bytes) {
+  uint64_t rx_base = rx.frames.load();
+  // Keep the in-flight window small enough to stay cache-warm (and far below
+  // the transport's drop-oldest bounds) while deep enough to feed coalescing.
+  uint64_t cap = std::min<uint64_t>(
+      2048, std::max<uint64_t>(16, (4u << 20) / std::max<size_t>(frame_bytes, 1)));
+  std::atomic<uint64_t> sent{0};
+  std::atomic<bool> stop{false};
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kSweepThreads; ++t) {
+    threads.emplace_back([&] {
+      Bytes payload(frame_bytes, 0xab);
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (sent.load(std::memory_order_relaxed) - (rx.frames.load() - rx_base) >=
+            cap) {
+          // Sleep, don't yield: a yield-spin across sender threads starves
+          // the io and delivery threads on small machines.
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          continue;
+        }
+        sender->send(2, MsgType::kTestPing, Bytes(payload));
+        sent.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  while (std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count() <
+         kSweepSeconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true);
+  for (auto& th : threads) th.join();
+  uint64_t delivered = 0;
+  return finish_rate(rx, rx_base, sent.load(), t0, &delivered);
+}
+
+void run_rpc_sweep() {
+  auto ports = net::TcpTransport::free_ports(2);
+  if (ports.size() != 2) {
+    std::fprintf(stderr, "rpc sweep: no free ports\n");
+    return;
+  }
+  std::map<NodeId, net::PeerAddr> addrs{
+      {1, net::PeerAddr{"127.0.0.1", ports[0]}},
+      {2, net::PeerAddr{"127.0.0.1", ports[1]}}};
+  net::TcpTransport transport(addrs);
+  auto n1 = transport.start_node(1);
+  auto n2 = transport.start_node(2);
+  if (!n1.is_ok() || !n2.is_ok()) {
+    std::fprintf(stderr, "rpc sweep: start_node failed\n");
+    return;
+  }
+  RxCount rx;
+  n2.value()->set_handler(&rx);
+
+  const size_t sizes[] = {64, 512, 4 << 10, 64 << 10, 1 << 20};
+  std::vector<RpcRow> rows;
+  std::printf("\n--- TCP transport sweep (blocking reference vs epoll) ---\n");
+  std::printf("%10s %14s %14s %9s\n", "frame", "blocking msg/s", "epoll msg/s",
+              "speedup");
+  // Single-core scheduler noise swings individual measurements (the blocking
+  // side's mutex convoy is especially timing-sensitive), so each cell is the
+  // median of three interleaved runs.
+  constexpr int kReps = 3;
+  auto median3 = [](std::array<double, kReps> v) {
+    std::sort(v.begin(), v.end());
+    return v[kReps / 2];
+  };
+  for (size_t fb : sizes) {
+    RpcRow row{fb};
+    std::array<double, kReps> blocking{}, epoll{};
+    for (int rep = 0; rep < kReps; ++rep) {
+      blocking[static_cast<size_t>(rep)] = run_blocking_side(rx, fb);
+      epoll[static_cast<size_t>(rep)] = run_epoll_side(n1.value(), rx, fb);
+    }
+    row.blocking_mps = median3(blocking);
+    row.blocking_mbps = row.blocking_mps * static_cast<double>(fb) / 1e6;
+    row.epoll_mps = median3(epoll);
+    row.epoll_mbps = row.epoll_mps * static_cast<double>(fb) / 1e6;
+    rows.push_back(row);
+    std::printf("%9zuB %14.0f %14.0f %8.2fx\n", fb, row.blocking_mps,
+                row.epoll_mps,
+                row.blocking_mps > 0 ? row.epoll_mps / row.blocking_mps : 0.0);
+  }
+
+  std::FILE* f = std::fopen("BENCH_rpc.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write BENCH_rpc.json\n");
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"transport\": \"tcp-epoll\",\n  \"sender_threads\": %d,\n"
+               "  \"cores\": %u,\n"
+               "  \"note\": \"median of 3 runs per cell; on single-core hosts "
+               "frames >=64KiB are memory-bandwidth-bound, so the epoll "
+               "syscall savings show up at small frames\",\n"
+               "  \"sweep\": [\n",
+               kSweepThreads, std::thread::hardware_concurrency());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const RpcRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"frame_bytes\": %zu, \"blocking_msgs_per_s\": %.0f, "
+                 "\"blocking_MB_per_s\": %.1f, \"epoll_msgs_per_s\": %.0f, "
+                 "\"epoll_MB_per_s\": %.1f, \"speedup\": %.2f}%s\n",
+                 r.frame_bytes, r.blocking_mps, r.blocking_mbps, r.epoll_mps,
+                 r.epoll_mbps,
+                 r.blocking_mps > 0 ? r.epoll_mps / r.blocking_mps : 0.0,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_rpc.json\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  run_rpc_sweep();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Wire framing shared by the TCP transport, its tests and benchmarks.
+//
+// Frame: u32 payload_len | u32 crc32c(payload) | u32 from | u16 type | payload
+// (little-endian, fixed 14-byte header). The format predates the epoll
+// transport and is kept byte-identical so mixed-version nodes interoperate.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "net/transport.h"
+
+namespace rspaxos::net {
+
+inline constexpr size_t kFrameHeaderBytes = 14;
+
+/// Frames larger than this are rejected on both sides (protects the decoder
+/// from a corrupt/hostile length field).
+inline constexpr size_t kMaxFrameBytes = 64u << 20;
+
+inline void put_u32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, 4); }
+inline uint32_t get_u32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+/// Decoded view of the fixed header.
+struct FrameHeader {
+  uint32_t payload_len;
+  uint32_t crc;
+  NodeId from;
+  uint16_t type;
+};
+
+inline void encode_frame_header(uint8_t* dst, uint32_t payload_len, uint32_t crc,
+                                NodeId from, MsgType type) {
+  put_u32(dst, payload_len);
+  put_u32(dst + 4, crc);
+  put_u32(dst + 8, from);
+  uint16_t t = static_cast<uint16_t>(type);
+  std::memcpy(dst + 12, &t, 2);
+}
+
+inline FrameHeader decode_frame_header(const uint8_t* p) {
+  FrameHeader h;
+  h.payload_len = get_u32(p);
+  h.crc = get_u32(p + 4);
+  h.from = get_u32(p + 8);
+  std::memcpy(&h.type, p + 12, 2);
+  return h;
+}
+
+}  // namespace rspaxos::net

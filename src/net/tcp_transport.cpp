@@ -3,10 +3,14 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "util/crc32.h"
@@ -15,171 +19,601 @@
 namespace rspaxos::net {
 namespace {
 
-bool read_full(int fd, uint8_t* buf, size_t n) {
-  while (n > 0) {
-    ssize_t r = ::read(fd, buf, n);
-    if (r == 0) return false;  // peer closed
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    buf += r;
-    n -= static_cast<size_t>(r);
-  }
-  return true;
-}
+// Linux guarantees IOV_MAX >= 1024; one frame needs two iovecs (header,
+// payload), so one writev can carry up to kMaxBatchFrames frames.
+constexpr size_t kMaxIov = 1024;
+constexpr size_t kMaxBatchFrames = kMaxIov / 2;
 
-bool write_full(int fd, const uint8_t* buf, size_t n) {
-  while (n > 0) {
-    ssize_t r = ::write(fd, buf, n);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    buf += r;
-    n -= static_cast<size_t>(r);
-  }
-  return true;
-}
+// Reconnect backoff bounds. First retry after a failure waits kMinBackoffUs,
+// doubling up to kMaxBackoffUs while the peer stays unreachable.
+constexpr DurationMicros kMinBackoffUs = 2'000;
+constexpr DurationMicros kMaxBackoffUs = 500'000;
 
-void put_u32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, 4); }
-uint32_t get_u32(const uint8_t* p) {
-  uint32_t v;
-  std::memcpy(&v, p, 4);
-  return v;
-}
+// Inbound decode buffer: initial size, and the high-water mark above which a
+// drained buffer is shrunk back (a single 64 MiB frame must not pin 64 MiB
+// per connection forever).
+constexpr size_t kReadBufBytes = 128 * 1024;
+
+// Socket buffers: deep enough that a writev burst rarely stalls on EAGAIN
+// mid-batch (each stall costs an epoll round trip and two epoll_ctl calls).
+constexpr int kSockBufBytes = 1 << 20;
+constexpr size_t kReadBufShrinkBytes = 1 << 20;
+
+// Cap on consecutive writev rounds per flush so one fast peer cannot starve
+// the rest of the loop; EPOLLOUT re-arms and the flush resumes next round.
+constexpr int kFlushRounds = 8;
 
 }  // namespace
 
+TimeMicros TcpNode::steady_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 TcpNode::TcpNode(TcpTransport* t, NodeId id, int listen_fd)
-    : transport_(t), id_(id), listen_fd_(listen_fd),
-      accept_thread_([this] { accept_loop(); }) {
+    : transport_(t), id_(id), listen_fd_(listen_fd) {
   metrics_.init(id);
+  io_metrics_.init(id);
   // Tag the protocol thread so every log line carries node=<id>.
   loop_.post([id] { set_log_node(id); });
+
+  epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+
+  // The peer set is fixed by the transport's address map, so the map itself
+  // needs no lock — only each peer's queue does.
+  for (const auto& [peer_id, addr] : transport_->addrs_) {
+    auto p = std::make_unique<Peer>();
+    p->id = peer_id;
+    p->addr = addr;
+    p->tag.p = p.get();
+    p->depth_gauge = obs::TcpIoMetrics::queue_depth_gauge(id, peer_id);
+    p->bytes_gauge = obs::TcpIoMetrics::queue_bytes_gauge(id, peer_id);
+    peers_.emplace(peer_id, std::move(p));
+  }
+
+  if (epfd_ >= 0 && wake_fd_ >= 0) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = &wake_tag_;
+    ::epoll_ctl(epfd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+    ev.events = EPOLLIN;
+    ev.data.ptr = &listen_tag_;
+    ::epoll_ctl(epfd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+    io_thread_ = std::thread([this] { io_loop(); });
+  } else {
+    RSP_WARN << "tcp: epoll/eventfd setup failed, node " << id << " is send/recv dead";
+  }
 }
 
 TcpNode::~TcpNode() { shutdown(); }
 
 void TcpNode::shutdown() {
   if (stopping_.exchange(true)) return;
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  std::vector<std::thread> readers;
-  {
-    std::lock_guard<std::mutex> lk(conn_mu_);
-    for (auto& [peer, fd] : out_fds_) {
-      ::shutdown(fd, SHUT_RDWR);
-      ::close(fd);
-    }
-    out_fds_.clear();
-    // Unblock reader threads parked in read() on accepted connections; the
-    // threads close their own fds on exit.
-    for (int fd : in_fds_) ::shutdown(fd, SHUT_RDWR);
-    readers.swap(reader_threads_);
+  if (wake_fd_ >= 0) {
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t r = ::write(wake_fd_, &one, sizeof(one));
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  for (auto& t : readers) {
-    if (t.joinable()) t.join();
-  }
+  if (io_thread_.joinable()) io_thread_.join();
+  if (epfd_ >= 0) ::close(epfd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
   loop_.stop();
 }
 
-void TcpNode::accept_loop() {
-  while (!stopping_.load()) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+// ---------------------------------------------------------------------------
+// send path (any thread): enqueue + at most one eventfd write. Never blocks
+// on a socket, a connect, or another peer's queue.
+
+void TcpNode::send(NodeId to, MsgType type, Bytes payload) {
+  bool sampled = (stall_sample_.fetch_add(1, std::memory_order_relaxed) & 0xf) == 0;
+  std::chrono::steady_clock::time_point t0;
+  if (sampled) t0 = std::chrono::steady_clock::now();
+  bytes_sent_.fetch_add(payload.size(), std::memory_order_relaxed);
+  metrics_.on_send(type, payload.size());
+
+  auto it = peers_.find(to);
+  if (it == peers_.end()) {
+    send_drops_.fetch_add(1, std::memory_order_relaxed);
+    io_metrics_.drops_no_peer->inc();
+    return;
+  }
+  if (payload.size() > kMaxFrameBytes) {
+    send_drops_.fetch_add(1, std::memory_order_relaxed);
+    io_metrics_.drops_oversize->inc();
+    return;
+  }
+  Peer* p = it->second.get();
+
+  OutFrame f;
+  encode_frame_header(f.hdr.data(), static_cast<uint32_t>(payload.size()),
+                      crc32c(payload), id_, type);
+  f.payload = std::move(payload);
+
+  bool need_wake;
+  uint64_t dropped = 0;
+  size_t depth, q_bytes;
+  {
+    std::lock_guard<std::mutex> lk(p->mu);
+    need_wake = p->q.empty();
+    p->q_bytes += f.wire_size();
+    p->q.push_back(std::move(f));
+    // Drop-oldest backpressure: bounded queue, datagram semantics. Dropping
+    // from the front never reorders the frames that remain.
+    while (p->q.size() > kMaxQueueFrames || p->q_bytes > kMaxQueueBytes) {
+      p->q_bytes -= p->q.front().wire_size();
+      p->q.pop_front();
+      ++dropped;
+    }
+    depth = p->q.size();
+    q_bytes = p->q_bytes;
+  }
+  // Gauges record the snapshot taken under the lock; setting them outside
+  // keeps the critical section to the queue operations alone.
+  p->depth_gauge->set(static_cast<int64_t>(depth));
+  p->bytes_gauge->set(static_cast<int64_t>(q_bytes));
+  if (dropped > 0) {
+    send_drops_.fetch_add(dropped, std::memory_order_relaxed);
+    io_metrics_.drops_queue_full->inc(dropped);
+  }
+  // The eventfd write is needed only when the I/O thread may be parked in
+  // epoll_wait. While it is mid-cycle (io_busy_), the post-cycle queue rescan
+  // is guaranteed to see this frame: the enqueue above happens-before this
+  // seq_cst load, which reads true only if the rescan has not run yet.
+  if (need_wake && !io_busy_.load() &&
+      !stopping_.load(std::memory_order_relaxed) && wake_fd_ >= 0) {
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t r = ::write(wake_fd_, &one, sizeof(one));
+  }
+  if (sampled) {
+    io_metrics_.send_stall_us->observe(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// I/O thread: one epoll loop over the listener, every inbound connection and
+// every outbound peer socket.
+
+int TcpNode::epoll_timeout_ms() const {
+  // Next deadline is the earliest reconnect retry among idle peers that have
+  // work queued; cap at 1 s so the loop re-checks stopping_ regularly.
+  TimeMicros now = steady_now_us();
+  int64_t best_ms = 1000;
+  for (const auto& [pid, p] : peers_) {
+    if (p->state != PeerState::kIdle) continue;
+    bool pending = !p->inflight.empty();
+    if (!pending) {
+      std::lock_guard<std::mutex> lk(p->mu);
+      pending = !p->q.empty();
+    }
+    if (!pending) continue;
+    int64_t delta_ms =
+        p->retry_at > now ? static_cast<int64_t>((p->retry_at - now + 999) / 1000) : 0;
+    if (delta_ms < best_ms) best_ms = delta_ms;
+  }
+  return static_cast<int>(best_ms);
+}
+
+void TcpNode::io_loop() {
+  set_log_node(id_);
+  epoll_event evs[64];
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    int n = ::epoll_wait(epfd_, evs, 64, epoll_timeout_ms());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    // Senders skip the eventfd syscall while we are demonstrably awake; the
+    // rescan after the flag clears picks up anything enqueued meanwhile.
+    io_busy_.store(true);
+    bool woke = n == 0;  // timeout: retry deadlines may have passed
+    for (int i = 0; i < n && !stopping_.load(std::memory_order_relaxed); ++i) {
+      auto* tag = static_cast<FdTag*>(evs[i].data.ptr);
+      switch (tag->kind) {
+        case TagKind::kWake: {
+          uint64_t v;
+          while (::read(wake_fd_, &v, sizeof(v)) > 0) {
+          }
+          woke = true;
+          break;
+        }
+        case TagKind::kListen:
+          on_acceptable();
+          break;
+        case TagKind::kConn: {
+          auto* c = static_cast<Conn*>(tag->p);
+          if (evs[i].events & EPOLLIN) {
+            on_conn_readable(c);
+          } else if (evs[i].events & (EPOLLHUP | EPOLLERR)) {
+            close_conn(c);
+          }
+          break;
+        }
+        case TagKind::kPeer:
+          handle_peer_event(static_cast<Peer*>(tag->p), evs[i].events);
+          break;
+      }
+    }
+    if (stopping_.load(std::memory_order_relaxed)) break;
+    if (woke) {
+      for (auto& [pid, p] : peers_) flush_peer(p.get());
+    }
+    io_busy_.store(false);
+    // Wake-elision rescan: any frame whose sender saw io_busy_ was enqueued
+    // before this point (seq_cst), so it is visible to these queue checks.
+    // Peers with EPOLLOUT armed are skipped — the socket event drives them.
+    for (auto& [pid, p] : peers_) {
+      if (p->want_write) continue;
+      bool pending;
+      {
+        std::lock_guard<std::mutex> lk(p->mu);
+        pending = !p->q.empty();
+      }
+      if (pending) flush_peer(p.get());
+    }
+  }
+
+  // Shutdown: close everything owned by this thread.
+  for (auto& c : conns_) ::close(c->fd);
+  conns_.clear();
+  for (auto& [pid, p] : peers_) {
+    if (p->fd >= 0) ::close(p->fd);
+    p->fd = -1;
+    p->state = PeerState::kIdle;
+  }
+  ::close(listen_fd_);
+}
+
+void TcpNode::on_acceptable() {
+  while (true) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      return;  // listener closed
+      return;  // EAGAIN or listener closed
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    std::lock_guard<std::mutex> lk(conn_mu_);
-    if (stopping_.load()) {
-      ::close(fd);
-      return;
-    }
-    in_fds_.push_back(fd);
-    reader_threads_.emplace_back([this, fd] {
-      reader_loop(fd);
-      ::close(fd);
-    });
+    int buf_sz = kSockBufBytes;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &buf_sz, sizeof(buf_sz));
+    auto c = std::make_unique<Conn>();
+    c->fd = fd;
+    c->buf.resize(kReadBufBytes);
+    c->tag.p = c.get();
+    conns_.push_back(std::move(c));
+    Conn* raw = conns_.back().get();
+    raw->self = std::prev(conns_.end());
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = &raw->tag;
+    if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) close_conn(raw);
   }
 }
 
-void TcpNode::reader_loop(int fd) {
-  while (!stopping_.load()) {
-    uint8_t header[14];
-    if (!read_full(fd, header, sizeof(header))) return;
-    uint32_t len = get_u32(header);
-    uint32_t crc = get_u32(header + 4);
-    uint32_t from = get_u32(header + 8);
+void TcpNode::close_conn(Conn* c) {
+  ::epoll_ctl(epfd_, EPOLL_CTL_DEL, c->fd, nullptr);
+  ::close(c->fd);
+  conns_.erase(c->self);  // destroys *c
+}
+
+void TcpNode::on_conn_readable(Conn* c) {
+  while (true) {
+    if (c->filled == c->buf.size()) {
+      // Grow to fit the frame in progress (bounded by the frame size cap).
+      size_t need = c->buf.size() * 2;
+      if (c->filled >= kFrameHeaderBytes) {
+        FrameHeader h = decode_frame_header(c->buf.data());
+        if (h.payload_len <= kMaxFrameBytes) {
+          size_t frame = kFrameHeaderBytes + h.payload_len;
+          if (frame > need) need = frame;
+        }
+      }
+      c->buf.resize(std::min(need, kMaxFrameBytes + kFrameHeaderBytes));
+    }
+    size_t want = c->buf.size() - c->filled;
+    ssize_t n = ::read(c->fd, c->buf.data() + c->filled, want);
+    if (n == 0) {  // peer closed; pending complete frames were already posted
+      close_conn(c);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      close_conn(c);
+      return;
+    }
+    c->filled += static_cast<size_t>(n);
+    decode_and_dispatch(c);
+    if (c->fd < 0) return;  // decode closed the connection
+    // Partial read: the socket is likely drained; level-triggered epoll
+    // re-fires if more arrives, so yield to the rest of the loop.
+    if (static_cast<size_t>(n) < want) return;
+  }
+}
+
+void TcpNode::decode_and_dispatch(Conn* c) {
+  struct FrameRef {
+    NodeId from;
     uint16_t type;
-    std::memcpy(&type, header + 12, 2);
-    if (len > (64u << 20)) {
-      RSP_WARN << "tcp: oversized frame (" << len << " bytes), closing";
-      return;
+    size_t off;
+    size_t len;
+  };
+  // Complete frames stay in place: the whole read buffer is moved into one
+  // EventLoop task (frame refs are offsets into it) and the connection gets a
+  // fresh buffer, seeded with the trailing partial frame if any. Zero copies
+  // of delivered payload bytes, one task per read burst.
+  std::vector<FrameRef> frames;
+  size_t pos = 0;
+  bool fatal = false;
+  while (c->filled - pos >= kFrameHeaderBytes) {
+    FrameHeader h = decode_frame_header(c->buf.data() + pos);
+    if (h.payload_len > kMaxFrameBytes) {
+      RSP_WARN << "tcp: oversized frame (" << h.payload_len << " bytes), closing";
+      fatal = true;
+      break;
     }
-    Bytes payload(len);
-    if (!read_full(fd, payload.data(), len)) return;
-    if (crc32c(payload) != crc) {
-      RSP_WARN << "tcp: frame checksum mismatch from node " << from << ", dropping";
-      continue;
+    if (c->filled - pos < kFrameHeaderBytes + h.payload_len) break;
+    const uint8_t* payload = c->buf.data() + pos + kFrameHeaderBytes;
+    if (crc32c(BytesView(payload, h.payload_len)) != h.crc) {
+      RSP_WARN << "tcp: frame checksum mismatch from node " << h.from << ", dropping";
+    } else {
+      frames.push_back({h.from, h.type, pos + kFrameHeaderBytes, h.payload_len});
     }
-    if (stopping_.load()) return;
-    loop_.post([this, from, type, msg = std::move(payload)] {
-      MessageHandler* h = handler_.load();
-      if (h != nullptr) h->on_message(from, static_cast<MsgType>(type), msg);
+    pos += kFrameHeaderBytes + h.payload_len;
+  }
+
+  bool posted = false;
+  if (!frames.empty() && !stopping_.load(std::memory_order_relaxed)) {
+    size_t leftover = c->filled - pos;
+    Bytes next = take_read_buf(std::max<size_t>(kReadBufBytes, leftover));
+    std::memcpy(next.data(), c->buf.data() + pos, leftover);
+    Bytes burst = std::move(c->buf);
+    c->buf = std::move(next);  // also sheds any grown huge-frame buffer
+    c->filled = leftover;
+    posted = true;
+    loop_.post([this, burst = std::move(burst), frames = std::move(frames)]() mutable {
+      for (const FrameRef& f : frames) {
+        MessageHandler* h = handler_.load();
+        if (h == nullptr) return;
+        h->on_message(f.from, static_cast<MsgType>(f.type),
+                      BytesView(burst.data() + f.off, f.len));
+      }
+      recycle_read_buf(std::move(burst));
     });
+  }
+
+  if (fatal) {
+    close_conn(c);
+    return;
+  }
+  if (posted) return;
+  if (pos > 0) {  // only corrupt/skipped frames this burst
+    std::memmove(c->buf.data(), c->buf.data() + pos, c->filled - pos);
+    c->filled -= pos;
+  }
+  if (c->buf.size() > kReadBufShrinkBytes && c->filled <= kReadBufBytes) {
+    Bytes smaller(kReadBufBytes);
+    std::memcpy(smaller.data(), c->buf.data(), c->filled);
+    c->buf.swap(smaller);
   }
 }
 
-int TcpNode::peer_fd(NodeId to) {
-  std::lock_guard<std::mutex> lk(conn_mu_);
-  auto it = out_fds_.find(to);
-  if (it != out_fds_.end()) return it->second;
+Bytes TcpNode::take_read_buf(size_t min_bytes) {
+  {
+    std::lock_guard<std::mutex> lk(buf_pool_mu_);
+    // Pool entries are all kReadBufBytes; an oversized request (huge frame
+    // in progress) falls through to a fresh allocation.
+    if (!buf_pool_.empty() && buf_pool_.back().size() >= min_bytes) {
+      Bytes b = std::move(buf_pool_.back());
+      buf_pool_.pop_back();
+      return b;
+    }
+  }
+  return Bytes(std::max(min_bytes, kReadBufBytes));
+}
 
-  const PeerAddr& addr = transport_->addr(to);
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return -1;
+void TcpNode::recycle_read_buf(Bytes b) {
+  constexpr size_t kBufPoolMax = 8;
+  if (b.size() != kReadBufBytes) return;  // don't cache grown huge-frame buffers
+  std::lock_guard<std::mutex> lk(buf_pool_mu_);
+  if (buf_pool_.size() < kBufPoolMax) buf_pool_.push_back(std::move(b));
+}
+
+// ---------------------------------------------------------------------------
+// Outbound: async connect + vectored drain.
+
+void TcpNode::handle_peer_event(Peer* p, uint32_t events) {
+  if (p->state == PeerState::kConnecting) {
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(p->fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0 || (events & (EPOLLERR | EPOLLHUP)) != 0) {
+      peer_disconnected(p, "connect failed");
+      return;
+    }
+    if ((events & EPOLLOUT) == 0) return;  // not established yet
+    p->state = PeerState::kConnected;
+    p->backoff = 0;
+    flush_peer(p);
+    return;
+  }
+  if (p->state != PeerState::kConnected) return;
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    peer_disconnected(p, "connection error");
+    return;
+  }
+  if (events & EPOLLIN) {
+    // Outbound sockets are write-only in this transport; readability means
+    // EOF (peer closed) or unexpected data (discarded).
+    uint8_t tmp[256];
+    ssize_t r = ::read(p->fd, tmp, sizeof(tmp));
+    if (r == 0 ||
+        (r < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)) {
+      peer_disconnected(p, "peer closed");
+      return;
+    }
+  }
+  if (events & EPOLLOUT) flush_peer(p);
+}
+
+void TcpNode::peer_disconnected(Peer* p, const char* why) {
+  if (p->fd >= 0) {
+    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, p->fd, nullptr);
+    ::close(p->fd);
+    p->fd = -1;
+  }
+  if (p->state == PeerState::kConnected || p->state == PeerState::kConnecting) {
+    RSP_DEBUG << "tcp: peer " << p->id << " " << why << ", backing off";
+  }
+  p->state = PeerState::kIdle;
+  p->want_write = false;
+  // Frames in inflight (including a partially-written head) are resent from
+  // scratch on the next connection: the receiver discards the torn tail with
+  // the dead connection, and Paxos tolerates the possible duplicates.
+  p->head_off = 0;
+  p->backoff = p->backoff == 0 ? kMinBackoffUs
+                               : std::min<DurationMicros>(p->backoff * 2, kMaxBackoffUs);
+  p->retry_at = steady_now_us() + p->backoff;
+}
+
+void TcpNode::start_connect(Peer* p) {
+  io_metrics_.reconnects->inc();
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    peer_disconnected(p, "socket failed");
+    return;
+  }
   sockaddr_in sa{};
   sa.sin_family = AF_INET;
-  sa.sin_port = htons(addr.port);
-  if (::inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr) != 1) {
+  sa.sin_port = htons(p->addr.port);
+  if (::inet_pton(AF_INET, p->addr.host.c_str(), &sa.sin_addr) != 1) {
     ::close(fd);
-    return -1;
-  }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
-    ::close(fd);
-    return -1;
+    peer_disconnected(p, "bad address");
+    return;
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  out_fds_[to] = fd;
-  return fd;
+  int buf_sz = kSockBufBytes;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &buf_sz, sizeof(buf_sz));
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    peer_disconnected(p, "connect refused");
+    return;
+  }
+  p->fd = fd;
+  p->state = rc == 0 ? PeerState::kConnected : PeerState::kConnecting;
+  if (rc == 0) p->backoff = 0;
+  p->want_write = true;
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLOUT;
+  ev.data.ptr = &p->tag;
+  if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    ::close(fd);
+    p->fd = -1;
+    peer_disconnected(p, "epoll add failed");
+  }
 }
 
-void TcpNode::send(NodeId to, MsgType type, Bytes payload) {
-  bytes_sent_.fetch_add(payload.size(), std::memory_order_relaxed);
-  metrics_.on_send(type, payload.size());
-  int fd = peer_fd(to);
-  if (fd < 0) return;  // unreachable peer: datagram semantics, drop
+void TcpNode::set_peer_writable_interest(Peer* p, bool want) {
+  if (p->want_write == want || p->fd < 0) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+  ev.data.ptr = &p->tag;
+  if (::epoll_ctl(epfd_, EPOLL_CTL_MOD, p->fd, &ev) == 0) p->want_write = want;
+}
 
-  uint8_t header[14];
-  put_u32(header, static_cast<uint32_t>(payload.size()));
-  put_u32(header + 4, crc32c(payload));
-  put_u32(header + 8, id_);
-  uint16_t t = static_cast<uint16_t>(type);
-  std::memcpy(header + 12, &t, 2);
-
-  std::lock_guard<std::mutex> lk(conn_mu_);
-  auto it = out_fds_.find(to);
-  if (it == out_fds_.end() || it->second != fd) return;  // raced with shutdown
-  if (!write_full(fd, header, sizeof(header)) ||
-      !write_full(fd, payload.data(), payload.size())) {
-    ::close(fd);
-    out_fds_.erase(to);  // next send reconnects
+void TcpNode::flush_peer(Peer* p) {
+  if (p->state == PeerState::kIdle) {
+    bool pending = !p->inflight.empty();
+    if (!pending) {
+      std::lock_guard<std::mutex> lk(p->mu);
+      pending = !p->q.empty();
+    }
+    if (!pending || steady_now_us() < p->retry_at) return;
+    start_connect(p);
   }
+  if (p->state != PeerState::kConnected) return;
+
+  for (int round = 0; round < kFlushRounds; ++round) {
+    if (p->inflight.empty()) {
+      size_t depth, q_bytes;
+      {
+        std::lock_guard<std::mutex> lk(p->mu);
+        while (!p->q.empty() && p->inflight.size() < kMaxBatchFrames) {
+          p->q_bytes -= p->q.front().wire_size();
+          p->inflight.push_back(std::move(p->q.front()));
+          p->q.pop_front();
+        }
+        depth = p->q.size();
+        q_bytes = p->q_bytes;
+      }
+      p->depth_gauge->set(static_cast<int64_t>(depth));
+      p->bytes_gauge->set(static_cast<int64_t>(q_bytes));
+    }
+    if (p->inflight.empty()) {
+      set_peer_writable_interest(p, false);
+      return;
+    }
+
+    // Coalesce header + payload of as many queued frames as fit into one
+    // vectored syscall; a partially-written head frame resumes mid-frame.
+    iovec iov[kMaxIov];
+    size_t niov = 0;
+    size_t off = p->head_off;
+    for (const OutFrame& f : p->inflight) {
+      if (niov + 2 > kMaxIov) break;
+      if (off < kFrameHeaderBytes) {
+        iov[niov++] = {const_cast<uint8_t*>(f.hdr.data()) + off,
+                       kFrameHeaderBytes - off};
+        if (!f.payload.empty()) {
+          iov[niov++] = {const_cast<uint8_t*>(f.payload.data()), f.payload.size()};
+        }
+      } else {
+        size_t poff = off - kFrameHeaderBytes;
+        iov[niov++] = {const_cast<uint8_t*>(f.payload.data()) + poff,
+                       f.payload.size() - poff};
+      }
+      off = 0;  // only the head frame can start mid-frame
+    }
+
+    // sendmsg(MSG_NOSIGNAL) == writev, minus SIGPIPE when the peer has
+    // already reset the connection (we want EPIPE and a reconnect instead).
+    struct msghdr mh {};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = niov;
+    ssize_t n = ::sendmsg(p->fd, &mh, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        set_peer_writable_interest(p, true);
+        return;
+      }
+      peer_disconnected(p, "write failed");
+      return;
+    }
+    size_t remaining = static_cast<size_t>(n);
+    int64_t completed = 0;
+    while (remaining > 0) {
+      OutFrame& head = p->inflight.front();
+      size_t avail = head.wire_size() - p->head_off;
+      if (remaining >= avail) {
+        remaining -= avail;
+        p->head_off = 0;
+        p->inflight.pop_front();
+        ++completed;
+      } else {
+        p->head_off += remaining;
+        remaining = 0;
+      }
+    }
+    if (completed > 0) io_metrics_.frames_per_writev->observe(completed);
+  }
+  // Round budget exhausted with possible work left: keep EPOLLOUT armed so
+  // the flush resumes on the next epoll round without a wakeup.
+  set_peer_writable_interest(p, true);
 }
 
 NodeContext::TimerId TcpNode::set_timer(DurationMicros delay, TimerFn fn) {
@@ -187,6 +621,8 @@ NodeContext::TimerId TcpNode::set_timer(DurationMicros delay, TimerFn fn) {
 }
 
 bool TcpNode::cancel_timer(TimerId id) { return loop_.cancel(id); }
+
+// ---------------------------------------------------------------------------
 
 TcpTransport::~TcpTransport() {
   std::lock_guard<std::mutex> lk(mu_);
@@ -197,7 +633,7 @@ StatusOr<TcpNode*> TcpTransport::start_node(NodeId id) {
   auto ait = addrs_.find(id);
   if (ait == addrs_.end()) return Status::invalid("unknown node id");
 
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) return Status::internal("socket failed");
   int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -209,10 +645,17 @@ StatusOr<TcpNode*> TcpTransport::start_node(NodeId id) {
     return Status::invalid("bad host " + ait->second.host);
   }
   if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    int err = errno;
     ::close(fd);
-    return Status::internal("bind failed: " + std::string(std::strerror(errno)));
+    if (err == EADDRINUSE) {
+      // free_ports() reservations are released before we bind, so another
+      // process can win the port in between. Retryable by design.
+      return Status::unavailable("port " + std::to_string(ait->second.port) +
+                                 " raced (EADDRINUSE); pick fresh free_ports() and retry");
+    }
+    return Status::internal("bind failed: " + std::string(std::strerror(err)));
   }
-  if (::listen(fd, 64) != 0) {
+  if (::listen(fd, 256) != 0) {
     ::close(fd);
     return Status::internal("listen failed");
   }
@@ -228,16 +671,22 @@ StatusOr<TcpNode*> TcpTransport::start_node(NodeId id) {
 
 std::vector<uint16_t> TcpTransport::free_ports(size_t len) {
   // Bind ephemeral sockets, record the assigned ports, then release them.
+  // SO_REUSEADDR keeps the kernel from parking the released ports in
+  // TIME_WAIT, but the reservation is still TOCTOU: start_node() re-verifies
+  // the bind and reports a raced port as a retryable kUnavailable status.
   std::vector<uint16_t> ports;
   std::vector<int> fds;
   for (size_t i = 0; i < len; ++i) {
     int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) continue;
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
     sockaddr_in sa{};
     sa.sin_family = AF_INET;
     sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     sa.sin_port = 0;
-    if (fd < 0 || ::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
-      if (fd >= 0) ::close(fd);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+      ::close(fd);
       continue;
     }
     socklen_t slen = sizeof(sa);

@@ -1,15 +1,29 @@
-// TCP transport: real sockets, one listener per node, lazy outbound
-// connections, length-prefixed CRC-checked frames.
+// TCP transport: non-blocking epoll-driven sockets, one listener and one I/O
+// thread per node, length-prefixed CRC-checked frames.
 //
 // Mirrors the paper's implementation substrate (§5: "an asynchronous RPC
 // module for message passing between processes. It uses TCP"). Delivery runs
 // on the node's EventLoop thread, so protocol code sees the identical
 // single-threaded contract as under the simulator.
 //
-// Frame: u32 payload_len | u32 crc32c | u32 from | u16 type | payload.
+// send() never touches a socket: it appends the frame to a bounded per-peer
+// outbound queue (drop-oldest backpressure, preserving the datagram
+// semantics of the NodeContext contract) and, at most, writes one eventfd
+// wakeup. The I/O thread drains queues with writev — header + payload and
+// multiple queued frames coalesce into a single vectored syscall — and folds
+// all inbound connections into the same epoll loop with reusable per-
+// connection decode buffers. Outbound connects are asynchronous
+// (EINPROGRESS) with exponential-backoff reconnect, so an unreachable peer
+// never stalls the caller.
+//
+// Frame format: see net/frame.h (unchanged from the blocking transport).
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <cstdint>
+#include <deque>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -17,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/frame.h"
 #include "net/transport.h"
 #include "obs/transport_metrics.h"
 #include "util/event_loop.h"
@@ -47,31 +62,129 @@ class TcpNode final : public NodeContext {
   void set_handler(MessageHandler* handler) { handler_ = handler; }
   EventLoop& loop() { return loop_; }
 
-  /// Stops listener/readers and joins threads. Called by the destructor.
+  /// Frames dropped by the send path (queue overflow / oversize / unknown
+  /// peer) since construction. Test/diagnostic helper.
+  uint64_t send_drops() const { return send_drops_.load(); }
+
+  /// Stops the I/O thread, closes all sockets, joins. Called by the
+  /// destructor; queued-but-unsent frames are dropped (datagram semantics).
   void shutdown();
+
+  // Per-peer outbound queue bounds. Oldest frames are dropped first on
+  // overflow, which never reorders the frames that remain.
+  static constexpr size_t kMaxQueueFrames = 16384;
+  static constexpr size_t kMaxQueueBytes = 64u << 20;
 
  private:
   friend class TcpTransport;
+
+  // epoll registration tag kinds (stored in epoll_event.data.ptr).
+  struct Peer;
+  struct Conn;
+  enum class TagKind : uint8_t { kWake, kListen, kPeer, kConn };
+  struct FdTag {
+    TagKind kind;
+    void* p;  // Peer* or Conn* (null for wake/listen)
+  };
+
+  /// One queued outbound frame: fixed header + owned payload. The I/O thread
+  /// points iovecs straight at these, so header and payload are never copied
+  /// again after enqueue.
+  struct OutFrame {
+    std::array<uint8_t, kFrameHeaderBytes> hdr;
+    Bytes payload;
+    size_t wire_size() const { return kFrameHeaderBytes + payload.size(); }
+  };
+
+  enum class PeerState : uint8_t { kIdle, kConnecting, kConnected };
+
+  /// Outbound state toward one peer. `mu`/`q`/`q_bytes` are the only fields
+  /// shared with senders; everything else is I/O-thread private.
+  struct Peer {
+    NodeId id = 0;
+    PeerAddr addr;
+
+    std::mutex mu;
+    std::deque<OutFrame> q;  // guarded by mu
+    size_t q_bytes = 0;      // guarded by mu
+
+    // I/O-thread private from here on.
+    int fd = -1;
+    PeerState state = PeerState::kIdle;
+    bool want_write = false;            // EPOLLOUT currently armed
+    std::deque<OutFrame> inflight;      // moved off q; survives partial writev
+    size_t head_off = 0;                // bytes of inflight.front() already written
+    TimeMicros retry_at = 0;            // steady-us deadline before next connect
+    DurationMicros backoff = 0;
+    FdTag tag{TagKind::kPeer, nullptr};
+
+    obs::Gauge* depth_gauge = nullptr;
+    obs::Gauge* bytes_gauge = nullptr;
+  };
+
+  /// One accepted inbound connection: rolling decode buffer reused across
+  /// frames (no per-message allocation for small frames; completed frames in
+  /// one read burst are copied out and posted to the EventLoop as a batch).
+  struct Conn {
+    int fd = -1;
+    Bytes buf;
+    size_t filled = 0;
+    FdTag tag{TagKind::kConn, nullptr};
+    std::list<std::unique_ptr<Conn>>::iterator self;
+  };
+
   TcpNode(TcpTransport* t, NodeId id, int listen_fd);
 
-  void accept_loop();
-  void reader_loop(int fd);
-  int peer_fd(NodeId to);  // connects lazily; returns -1 on failure
+  void io_loop();
+  void on_acceptable();
+  void on_conn_readable(Conn* c);
+  void close_conn(Conn* c);
+  void decode_and_dispatch(Conn* c);
+  Bytes take_read_buf(size_t min_bytes);
+  void recycle_read_buf(Bytes b);
+  void flush_peer(Peer* p);
+  void start_connect(Peer* p);
+  void handle_peer_event(Peer* p, uint32_t events);
+  void peer_disconnected(Peer* p, const char* why);
+  void set_peer_writable_interest(Peer* p, bool want);
+  int epoll_timeout_ms() const;
+  static TimeMicros steady_now_us();
 
   TcpTransport* transport_;
   NodeId id_;
   int listen_fd_;
+  int epfd_ = -1;
+  int wake_fd_ = -1;
+  FdTag wake_tag_{TagKind::kWake, nullptr};
+  FdTag listen_tag_{TagKind::kListen, nullptr};
   std::atomic<bool> stopping_{false};
   std::atomic<MessageHandler*> handler_{nullptr};
   std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> send_drops_{0};
+  // True while the I/O thread is processing an epoll batch. Senders elide the
+  // eventfd wake when set; the I/O thread clears it and then rescans every
+  // queue, so a frame enqueued during the busy window is always picked up.
+  std::atomic<bool> io_busy_{false};
+  // send() stall timing is sampled 1-in-16 (two clock reads per frame are
+  // measurable at millions of frames/s); this is the sample counter.
+  std::atomic<uint32_t> stall_sample_{0};
   obs::TransportMetrics metrics_;
+  obs::TcpIoMetrics io_metrics_;
 
-  std::mutex conn_mu_;
-  std::map<NodeId, int> out_fds_;            // guarded by conn_mu_
-  std::vector<int> in_fds_;                  // accepted fds, guarded by conn_mu_
-  std::vector<std::thread> reader_threads_;  // guarded by conn_mu_
-  std::thread accept_thread_;
+  // Built once in the constructor from the transport's address map and
+  // immutable afterwards, so lookups need no lock.
+  std::map<NodeId, std::unique_ptr<Peer>> peers_;
+  std::list<std::unique_ptr<Conn>> conns_;  // I/O-thread private
+
+  // Recycled receive buffers: decode_and_dispatch moves each filled buffer
+  // into the delivery task and takes a replacement here, so steady-state
+  // receive allocates nothing (a fresh Bytes would zero-fill kReadBufBytes
+  // per read burst).
+  std::mutex buf_pool_mu_;
+  std::vector<Bytes> buf_pool_;
+
   EventLoop loop_;
+  std::thread io_thread_;
 };
 
 /// Builds a mesh of TcpNodes from a static address map (one per NodeId).
@@ -82,11 +195,17 @@ class TcpTransport {
   ~TcpTransport();
 
   /// Creates the endpoint (binds + listens). Must be called once per id.
+  /// Returns kUnavailable when the configured port is already taken (e.g. a
+  /// free_ports() reservation raced another process) — callers should pick
+  /// fresh ports and retry.
   StatusOr<TcpNode*> start_node(NodeId id);
 
   const PeerAddr& addr(NodeId id) const { return addrs_.at(id); }
 
-  /// Picks len free localhost ports (test/example helper).
+  /// Picks len free localhost ports (test/example helper). Inherently TOCTOU:
+  /// the reservation sockets are closed before the caller binds, so another
+  /// process can grab a returned port in the window. start_node() reports
+  /// that race as a retryable kUnavailable status.
   static std::vector<uint16_t> free_ports(size_t len);
 
  private:

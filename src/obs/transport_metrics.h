@@ -86,4 +86,64 @@ class TransportMetrics {
   std::array<Counter*, kSlots> msgs_{};
 };
 
+/// Send-path instruments for the epoll TCP transport: per-node enqueue-stall
+/// and coalescing histograms, drop/reconnect counters. One instance per
+/// TcpNode; handles resolved once at init(), hot-path records are one atomic
+/// add (counters) or one short critical section (histograms).
+class TcpIoMetrics {
+ public:
+  void init(NodeId node) {
+    auto& reg = MetricsRegistry::global();
+    std::string n = std::to_string(node);
+    send_stall_us = &reg.histogram_family(
+                            "rsp_net_send_stall_us",
+                            "Time a caller spent inside transport send() (enqueue only; "
+                            "must stay bounded even with unreachable peers)",
+                            {"node"})
+                         .with({n});
+    frames_per_writev = &reg.histogram_family(
+                                "rsp_net_frames_per_writev",
+                                "Frames coalesced into one vectored send syscall",
+                                {"node"})
+                             .with({n});
+    drops_queue_full = &drop_family().with({n, "queue_full"});
+    drops_oversize = &drop_family().with({n, "oversize"});
+    drops_no_peer = &drop_family().with({n, "no_peer"});
+    reconnects = &reg.counter_family("rsp_net_reconnects_total",
+                                     "Outbound connection (re)establish attempts",
+                                     {"node"})
+                      .with({n});
+  }
+
+  /// Per-peer outbound queue gauges (frames and bytes currently queued).
+  static Gauge* queue_depth_gauge(NodeId node, NodeId peer) {
+    return &MetricsRegistry::global()
+                .gauge_family("rsp_net_peer_queue_depth",
+                              "Frames queued toward one peer (bounded, drop-oldest)",
+                              {"node", "peer"})
+                .with({std::to_string(node), std::to_string(peer)});
+  }
+  static Gauge* queue_bytes_gauge(NodeId node, NodeId peer) {
+    return &MetricsRegistry::global()
+                .gauge_family("rsp_net_peer_queue_bytes",
+                              "Bytes queued toward one peer (header + payload)",
+                              {"node", "peer"})
+                .with({std::to_string(node), std::to_string(peer)});
+  }
+
+  HistogramMetric* send_stall_us = nullptr;
+  HistogramMetric* frames_per_writev = nullptr;
+  Counter* drops_queue_full = nullptr;
+  Counter* drops_oversize = nullptr;
+  Counter* drops_no_peer = nullptr;
+  Counter* reconnects = nullptr;
+
+ private:
+  static Family<Counter>& drop_family() {
+    return MetricsRegistry::global().counter_family(
+        "rsp_net_send_drops_total", "Frames dropped by the transport send path",
+        {"node", "reason"});
+  }
+};
+
 }  // namespace rspaxos::obs

@@ -1,11 +1,14 @@
 #include "storage/file_wal.h"
 
 #include <fcntl.h>
+#include <limits.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "util/crc32.h"
@@ -13,6 +16,34 @@
 
 namespace rspaxos::storage {
 namespace {
+
+/// Writes every iovec fully, resuming after partial writes and chunking the
+/// array at IOV_MAX. Mutates the iovecs as it consumes them.
+bool writev_full(int fd, std::vector<iovec>& iov) {
+  size_t i = 0;
+  while (i < iov.size()) {
+    size_t cnt = std::min<size_t>(iov.size() - i, IOV_MAX);
+    ssize_t n = ::writev(fd, &iov[i], static_cast<int>(cnt));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    size_t left = static_cast<size_t>(n);
+    while (left > 0 && i < iov.size()) {
+      if (left >= iov[i].iov_len) {
+        left -= iov[i].iov_len;
+        ++i;
+      } else {
+        iov[i].iov_base = static_cast<char*>(iov[i].iov_base) + left;
+        iov[i].iov_len -= left;
+        left = 0;
+      }
+    }
+    // Skip iovecs already fully consumed (writev may return exactly the
+    // batch size, leaving i at iov.size()).
+  }
+  return true;
+}
 
 /// Shared WAL metric handles (one label-less set per process; both WAL
 /// implementations report under the same names).
@@ -90,24 +121,18 @@ void FileWal::flusher_loop() {
     lk.unlock();
 
     auto flush_start = std::chrono::steady_clock::now();
+    // The whole group-commit batch goes down in one vectored write (chunked
+    // at IOV_MAX by writev_full), not one write() per record.
     size_t nbytes = 0;
-    bool write_ok = true;
+    std::vector<iovec> iov;
+    iov.reserve(batch.size());
     for (const Pending& p : batch) {
-      const uint8_t* data = p.framed.data();
-      size_t left = p.framed.size();
-      while (left > 0) {
-        ssize_t n = ::write(fd_, data, left);
-        if (n < 0) {
-          if (errno == EINTR) continue;
-          write_ok = false;
-          break;
-        }
-        data += n;
-        left -= static_cast<size_t>(n);
-      }
-      if (!write_ok) break;
+      if (p.framed.empty()) continue;
+      iov.push_back({const_cast<uint8_t*>(p.framed.data()), p.framed.size()});
       nbytes += p.framed.size();
     }
+    bool write_ok = writev_full(fd_, iov);
+    if (!write_ok) nbytes = 0;
     if (write_ok && ::fdatasync(fd_) != 0) write_ok = false;
     bytes_flushed_.fetch_add(nbytes);
     flush_ops_.fetch_add(1);
@@ -127,29 +152,53 @@ void FileWal::flusher_loop() {
 }
 
 void FileWal::replay(const std::function<void(BytesView)>& fn) {
-  // Read the whole file via a separate descriptor so the append offset is
-  // untouched.
+  // Stream the log in fixed-size chunks through a rolling buffer via a
+  // separate descriptor (the append offset is untouched). Memory stays
+  // O(chunk + largest record) no matter how large the log is; the buffer
+  // only grows when a single record exceeds it.
   int fd = ::open(path_.c_str(), O_RDONLY);
   if (fd < 0) return;
-  Bytes content;
-  uint8_t buf[64 * 1024];
-  ssize_t n;
-  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
-    content.insert(content.end(), buf, buf + n);
+  constexpr size_t kChunk = 64 * 1024;
+  Bytes buf(kChunk);
+  size_t filled = 0;
+  bool eof = false;
+  while (true) {
+    if (!eof) {
+      if (filled == buf.size()) buf.resize(buf.size() * 2);  // record > buffer
+      ssize_t n = ::read(fd, buf.data() + filled, buf.size() - filled);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (n == 0) {
+        eof = true;
+      } else {
+        filled += static_cast<size_t>(n);
+      }
+    }
+    size_t pos = 0;
+    bool corrupt = false;
+    while (filled - pos >= 8) {
+      uint32_t len, crc;
+      std::memcpy(&len, buf.data() + pos, 4);
+      std::memcpy(&crc, buf.data() + pos + 4, 4);
+      if (filled - pos < 8 + static_cast<size_t>(len)) break;  // need more data
+      BytesView payload(buf.data() + pos + 8, len);
+      if (crc32c(payload) != crc) {  // corrupt tail: stop replay
+        corrupt = true;
+        break;
+      }
+      fn(payload);
+      pos += 8 + len;
+    }
+    if (pos > 0) {
+      std::memmove(buf.data(), buf.data() + pos, filled - pos);
+      filled -= pos;
+    }
+    // Leftover bytes at EOF are a torn tail record (crash mid-append): stop.
+    if (corrupt || eof) break;
   }
   ::close(fd);
-
-  size_t pos = 0;
-  while (pos + 8 <= content.size()) {
-    uint32_t len, crc;
-    std::memcpy(&len, content.data() + pos, 4);
-    std::memcpy(&crc, content.data() + pos + 4, 4);
-    if (pos + 8 + len > content.size()) break;  // torn tail record
-    BytesView payload(content.data() + pos + 8, len);
-    if (crc32c(payload) != crc) break;  // corrupt tail
-    fn(payload);
-    pos += 8 + len;
-  }
 }
 
 }  // namespace rspaxos::storage

@@ -1,6 +1,9 @@
 // Real file-backed WAL: CRC-framed records, group commit on a flusher thread.
 //
-// Record frame: u32 length | u32 crc32c(payload) | payload. Replay stops at
+// Record frame: u32 length | u32 crc32c(payload) | payload. Each group-commit
+// batch lands as one vectored write (writev over all framed records, chunked
+// at IOV_MAX) followed by one fdatasync. Replay streams the log through a
+// fixed-size rolling buffer — O(chunk + largest record) memory — and stops at
 // the first torn/corrupt frame (a crash mid-append), which is safe because
 // append callbacks only fire after fdatasync covers the record.
 #pragma once

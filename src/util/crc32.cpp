@@ -3,6 +3,14 @@
 #include <array>
 
 namespace rspaxos {
+namespace detail {
+#if defined(RSPAXOS_CRC32_SSE42)
+// Defined in crc32_sse42.cpp (compiled with -msse4.2); only called after the
+// cpuid probe below confirms the instruction exists.
+uint32_t crc32c_sse42(const uint8_t* data, size_t n, uint32_t seed);
+#endif
+}  // namespace detail
+
 namespace {
 
 // Slice-by-4 CRC32C tables, generated once at startup.
@@ -28,9 +36,18 @@ const Tables& tables() {
   return t;
 }
 
+using CrcFn = uint32_t (*)(const uint8_t*, size_t, uint32_t);
+
+CrcFn pick_crc_fn() {
+#if defined(RSPAXOS_CRC32_SSE42)
+  if (__builtin_cpu_supports("sse4.2")) return &detail::crc32c_sse42;
+#endif
+  return &crc32c_reference;
+}
+
 }  // namespace
 
-uint32_t crc32c(const uint8_t* data, size_t n, uint32_t seed) {
+uint32_t crc32c_reference(const uint8_t* data, size_t n, uint32_t seed) {
   const Tables& tb = tables();
   uint32_t c = ~seed;
   // Process 4 bytes at a time with slice-by-4.
@@ -44,6 +61,11 @@ uint32_t crc32c(const uint8_t* data, size_t n, uint32_t seed) {
   }
   while (n--) c = tb.t[0][(c ^ *data++) & 0xff] ^ (c >> 8);
   return ~c;
+}
+
+uint32_t crc32c(const uint8_t* data, size_t n, uint32_t seed) {
+  static const CrcFn fn = pick_crc_fn();
+  return fn(data, n, seed);
 }
 
 }  // namespace rspaxos

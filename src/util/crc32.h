@@ -13,8 +13,13 @@
 namespace rspaxos {
 
 /// Computes CRC32C over [data, data+n), continuing from `seed` (pass 0 to
-/// start a fresh checksum).
+/// start a fresh checksum). Dispatches to the SSE4.2 crc32 instruction when
+/// the host supports it, else the portable slice-by-4 tables.
 uint32_t crc32c(const uint8_t* data, size_t n, uint32_t seed = 0);
+
+/// The portable slice-by-4 implementation, exposed so tests can pin the
+/// hardware and reference paths against each other.
+uint32_t crc32c_reference(const uint8_t* data, size_t n, uint32_t seed = 0);
 
 inline uint32_t crc32c(BytesView b, uint32_t seed = 0) {
   return crc32c(b.data(), b.size(), seed);

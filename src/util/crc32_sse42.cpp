@@ -1,0 +1,33 @@
+// Hardware CRC32C: the SSE4.2 crc32 instruction, 8 bytes per issue. This TU
+// is compiled with -msse4.2 (see util/CMakeLists.txt) and must only be
+// entered after the dispatcher in crc32.cpp has probed cpuid — the same
+// per-file-ISA pattern as the GF(2^8) kernels in src/ec.
+#include <nmmintrin.h>
+
+#include <cstdint>
+#include <cstring>
+
+namespace rspaxos::detail {
+
+uint32_t crc32c_sse42(const uint8_t* data, size_t n, uint32_t seed) {
+  uint64_t c = ~seed;
+  while (n >= 8) {
+    uint64_t v;
+    std::memcpy(&v, data, 8);
+    c = _mm_crc32_u64(c, v);
+    data += 8;
+    n -= 8;
+  }
+  uint32_t c32 = static_cast<uint32_t>(c);
+  if (n >= 4) {
+    uint32_t v;
+    std::memcpy(&v, data, 4);
+    c32 = _mm_crc32_u32(c32, v);
+    data += 4;
+    n -= 4;
+  }
+  while (n--) c32 = _mm_crc32_u8(c32, *data++);
+  return ~c32;
+}
+
+}  // namespace rspaxos::detail

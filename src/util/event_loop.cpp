@@ -9,11 +9,13 @@ EventLoop::EventLoop() : thread_([this] { run(); }) {}
 EventLoop::~EventLoop() { stop(); }
 
 void EventLoop::post(Task task) {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    if (stopping_) return;
-    tasks_.push(std::move(task));
-  }
+  // Notify under the lock: once a poster has released mu_ without notifying,
+  // stop()+join and then the destructor can run to completion, and a deferred
+  // notify_one would touch a destroyed condvar. Holding mu_ orders every
+  // notify before the stop() that precedes destruction.
+  std::lock_guard<std::mutex> lk(mu_);
+  if (stopping_) return;
+  tasks_.push(std::move(task));
   cv_.notify_one();
 }
 
@@ -41,12 +43,9 @@ void EventLoop::drain() {
 void EventLoop::stop() {
   {
     std::lock_guard<std::mutex> lk(mu_);
-    if (stopping_) {
-      // Already stopping; just make sure the thread is joined.
-    }
     stopping_ = true;
+    cv_.notify_one();  // under the lock, same reasoning as post()
   }
-  cv_.notify_one();
   if (thread_.joinable()) thread_.join();
 }
 
