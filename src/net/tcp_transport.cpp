@@ -82,12 +82,21 @@ TcpNode::TcpNode(TcpTransport* t, NodeId id, int listen_fd)
     ev.data.ptr = &listen_tag_;
     ::epoll_ctl(epfd_, EPOLL_CTL_ADD, listen_fd_, &ev);
     io_thread_ = std::thread([this] { io_loop(); });
+    io_started_ = true;
   } else {
     RSP_WARN << "tcp: epoll/eventfd setup failed, node " << id << " is send/recv dead";
   }
 }
 
-TcpNode::~TcpNode() { shutdown(); }
+TcpNode::~TcpNode() {
+  shutdown();
+  // epfd_/wake_fd_ stay open until here: send() may race shutdown() and
+  // write the eventfd after stopping_ flips, which must hit our fd (harmless
+  // wakeup), never a closed or kernel-reused one. By destruction time the
+  // caller has quiesced all senders.
+  if (epfd_ >= 0) ::close(epfd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+}
 
 void TcpNode::shutdown() {
   if (stopping_.exchange(true)) return;
@@ -96,8 +105,12 @@ void TcpNode::shutdown() {
     [[maybe_unused]] ssize_t r = ::write(wake_fd_, &one, sizeof(one));
   }
   if (io_thread_.joinable()) io_thread_.join();
-  if (epfd_ >= 0) ::close(epfd_);
-  if (wake_fd_ >= 0) ::close(wake_fd_);
+  // io_loop() closes listen_fd_ on exit; if it never ran (epoll/eventfd
+  // setup failure), the listener is still ours to close.
+  if (!io_started_ && listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
   loop_.stop();
 }
 
@@ -118,7 +131,11 @@ void TcpNode::send(NodeId to, MsgType type, Bytes payload) {
     io_metrics_.drops_no_peer->inc();
     return;
   }
-  if (payload.size() > kMaxFrameBytes) {
+  // Also reject frames whose wire size exceeds the queue byte bound: they
+  // would be nominally accepted only for the drop-oldest loop below to shed
+  // them immediately, even from an empty queue — never deliverable.
+  if (payload.size() > kMaxFrameBytes ||
+      kFrameHeaderBytes + payload.size() > kMaxQueueBytes) {
     send_drops_.fetch_add(1, std::memory_order_relaxed);
     io_metrics_.drops_oversize->inc();
     return;
@@ -325,15 +342,17 @@ void TcpNode::on_conn_readable(Conn* c) {
       return;
     }
     c->filled += static_cast<size_t>(n);
-    decode_and_dispatch(c);
-    if (c->fd < 0) return;  // decode closed the connection
+    if (!decode_and_dispatch(c)) {  // fatal frame: close here, never touch *c after
+      close_conn(c);
+      return;
+    }
     // Partial read: the socket is likely drained; level-triggered epoll
     // re-fires if more arrives, so yield to the rest of the loop.
     if (static_cast<size_t>(n) < want) return;
   }
 }
 
-void TcpNode::decode_and_dispatch(Conn* c) {
+bool TcpNode::decode_and_dispatch(Conn* c) {
   struct FrameRef {
     NodeId from;
     uint16_t type;
@@ -384,11 +403,10 @@ void TcpNode::decode_and_dispatch(Conn* c) {
     });
   }
 
-  if (fatal) {
-    close_conn(c);
-    return;
-  }
-  if (posted) return;
+  // A fatal frame means the connection must die. The caller owns closing it
+  // (close_conn destroys *c, so nothing here may touch the Conn afterwards).
+  if (fatal) return false;
+  if (posted) return true;
   if (pos > 0) {  // only corrupt/skipped frames this burst
     std::memmove(c->buf.data(), c->buf.data() + pos, c->filled - pos);
     c->filled -= pos;
@@ -398,6 +416,7 @@ void TcpNode::decode_and_dispatch(Conn* c) {
     std::memcpy(smaller.data(), c->buf.data(), c->filled);
     c->buf.swap(smaller);
   }
+  return true;
 }
 
 Bytes TcpNode::take_read_buf(size_t min_bytes) {
@@ -661,11 +680,16 @@ StatusOr<TcpNode*> TcpTransport::start_node(NodeId id) {
   }
 
   std::lock_guard<std::mutex> lk(mu_);
-  auto [it, inserted] = nodes_.emplace(id, std::unique_ptr<TcpNode>(new TcpNode(this, id, fd)));
-  if (!inserted) {
+  if (nodes_.count(id) != 0) {
     ::close(fd);
     return Status::failed_precondition("node already started");
   }
+  auto node = std::unique_ptr<TcpNode>(new TcpNode(this, id, fd));
+  if (!node->io_started_) {
+    // Node destructor (via shutdown) closes the listener on this path.
+    return Status::internal("epoll/eventfd setup failed");
+  }
+  auto [it, inserted] = nodes_.emplace(id, std::move(node));
   return it->second.get();
 }
 

@@ -139,7 +139,10 @@ class TcpNode final : public NodeContext {
   void on_acceptable();
   void on_conn_readable(Conn* c);
   void close_conn(Conn* c);
-  void decode_and_dispatch(Conn* c);
+  /// Returns false when the connection hit a fatal frame and must be closed
+  /// by the caller (close_conn destroys the Conn, so this function never
+  /// closes it itself — the caller must not touch *c after a false return).
+  bool decode_and_dispatch(Conn* c);
   Bytes take_read_buf(size_t min_bytes);
   void recycle_read_buf(Bytes b);
   void flush_peer(Peer* p);
@@ -157,6 +160,10 @@ class TcpNode final : public NodeContext {
   int wake_fd_ = -1;
   FdTag wake_tag_{TagKind::kWake, nullptr};
   FdTag listen_tag_{TagKind::kListen, nullptr};
+  // Whether the I/O thread was launched (epoll/eventfd setup succeeded).
+  // Written once in the constructor; checked by start_node() to surface a
+  // dead node as a Status and by shutdown() for listen_fd_ ownership.
+  bool io_started_ = false;
   std::atomic<bool> stopping_{false};
   std::atomic<MessageHandler*> handler_{nullptr};
   std::atomic<uint64_t> bytes_sent_{0};

@@ -18,16 +18,20 @@ namespace rspaxos::storage {
 namespace {
 
 /// Writes every iovec fully, resuming after partial writes and chunking the
-/// array at IOV_MAX. Mutates the iovecs as it consumes them.
-bool writev_full(int fd, std::vector<iovec>& iov) {
+/// array at IOV_MAX. Mutates the iovecs as it consumes them. Returns the
+/// number of bytes actually written — on error that is fewer than the batch
+/// total, but the prefix may still have reached the file and must be counted.
+size_t writev_full(int fd, std::vector<iovec>& iov) {
   size_t i = 0;
+  size_t written = 0;
   while (i < iov.size()) {
     size_t cnt = std::min<size_t>(iov.size() - i, IOV_MAX);
     ssize_t n = ::writev(fd, &iov[i], static_cast<int>(cnt));
     if (n < 0) {
       if (errno == EINTR) continue;
-      return false;
+      return written;
     }
+    written += static_cast<size_t>(n);
     size_t left = static_cast<size_t>(n);
     while (left > 0 && i < iov.size()) {
       if (left >= iov[i].iov_len) {
@@ -42,7 +46,7 @@ bool writev_full(int fd, std::vector<iovec>& iov) {
     // Skip iovecs already fully consumed (writev may return exactly the
     // batch size, leaving i at iov.size()).
   }
-  return true;
+  return written;
 }
 
 /// Shared WAL metric handles (one label-less set per process; both WAL
@@ -131,13 +135,16 @@ void FileWal::flusher_loop() {
       iov.push_back({const_cast<uint8_t*>(p.framed.data()), p.framed.size()});
       nbytes += p.framed.size();
     }
-    bool write_ok = writev_full(fd_, iov);
-    if (!write_ok) nbytes = 0;
+    // Count bytes that actually hit the file: on a mid-batch failure the
+    // prefix iovecs may have been written, and the counters should reflect
+    // that rather than zero (callbacks still get the error status).
+    size_t wrote = writev_full(fd_, iov);
+    bool write_ok = wrote == nbytes;
     if (write_ok && ::fdatasync(fd_) != 0) write_ok = false;
-    bytes_flushed_.fetch_add(nbytes);
+    bytes_flushed_.fetch_add(wrote);
     flush_ops_.fetch_add(1);
     WalMetrics& wm = WalMetrics::get();
-    wm.bytes_durable->inc(nbytes);
+    wm.bytes_durable->inc(wrote);
     wm.flushes->inc();
     wm.fsync_us->observe(std::chrono::duration_cast<std::chrono::microseconds>(
                              std::chrono::steady_clock::now() - flush_start)

@@ -5,6 +5,7 @@
 #include <arpa/inet.h>
 #include <gtest/gtest.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -348,6 +349,56 @@ TEST_F(TcpTest, CorruptFrameDroppedConnectionSurvives) {
     EXPECT_EQ(to_string(rx.received[0].second), "still-alive");
   }
   ::close(fd);
+}
+
+// A hostile length field (> kMaxFrameBytes) is fatal for that connection:
+// valid frames earlier in the same burst still deliver, the server closes
+// the socket, and the transport keeps serving other connections. Regression
+// test — this path once destroyed the Conn and then kept reading through the
+// dangling pointer.
+TEST_F(TcpTest, OversizedFrameClosesConnectionTransportSurvives) {
+  Collector rx;
+  node2_->set_handler(&rx);
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(transport_->addr(2).port);
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &sa.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)), 0);
+
+  Bytes payload = to_bytes("before-bomb");
+  Bytes wire(kFrameHeaderBytes + payload.size() + kFrameHeaderBytes);
+  encode_frame_header(wire.data(), static_cast<uint32_t>(payload.size()),
+                      crc32c(payload), 42, MsgType::kTestPing);
+  std::memcpy(wire.data() + kFrameHeaderBytes, payload.data(), payload.size());
+  // Header claiming a 1 GiB payload, far over kMaxFrameBytes.
+  encode_frame_header(wire.data() + kFrameHeaderBytes + payload.size(), 1u << 30,
+                      0, 42, MsgType::kTestPing);
+  ASSERT_EQ(::write(fd, wire.data(), wire.size()), static_cast<ssize_t>(wire.size()));
+
+  ASSERT_TRUE(rx.wait_for(1));
+  {
+    std::lock_guard<std::mutex> lk(rx.mu);
+    ASSERT_EQ(rx.received.size(), 1u);
+    EXPECT_EQ(to_string(rx.received[0].second), "before-bomb");
+  }
+
+  // The server must close the hostile connection: wait for EOF.
+  pollfd pfd{fd, POLLIN, 0};
+  ASSERT_GT(::poll(&pfd, 1, 5000), 0);
+  uint8_t b;
+  EXPECT_EQ(::read(fd, &b, 1), 0);
+  ::close(fd);
+
+  // The node itself survives and accepts fresh connections.
+  node1_->send(2, MsgType::kTestPing, to_bytes("still-works"));
+  ASSERT_TRUE(rx.wait_for(2));
+  {
+    std::lock_guard<std::mutex> lk(rx.mu);
+    EXPECT_EQ(to_string(rx.received[1].second), "still-works");
+  }
 }
 
 // ---------------------------------------------------------------------------
