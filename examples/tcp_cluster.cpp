@@ -69,8 +69,13 @@ int main() {
     consensus::ReplicaOptions o = ropts;
     o.bootstrap_leader = (i == 1);
     auto server = std::make_unique<kv::KvServer>(node.value(), wals.back().get(), cfg, o);
-    node.value()->set_handler(server.get());
-    server->start();
+    // Install + start on the node's loop: peers may deliver messages the
+    // moment the handler is visible, and replica state is loop-thread-only.
+    node.value()->loop().post(
+        [nd = node.value(), srv = server.get()] {
+          nd->set_handler(srv);
+          srv->start();
+        });
     servers.push_back(std::move(server));
   }
 
@@ -89,15 +94,18 @@ int main() {
 
   std::this_thread::sleep_for(std::chrono::milliseconds(300));  // let leader settle
 
-  // A few real writes and reads.
+  // A few real writes and reads. KvClient is loop-thread-only, so every call
+  // is posted onto the client node's loop rather than issued from main.
   constexpr int kOps = 25;
   std::atomic<int> completed{0};
   auto t0 = std::chrono::steady_clock::now();
   for (int i = 0; i < kOps; ++i) {
-    Bytes value(20'000, static_cast<uint8_t>(i));
-    client.put("user/" + std::to_string(i), std::move(value), [&](Status s) {
-      if (!s.is_ok()) std::fprintf(stderr, "put failed: %s\n", s.to_string().c_str());
-      completed++;
+    cnode.value()->loop().post([&, i] {
+      Bytes value(20'000, static_cast<uint8_t>(i));
+      client.put("user/" + std::to_string(i), std::move(value), [&](Status s) {
+        if (!s.is_ok()) std::fprintf(stderr, "put failed: %s\n", s.to_string().c_str());
+        completed++;
+      });
     });
   }
   while (completed.load() < kOps) std::this_thread::sleep_for(std::chrono::milliseconds(5));
@@ -110,12 +118,14 @@ int main() {
   std::atomic<int> read_ok{0};
   completed = 0;
   for (int i = 0; i < kOps; ++i) {
-    client.get("user/" + std::to_string(i), [&, i](StatusOr<Bytes> r) {
-      if (r.is_ok() && r.value().size() == 20'000 &&
-          r.value()[0] == static_cast<uint8_t>(i)) {
-        read_ok++;
-      }
-      completed++;
+    cnode.value()->loop().post([&, i] {
+      client.get("user/" + std::to_string(i), [&, i](StatusOr<Bytes> r) {
+        if (r.is_ok() && r.value().size() == 20'000 &&
+            r.value()[0] == static_cast<uint8_t>(i)) {
+          read_ok++;
+        }
+        completed++;
+      });
     });
   }
   while (completed.load() < kOps) std::this_thread::sleep_for(std::chrono::milliseconds(5));

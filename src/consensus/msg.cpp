@@ -293,6 +293,7 @@ Bytes CatchupRepMsg::encode() const {
   Writer w(hint);
   w.u32(epoch);
   w.varint(commit_index);
+  w.varint(log_start);
   w.varint(entries.size());
   for (const CatchupEntry& e : entries) {
     w.varint(e.slot);
@@ -309,6 +310,7 @@ StatusOr<CatchupRepMsg> CatchupRepMsg::decode(BytesView b) {
   CatchupRepMsg m;
   RSP_RETURN_IF_ERROR(r.u32(m.epoch));
   RSP_RETURN_IF_ERROR(r.varint(m.commit_index));
+  RSP_RETURN_IF_ERROR(r.varint(m.log_start));
   uint64_t n;
   RSP_RETURN_IF_ERROR(r.varint(n));
   if (n > (1u << 16)) return Status::corruption("catchup entry count");
@@ -367,6 +369,69 @@ StatusOr<FetchShareRepMsg> FetchShareRepMsg::decode(BytesView b) {
   m.committed = committed != 0;
   RSP_RETURN_IF_ERROR(decode_ballot(r, m.accepted_ballot));
   if (m.have) RSP_RETURN_IF_ERROR(decode_share(r, m.share));
+  return m;
+}
+
+Bytes SnapshotOfferMsg::encode() const {
+  Writer w(32 + manifest.size());
+  w.u32(epoch);
+  encode_ballot(w, ballot);
+  w.bytes(manifest);
+  return w.take();
+}
+
+StatusOr<SnapshotOfferMsg> SnapshotOfferMsg::decode(BytesView b) {
+  Reader r(b);
+  SnapshotOfferMsg m;
+  RSP_RETURN_IF_ERROR(r.u32(m.epoch));
+  RSP_RETURN_IF_ERROR(decode_ballot(r, m.ballot));
+  RSP_RETURN_IF_ERROR(r.bytes(m.manifest));
+  return m;
+}
+
+Bytes SnapshotFetchReqMsg::encode() const {
+  Writer w(32);
+  w.u32(epoch);
+  w.varint(checkpoint_id);
+  w.u32(share_idx);
+  w.varint(offset);
+  return w.take();
+}
+
+StatusOr<SnapshotFetchReqMsg> SnapshotFetchReqMsg::decode(BytesView b) {
+  Reader r(b);
+  SnapshotFetchReqMsg m;
+  RSP_RETURN_IF_ERROR(r.u32(m.epoch));
+  RSP_RETURN_IF_ERROR(r.varint(m.checkpoint_id));
+  RSP_RETURN_IF_ERROR(r.u32(m.share_idx));
+  RSP_RETURN_IF_ERROR(r.varint(m.offset));
+  return m;
+}
+
+Bytes SnapshotFetchRepMsg::encode() const {
+  Writer w(48 + manifest.size() + data.size());
+  w.u32(epoch);
+  w.u8(have ? 1 : 0);
+  w.varint(checkpoint_id);
+  w.u32(share_idx);
+  w.varint(offset);
+  w.bytes(manifest);
+  w.bytes(data);
+  return w.take();
+}
+
+StatusOr<SnapshotFetchRepMsg> SnapshotFetchRepMsg::decode(BytesView b) {
+  Reader r(b);
+  SnapshotFetchRepMsg m;
+  RSP_RETURN_IF_ERROR(r.u32(m.epoch));
+  uint8_t have;
+  RSP_RETURN_IF_ERROR(r.u8(have));
+  m.have = have != 0;
+  RSP_RETURN_IF_ERROR(r.varint(m.checkpoint_id));
+  RSP_RETURN_IF_ERROR(r.u32(m.share_idx));
+  RSP_RETURN_IF_ERROR(r.varint(m.offset));
+  RSP_RETURN_IF_ERROR(r.bytes(m.manifest));
+  RSP_RETURN_IF_ERROR(r.bytes(m.data));
   return m;
 }
 

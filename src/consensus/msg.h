@@ -119,6 +119,10 @@ struct CatchupEntry {
 struct CatchupRepMsg {
   Epoch epoch = 0;
   Slot commit_index = 0;
+  /// Lowest slot the responder can still serve; slots below it were compacted
+  /// into a snapshot. A requester whose next-needed slot is below this must
+  /// install the snapshot instead of replaying the log (§4.5 generalized).
+  Slot log_start = 1;
   std::vector<CatchupEntry> entries;
   std::optional<GroupConfig> config;  // present if requester's epoch is stale
 
@@ -146,6 +150,53 @@ struct FetchShareRepMsg {
 
   Bytes encode() const;
   static StatusOr<FetchShareRepMsg> decode(BytesView b);
+};
+
+/// "Fetch any fragment you hold" sentinel for SnapshotFetchReqMsg.share_idx.
+constexpr uint32_t kAnyShare = 0xffffffffu;
+
+/// Leader announces a completed checkpoint to a follower. The manifest blob
+/// is that follower's snapshot::SnapshotManifest wire image (its share index
+/// and fragment CRC), kept opaque here so the message layer stays
+/// byte-oriented.
+struct SnapshotOfferMsg {
+  Epoch epoch = 0;
+  Ballot ballot;
+  Bytes manifest;
+
+  Bytes encode() const;
+  static StatusOr<SnapshotOfferMsg> decode(BytesView b);
+};
+
+/// One chunk request of a checkpoint fragment. Stateless on the replier side:
+/// every request names the checkpoint, which fragment (kAnyShare = whatever
+/// the replier durably holds) and the byte offset, so transfers resume after
+/// loss or restart with no replier-side cursor. checkpoint_id 0 means "your
+/// newest".
+struct SnapshotFetchReqMsg {
+  Epoch epoch = 0;
+  uint64_t checkpoint_id = 0;
+  uint32_t share_idx = kAnyShare;
+  uint64_t offset = 0;
+
+  Bytes encode() const;
+  static StatusOr<SnapshotFetchReqMsg> decode(BytesView b);
+};
+
+/// One fragment chunk. `manifest` is the wire image of the manifest the data
+/// belongs to (the replied fragment's share index / length / CRC), so the
+/// fetcher can verify each completed fragment and learn the state geometry.
+struct SnapshotFetchRepMsg {
+  Epoch epoch = 0;
+  bool have = false;          // false: no such checkpoint/fragment here
+  uint64_t checkpoint_id = 0; // on have=false: newest id this node knows (0 = none)
+  uint32_t share_idx = 0;
+  uint64_t offset = 0;
+  Bytes manifest;
+  Bytes data;  // empty when offset >= fragment length (completion probe)
+
+  Bytes encode() const;
+  static StatusOr<SnapshotFetchRepMsg> decode(BytesView b);
 };
 
 /// Zero-copy accept frames: encodes the complete AcceptMsg wire image with a

@@ -35,6 +35,7 @@
 #include "net/transport.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "snapshot/snapshot_store.h"
 #include "storage/wal.h"
 
 namespace rspaxos::consensus {
@@ -60,6 +61,15 @@ struct ReplicaOptions {
   /// If true this node starts campaigning immediately at start() (used to
   /// give groups a deterministic initial leader).
   bool bootstrap_leader = false;
+  /// Checkpoint cadence: the leader cuts an erasure-coded snapshot of the
+  /// applied state every this many applied slots, then truncates the WAL
+  /// prefix below the barrier. 0 disables checkpointing. Requires a
+  /// SnapshotStore and state hooks (set_snapshot_store / set_state_hooks).
+  uint64_t checkpoint_interval_slots = 0;
+  /// Fragment transfer chunk size for offers / installs. Must stay well under
+  /// the transport frame bound (64 MiB); 1 MiB keeps head-of-line blocking of
+  /// consensus traffic negligible.
+  size_t snapshot_chunk_bytes = 1u << 20;
 };
 
 /// A committed log entry as handed to the state machine. Followers usually
@@ -85,6 +95,10 @@ struct ReplicaStats {
   uint64_t times_elected = 0;
   uint64_t catchup_entries_served = 0;
   uint64_t recoveries = 0;
+  uint64_t checkpoints = 0;        // erasure-coded snapshots cut by this node
+  uint64_t snapshot_installs = 0;  // full-state reconstructions completed
+  uint64_t snapshot_bytes = 0;     // fragment bytes durably saved
+  uint64_t share_gc_dropped = 0;   // log-entry shares dropped by gated GC
 };
 
 class Replica final : public MessageHandler {
@@ -98,11 +112,33 @@ class Replica final : public MessageHandler {
       std::function<void(const GroupConfig& old_cfg, const GroupConfig& new_cfg,
                          ReencodeAction action)>;
 
+  /// Builds the full serialized state image at the current applied index.
+  /// Must fail (and the checkpoint is skipped) while the state machine holds
+  /// rows it cannot fully serialize (e.g. follower rows that are only shares).
+  using BuildStateFn = std::function<StatusOr<Bytes>()>;
+  /// Installs a reconstructed state image whose barrier is `snap_slot`
+  /// (every applied slot <= snap_slot is reflected in `image`).
+  using InstallStateFn = std::function<void(BytesView image, Slot snap_slot)>;
+  /// True when every state-machine row is fully materialized locally (no
+  /// share-only rows) — gates checkpointing and triggers a leader's state
+  /// rebuild after election.
+  using StateCompleteFn = std::function<bool()>;
+
   Replica(NodeContext* ctx, storage::Wal* wal, GroupConfig cfg, ReplicaOptions opts = {});
 
   /// Registers the state-machine hook. Must be set before start().
   void set_apply(ApplyFn fn) { apply_ = std::move(fn); }
   void set_on_config_change(ConfigChangeFn fn) { on_config_change_ = std::move(fn); }
+
+  /// Registers the durable home of this node's checkpoint fragment. Must be
+  /// set before start(); without it checkpointing and snapshot install are
+  /// disabled (the log is never truncated).
+  void set_snapshot_store(snapshot::SnapshotStore* store) { snap_store_ = store; }
+  void set_state_hooks(BuildStateFn build, InstallStateFn install, StateCompleteFn complete) {
+    build_state_ = std::move(build);
+    install_state_ = std::move(install);
+    state_complete_ = std::move(complete);
+  }
 
   /// Replays the WAL (if non-empty) and begins participating.
   void start();
@@ -134,6 +170,15 @@ class Replica final : public MessageHandler {
   const GroupConfig& config() const { return cfg_; }
   ReplicaStats stats() const;
   Ballot current_ballot() const { return ballot_; }
+  /// Lowest slot still present in the (durable) log; slots below it live only
+  /// in the snapshot.
+  Slot log_start() const { return snap_applied_ + 1; }
+  /// Barrier of the newest durable snapshot (0 = none).
+  Slot snapshot_applied() const { return snap_applied_; }
+  uint64_t snapshot_checkpoint_id() const { return snap_ckpt_id_; }
+  /// False while a restarted node is still reconstructing its pre-snapshot
+  /// state image from the group's fragments (applies are paused).
+  bool state_ready() const { return state_ready_; }
 
  private:
   enum class Role { kFollower, kCandidate, kLeader };
@@ -219,6 +264,35 @@ class Replica final : public MessageHandler {
   void on_fetch_share_rep(NodeId from, FetchShareRepMsg msg);
   void apply_config_entry(const LogEntry& e, Slot slot);
 
+  // --- snapshots / log compaction ---
+  /// Leader: cut a checkpoint when the applied index has moved far enough
+  /// past the last barrier (called after every apply batch).
+  void maybe_checkpoint();
+  /// Replaces the durable WAL prefix <= snap_slot with [meta, config, snap
+  /// marker, live slot records] and prunes the in-memory log below it.
+  void compact_log_below(Slot snap_slot, uint64_t ckpt_id);
+  /// Leader: (re-)announce the pending checkpoint to followers that have not
+  /// finished fetching their fragment.
+  void offer_snapshots();
+  void on_snapshot_offer(NodeId from, SnapshotOfferMsg msg);
+  void on_snapshot_fetch_req(NodeId from, SnapshotFetchReqMsg msg);
+  void on_snapshot_fetch_rep(NodeId from, SnapshotFetchRepMsg msg);
+  /// Begins gathering X distinct fragments of checkpoint `ckpt_hint` (0 =
+  /// newest) to reconstruct the full state image.
+  void start_install(uint64_t ckpt_hint);
+  /// Begins pulling only this node's own fragment from `leader` (offer path;
+  /// the local state is already current, no reconstruction needed).
+  void start_frag_pull(NodeId leader, snapshot::SnapshotManifest man);
+  /// Sends/retransmits the next chunk request for every unfinished peer.
+  void install_tick();
+  void finish_install();
+  /// Durably saves this node's fragment for manifest `man`, adopts it as the
+  /// current snapshot and compacts the log below its barrier once the save
+  /// commits; `then` (optional) fires after, with the save status.
+  void save_own_fragment(snapshot::SnapshotManifest man, Bytes frag,
+                         std::function<void(Status)> then = nullptr);
+  size_t snapshot_chunk_limit() const;
+
   // --- persistence ---
   void persist_meta(std::function<void()> then);
   void persist_slot(Slot slot, std::function<void()> then);
@@ -235,6 +309,10 @@ class Replica final : public MessageHandler {
   ReplicaOptions opts_;
   ApplyFn apply_;
   ConfigChangeFn on_config_change_;
+  snapshot::SnapshotStore* snap_store_ = nullptr;
+  BuildStateFn build_state_;
+  InstallStateFn install_state_;
+  StateCompleteFn state_complete_;
 
   Role role_ = Role::kFollower;
   Ballot ballot_;            // highest ballot seen/owned
@@ -266,6 +344,51 @@ class Replica final : public MessageHandler {
   // Catch-up entries awaiting payload recovery, per requester.
   bool catchup_in_flight_ = false;
 
+  // --- snapshot state ---
+  Slot snap_applied_ = 0;      // slots <= this are covered by a durable snapshot
+  uint64_t snap_ckpt_id_ = 0;  // id of that snapshot (0 = none)
+  /// Checkpoint id from the WAL's snap marker. Can lag snap_ckpt_id_ when a
+  /// crash hit between a newer save() and its WAL truncation; restart installs
+  /// against *this* id, the one whose barrier the durable WAL actually starts
+  /// at (peers are only guaranteed to still hold fragments the marker saw).
+  uint64_t snap_marker_id_ = 0;
+  std::optional<snapshot::SnapshotManifest> snap_man_;  // own durable manifest
+  Bytes snap_frag_;            // own fragment, cached for serving fetches
+  bool state_ready_ = true;    // false: base image not yet reconstructed
+  bool checkpoint_in_flight_ = false;
+
+  /// Leader-side cache of the checkpoint being distributed: every member's
+  /// fragment + manifest, dropped when superseded by the next checkpoint.
+  struct PendingCheckpoint {
+    uint64_t id = 0;
+    Slot applied = 0;
+    std::vector<snapshot::SnapshotManifest> mans;  // per member index
+    std::vector<Bytes> frags;                      // per member index
+    std::set<NodeId> acked;                        // followers done fetching
+    TimeMicros offered_at = 0;
+  };
+  std::optional<PendingCheckpoint> ckpt_;
+
+  /// Fetcher-side install / fragment-pull progress (stop-and-wait per peer;
+  /// resumable: every request restates checkpoint, fragment and offset).
+  struct PendingInstall {
+    uint64_t ckpt_id = 0;   // 0 = newest the group knows
+    bool pull_only = false; // just this node's fragment (offer path)
+    NodeId pull_from = kNoNode;
+    snapshot::SnapshotManifest man;  // geometry source once known
+    bool man_known = false;
+    struct PeerFetch {
+      uint32_t share_idx = kAnyShare;
+      uint64_t frag_len = 0;
+      Bytes data;
+      snapshot::SnapshotManifest man;
+      bool done = false;
+    };
+    std::map<NodeId, PeerFetch> peers;
+    NodeContext::TimerId timer = 0;
+  };
+  std::optional<PendingInstall> install_;
+
   NodeContext::TimerId election_timer_ = 0;
   NodeContext::TimerId heartbeat_timer_ = 0;
   NodeContext::TimerId retransmit_timer_ = 0;
@@ -276,9 +399,12 @@ class Replica final : public MessageHandler {
     obs::CounterView proposals, commits, accepts_sent;
     obs::CounterView elections_started, times_elected;
     obs::CounterView catchup_entries_served, recoveries, catchup_bytes;
+    obs::CounterView checkpoints, snapshot_installs, snapshot_bytes;
+    obs::CounterView share_gc_dropped;
     obs::HistogramMetric* quorum_wait_us = nullptr;
     obs::HistogramMetric* commit_apply_us = nullptr;
     obs::HistogramMetric* commit_total_us = nullptr;
+    obs::HistogramMetric* snapshot_duration_us = nullptr;
   } m_;
   std::map<Slot, Inflight> inflight_;
   bool started_ = false;

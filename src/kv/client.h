@@ -32,6 +32,10 @@ struct RoutingTable {
 
 /// Asynchronous client. One outstanding request per call; callers may issue
 /// many concurrently. Retries on timeout / kRetry; follows kNotLeader hints.
+/// Not thread-safe: like all protocol objects, a KvClient lives on its
+/// node's execution context. Over a threaded transport (TCP/local), call
+/// put/get/del from that node's loop (e.g. `node->loop().post(...)`), never
+/// from an outside thread — responses and timeouts already run there.
 class KvClient final : public MessageHandler {
  public:
   using PutFn = std::function<void(Status)>;

@@ -18,12 +18,15 @@ SimCluster::SimCluster(sim::SimWorld* world, SimClusterOptions opts)
   }
   wals_.resize(static_cast<size_t>(opts_.num_servers) *
                static_cast<size_t>(opts_.num_groups));
+  snaps_.resize(wals_.size());
   servers_.resize(wals_.size());
   alive_.assign(static_cast<size_t>(opts_.num_servers), true);
   for (int s = 0; s < opts_.num_servers; ++s) {
     for (int g = 0; g < opts_.num_groups; ++g) {
       wals_[idx(s, g)] = std::make_unique<storage::SimWal>(
           disks_[static_cast<size_t>(s)].get(), opts_.wal_retain);
+      snaps_[idx(s, g)] = std::make_unique<snapshot::SimSnapshotStore>(
+          disks_[static_cast<size_t>(s)].get());
     }
     build_server(s, /*bootstrap=*/s == 0);
   }
@@ -48,7 +51,7 @@ void SimCluster::build_server(int s, bool bootstrap) {
     ropts.bootstrap_leader = bootstrap;
     auto& slot = servers_[idx(s, g)];
     slot = std::make_unique<KvServer>(node, wals_[idx(s, g)].get(), group_config(g), ropts,
-                                      opts_.kv);
+                                      opts_.kv, snaps_[idx(s, g)].get());
     node->set_handler(slot.get());
     slot->start();
   }
@@ -95,6 +98,7 @@ void SimCluster::crash_server(int s) {
     network_.crash(endpoint_id(s, g));
     network_.node(endpoint_id(s, g))->set_handler(nullptr);
     wals_[idx(s, g)]->drop_unflushed();   // power failure: un-synced data gone
+    snaps_[idx(s, g)]->drop_unflushed();  // in-flight snapshot saves gone too
     servers_[idx(s, g)].reset();          // volatile state gone
   }
 }

@@ -17,6 +17,7 @@
 #include "sim/sim_disk.h"
 #include "sim/sim_network.h"
 #include "sim/sim_world.h"
+#include "snapshot/sim_snapshot_store.h"
 #include "storage/sim_wal.h"
 
 namespace rspaxos::kv {
@@ -57,6 +58,7 @@ class SimCluster {
   sim::SimNetwork& network() { return network_; }
   sim::SimDisk& disk(int s) { return *disks_[static_cast<size_t>(s)]; }
   storage::SimWal& wal(int s, int g) { return *wals_[idx(s, g)]; }
+  snapshot::SimSnapshotStore& snap_store(int s, int g) { return *snaps_[idx(s, g)]; }
   const SimClusterOptions& options() const { return opts_; }
 
   RoutingTable routing() const;
@@ -92,6 +94,7 @@ class SimCluster {
   sim::SimNetwork network_;
   std::vector<std::unique_ptr<sim::SimDisk>> disks_;          // per server
   std::vector<std::unique_ptr<storage::SimWal>> wals_;        // per (s, g)
+  std::vector<std::unique_ptr<snapshot::SimSnapshotStore>> snaps_;  // per (s, g)
   std::vector<std::unique_ptr<KvServer>> servers_;            // per (s, g)
   std::vector<bool> alive_;
   int next_client_ = 0;

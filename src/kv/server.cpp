@@ -10,13 +10,21 @@ using consensus::ReencodeAction;
 using consensus::ReplicaOptions;
 
 KvServer::KvServer(NodeContext* ctx, storage::Wal* wal, GroupConfig cfg,
-                   ReplicaOptions opts, KvServerOptions kv_opts)
+                   ReplicaOptions opts, KvServerOptions kv_opts,
+                   snapshot::SnapshotStore* snap)
     : ctx_(ctx), kv_opts_(kv_opts), replica_(ctx, wal, std::move(cfg), opts) {
   replica_.set_apply([this](const ApplyView& view) { apply_entry(view); });
   replica_.set_on_config_change(
       [this](const GroupConfig& o, const GroupConfig& n, ReencodeAction a) {
         on_config_change(o, n, a);
       });
+  if (snap != nullptr) replica_.set_snapshot_store(snap);
+  replica_.set_state_hooks(
+      [this] { return build_state(); },
+      [this](BytesView image, consensus::Slot snap_slot) {
+        install_state(image, snap_slot);
+      },
+      [this] { return store_.incomplete_count() == 0; });
   auto& reg = obs::MetricsRegistry::global();
   std::string node = std::to_string(ctx_->id());
   auto counter = [&](const char* name, const char* help) {
@@ -295,6 +303,56 @@ void KvServer::apply_batch(const ApplyView& view) {
                        item.offset, item.len);
     }
   }
+}
+
+// State image wire format: varint row count, then per row: key (str), last
+// write slot (varint), complete value (bytes). Rows are emitted in map order,
+// so the image (and thus every fragment and CRC) is deterministic.
+StatusOr<Bytes> KvServer::build_state() const {
+  if (store_.incomplete_count() != 0) {
+    return Status::unavailable("share-only rows present; state image needs full values");
+  }
+  Writer w(64 + store_.resident_bytes());
+  w.varint(store_.size());
+  store_.for_each([&](const std::string& key, const LocalStore::Record& rec) {
+    w.str(key);
+    w.varint(rec.slot);
+    w.bytes(rec.data);
+  });
+  return w.take();
+}
+
+void KvServer::install_state(BytesView image, consensus::Slot snap_slot) {
+  Reader r(image);
+  uint64_t count = 0;
+  if (!r.varint(count).is_ok()) {
+    RSP_ERROR << "kv: undecodable state image header";
+    return;
+  }
+  const bool full = replica_.last_applied() <= snap_slot;
+  if (full) store_ = LocalStore{};
+  uint64_t upgraded = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string key;
+    uint64_t slot = 0;
+    Bytes value;
+    if (!r.str(key).is_ok() || !r.varint(slot).is_ok() || !r.bytes(value).is_ok()) {
+      RSP_ERROR << "kv: truncated state image at row " << i;
+      return;
+    }
+    if (full) {
+      store_.put_complete(key, std::move(value), slot);
+      ++upgraded;
+    } else {
+      const LocalStore::Record* rec = store_.find(key);
+      if (rec != nullptr && !rec->complete && rec->slot == slot) {
+        store_.put_complete(key, std::move(value), slot);
+        ++upgraded;
+      }
+    }
+  }
+  RSP_INFO << "kv node " << ctx_->id() << (full ? " installed " : " upgraded ")
+           << upgraded << "/" << count << " rows from snapshot at slot " << snap_slot;
 }
 
 void KvServer::on_config_change(const GroupConfig& old_cfg, const GroupConfig& new_cfg,

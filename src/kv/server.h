@@ -43,8 +43,12 @@ struct KvServerOptions {
 
 class KvServer final : public MessageHandler {
  public:
+  /// `snap` (optional) is the durable home of this node's checkpoint
+  /// fragment; passing one enables erasure-coded checkpointing and snapshot
+  /// install (see ReplicaOptions::checkpoint_interval_slots).
   KvServer(NodeContext* ctx, storage::Wal* wal, consensus::GroupConfig cfg,
-           consensus::ReplicaOptions opts = {}, KvServerOptions kv_opts = {});
+           consensus::ReplicaOptions opts = {}, KvServerOptions kv_opts = {},
+           snapshot::SnapshotStore* snap = nullptr);
 
   void start() { replica_.start(); }
 
@@ -70,6 +74,15 @@ class KvServer final : public MessageHandler {
   void flush_batch();
   void apply_entry(const consensus::ApplyView& view);
   void apply_batch(const consensus::ApplyView& view);
+  /// Serializes the applied KV state (complete rows only; fails while any
+  /// share-only row remains — the checkpoint barrier needs the full image).
+  StatusOr<Bytes> build_state() const;
+  /// Installs a reconstructed state image cut at `snap_slot`. Full mode
+  /// (replica applied <= snap_slot): the image replaces the store. Upgrade
+  /// mode (applied beyond it, e.g. a rebuilding leader): only share-only rows
+  /// whose slot matches the image are completed, so later writes and deletes
+  /// are never resurrected.
+  void install_state(BytesView image, consensus::Slot snap_slot);
   void on_config_change(const consensus::GroupConfig& old_cfg,
                         const consensus::GroupConfig& new_cfg,
                         consensus::ReencodeAction action);

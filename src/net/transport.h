@@ -39,6 +39,9 @@ enum class MsgType : uint16_t {
   kFetchShareReq = 8,
   kFetchShareRep = 9,
   kHeartbeat = 10,
+  kSnapshotOffer = 11,
+  kSnapshotFetchReq = 12,
+  kSnapshotFetchRep = 13,
 
   // KV client protocol (src/kv)
   kClientRequest = 100,

@@ -27,6 +27,9 @@ inline const char* msg_type_name(MsgType t) {
     case MsgType::kFetchShareReq: return "FETCH_SHARE_REQ";
     case MsgType::kFetchShareRep: return "FETCH_SHARE_REP";
     case MsgType::kHeartbeat: return "HEARTBEAT";
+    case MsgType::kSnapshotOffer: return "SNAPSHOT_OFFER";
+    case MsgType::kSnapshotFetchReq: return "SNAPSHOT_FETCH_REQ";
+    case MsgType::kSnapshotFetchRep: return "SNAPSHOT_FETCH_REP";
     case MsgType::kClientRequest: return "CLIENT_REQUEST";
     case MsgType::kClientReply: return "CLIENT_REPLY";
     case MsgType::kTestPing: return "TEST_PING";
@@ -63,22 +66,22 @@ class TransportMetrics {
   }
 
  private:
-  // Dense slot mapping: consensus types 1..10 -> 0..9, client 100/101 ->
-  // 10/11, test 1000/1001 -> 12/13, anything else -> 14.
-  static constexpr size_t kSlots = 15;
+  // Dense slot mapping: consensus types 1..13 -> 0..12, client 100/101 ->
+  // 13/14, test 1000/1001 -> 15/16, anything else -> 17.
+  static constexpr size_t kSlots = 18;
 
   static size_t slot_of(MsgType t) {
     auto v = static_cast<uint16_t>(t);
-    if (v >= 1 && v <= 10) return v - 1;
-    if (v == 100 || v == 101) return 10 + (v - 100);
-    if (v == 1000 || v == 1001) return 12 + (v - 1000);
-    return 14;
+    if (v >= 1 && v <= 13) return v - 1;
+    if (v == 100 || v == 101) return 13 + (v - 100);
+    if (v == 1000 || v == 1001) return 15 + (v - 1000);
+    return 17;
   }
 
   static const char* slot_name(size_t s) {
-    if (s < 10) return msg_type_name(static_cast<MsgType>(s + 1));
-    if (s < 12) return msg_type_name(static_cast<MsgType>(100 + (s - 10)));
-    if (s < 14) return msg_type_name(static_cast<MsgType>(1000 + (s - 12)));
+    if (s < 13) return msg_type_name(static_cast<MsgType>(s + 1));
+    if (s < 15) return msg_type_name(static_cast<MsgType>(100 + (s - 13)));
+    if (s < 17) return msg_type_name(static_cast<MsgType>(1000 + (s - 15)));
     return "OTHER";
   }
 

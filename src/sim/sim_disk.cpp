@@ -4,15 +4,25 @@
 
 namespace rspaxos::sim {
 
-void SimDisk::write(size_t nbytes, std::function<void()> cb) {
-  bytes_written_ += nbytes;
-  ops_++;
+void SimDisk::enqueue(size_t nbytes, std::function<void()> cb) {
   DurationMicros op_cost = static_cast<DurationMicros>(1e6 / params_.iops);
   DurationMicros xfer =
       static_cast<DurationMicros>(static_cast<double>(nbytes) * 1e6 / params_.write_bw_bytes);
   TimeMicros start = std::max(world_->now(), busy_until_);
   busy_until_ = start + op_cost + xfer;
   world_->schedule(busy_until_ - world_->now(), std::move(cb));
+}
+
+void SimDisk::write(size_t nbytes, std::function<void()> cb) {
+  bytes_written_ += nbytes;
+  ops_++;
+  enqueue(nbytes, std::move(cb));
+}
+
+void SimDisk::read(size_t nbytes, std::function<void()> cb) {
+  bytes_read_ += nbytes;
+  read_ops_++;
+  enqueue(nbytes, std::move(cb));
 }
 
 }  // namespace rspaxos::sim

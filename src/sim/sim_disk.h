@@ -34,17 +34,28 @@ class SimDisk {
   /// Schedules a durable write of `nbytes`; cb fires when it is on "disk".
   void write(size_t nbytes, std::function<void()> cb);
 
+  /// Schedules a read of `nbytes` through the same FIFO device queue (one
+  /// head, reads and writes contend — how snapshot install/restore I/O
+  /// interferes with WAL flushes). cb fires when the data is "off disk".
+  void read(size_t nbytes, std::function<void()> cb);
+
   uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t bytes_read() const { return bytes_read_; }
   uint64_t ops() const { return ops_; }
+  uint64_t read_ops() const { return read_ops_; }
   DiskParams params() const { return params_; }
   SimWorld* world() const { return world_; }
 
  private:
   SimWorld* world_;
   DiskParams params_;
+  void enqueue(size_t nbytes, std::function<void()> cb);
+
   TimeMicros busy_until_ = 0;
   uint64_t bytes_written_ = 0;
+  uint64_t bytes_read_ = 0;
   uint64_t ops_ = 0;
+  uint64_t read_ops_ = 0;
 };
 
 }  // namespace rspaxos::sim

@@ -1,0 +1,74 @@
+#include "snapshot/manifest.h"
+
+#include "util/crc32.h"
+#include "util/marshal.h"
+
+namespace rspaxos::snapshot {
+namespace {
+
+constexpr uint32_t kMagic = 0x52534e50;  // "RSNP"
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+Bytes SnapshotManifest::encode() const {
+  Writer w(96 + config_blob.size());
+  w.u32(kMagic);
+  w.u32(kVersion);
+  w.varint(checkpoint_id);
+  w.varint(applied_index);
+  w.varint(next_slot);
+  w.u32(epoch);
+  w.varint(share_idx);
+  w.varint(x);
+  w.varint(n);
+  w.varint(state_len);
+  w.u32(state_crc);
+  w.varint(frag_len);
+  w.u32(frag_crc);
+  w.bytes(config_blob);
+  w.u32(crc32c(w.buffer()));
+  return w.take();
+}
+
+StatusOr<SnapshotManifest> SnapshotManifest::decode(BytesView b) {
+  if (b.size() < 12) return Status::corruption("manifest too short");
+  // The trailing u32 covers everything before it; verify before parsing.
+  uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<uint32_t>(b[b.size() - 4 + static_cast<size_t>(i)]) << (8 * i);
+  }
+  BytesView body(b.data(), b.size() - 4);
+  if (crc32c(body) != stored) return Status::corruption("manifest crc mismatch");
+
+  Reader r(body);
+  uint32_t magic = 0, version = 0;
+  RSP_RETURN_IF_ERROR(r.u32(magic));
+  if (magic != kMagic) return Status::corruption("bad manifest magic");
+  RSP_RETURN_IF_ERROR(r.u32(version));
+  if (version != kVersion) return Status::corruption("unknown manifest version");
+
+  SnapshotManifest m;
+  uint64_t v = 0;
+  RSP_RETURN_IF_ERROR(r.varint(m.checkpoint_id));
+  RSP_RETURN_IF_ERROR(r.varint(m.applied_index));
+  RSP_RETURN_IF_ERROR(r.varint(m.next_slot));
+  RSP_RETURN_IF_ERROR(r.u32(m.epoch));
+  RSP_RETURN_IF_ERROR(r.varint(v));
+  m.share_idx = static_cast<uint32_t>(v);
+  RSP_RETURN_IF_ERROR(r.varint(v));
+  m.x = static_cast<uint32_t>(v);
+  RSP_RETURN_IF_ERROR(r.varint(v));
+  m.n = static_cast<uint32_t>(v);
+  RSP_RETURN_IF_ERROR(r.varint(m.state_len));
+  RSP_RETURN_IF_ERROR(r.u32(m.state_crc));
+  RSP_RETURN_IF_ERROR(r.varint(m.frag_len));
+  RSP_RETURN_IF_ERROR(r.u32(m.frag_crc));
+  RSP_RETURN_IF_ERROR(r.bytes(m.config_blob));
+  if (m.x < 1 || m.n < m.x || m.share_idx >= m.n) {
+    return Status::corruption("bad manifest coding geometry");
+  }
+  return m;
+}
+
+}  // namespace rspaxos::snapshot

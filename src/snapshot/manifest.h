@@ -1,0 +1,53 @@
+// Checkpoint manifest: the crash-consistent descriptor of one erasure-coded
+// snapshot (the paper's storage argument applied to checkpoints: each node
+// durably keeps only its θ(X, N) fragment of the state image, ~|state|/X
+// bytes, instead of a full copy).
+//
+// The manifest is the commit point of a checkpoint. It records the barrier
+// slot the state image was cut at, the coding geometry, and CRCs of both the
+// full image and this node's fragment, so restore can verify what it loads
+// and an installer can verify what it reconstructs. It is written through the
+// tmp + fsync + atomic-rename protocol (see FileSnapshotStore); the wire
+// image itself is CRC-framed so a torn manifest is detected, never trusted.
+//
+// Layering: this file deals in bytes only. The group configuration is an
+// opaque blob (encoded/decoded by consensus::encode_config) so the snapshot
+// library does not depend on the consensus layer.
+#pragma once
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace rspaxos::snapshot {
+
+struct SnapshotManifest {
+  /// Checkpoint identity. Equal to the barrier slot on the node that built
+  /// the checkpoint, so ids are deterministic across the group.
+  uint64_t checkpoint_id = 0;
+  /// Barrier: the state image reflects every applied slot <= this.
+  uint64_t applied_index = 0;
+  /// The builder's next unassigned slot at checkpoint time (restart hint).
+  uint64_t next_slot = 0;
+  uint32_t epoch = 0;
+
+  // Coding geometry of the state image and which fragment this node stores.
+  uint32_t share_idx = 0;
+  uint32_t x = 1;
+  uint32_t n = 1;
+
+  uint64_t state_len = 0;  // full state image length
+  uint32_t state_crc = 0;  // crc32c of the full image
+  uint64_t frag_len = 0;   // this node's fragment length
+  uint32_t frag_crc = 0;   // crc32c of the fragment
+
+  /// Opaque consensus::GroupConfig wire image at checkpoint time.
+  Bytes config_blob;
+
+  /// CRC-framed wire image: magic | version | body | crc32c(all preceding).
+  Bytes encode() const;
+  static StatusOr<SnapshotManifest> decode(BytesView b);
+
+  bool operator==(const SnapshotManifest&) const = default;
+};
+
+}  // namespace rspaxos::snapshot

@@ -1,0 +1,37 @@
+// Snapshot store for simulated runs: contents live in memory, but every save
+// schedules its bytes through the node's SimDisk, so checkpoint I/O contends
+// with WAL flushes on the same simulated device (and shows up in the disk's
+// cost counters). Restore-time fragment loads are charged as device reads.
+//
+// Crash modeling mirrors SimWal: drop_unflushed() invalidates in-flight
+// saves (the manifest never committed), while the previously committed
+// snapshot survives — exactly the FileSnapshotStore contract.
+#pragma once
+
+#include "sim/sim_disk.h"
+#include "snapshot/snapshot_store.h"
+
+namespace rspaxos::snapshot {
+
+class SimSnapshotStore final : public SnapshotStore {
+ public:
+  explicit SimSnapshotStore(sim::SimDisk* disk) : disk_(disk) {}
+
+  void save(const SnapshotManifest& man, Bytes fragment, SaveFn cb) override;
+  StatusOr<SnapshotManifest> load_manifest() override;
+  StatusOr<Bytes> load_fragment() override;
+  uint64_t stored_bytes() const override;
+
+  /// Simulated power failure: saves whose device write had not completed are
+  /// lost; the last committed snapshot survives.
+  void drop_unflushed() { wipe_epoch_++; }
+
+ private:
+  sim::SimDisk* disk_;
+  uint64_t wipe_epoch_ = 0;
+  bool have_ = false;
+  SnapshotManifest man_;
+  Bytes frag_;
+};
+
+}  // namespace rspaxos::snapshot

@@ -1,0 +1,145 @@
+#include "snapshot/snapshot_store.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "util/crc32.h"
+
+namespace rspaxos::snapshot {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Writes `data` to `path` (truncating) and fsyncs it. No rename — callers
+/// sequence the atomic commit themselves.
+Status write_file_sync(const std::string& path, BytesView data) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::internal("open(" + path + "): " + std::strerror(errno));
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::internal("write(" + path + "): " + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) return Status::internal("fsync(" + path + ")");
+  return Status::ok();
+}
+
+Status fsync_dir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Status::internal("open dir " + dir + ": " + std::strerror(errno));
+  bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) return Status::internal("fsync dir " + dir);
+  return Status::ok();
+}
+
+StatusOr<Bytes> read_file(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::not_found("open(" + path + "): " + std::strerror(errno));
+  Bytes out;
+  uint8_t buf[64 * 1024];
+  while (true) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::internal("read(" + path + "): " + std::strerror(errno));
+    }
+    if (n == 0) break;
+    out.insert(out.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return out;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<FileSnapshotStore>> FileSnapshotStore::open(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Status::internal("mkdir " + dir + ": " + ec.message());
+  // A crashed save may leave MANIFEST.tmp behind; it was never the commit
+  // point, so drop it.
+  fs::remove(fs::path(dir) / "MANIFEST.tmp", ec);
+  return std::unique_ptr<FileSnapshotStore>(new FileSnapshotStore(dir));
+}
+
+std::string FileSnapshotStore::frag_path(uint64_t checkpoint_id) const {
+  char name[48];
+  std::snprintf(name, sizeof(name), "snap.%016llx.frag",
+                static_cast<unsigned long long>(checkpoint_id));
+  return (fs::path(dir_) / name).string();
+}
+
+Status FileSnapshotStore::save_sync(const SnapshotManifest& man, const Bytes& fragment) {
+  // 1. Fragment lands under its final (id-unique) name first; it is inert
+  //    until the manifest points at it.
+  RSP_RETURN_IF_ERROR(write_file_sync(frag_path(man.checkpoint_id), fragment));
+  // 2. Manifest commit: tmp + fsync + atomic rename + dir fsync.
+  std::string tmp = (fs::path(dir_) / "MANIFEST.tmp").string();
+  std::string final_path = (fs::path(dir_) / "MANIFEST").string();
+  RSP_RETURN_IF_ERROR(write_file_sync(tmp, man.encode()));
+  if (::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    return Status::internal("rename manifest: " + std::string(std::strerror(errno)));
+  }
+  RSP_RETURN_IF_ERROR(fsync_dir(dir_));
+  // 3. Older fragments are now unreachable; unlink them.
+  std::error_code ec;
+  std::string keep = fs::path(frag_path(man.checkpoint_id)).filename().string();
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    std::string name = entry.path().filename().string();
+    if (name.size() > 10 && name.rfind("snap.", 0) == 0 &&
+        name.compare(name.size() - 5, 5, ".frag") == 0 && name != keep) {
+      fs::remove(entry.path(), ec);
+    }
+  }
+  return Status::ok();
+}
+
+void FileSnapshotStore::save(const SnapshotManifest& man, Bytes fragment, SaveFn cb) {
+  Status st = save_sync(man, fragment);
+  if (cb) cb(st);
+}
+
+StatusOr<SnapshotManifest> FileSnapshotStore::load_manifest() {
+  auto raw = read_file((fs::path(dir_) / "MANIFEST").string());
+  if (!raw.is_ok()) return raw.status();
+  return SnapshotManifest::decode(raw.value());
+}
+
+StatusOr<Bytes> FileSnapshotStore::load_fragment() {
+  auto man = load_manifest();
+  if (!man.is_ok()) return man.status();
+  auto frag = read_file(frag_path(man.value().checkpoint_id));
+  if (!frag.is_ok()) return frag.status();
+  Bytes data = std::move(frag).value();
+  if (data.size() != man.value().frag_len || crc32c(data) != man.value().frag_crc) {
+    return Status::corruption("fragment does not match manifest");
+  }
+  return data;
+}
+
+uint64_t FileSnapshotStore::stored_bytes() const {
+  uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (entry.is_regular_file(ec)) total += static_cast<uint64_t>(entry.file_size(ec));
+  }
+  return total;
+}
+
+}  // namespace rspaxos::snapshot

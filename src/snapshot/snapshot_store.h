@@ -1,0 +1,92 @@
+// Durable home of one node's checkpoint: manifest + its own coded fragment.
+//
+// A store holds at most one snapshot (the newest); save() atomically replaces
+// the previous one. Crash consistency contract: after save()'s callback fires
+// with OK, a crash at any later point restores exactly that snapshot; a crash
+// *during* save restores the previous snapshot (or none) — never a torn mix.
+// FileSnapshotStore implements this with tmp + fsync + atomic rename of the
+// manifest, which is the commit point.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "snapshot/manifest.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace rspaxos::snapshot {
+
+class SnapshotStore {
+ public:
+  using SaveFn = std::function<void(Status)>;
+
+  virtual ~SnapshotStore() = default;
+
+  /// Durably replaces the stored snapshot with (man, fragment). cb fires on
+  /// the owner's execution context once the manifest rename is durable.
+  virtual void save(const SnapshotManifest& man, Bytes fragment, SaveFn cb) = 0;
+
+  /// Newest durable manifest, or kNotFound when no checkpoint exists.
+  virtual StatusOr<SnapshotManifest> load_manifest() = 0;
+
+  /// This node's fragment for the newest manifest (CRC-verified).
+  virtual StatusOr<Bytes> load_fragment() = 0;
+
+  /// Durable footprint of the current snapshot (manifest + fragment) — the
+  /// per-node storage-cost metric the fragment-vs-full argument is about.
+  virtual uint64_t stored_bytes() const = 0;
+};
+
+/// In-memory store for protocol unit tests: saves commit inline.
+class MemSnapshotStore final : public SnapshotStore {
+ public:
+  void save(const SnapshotManifest& man, Bytes fragment, SaveFn cb) override {
+    man_ = man;
+    frag_ = std::move(fragment);
+    have_ = true;
+    if (cb) cb(Status::ok());
+  }
+  StatusOr<SnapshotManifest> load_manifest() override {
+    if (!have_) return Status::not_found("no snapshot");
+    return man_;
+  }
+  StatusOr<Bytes> load_fragment() override {
+    if (!have_) return Status::not_found("no snapshot");
+    return frag_;
+  }
+  uint64_t stored_bytes() const override {
+    return have_ ? man_.encode().size() + frag_.size() : 0;
+  }
+
+ private:
+  bool have_ = false;
+  SnapshotManifest man_;
+  Bytes frag_;
+};
+
+/// Directory-backed store: `<dir>/snap.<checkpoint_id>.frag` plus
+/// `<dir>/MANIFEST`, committed via MANIFEST.tmp + fsync + rename + dir fsync.
+/// save() performs synchronous I/O on the calling thread (checkpoints are
+/// rare and off the commit critical path); older fragment files are unlinked
+/// after the manifest commits.
+class FileSnapshotStore final : public SnapshotStore {
+ public:
+  /// Creates `dir` if needed.
+  static StatusOr<std::unique_ptr<FileSnapshotStore>> open(const std::string& dir);
+
+  void save(const SnapshotManifest& man, Bytes fragment, SaveFn cb) override;
+  StatusOr<SnapshotManifest> load_manifest() override;
+  StatusOr<Bytes> load_fragment() override;
+  uint64_t stored_bytes() const override;
+
+ private:
+  explicit FileSnapshotStore(std::string dir) : dir_(std::move(dir)) {}
+  std::string frag_path(uint64_t checkpoint_id) const;
+  Status save_sync(const SnapshotManifest& man, const Bytes& fragment);
+
+  std::string dir_;
+};
+
+}  // namespace rspaxos::snapshot

@@ -2,12 +2,16 @@
 
 #include <fcntl.h>
 #include <limits.h>
+#include <sys/stat.h>
 #include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
+#include <cinttypes>
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -16,6 +20,9 @@
 
 namespace rspaxos::storage {
 namespace {
+
+constexpr uint32_t kManifestMagic = 0x52535741;  // "RSWA"
+constexpr uint32_t kManifestVersion = 1;
 
 /// Writes every iovec fully, resuming after partial writes and chunking the
 /// array at IOV_MAX. Mutates the iovecs as it consumes them. Returns the
@@ -54,6 +61,8 @@ size_t writev_full(int fd, std::vector<iovec>& iov) {
 struct WalMetrics {
   obs::Counter* bytes_durable;
   obs::Counter* flushes;
+  obs::Counter* truncated;
+  obs::Counter* truncates;
   obs::HistogramMetric* fsync_us;
   obs::HistogramMetric* batch_records;
 
@@ -64,6 +73,10 @@ struct WalMetrics {
       w->bytes_durable =
           &reg.counter("rsp_wal_bytes_durable", "Framed WAL bytes written and fsynced");
       w->flushes = &reg.counter("rsp_wal_flush_total", "Group-commit flush operations");
+      w->truncated = &reg.counter("rsp_wal_truncated_bytes",
+                                  "Durable WAL bytes reclaimed by prefix truncation");
+      w->truncates =
+          &reg.counter("rsp_wal_truncate_total", "WAL prefix truncation operations");
       w->fsync_us =
           &reg.histogram("rsp_wal_fsync_us", "Write+fsync latency per group-commit batch");
       w->batch_records =
@@ -74,101 +87,47 @@ struct WalMetrics {
   }
 };
 
-}  // namespace
-
-StatusOr<std::unique_ptr<FileWal>> FileWal::open(const std::string& path,
-                                                 int64_t group_commit_window_us) {
-  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
-  if (fd < 0) {
-    return Status::internal("open(" + path + "): " + std::strerror(errno));
-  }
-  return std::unique_ptr<FileWal>(new FileWal(fd, path, group_commit_window_us));
-}
-
-FileWal::FileWal(int fd, std::string path, int64_t window_us)
-    : fd_(fd), path_(std::move(path)), window_us_(window_us),
-      flusher_([this] { flusher_loop(); }) {}
-
-FileWal::~FileWal() {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    stopping_ = true;
-  }
-  cv_.notify_all();
-  if (flusher_.joinable()) flusher_.join();
-  ::close(fd_);
-}
-
-void FileWal::append(Bytes record, DurableFn cb) {
+Bytes frame_record(BytesView record) {
   Writer w(record.size() + 8);
   w.u32(static_cast<uint32_t>(record.size()));
   w.u32(crc32c(record));
   w.raw(record);
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    staged_.push_back(Pending{w.take(), std::move(cb)});
-  }
-  cv_.notify_one();
+  return w.take();
 }
 
-void FileWal::flusher_loop() {
-  std::unique_lock<std::mutex> lk(mu_);
-  while (true) {
-    cv_.wait(lk, [this] { return stopping_ || !staged_.empty(); });
-    if (staged_.empty() && stopping_) break;
-    // Group-commit window: let closely-following appends join this batch.
-    if (window_us_ > 0 && !stopping_) {
-      cv_.wait_for(lk, std::chrono::microseconds(window_us_), [this] { return stopping_; });
-    }
-    std::deque<Pending> batch;
-    batch.swap(staged_);
-    lk.unlock();
+std::string seg_file(const std::string& path, uint64_t seq) {
+  if (seq == 0) return path;
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), ".%08" PRIu64 ".seg", seq);
+  return path + suffix;
+}
 
-    auto flush_start = std::chrono::steady_clock::now();
-    // The whole group-commit batch goes down in one vectored write (chunked
-    // at IOV_MAX by writev_full), not one write() per record.
-    size_t nbytes = 0;
-    std::vector<iovec> iov;
-    iov.reserve(batch.size());
-    for (const Pending& p : batch) {
-      if (p.framed.empty()) continue;
-      iov.push_back({const_cast<uint8_t*>(p.framed.data()), p.framed.size()});
-      nbytes += p.framed.size();
-    }
-    // Count bytes that actually hit the file: on a mid-batch failure the
-    // prefix iovecs may have been written, and the counters should reflect
-    // that rather than zero (callbacks still get the error status).
-    size_t wrote = writev_full(fd_, iov);
-    bool write_ok = wrote == nbytes;
-    if (write_ok && ::fdatasync(fd_) != 0) write_ok = false;
-    bytes_flushed_.fetch_add(wrote);
-    flush_ops_.fetch_add(1);
-    WalMetrics& wm = WalMetrics::get();
-    wm.bytes_durable->inc(wrote);
-    wm.flushes->inc();
-    wm.fsync_us->observe(std::chrono::duration_cast<std::chrono::microseconds>(
-                             std::chrono::steady_clock::now() - flush_start)
-                             .count());
-    wm.batch_records->observe(static_cast<int64_t>(batch.size()));
-    Status st = write_ok ? Status::ok() : Status::internal("wal write/fsync failed");
-    for (Pending& p : batch) {
-      if (p.cb) p.cb(st);
-    }
-    lk.lock();
+void fsync_parent_dir(const std::string& path) {
+  std::filesystem::path p(path);
+  std::string dir = p.parent_path().empty() ? "." : p.parent_path().string();
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
   }
 }
 
-void FileWal::replay(const std::function<void(BytesView)>& fn) {
-  // Stream the log in fixed-size chunks through a rolling buffer via a
-  // separate descriptor (the append offset is untouched). Memory stays
-  // O(chunk + largest record) no matter how large the log is; the buffer
-  // only grows when a single record exceeds it.
-  int fd = ::open(path_.c_str(), O_RDONLY);
-  if (fd < 0) return;
+/// Streams the valid frame prefix of one segment file through `fn` (which may
+/// be null for a pure scan) using a rolling buffer — memory stays
+/// O(chunk + largest record). Returns the byte length of the valid prefix and
+/// sets *clean when the file ends exactly on a frame boundary (no torn tail,
+/// no CRC mismatch). A missing file reads as empty and clean.
+uint64_t stream_segment(const std::string& path,
+                        const std::function<void(BytesView)>* fn, bool* clean) {
+  *clean = true;
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return 0;
   constexpr size_t kChunk = 64 * 1024;
   Bytes buf(kChunk);
   size_t filled = 0;
   bool eof = false;
+  uint64_t valid = 0;
+  bool corrupt = false;
   while (true) {
     if (!eof) {
       if (filled == buf.size()) buf.resize(buf.size() * 2);  // record > buffer
@@ -184,28 +143,359 @@ void FileWal::replay(const std::function<void(BytesView)>& fn) {
       }
     }
     size_t pos = 0;
-    bool corrupt = false;
     while (filled - pos >= 8) {
       uint32_t len, crc;
       std::memcpy(&len, buf.data() + pos, 4);
       std::memcpy(&crc, buf.data() + pos + 4, 4);
       if (filled - pos < 8 + static_cast<size_t>(len)) break;  // need more data
       BytesView payload(buf.data() + pos + 8, len);
-      if (crc32c(payload) != crc) {  // corrupt tail: stop replay
+      if (crc32c(payload) != crc) {  // corrupt frame: stop, prefix stays valid
         corrupt = true;
         break;
       }
-      fn(payload);
+      if (fn) (*fn)(payload);
       pos += 8 + len;
+      valid += 8 + len;
     }
     if (pos > 0) {
       std::memmove(buf.data(), buf.data() + pos, filled - pos);
       filled -= pos;
     }
-    // Leftover bytes at EOF are a torn tail record (crash mid-append): stop.
     if (corrupt || eof) break;
   }
   ::close(fd);
+  // Leftover bytes at EOF are a torn tail record (crash mid-append).
+  if (corrupt || filled > 0) *clean = false;
+  return valid;
+}
+
+StatusOr<uint64_t> read_manifest(const std::string& man_path) {
+  int fd = ::open(man_path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::not_found("no wal manifest");
+  Bytes buf(64);
+  ssize_t n = ::read(fd, buf.data(), buf.size());
+  ::close(fd);
+  if (n < 20) return Status::corruption("wal manifest too short");
+  buf.resize(static_cast<size_t>(n));
+  Reader r(buf);
+  uint32_t magic = 0, version = 0, crc = 0;
+  uint64_t first_seq = 0;
+  RSP_RETURN_IF_ERROR(r.u32(magic));
+  RSP_RETURN_IF_ERROR(r.u32(version));
+  RSP_RETURN_IF_ERROR(r.u64(first_seq));
+  RSP_RETURN_IF_ERROR(r.u32(crc));
+  if (magic != kManifestMagic || version != kManifestVersion) {
+    return Status::corruption("bad wal manifest header");
+  }
+  if (crc32c(BytesView(buf.data(), 16)) != crc) {
+    return Status::corruption("wal manifest crc mismatch");
+  }
+  return first_seq;
+}
+
+}  // namespace
+
+std::string FileWal::segment_path(uint64_t seq) const { return seg_file(path_, seq); }
+
+StatusOr<std::unique_ptr<FileWal>> FileWal::open(const std::string& path,
+                                                 int64_t group_commit_window_us,
+                                                 size_t segment_bytes) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::remove(path + ".manifest.tmp", ec);  // aborted manifest commit
+
+  uint64_t first_seq = 0;
+  auto man = read_manifest(path + ".manifest");
+  if (man.is_ok()) {
+    first_seq = man.value();
+  } else if (man.status().code() != Code::kNotFound) {
+    return man.status();
+  }
+
+  // Discover segments on disk: the bare path is segment 0; rotated segments
+  // are `path.<seq>.seg`. Anything below the manifest's first segment is a
+  // leftover from a crash after a truncation commit — delete it now.
+  fs::path p(path);
+  fs::path dir = p.parent_path().empty() ? fs::path(".") : p.parent_path();
+  std::string base = p.filename().string();
+  uint64_t active_seq = first_seq;
+  auto consider = [&](uint64_t seq) {
+    if (seq < first_seq) {
+      fs::remove(seg_file(path, seq), ec);
+    } else if (seq > active_seq) {
+      active_seq = seq;
+    }
+  };
+  if (fs::exists(p, ec)) consider(0);
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end; it.increment(ec)) {
+    std::string name = it->path().filename().string();
+    // base + "." + 8 digits + ".seg"
+    if (name.size() != base.size() + 13 || name.compare(0, base.size(), base) != 0 ||
+        name[base.size()] != '.' || name.compare(name.size() - 4, 4, ".seg") != 0) {
+      continue;
+    }
+    uint64_t seq = 0;
+    bool digits = true;
+    for (size_t i = base.size() + 1; i < name.size() - 4; ++i) {
+      if (name[i] < '0' || name[i] > '9') {
+        digits = false;
+        break;
+      }
+      seq = seq * 10 + static_cast<uint64_t>(name[i] - '0');
+    }
+    if (digits && seq > 0) consider(seq);
+  }
+
+  std::string active = seg_file(path, active_seq);
+  int fd = ::open(active.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::internal("open(" + active + "): " + std::strerror(errno));
+  }
+  // Repair a torn/corrupt tail down to the longest valid frame prefix so the
+  // log keeps accepting appends that replay cleanly after the damage.
+  bool clean = false;
+  uint64_t valid = stream_segment(active, nullptr, &clean);
+  if (!clean && ::ftruncate(fd, static_cast<off_t>(valid)) != 0) {
+    ::close(fd);
+    return Status::internal("ftruncate(" + active + "): " + std::strerror(errno));
+  }
+  return std::unique_ptr<FileWal>(new FileWal(path, group_commit_window_us, segment_bytes,
+                                              first_seq, active_seq, fd,
+                                              static_cast<size_t>(valid)));
+}
+
+FileWal::FileWal(std::string path, int64_t window_us, size_t segment_bytes,
+                 uint64_t first_seq, uint64_t active_seq, int active_fd, size_t active_size)
+    : path_(std::move(path)), window_us_(window_us), segment_bytes_(segment_bytes),
+      fd_(active_fd), first_seq_(first_seq), active_seq_(active_seq),
+      active_size_(active_size), flusher_([this] { flusher_loop(); }) {}
+
+FileWal::~FileWal() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+  ::close(fd_);
+}
+
+void FileWal::append(Bytes record, DurableFn cb) {
+  Pending p;
+  p.framed = frame_record(record);
+  p.cb = std::move(cb);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    staged_.push_back(std::move(p));
+  }
+  cv_.notify_one();
+}
+
+void FileWal::truncate_prefix(std::vector<Bytes> head, TruncateFn cb) {
+  Pending p;
+  p.truncate = true;
+  p.head = std::move(head);
+  p.tcb = std::move(cb);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    staged_.push_back(std::move(p));
+  }
+  cv_.notify_one();
+}
+
+void FileWal::flusher_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    cv_.wait(lk, [this] { return stopping_ || !staged_.empty(); });
+    if (staged_.empty() && stopping_) break;
+    if (staged_.front().truncate) {
+      Pending t = std::move(staged_.front());
+      staged_.pop_front();
+      lk.unlock();
+      do_truncate(std::move(t));
+      lk.lock();
+      continue;
+    }
+    // Group-commit window: let closely-following appends join this batch.
+    if (window_us_ > 0 && !stopping_) {
+      cv_.wait_for(lk, std::chrono::microseconds(window_us_), [this] { return stopping_; });
+    }
+    // A truncation marker is a barrier: flush everything staged before it,
+    // loop back around to process it in order.
+    std::deque<Pending> batch;
+    while (!staged_.empty() && !staged_.front().truncate) {
+      batch.push_back(std::move(staged_.front()));
+      staged_.pop_front();
+    }
+    lk.unlock();
+    flush_batch(std::move(batch));
+    lk.lock();
+  }
+}
+
+void FileWal::flush_batch(std::deque<Pending> batch) {
+  auto flush_start = std::chrono::steady_clock::now();
+  // The whole group-commit batch goes down in one vectored write (chunked
+  // at IOV_MAX by writev_full), not one write() per record.
+  size_t nbytes = 0;
+  std::vector<iovec> iov;
+  iov.reserve(batch.size());
+  for (const Pending& p : batch) {
+    if (p.framed.empty()) continue;
+    iov.push_back({const_cast<uint8_t*>(p.framed.data()), p.framed.size()});
+    nbytes += p.framed.size();
+  }
+  // Roll to a fresh segment at the batch boundary (frames never span
+  // segments). Best-effort: on failure keep appending to the full segment.
+  if (active_size_ > 0 && active_size_ + nbytes > segment_bytes_) {
+    int nfd = create_segment(active_seq_.load() + 1);
+    if (nfd >= 0) {
+      ::close(fd_);
+      fd_ = nfd;
+      active_seq_.fetch_add(1);
+      active_size_ = 0;
+    }
+  }
+  // Count bytes that actually hit the file: on a mid-batch failure the
+  // prefix iovecs may have been written, and the counters should reflect
+  // that rather than zero (callbacks still get the error status).
+  size_t wrote = writev_full(fd_, iov);
+  bool write_ok = wrote == nbytes;
+  if (write_ok && ::fdatasync(fd_) != 0) write_ok = false;
+  active_size_ += wrote;
+  bytes_flushed_.fetch_add(wrote);
+  flush_ops_.fetch_add(1);
+  WalMetrics& wm = WalMetrics::get();
+  wm.bytes_durable->inc(wrote);
+  wm.flushes->inc();
+  wm.fsync_us->observe(std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - flush_start)
+                           .count());
+  wm.batch_records->observe(static_cast<int64_t>(batch.size()));
+  Status st = write_ok ? Status::ok() : Status::internal("wal write/fsync failed");
+  for (Pending& p : batch) {
+    if (p.cb) p.cb(st);
+  }
+}
+
+int FileWal::create_segment(uint64_t seq) {
+  std::string sp = seg_file(path_, seq);
+  int fd = ::open(sp.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_APPEND, 0644);
+  if (fd < 0) return -1;
+  // Make the directory entry durable before anything references the segment.
+  fsync_parent_dir(path_);
+  return fd;
+}
+
+Status FileWal::write_manifest(uint64_t first_seq) {
+  Writer w(20);
+  w.u32(kManifestMagic);
+  w.u32(kManifestVersion);
+  w.u64(first_seq);
+  w.u32(crc32c(w.buffer()));
+  Bytes body = w.take();
+  std::string tmp = path_ + ".manifest.tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::internal("open(" + tmp + "): " + std::strerror(errno));
+  size_t off = 0;
+  while (off < body.size()) {
+    ssize_t n = ::write(fd, body.data() + off, body.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::internal("write wal manifest: " + std::string(std::strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Status::internal("fsync wal manifest");
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), (path_ + ".manifest").c_str()) != 0) {
+    return Status::internal("rename wal manifest: " + std::string(std::strerror(errno)));
+  }
+  fsync_parent_dir(path_);
+  return Status::ok();
+}
+
+void FileWal::do_truncate(Pending t) {
+  // The head goes into a brand-new segment; the manifest rename is the commit
+  // point. Before it, the old segments (plus an inert partial head) are
+  // authoritative; after it, replay starts at the head and the old segments
+  // are unlinked.
+  auto start = std::chrono::steady_clock::now();
+  uint64_t old_first = first_seq_.load();
+  uint64_t new_seq = active_seq_.load() + 1;
+  int nfd = create_segment(new_seq);
+  if (nfd < 0) {
+    if (t.tcb) t.tcb(Status::internal("wal truncate: create segment failed"));
+    return;
+  }
+  size_t nbytes = 0;
+  std::vector<Bytes> framed;
+  framed.reserve(t.head.size());
+  for (const Bytes& r : t.head) {
+    framed.push_back(frame_record(r));
+    nbytes += framed.back().size();
+  }
+  std::vector<iovec> iov;
+  iov.reserve(framed.size());
+  for (const Bytes& f : framed) {
+    iov.push_back({const_cast<uint8_t*>(f.data()), f.size()});
+  }
+  size_t wrote = writev_full(nfd, iov);
+  if (wrote != nbytes || ::fdatasync(nfd) != 0) {
+    ::close(nfd);
+    ::unlink(seg_file(path_, new_seq).c_str());
+    if (t.tcb) t.tcb(Status::internal("wal truncate: head write failed"));
+    return;
+  }
+  Status mst = write_manifest(new_seq);
+  if (!mst.is_ok()) {
+    ::close(nfd);
+    ::unlink(seg_file(path_, new_seq).c_str());
+    if (t.tcb) t.tcb(mst);
+    return;
+  }
+  // Committed: the head segment is now the whole log. Reclaim the prefix.
+  ::close(fd_);
+  fd_ = nfd;
+  active_seq_.store(new_seq);
+  first_seq_.store(new_seq);
+  active_size_ = nbytes;
+  uint64_t reclaimed = 0;
+  for (uint64_t s = old_first; s < new_seq; ++s) {
+    std::string sp = seg_file(path_, s);
+    struct stat st;
+    if (::stat(sp.c_str(), &st) == 0) reclaimed += static_cast<uint64_t>(st.st_size);
+    ::unlink(sp.c_str());
+  }
+  bytes_flushed_.fetch_add(wrote);
+  flush_ops_.fetch_add(1);
+  truncated_bytes_.fetch_add(reclaimed);
+  WalMetrics& wm = WalMetrics::get();
+  wm.bytes_durable->inc(wrote);
+  wm.flushes->inc();
+  wm.truncated->inc(reclaimed);
+  wm.truncates->inc();
+  wm.fsync_us->observe(std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count());
+  if (t.tcb) t.tcb(reclaimed);
+}
+
+void FileWal::replay(const std::function<void(BytesView)>& fn) {
+  // Stream sealed segments in order, then the active one, each through its
+  // own read-only descriptor (the append offset is untouched). Stop at the
+  // first torn or corrupt frame — everything after it is unreachable.
+  uint64_t first = first_seq_.load();
+  uint64_t last = active_seq_.load();
+  for (uint64_t s = first; s <= last; ++s) {
+    bool clean = false;
+    stream_segment(seg_file(path_, s), &fn, &clean);
+    if (!clean) break;
+  }
 }
 
 }  // namespace rspaxos::storage

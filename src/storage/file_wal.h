@@ -1,11 +1,29 @@
-// Real file-backed WAL: CRC-framed records, group commit on a flusher thread.
+// Real file-backed WAL: CRC-framed records, group commit on a flusher
+// thread, segment rotation, unlink-based prefix truncation.
 //
 // Record frame: u32 length | u32 crc32c(payload) | payload. Each group-commit
 // batch lands as one vectored write (writev over all framed records, chunked
-// at IOV_MAX) followed by one fdatasync. Replay streams the log through a
-// fixed-size rolling buffer — O(chunk + largest record) memory — and stops at
-// the first torn/corrupt frame (a crash mid-append), which is safe because
-// append callbacks only fire after fdatasync covers the record.
+// at IOV_MAX) followed by one fdatasync.
+//
+// On-disk layout: the log is a sequence of segments. Segment 0 is the bare
+// `path` (so pre-segmentation logs open unchanged); segment k > 0 is
+// `path.<%08u k>.seg`. Appends go to the highest segment, which rolls over
+// once it exceeds `segment_bytes` (at a batch boundary, so frames never span
+// segments). `path.manifest` records the first live segment and is only
+// written by truncate_prefix — absent manifest means "start at the lowest
+// segment present".
+//
+// truncate_prefix seals the log up to now: the caller's replacement head is
+// written into a fresh segment and fsynced, the manifest is atomically
+// pointed at it (tmp + fsync + rename + dir fsync — the commit point), and
+// every older segment is unlinked. A crash between head write and manifest
+// commit leaves the old segments authoritative plus a harmless duplicate
+// head; a crash after the commit leaves stale pre-manifest segments that
+// open() deletes.
+//
+// Open scans the active segment and ftruncates a torn/corrupt tail down to
+// the longest valid frame prefix, so a log that crashed mid-append keeps
+// accepting (and replaying) appends afterwards.
 #pragma once
 
 #include <atomic>
@@ -16,6 +34,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "storage/wal.h"
 
@@ -23,36 +42,65 @@ namespace rspaxos::storage {
 
 class FileWal final : public Wal {
  public:
+  static constexpr size_t kDefaultSegmentBytes = 64u << 20;
+
   /// Opens (creating if needed) the log at `path`. `group_commit_window_us`
-  /// bounds how long an append may wait to share a flush with later appends.
-  static StatusOr<std::unique_ptr<FileWal>> open(const std::string& path,
-                                                 int64_t group_commit_window_us = 200);
+  /// bounds how long an append may wait to share a flush with later appends;
+  /// `segment_bytes` is the rotation threshold.
+  static StatusOr<std::unique_ptr<FileWal>> open(
+      const std::string& path, int64_t group_commit_window_us = 200,
+      size_t segment_bytes = kDefaultSegmentBytes);
   ~FileWal() override;
 
   void append(Bytes record, DurableFn cb) override;
+  void truncate_prefix(std::vector<Bytes> head, TruncateFn cb) override;
   void replay(const std::function<void(BytesView)>& fn) override;
   uint64_t bytes_flushed() const override { return bytes_flushed_.load(); }
   uint64_t flush_ops() const override { return flush_ops_.load(); }
+  uint64_t truncated_bytes() const override { return truncated_bytes_.load(); }
+
+  // Diagnostics / test hooks.
+  uint64_t first_segment() const { return first_seq_.load(); }
+  uint64_t active_segment() const { return active_seq_.load(); }
+  std::string segment_path(uint64_t seq) const;
 
  private:
-  FileWal(int fd, std::string path, int64_t window_us);
-  void flusher_loop();
+  struct Pending {
+    Bytes framed;   // empty for truncate markers
+    DurableFn cb;
+    bool truncate = false;
+    std::vector<Bytes> head;  // truncate only: replacement records (unframed)
+    TruncateFn tcb;
+  };
 
-  int fd_;
+  FileWal(std::string path, int64_t window_us, size_t segment_bytes, uint64_t first_seq,
+          uint64_t active_seq, int active_fd, size_t active_size);
+  void flusher_loop();
+  void flush_batch(std::deque<Pending> batch);
+  void do_truncate(Pending t);
+  /// Creates segment `seq` (O_TRUNC) and fsyncs the directory so the entry
+  /// survives a crash; returns the fd or -1.
+  int create_segment(uint64_t seq);
+  Status write_manifest(uint64_t first_seq);
+
   std::string path_;
   int64_t window_us_;
+  size_t segment_bytes_;
+
+  // Flusher-thread private (atomics where other threads read diagnostics).
+  int fd_;
+  std::atomic<uint64_t> first_seq_;
+  std::atomic<uint64_t> active_seq_;
+  size_t active_size_;
 
   std::mutex mu_;
   std::condition_variable cv_;
-  struct Pending {
-    Bytes framed;
-    DurableFn cb;
-  };
   std::deque<Pending> staged_;
   bool stopping_ = false;
 
   std::atomic<uint64_t> bytes_flushed_{0};
   std::atomic<uint64_t> flush_ops_{0};
+  std::atomic<uint64_t> truncated_bytes_{0};
   std::thread flusher_;
 };
 

@@ -10,6 +10,8 @@ namespace {
 struct SimWalMetrics {
   obs::Counter* bytes_durable;
   obs::Counter* flushes;
+  obs::Counter* truncated;
+  obs::Counter* truncates;
   obs::HistogramMetric* fsync_us;
   obs::HistogramMetric* batch_records;
 
@@ -20,6 +22,10 @@ struct SimWalMetrics {
       w->bytes_durable =
           &reg.counter("rsp_wal_bytes_durable", "Framed WAL bytes written and fsynced");
       w->flushes = &reg.counter("rsp_wal_flush_total", "Group-commit flush operations");
+      w->truncated = &reg.counter("rsp_wal_truncated_bytes",
+                                  "Durable WAL bytes reclaimed by prefix truncation");
+      w->truncates =
+          &reg.counter("rsp_wal_truncate_total", "WAL prefix truncation operations");
       w->fsync_us =
           &reg.histogram("rsp_wal_fsync_us", "Write+fsync latency per group-commit batch");
       w->batch_records =
@@ -37,11 +43,57 @@ void SimWal::append(Bytes record, DurableFn cb) {
   maybe_flush();
 }
 
+void SimWal::truncate_prefix(std::vector<Bytes> head, TruncateFn cb) {
+  Pending p;
+  p.truncate = true;
+  p.head = std::move(head);
+  p.tcb = std::move(cb);
+  staged_.push_back(std::move(p));
+  maybe_flush();
+}
+
 void SimWal::maybe_flush() {
   if (flush_in_flight_ || staged_.empty()) return;
-  // Take everything staged so far as one batch: group commit (or a single
-  // record when batching is disabled for the §7 ablation).
-  size_t batch = group_commit_ ? staged_.size() : 1;
+  if (staged_.front().truncate) {
+    // The replacement head goes down as one device write; on completion the
+    // old durable log is atomically replaced (the manifest-rename commit
+    // point of FileWal collapses to this single event in sim time).
+    size_t nbytes = 0;
+    for (const Bytes& r : staged_.front().head) nbytes += r.size();
+    flush_in_flight_ = true;
+    flush_ops_++;
+    disk_->write(nbytes, [this, nbytes, epoch = wipe_epoch_] {
+      if (epoch != wipe_epoch_) return;  // crashed mid-truncate: old log stands
+      Pending t = std::move(staged_.front());
+      staged_.pop_front();
+      uint64_t reclaimed = 0;
+      for (const Bytes& r : durable_) reclaimed += r.size();
+      truncated_ += reclaimed;
+      durable_.clear();
+      if (retain_) durable_ = std::move(t.head);
+      bytes_flushed_ += nbytes;
+      SimWalMetrics& wm = SimWalMetrics::get();
+      wm.bytes_durable->inc(nbytes);
+      wm.flushes->inc();
+      wm.truncated->inc(reclaimed);
+      wm.truncates->inc();
+      flush_in_flight_ = false;
+      if (t.tcb) t.tcb(reclaimed);
+      maybe_flush();
+    });
+    return;
+  }
+  // Take everything staged up to the next truncation barrier as one batch:
+  // group commit (or a single record when batching is disabled for the §7
+  // ablation).
+  size_t limit = staged_.size();
+  for (size_t i = 0; i < staged_.size(); ++i) {
+    if (staged_[i].truncate) {
+      limit = i;
+      break;
+    }
+  }
+  size_t batch = group_commit_ ? limit : 1;
   size_t nbytes = 0;
   for (size_t i = 0; i < batch; ++i) nbytes += staged_[i].record.size();
   flush_in_flight_ = true;

@@ -26,9 +26,11 @@ class SimWal final : public Wal {
   void set_group_commit(bool enabled) { group_commit_ = enabled; }
 
   void append(Bytes record, DurableFn cb) override;
+  void truncate_prefix(std::vector<Bytes> head, TruncateFn cb) override;
   void replay(const std::function<void(BytesView)>& fn) override;
   uint64_t bytes_flushed() const override { return bytes_flushed_; }
   uint64_t flush_ops() const override { return flush_ops_; }
+  uint64_t truncated_bytes() const override { return truncated_; }
 
   /// Simulated crash helper: records whose flush had not completed are lost,
   /// mirroring a real power failure. (Durable records always survive.)
@@ -43,6 +45,10 @@ class SimWal final : public Wal {
   struct Pending {
     Bytes record;
     DurableFn cb;
+    // Truncation marker: acts as a flush barrier in the staged queue.
+    bool truncate = false;
+    std::vector<Bytes> head;
+    TruncateFn tcb;
   };
   std::deque<Pending> staged_;
   bool flush_in_flight_ = false;
@@ -50,6 +56,7 @@ class SimWal final : public Wal {
   std::vector<Bytes> durable_;
   uint64_t bytes_flushed_ = 0;
   uint64_t flush_ops_ = 0;
+  uint64_t truncated_ = 0;
 };
 
 }  // namespace rspaxos::storage

@@ -8,6 +8,16 @@ void MemWal::append(Bytes record, DurableFn cb) {
   if (cb) cb(Status::ok());
 }
 
+void MemWal::truncate_prefix(std::vector<Bytes> head, TruncateFn cb) {
+  uint64_t reclaimed = 0;
+  for (const Bytes& r : records_) reclaimed += r.size();
+  truncated_ += reclaimed;
+  records_ = std::move(head);
+  bytes_ = 0;
+  for (const Bytes& r : records_) bytes_ += r.size();
+  if (cb) cb(reclaimed);
+}
+
 void MemWal::replay(const std::function<void(BytesView)>& fn) {
   for (const Bytes& r : records_) fn(r);
 }

@@ -17,16 +17,26 @@
 
 namespace rspaxos::storage {
 
-/// Append-only durable record log.
+/// Append-only durable record log with prefix truncation (log compaction).
 class Wal {
  public:
   using DurableFn = std::function<void(Status)>;
+  /// Truncation completion: reclaimed (unlinked/forgotten) durable bytes.
+  using TruncateFn = std::function<void(StatusOr<uint64_t>)>;
 
   virtual ~Wal() = default;
 
   /// Appends one record; cb fires (on the owner's execution context) when
   /// the record — and everything appended before it — is durable.
   virtual void append(Bytes record, DurableFn cb) = 0;
+
+  /// Log compaction after a checkpoint: atomically replaces every record
+  /// appended before this call with `head` (the caller-built barrier state —
+  /// promise, config, snapshot marker, still-open slots). Records appended
+  /// *after* this call are preserved; replay then yields head followed by
+  /// them. Ordered with append like any staged record; cb fires once the
+  /// head is durable and the old prefix is reclaimed.
+  virtual void truncate_prefix(std::vector<Bytes> head, TruncateFn cb) = 0;
 
   /// Replays all durable records in append order (crash recovery).
   virtual void replay(const std::function<void(BytesView)>& fn) = 0;
@@ -35,6 +45,8 @@ class Wal {
   virtual uint64_t bytes_flushed() const = 0;
   /// Number of device flush operations issued (group commit batches).
   virtual uint64_t flush_ops() const = 0;
+  /// Durable bytes reclaimed by truncate_prefix over this WAL's lifetime.
+  virtual uint64_t truncated_bytes() const = 0;
 };
 
 /// Instant in-memory WAL for protocol unit tests: records are "durable"
@@ -42,9 +54,11 @@ class Wal {
 class MemWal final : public Wal {
  public:
   void append(Bytes record, DurableFn cb) override;
+  void truncate_prefix(std::vector<Bytes> head, TruncateFn cb) override;
   void replay(const std::function<void(BytesView)>& fn) override;
   uint64_t bytes_flushed() const override { return bytes_; }
   uint64_t flush_ops() const override { return records_.size(); }
+  uint64_t truncated_bytes() const override { return truncated_; }
 
   /// Clears records (simulating disk loss — used by tests of the *unsafe*
   /// configurations; never by the protocol).
@@ -53,6 +67,7 @@ class MemWal final : public Wal {
  private:
   std::vector<Bytes> records_;
   uint64_t bytes_ = 0;
+  uint64_t truncated_ = 0;
 };
 
 }  // namespace rspaxos::storage

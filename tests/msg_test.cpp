@@ -168,6 +168,73 @@ TEST(Msg, CatchupRoundTrip) {
   ASSERT_TRUE(drep.value().config.has_value());
   EXPECT_EQ(drep.value().config->epoch, 9u);
   EXPECT_EQ(drep.value().config->members, (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(drep.value().log_start, 1u);  // default: nothing compacted
+
+  rep.log_start = 42;
+  auto dtrunc = CatchupRepMsg::decode(rep.encode());
+  ASSERT_TRUE(dtrunc.is_ok());
+  EXPECT_EQ(dtrunc.value().log_start, 42u);
+}
+
+TEST(Msg, SnapshotOfferRoundTrip) {
+  SnapshotOfferMsg m;
+  m.epoch = 7;
+  m.ballot = Ballot{4, 2};
+  m.manifest = to_bytes("manifest-wire-image");
+  auto d = SnapshotOfferMsg::decode(m.encode());
+  ASSERT_TRUE(d.is_ok());
+  EXPECT_EQ(d.value().epoch, 7u);
+  EXPECT_EQ(d.value().ballot, (Ballot{4, 2}));
+  EXPECT_EQ(d.value().manifest, to_bytes("manifest-wire-image"));
+}
+
+TEST(Msg, SnapshotFetchReqRoundTrip) {
+  SnapshotFetchReqMsg m;
+  m.epoch = 3;
+  m.checkpoint_id = 900;
+  m.share_idx = 2;
+  m.offset = 1 << 20;
+  auto d = SnapshotFetchReqMsg::decode(m.encode());
+  ASSERT_TRUE(d.is_ok());
+  EXPECT_EQ(d.value().checkpoint_id, 900u);
+  EXPECT_EQ(d.value().share_idx, 2u);
+  EXPECT_EQ(d.value().offset, 1u << 20);
+
+  // kAnyShare ("whatever fragment you hold") survives the wire.
+  SnapshotFetchReqMsg any;
+  any.share_idx = kAnyShare;
+  auto dany = SnapshotFetchReqMsg::decode(any.encode());
+  ASSERT_TRUE(dany.is_ok());
+  EXPECT_EQ(dany.value().share_idx, kAnyShare);
+}
+
+TEST(Msg, SnapshotFetchRepRoundTrip) {
+  SnapshotFetchRepMsg m;
+  m.epoch = 3;
+  m.have = true;
+  m.checkpoint_id = 900;
+  m.share_idx = 1;
+  m.offset = 4096;
+  m.manifest = to_bytes("man");
+  m.data = to_bytes("fragment-chunk-bytes");
+  auto d = SnapshotFetchRepMsg::decode(m.encode());
+  ASSERT_TRUE(d.is_ok());
+  EXPECT_TRUE(d.value().have);
+  EXPECT_EQ(d.value().checkpoint_id, 900u);
+  EXPECT_EQ(d.value().share_idx, 1u);
+  EXPECT_EQ(d.value().offset, 4096u);
+  EXPECT_EQ(d.value().manifest, to_bytes("man"));
+  EXPECT_EQ(d.value().data, to_bytes("fragment-chunk-bytes"));
+
+  // have=false carries the newest-known id so the fetcher can retarget.
+  SnapshotFetchRepMsg none;
+  none.have = false;
+  none.checkpoint_id = 901;
+  auto dnone = SnapshotFetchRepMsg::decode(none.encode());
+  ASSERT_TRUE(dnone.is_ok());
+  EXPECT_FALSE(dnone.value().have);
+  EXPECT_EQ(dnone.value().checkpoint_id, 901u);
+  EXPECT_TRUE(dnone.value().data.empty());
 }
 
 TEST(Msg, FetchShareRoundTrip) {

@@ -1,0 +1,211 @@
+// Snapshot store tests: manifest wire-format integrity, the save/load
+// contract across all three store implementations, and the crash-consistency
+// guarantee (a crash during save restores the previous snapshot, never a torn
+// mix).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "sim/sim_disk.h"
+#include "sim/sim_world.h"
+#include "snapshot/manifest.h"
+#include "snapshot/sim_snapshot_store.h"
+#include "snapshot/snapshot_store.h"
+#include "util/crc32.h"
+
+namespace rspaxos {
+namespace {
+
+using snapshot::FileSnapshotStore;
+using snapshot::MemSnapshotStore;
+using snapshot::SimSnapshotStore;
+using snapshot::SnapshotManifest;
+
+SnapshotManifest sample_manifest(uint64_t id) {
+  SnapshotManifest m;
+  m.checkpoint_id = id;
+  m.applied_index = id;
+  m.next_slot = id + 1;
+  m.epoch = 3;
+  m.share_idx = 2;
+  m.x = 3;
+  m.n = 5;
+  m.state_len = 1000;
+  m.state_crc = 0xdeadbeef;
+  m.frag_len = 334;
+  m.frag_crc = 0x12345678;
+  m.config_blob = to_bytes("opaque-config");
+  return m;
+}
+
+TEST(Manifest, RoundTrip) {
+  SnapshotManifest m = sample_manifest(77);
+  auto d = SnapshotManifest::decode(m.encode());
+  ASSERT_TRUE(d.is_ok());
+  EXPECT_EQ(d.value(), m);
+}
+
+TEST(Manifest, CorruptionDetected) {
+  Bytes wire = sample_manifest(77).encode();
+  // Flip every byte in turn: no single-byte corruption may decode cleanly
+  // into a *different* manifest. (Flips in the CRC field itself that still
+  // decode would be caught by the equality check.)
+  SnapshotManifest orig = sample_manifest(77);
+  for (size_t i = 0; i < wire.size(); ++i) {
+    Bytes bad = wire;
+    bad[i] ^= 0xff;
+    auto d = SnapshotManifest::decode(bad);
+    if (d.is_ok()) EXPECT_EQ(d.value(), orig) << "byte " << i;
+    else SUCCEED();
+  }
+  // Truncations never decode.
+  for (size_t len = 0; len < wire.size(); ++len) {
+    auto d = SnapshotManifest::decode(BytesView(wire.data(), len));
+    EXPECT_TRUE(d.is_ok() == false) << "len " << len;
+  }
+}
+
+TEST(MemStore, SaveLoadReplace) {
+  MemSnapshotStore store;
+  EXPECT_TRUE(store.load_manifest().is_ok() == false);
+  EXPECT_TRUE(store.load_fragment().is_ok() == false);
+  EXPECT_EQ(store.stored_bytes(), 0u);
+
+  bool saved = false;
+  store.save(sample_manifest(10), to_bytes("frag-10"), [&](Status s) {
+    EXPECT_TRUE(s.is_ok());
+    saved = true;
+  });
+  EXPECT_TRUE(saved);
+  ASSERT_TRUE(store.load_manifest().is_ok());
+  EXPECT_EQ(store.load_manifest().value().checkpoint_id, 10u);
+  EXPECT_EQ(store.load_fragment().value(), to_bytes("frag-10"));
+  EXPECT_GT(store.stored_bytes(), 0u);
+
+  // Newer snapshot replaces the old one wholesale.
+  store.save(sample_manifest(20), to_bytes("frag-20!"), nullptr);
+  EXPECT_EQ(store.load_manifest().value().checkpoint_id, 20u);
+  EXPECT_EQ(store.load_fragment().value(), to_bytes("frag-20!"));
+}
+
+class FileStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("rspaxos_snap_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(FileStoreTest, SaveLoadReopenReplace) {
+  auto open1 = FileSnapshotStore::open(dir_.string());
+  ASSERT_TRUE(open1.is_ok());
+  auto& store = *open1.value();
+  EXPECT_TRUE(store.load_manifest().is_ok() == false);
+
+  Bytes frag(4096, 0xab);
+  SnapshotManifest man = sample_manifest(5);
+  man.frag_len = frag.size();
+  man.frag_crc = crc32c(frag.data(), frag.size());
+  bool saved = false;
+  store.save(man, frag, [&](Status s) {
+    EXPECT_TRUE(s.is_ok()) << s.message();
+    saved = true;
+  });
+  EXPECT_TRUE(saved);
+
+  // A fresh open (process restart) sees exactly the committed snapshot.
+  auto open2 = FileSnapshotStore::open(dir_.string());
+  ASSERT_TRUE(open2.is_ok());
+  auto man2 = open2.value()->load_manifest();
+  ASSERT_TRUE(man2.is_ok());
+  EXPECT_EQ(man2.value(), man);
+  auto frag2 = open2.value()->load_fragment();
+  ASSERT_TRUE(frag2.is_ok());
+  EXPECT_EQ(frag2.value(), frag);
+
+  // Replacing with a newer checkpoint unlinks the old fragment file.
+  Bytes frag3(2048, 0xcd);
+  SnapshotManifest man3 = sample_manifest(9);
+  man3.frag_len = frag3.size();
+  man3.frag_crc = crc32c(frag3.data(), frag3.size());
+  open2.value()->save(man3, frag3, nullptr);
+  EXPECT_EQ(open2.value()->load_manifest().value().checkpoint_id, 9u);
+  EXPECT_EQ(open2.value()->load_fragment().value(), frag3);
+  int frag_files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+    if (e.path().filename().string().find(".frag") != std::string::npos) frag_files++;
+  }
+  EXPECT_EQ(frag_files, 1) << "stale fragment files must be unlinked";
+}
+
+TEST_F(FileStoreTest, CorruptFragmentRejected) {
+  auto open1 = FileSnapshotStore::open(dir_.string());
+  ASSERT_TRUE(open1.is_ok());
+  Bytes frag(1024, 0x42);
+  SnapshotManifest man = sample_manifest(3);
+  man.frag_len = frag.size();
+  man.frag_crc = crc32c(frag.data(), frag.size());
+  open1.value()->save(man, frag, nullptr);
+
+  // Corrupt one byte of the fragment file on disk (bit rot).
+  std::filesystem::path frag_path;
+  for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+    if (e.path().filename().string().find(".frag") != std::string::npos)
+      frag_path = e.path();
+  }
+  ASSERT_FALSE(frag_path.empty());
+  {
+    std::fstream f(frag_path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(100);
+    f.put('\x00');
+  }
+  auto open2 = FileSnapshotStore::open(dir_.string());
+  ASSERT_TRUE(open2.is_ok());
+  EXPECT_TRUE(open2.value()->load_fragment().is_ok() == false)
+      << "CRC-mismatched fragment must not load";
+}
+
+TEST(SimStore, SaveCommitsOnlyAfterDiskWrite) {
+  sim::SimWorld w(1);
+  sim::SimDisk disk(&w, sim::DiskParams{100, 1e9});  // 10 ms/op
+  SimSnapshotStore store(&disk);
+  bool durable = false;
+  store.save(sample_manifest(4), to_bytes("frag"), [&](Status s) {
+    EXPECT_TRUE(s.is_ok());
+    durable = true;
+  });
+  EXPECT_FALSE(durable);
+  EXPECT_TRUE(store.load_manifest().is_ok() == false) << "not committed yet";
+  w.run_to_completion();
+  EXPECT_TRUE(durable);
+  EXPECT_EQ(store.load_manifest().value().checkpoint_id, 4u);
+  EXPECT_GT(store.stored_bytes(), 0u);
+}
+
+TEST(SimStore, CrashDuringSaveKeepsPreviousSnapshot) {
+  sim::SimWorld w(1);
+  sim::SimDisk disk(&w, sim::DiskParams{100, 1e9});
+  SimSnapshotStore store(&disk);
+  store.save(sample_manifest(4), to_bytes("frag-4"), nullptr);
+  w.run_to_completion();  // checkpoint 4 committed
+
+  bool second_cb = false;
+  store.save(sample_manifest(8), to_bytes("frag-8"), [&](Status) { second_cb = true; });
+  store.drop_unflushed();  // power failure mid-save
+  w.run_to_completion();
+  // The committed snapshot survives; the torn save never becomes visible.
+  EXPECT_FALSE(second_cb) << "lost save must not report durability";
+  ASSERT_TRUE(store.load_manifest().is_ok());
+  EXPECT_EQ(store.load_manifest().value().checkpoint_id, 4u);
+  EXPECT_EQ(store.load_fragment().value(), to_bytes("frag-4"));
+}
+
+}  // namespace
+}  // namespace rspaxos
