@@ -30,7 +30,7 @@ double measure_mbps(bool rs_mode, const DiskKind& disk, bool group_commit,
   opts.replica = bench_replica_options(false);
   opts.wal_retain = false;
   kv::SimCluster cluster(world.get(), opts);
-  for (int s = 0; s < 5; ++s) cluster.wal(s, 0).set_group_commit(group_commit);
+  for (int s = 0; s < 5; ++s) cluster.host_wal(s).set_group_commit(group_commit);
   cluster.wait_for_leaders();
 
   WorkloadSpec spec;

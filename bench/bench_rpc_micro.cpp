@@ -249,7 +249,7 @@ double run_blocking_side(RxCount& rx, size_t frame_bytes) {
         // per call; model that cost here for parity with the epoll side.
         Bytes payload(src);
         net::encode_frame_header(hdr, static_cast<uint32_t>(payload.size()),
-                                 crc32c(payload), 1, MsgType::kTestPing);
+                                 crc32c(payload), 1, /*to=*/2, MsgType::kTestPing);
         std::lock_guard<std::mutex> lk(wr_mu);
         bool ok = ::send(fd, hdr, sizeof(hdr), MSG_NOSIGNAL) ==
                   static_cast<ssize_t>(sizeof(hdr));

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Full verification sweep: the tier-1 suite plus every sanitizer preset.
+#
+#   scripts/check.sh            # tier-1 (default preset, all tests)
+#   scripts/check.sh --fast     # tier-1 minus the `slow`-labeled socket suites
+#   scripts/check.sh --san      # tier-1 + asan/tsan/ubsan preset suites
+#
+# The sanitizer presets build into their own trees (build-asan/ build-tsan/
+# build-ubsan/) and run curated subsets: ASan+UBSan runs everything, TSan
+# targets the threaded socket suites (10-20x slowdown; TIMEOUTs are widened
+# in tests/CMakeLists.txt), UBSan re-checks the codec/storage/multi-group
+# arithmetic paths.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+FAST=0
+SAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    --san) SAN=1 ;;
+    *) echo "usage: $0 [--fast] [--san]" >&2; exit 2 ;;
+  esac
+done
+
+run_preset() {
+  local preset="$1"; shift
+  echo "=== [$preset] configure + build ==="
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$JOBS"
+  echo "=== [$preset] ctest $* ==="
+  ctest --preset "$preset" -j "$JOBS" "$@"
+}
+
+if [[ "$FAST" == 1 ]]; then
+  # Narrow loop: skip the real-socket suites (labeled `slow`).
+  run_preset default -LE slow
+else
+  run_preset default
+fi
+
+if [[ "$SAN" == 1 ]]; then
+  run_preset asan
+  run_preset tsan
+  run_preset ubsan
+fi
+
+echo "check.sh: all requested suites passed"

@@ -7,48 +7,9 @@
 #include "util/crc32.h"
 #include "util/logging.h"
 
+#include "consensus/replica_internal.h"
+
 namespace rspaxos::consensus {
-namespace {
-
-// WAL record tags.
-constexpr uint8_t kRecMeta = 1;        // promised ballot
-constexpr uint8_t kRecSlot = 2;        // slot accept state
-constexpr uint8_t kRecConfig = 3;      // applied group config
-constexpr uint8_t kRecSnapMarker = 4;  // snapshot barrier: slots below live in the snapshot
-
-Bytes encode_meta_record(const Ballot& promised) {
-  Writer w(16);
-  w.u8(kRecMeta);
-  encode_ballot(w, promised);
-  return w.take();
-}
-
-Bytes encode_slot_record(Slot slot, const Ballot& accepted, const CodedShare& share) {
-  Writer w(48 + share.header.size() + share.data.size());
-  w.u8(kRecSlot);
-  w.varint(slot);
-  encode_ballot(w, accepted);
-  encode_share(w, share);
-  return w.take();
-}
-
-Bytes encode_config_record(const GroupConfig& cfg) {
-  Writer w(64);
-  w.u8(kRecConfig);
-  encode_config(w, cfg);
-  return w.take();
-}
-
-Bytes encode_snap_marker(uint64_t ckpt_id, Slot applied, Slot next_hint) {
-  Writer w(24);
-  w.u8(kRecSnapMarker);
-  w.varint(ckpt_id);
-  w.varint(applied);
-  w.varint(next_hint);
-  return w.take();
-}
-
-}  // namespace
 
 Replica::Replica(NodeContext* ctx, storage::Wal* wal, GroupConfig cfg, ReplicaOptions opts)
     : ctx_(ctx), wal_(wal), cfg_(std::move(cfg)), opts_(opts) {
@@ -60,8 +21,10 @@ Replica::Replica(NodeContext* ctx, storage::Wal* wal, GroupConfig cfg, ReplicaOp
 void Replica::init_metrics() {
   auto& reg = obs::MetricsRegistry::global();
   std::string node = std::to_string(ctx_->id());
+  std::string group = std::to_string(opts_.group_id);
   auto counter = [&](const char* name, const char* help) {
-    return obs::CounterView(&reg.counter_family(name, help, {"node"}).with({node}));
+    return obs::CounterView(
+        &reg.counter_family(name, help, {"node", "group"}).with({node, group}));
   };
   m_.proposals = counter("rsp_consensus_proposals_total", "Values proposed by this node");
   m_.commits = counter("rsp_consensus_commits_total", "Slots this node decided as leader");
@@ -75,15 +38,13 @@ void Replica::init_metrics() {
       counter("rsp_consensus_recoveries_total", "Recovery reads started (share gathering)");
   m_.catchup_bytes =
       counter("rsp_catchup_bytes_sent", "Share+header bytes served in catch-up replies");
-  m_.quorum_wait_us = &reg.histogram_family("rsp_commit_quorum_wait_us",
-                                            "Propose to write-quorum latency", {"node"})
-                           .with({node});
-  m_.commit_apply_us = &reg.histogram_family("rsp_commit_apply_us",
-                                             "Write-quorum to local apply latency", {"node"})
-                            .with({node});
-  m_.commit_total_us = &reg.histogram_family("rsp_commit_total_us",
-                                             "Propose to local apply latency", {"node"})
-                            .with({node});
+  auto histogram = [&](const char* name, const char* help) {
+    return &reg.histogram_family(name, help, {"node", "group"}).with({node, group});
+  };
+  m_.quorum_wait_us = histogram("rsp_commit_quorum_wait_us", "Propose to write-quorum latency");
+  m_.commit_apply_us =
+      histogram("rsp_commit_apply_us", "Write-quorum to local apply latency");
+  m_.commit_total_us = histogram("rsp_commit_total_us", "Propose to local apply latency");
   m_.checkpoints =
       counter("rsp_snapshot_checkpoints_total", "Erasure-coded checkpoints cut as leader");
   m_.snapshot_installs =
@@ -92,10 +53,8 @@ void Replica::init_metrics() {
       counter("rsp_snapshot_bytes", "Checkpoint fragment bytes durably saved");
   m_.share_gc_dropped =
       counter("rsp_share_gc_dropped", "Log-entry shares dropped by snapshot-gated GC");
-  m_.snapshot_duration_us = &reg.histogram_family("rsp_snapshot_duration_us",
-                                                  "Checkpoint build+encode+save latency",
-                                                  {"node"})
-                                 .with({node});
+  m_.snapshot_duration_us =
+      histogram("rsp_snapshot_duration_us", "Checkpoint build+encode+save latency");
 }
 
 ReplicaStats Replica::stats() const {
@@ -795,210 +754,6 @@ void Replica::apply_config_entry(const LogEntry& e, Slot slot) {
   }
   if (on_config_change_) on_config_change_(old_cfg, cfg_, action);
 }
-
-void Replica::maybe_request_catchup() {
-  if (catchup_in_flight_ || applied_index_ >= commit_index_) return;
-  NodeId target = leader_hint();
-  if (target == kNoNode || target == ctx_->id()) return;
-  // First missing-or-uncommitted slot range.
-  Slot lo = applied_index_ + 1;
-  Slot hi = std::min(commit_index_, lo + 63);  // bounded batches
-  CatchupReqMsg req;
-  req.epoch = cfg_.epoch;
-  req.from_slot = lo;
-  req.to_slot = hi;
-  catchup_in_flight_ = true;
-  ctx_->send(target, MsgType::kCatchupReq, req.encode());
-  ctx_->set_timer(opts_.retransmit_interval * 2, [this] { catchup_in_flight_ = false; });
-}
-
-void Replica::on_catchup_req(NodeId from, CatchupReqMsg msg) {
-  serve_catchup(from, msg.from_slot, msg.to_slot);
-}
-
-void Replica::serve_catchup(NodeId to, Slot from_slot, Slot to_slot) {
-  CatchupRepMsg rep;
-  rep.epoch = cfg_.epoch;
-  rep.commit_index = commit_index_;
-  rep.log_start = snap_applied_ + 1;
-  int to_idx = cfg_.index_of(to);
-  if (to_idx < 0) {
-    ctx_->send(to, MsgType::kCatchupRep, rep.encode());
-    return;
-  }
-  to_slot = std::min(to_slot, commit_index_);
-  from_slot = std::max(from_slot, rep.log_start);  // compacted slots can't be served
-  std::vector<Slot> need_recovery;
-  for (Slot s = from_slot; s <= to_slot; ++s) {
-    auto it = log_.find(s);
-    if (it == log_.end() || !it->second.committed) continue;
-    LogEntry& e = it->second;
-    CatchupEntry ce;
-    ce.slot = s;
-    ce.ballot = e.accepted;
-    ce.share = e.share;  // copies metadata + header
-    ce.share.share_idx = static_cast<uint32_t>(to_idx);
-    if (e.full_payload.has_value()) {
-      // "The leader needs to re-code the data and send the corresponding
-      // fragment to the recovering server" (§4.5).
-      const ec::RsCode& code = ec::RsCodeCache::get(static_cast<int>(e.share.x),
-                                                    static_cast<int>(e.share.n));
-      ce.share.data = code.encode_share(*e.full_payload, to_idx);
-    } else if (e.share.x == 1 && !(e.share.data.empty() && e.share.value_len > 0)) {
-      // Full copy already (and not compacted away).
-    } else {
-      need_recovery.push_back(s);
-      continue;
-    }
-    m_.catchup_entries_served.inc();
-    m_.catchup_bytes.inc(ce.share.header.size() + ce.share.data.size());
-    rep.entries.push_back(std::move(ce));
-  }
-  ctx_->send(to, MsgType::kCatchupRep, rep.encode());
-  // Kick off payload recovery for what we could not serve; the requester
-  // will retry and find the payloads cached.
-  for (Slot s : need_recovery) recover_payload(s, nullptr);
-}
-
-void Replica::on_catchup_rep(NodeId from, CatchupRepMsg msg) {
-  (void)from;
-  catchup_in_flight_ = false;
-  if (msg.log_start > applied_index_ + 1 && snap_store_ != nullptr &&
-      !install_.has_value()) {
-    // Our gap predates the responder's log: slot-by-slot catch-up can never
-    // close it (the prefix was compacted into a snapshot). Reconstruct the
-    // state image instead; the entries below still persist normally.
-    RSP_INFO << "node " << ctx_->id() << " gap below responder log_start "
-             << msg.log_start << " (applied " << applied_index_
-             << "): installing snapshot";
-    start_install(0);
-  }
-  if (msg.config.has_value() && msg.config->epoch > cfg_.epoch) {
-    // Advisory only (the authoritative switch is the CONFIG log entry):
-    // use it to find the current membership for routing.
-    leader_ = kNoNode;
-  }
-  for (CatchupEntry& ce : msg.entries) {
-    LogEntry& e = log_[ce.slot];
-    if (e.applied) continue;
-    e.accepted = ce.ballot;
-    e.share = std::move(ce.share);
-    if (e.share.x == 1) e.full_payload = e.share.data;
-    e.committed = true;
-    persist_slot(ce.slot, nullptr);
-  }
-  advance_commit_index(std::max(commit_index_, msg.commit_index));
-  if (applied_index_ < commit_index_) maybe_request_catchup();
-}
-
-// ---------------------------------------------------------------------------
-// Recovery read support (§4.4): gather >= X shares, decode.
-// ---------------------------------------------------------------------------
-
-void Replica::recover_payload(Slot slot, RecoverFn cb) {
-  auto lit = log_.find(slot);
-  if (lit != log_.end() && lit->second.full_payload.has_value()) {
-    if (cb) cb(*lit->second.full_payload);
-    return;
-  }
-  if (slot <= snap_applied_ && lit == log_.end()) {
-    // Compacted: the slot's effect lives only in the snapshot image now; no
-    // quorum of shares exists to decode. Fail fast instead of retrying.
-    if (cb) cb(Status::not_found("slot compacted into snapshot"));
-    return;
-  }
-  PendingRecovery& rec = recoveries_[slot];
-  if (cb) rec.cbs.push_back(std::move(cb));
-  if (rec.retry_timer != 0) return;  // fetch already in flight
-
-  m_.recoveries.inc();
-  if (lit != log_.end() && lit->second.committed) {
-    rec.vid = lit->second.share.vid;
-    rec.vid_known = true;
-    rec.x = lit->second.share.x;
-    rec.n = lit->second.share.n;
-    rec.value_len = lit->second.share.value_len;
-    rec.shares[static_cast<int>(lit->second.share.share_idx)] = lit->second.share.data;
-  }
-  FetchShareReqMsg req;
-  req.epoch = cfg_.epoch;
-  req.slot = slot;
-  Bytes enc = req.encode();
-  for (NodeId m : cfg_.members) {
-    if (m != ctx_->id()) ctx_->send(m, MsgType::kFetchShareReq, enc);
-  }
-  rec.retry_timer = ctx_->set_timer(opts_.retransmit_interval, [this, slot] {
-    auto it = recoveries_.find(slot);
-    if (it == recoveries_.end()) return;
-    it->second.retry_timer = 0;
-    recover_payload(slot, nullptr);  // re-broadcast fetches
-  });
-}
-
-void Replica::on_fetch_share_req(NodeId from, FetchShareReqMsg msg) {
-  FetchShareRepMsg rep;
-  rep.epoch = cfg_.epoch;
-  rep.slot = msg.slot;
-  auto it = log_.find(msg.slot);
-  bool compacted = it != log_.end() && it->second.share.data.empty() &&
-                   it->second.share.value_len > 0;
-  if (it != log_.end() && !it->second.accepted.is_null() && !compacted) {
-    rep.have = true;
-    rep.committed = it->second.committed;
-    rep.accepted_ballot = it->second.accepted;
-    rep.share = it->second.share;
-    rep.share.header.clear();  // header not needed for payload recovery
-  }
-  ctx_->send(from, MsgType::kFetchShareRep, rep.encode());
-}
-
-void Replica::on_fetch_share_rep(NodeId from, FetchShareRepMsg msg) {
-  (void)from;
-  auto rit = recoveries_.find(msg.slot);
-  if (rit == recoveries_.end()) return;
-  PendingRecovery& rec = rit->second;
-  if (!msg.have) return;
-  // Pin the value id: a committed report is authoritative (Proposition 1 —
-  // later rounds can only carry the chosen value, so all committed shares of
-  // a slot agree on vid). Without one, tentatively chase the first vid seen;
-  // a later committed report overrides it.
-  if (msg.committed && !rec.vid_known) {
-    if (rec.vid != msg.share.vid) rec.shares.clear();
-    rec.vid = msg.share.vid;
-    rec.vid_known = true;
-  } else if (!rec.vid_known && rec.shares.empty()) {
-    rec.vid = msg.share.vid;
-  }
-  if (msg.share.vid != rec.vid) return;
-  rec.x = msg.share.x;
-  rec.n = msg.share.n;
-  rec.value_len = msg.share.value_len;
-  rec.shares[static_cast<int>(msg.share.share_idx)] = std::move(msg.share.data);
-  if (rec.shares.size() < static_cast<size_t>(rec.x)) return;
-
-  const ec::RsCode& code =
-      ec::RsCodeCache::get(static_cast<int>(rec.x), static_cast<int>(rec.n));
-  std::map<int, Bytes> input;
-  for (auto& [idx, data] : rec.shares) input.emplace(idx, data);
-  auto payload = code.decode(input, rec.value_len);
-  std::vector<RecoverFn> cbs = std::move(rec.cbs);
-  if (rec.retry_timer != 0) ctx_->cancel_timer(rec.retry_timer);
-  Slot slot = msg.slot;
-  recoveries_.erase(rit);
-  if (!payload.is_ok()) {
-    for (auto& cb : cbs) {
-      if (cb) cb(payload.status());
-    }
-    return;
-  }
-  Bytes value = std::move(payload).value();
-  auto lit = log_.find(slot);
-  if (lit != log_.end()) lit->second.full_payload = value;  // cache for catch-up
-  for (auto& cb : cbs) {
-    if (cb) cb(value);
-  }
-}
-
 // ---------------------------------------------------------------------------
 // Persistence (§4.5).
 // ---------------------------------------------------------------------------
@@ -1116,476 +871,6 @@ void Replica::maybe_drop_old_payloads() {
     }
   }
 }
-
-// ---------------------------------------------------------------------------
-// Snapshots & log compaction: each node durably keeps only its θ(X, N)
-// fragment of the state image (~|state|/X bytes) — the paper's storage
-// argument applied to checkpoints — and the WAL prefix below the barrier is
-// replaced by a marker record. A lagging replica whose gap predates every
-// log reconstructs the image from any X distinct fragments (InstallSnapshot).
-// ---------------------------------------------------------------------------
-
-size_t Replica::snapshot_chunk_limit() const {
-  // Stay well under the transport frame bound: the reply also carries the
-  // manifest and framing overhead.
-  size_t cap = net::kMaxFrameBytes / 4;
-  return std::max<size_t>(1, std::min(opts_.snapshot_chunk_bytes, cap));
-}
-
-void Replica::maybe_checkpoint() {
-  if (role_ != Role::kLeader || snap_store_ == nullptr || !build_state_) return;
-  if (opts_.checkpoint_interval_slots == 0) return;
-  if (checkpoint_in_flight_ || install_.has_value() || !state_ready_) return;
-  if (applied_index_ < snap_applied_ + opts_.checkpoint_interval_slots) return;
-  // Cut at a quiet barrier: everything committed is executed, so the image
-  // is exactly the prefix <= applied_index_.
-  if (applied_index_ != commit_index_) return;
-  if (state_complete_ && !state_complete_()) return;
-  const Slot barrier = applied_index_;
-  const uint64_t id = barrier;  // deterministic identity across the group
-  if (id <= snap_ckpt_id_) return;
-  const int my_idx = cfg_.index_of(ctx_->id());
-  if (my_idx < 0) return;
-
-  auto img = build_state_();
-  if (!img.is_ok()) return;  // e.g. share-only rows appeared; retry later
-  const TimeMicros t0 = ctx_->now();
-  Bytes image = std::move(img).value();
-  const uint32_t state_crc = crc32c(image);
-  Writer cw(64);
-  encode_config(cw, cfg_);
-  Bytes cfg_blob = cw.take();
-
-  const ec::RsCode& code = codec();
-  const int n = cfg_.n();
-  PendingCheckpoint ck;
-  ck.id = id;
-  ck.applied = barrier;
-  ck.mans.resize(static_cast<size_t>(n));
-  ck.frags.resize(static_cast<size_t>(n));
-  for (int idx = 0; idx < n; ++idx) {
-    Bytes frag = code.encode_share(image, idx);
-    snapshot::SnapshotManifest man;
-    man.checkpoint_id = id;
-    man.applied_index = barrier;
-    man.next_slot = next_slot_;
-    man.epoch = cfg_.epoch;
-    man.share_idx = static_cast<uint32_t>(idx);
-    man.x = static_cast<uint32_t>(cfg_.x);
-    man.n = static_cast<uint32_t>(n);
-    man.state_len = image.size();
-    man.state_crc = state_crc;
-    man.frag_len = frag.size();
-    man.frag_crc = crc32c(frag);
-    man.config_blob = cfg_blob;
-    ck.mans[static_cast<size_t>(idx)] = std::move(man);
-    ck.frags[static_cast<size_t>(idx)] = std::move(frag);
-  }
-  snapshot::SnapshotManifest my_man = ck.mans[static_cast<size_t>(my_idx)];
-  Bytes my_frag = ck.frags[static_cast<size_t>(my_idx)];
-  ckpt_ = std::move(ck);
-  checkpoint_in_flight_ = true;
-  RSP_INFO << "leader " << ctx_->id() << " checkpoint " << id << " at slot " << barrier
-           << " state=" << image.size() << "B frag=" << my_frag.size() << "B";
-  save_own_fragment(std::move(my_man), std::move(my_frag), [this, id, t0](Status st) {
-    checkpoint_in_flight_ = false;
-    if (!st.is_ok()) {
-      RSP_ERROR << "checkpoint " << id << " save failed: " << st.to_string();
-      if (ckpt_.has_value() && ckpt_->id == id) ckpt_.reset();
-      return;
-    }
-    m_.checkpoints.inc();
-    if (m_.snapshot_duration_us != nullptr) {
-      m_.snapshot_duration_us->observe(static_cast<int64_t>(ctx_->now() - t0));
-    }
-    offer_snapshots();
-  });
-}
-
-void Replica::save_own_fragment(snapshot::SnapshotManifest man, Bytes frag,
-                                std::function<void(Status)> then) {
-  if (snap_store_ == nullptr) {
-    if (then) then(Status::unavailable("no snapshot store"));
-    return;
-  }
-  snapshot::SnapshotManifest man_arg = man;
-  Bytes frag_arg = frag;
-  snap_store_->save(
-      man_arg, std::move(frag_arg),
-      [this, man = std::move(man), frag = std::move(frag),
-       then = std::move(then)](Status st) mutable {
-        if (!st.is_ok()) {
-          RSP_ERROR << "node " << ctx_->id()
-                    << " snapshot save failed: " << st.to_string();
-          if (then) then(st);
-          return;
-        }
-        const uint64_t id = man.checkpoint_id;
-        if (snap_ckpt_id_ != 0 && id < snap_ckpt_id_) {
-          // Superseded while the save was in flight; keep the newer snapshot's
-          // in-memory identity (the store itself only ever keeps the last
-          // save, but a newer one's callback has already run).
-          if (then) then(st);
-          return;
-        }
-        m_.snapshot_bytes.inc(frag.size());
-        const Slot barrier = static_cast<Slot>(man.applied_index);
-        snap_man_ = std::move(man);
-        snap_frag_ = std::move(frag);
-        snap_ckpt_id_ = id;
-        if (applied_index_ >= barrier && snap_applied_ < barrier) {
-          compact_log_below(barrier, id);
-        }
-        if (then) then(st);
-      });
-}
-
-void Replica::compact_log_below(Slot snap_slot, uint64_t ckpt_id) {
-  // Rebuild the durable prefix: meta + config + snapshot marker + every live
-  // accepted record above the barrier, then atomically swap it in for the old
-  // log (segment rotation + manifest commit + unlink underneath).
-  std::vector<Bytes> head;
-  head.push_back(encode_meta_record(promised_));
-  head.push_back(encode_config_record(cfg_));
-  head.push_back(encode_snap_marker(ckpt_id, snap_slot, next_slot_));
-  for (const auto& [slot, e] : log_) {
-    if (slot > snap_slot && !e.accepted.is_null()) {
-      head.push_back(encode_slot_record(slot, e.accepted, e.share));
-    }
-  }
-  wal_->truncate_prefix(std::move(head), nullptr);
-  log_.erase(log_.begin(), log_.upper_bound(snap_slot));
-  // Retiring the prefix also retires its accept retransmissions: a straggler
-  // that never acked these slots converges through InstallSnapshot now, not
-  // through endless per-slot re-sends of superseded shares.
-  pending_.erase(pending_.begin(), pending_.upper_bound(snap_slot));
-  snap_applied_ = std::max(snap_applied_, snap_slot);
-  snap_marker_id_ = std::max(snap_marker_id_, ckpt_id);
-  // In-flight recovery reads below the barrier can never gather a share
-  // quorum any more; fail their waiters instead of letting them retry.
-  for (auto it = recoveries_.begin();
-       it != recoveries_.end() && it->first <= snap_slot;) {
-    if (it->second.retry_timer != 0) ctx_->cancel_timer(it->second.retry_timer);
-    std::vector<RecoverFn> cbs = std::move(it->second.cbs);
-    it = recoveries_.erase(it);
-    for (auto& cb : cbs) {
-      if (cb) cb(Status::not_found("slot compacted into snapshot"));
-    }
-  }
-  RSP_INFO << "node " << ctx_->id() << " compacted log below slot " << snap_slot
-           << " (ckpt " << ckpt_id << ")";
-}
-
-void Replica::offer_snapshots() {
-  if (role_ != Role::kLeader || !ckpt_.has_value()) return;
-  if (snap_ckpt_id_ != ckpt_->id) return;  // own fragment not durable yet
-  TimeMicros now = ctx_->now();
-  if (ckpt_->offered_at != 0 && now - ckpt_->offered_at < opts_.retransmit_interval) {
-    return;
-  }
-  ckpt_->offered_at = now;
-  bool all_acked = true;
-  for (NodeId mem : cfg_.members) {
-    if (mem == ctx_->id() || ckpt_->acked.count(mem)) continue;
-    int idx = cfg_.index_of(mem);
-    if (idx < 0 || static_cast<size_t>(idx) >= ckpt_->mans.size()) continue;
-    all_acked = false;
-    SnapshotOfferMsg msg;
-    msg.epoch = cfg_.epoch;
-    msg.ballot = ballot_;
-    msg.manifest = ckpt_->mans[static_cast<size_t>(idx)].encode();
-    ctx_->send(mem, MsgType::kSnapshotOffer, msg.encode());
-  }
-  if (all_acked) {
-    // Every follower holds its fragment durably: the distribution cache has
-    // served its purpose.
-    ckpt_.reset();
-  }
-}
-
-void Replica::on_snapshot_offer(NodeId from, SnapshotOfferMsg msg) {
-  if (msg.ballot < ballot_) return;  // stale leader
-  if (snap_store_ == nullptr) return;
-  auto man_or = snapshot::SnapshotManifest::decode(msg.manifest);
-  if (!man_or.is_ok()) return;
-  snapshot::SnapshotManifest man = std::move(man_or).value();
-  if (man.checkpoint_id <= snap_ckpt_id_) {
-    // Already durable here. The completion probe (a fetch at offset ==
-    // frag_len) doubles as the leader's ack.
-    SnapshotFetchReqMsg ack;
-    ack.epoch = cfg_.epoch;
-    ack.checkpoint_id = man.checkpoint_id;
-    ack.share_idx = man.share_idx;
-    ack.offset = man.frag_len;
-    ctx_->send(from, MsgType::kSnapshotFetchReq, ack.encode());
-    return;
-  }
-  if (install_.has_value()) return;  // busy; the leader re-offers
-  int my_idx = cfg_.index_of(ctx_->id());
-  if (my_idx < 0 || man.share_idx != static_cast<uint32_t>(my_idx)) return;
-  if (state_ready_) {
-    // A live replica only needs its fragment: execution either already
-    // covers the barrier or will reach it through the normal commit path
-    // (compaction is deferred until it does). Reconstruction is reserved
-    // for replicas whose log can no longer connect — catch-up detects that
-    // case and starts a full install.
-    start_frag_pull(from, std::move(man));
-  } else {
-    start_install(man.checkpoint_id);
-  }
-}
-
-void Replica::on_snapshot_fetch_req(NodeId from, SnapshotFetchReqMsg msg) {
-  SnapshotFetchRepMsg rep;
-  rep.epoch = cfg_.epoch;
-  const snapshot::SnapshotManifest* man = nullptr;
-  const Bytes* frag = nullptr;
-  // The leader's distribution cache can serve *any* member's fragment;
-  // kAnyShare maps to our own index so concurrent fetchers always receive
-  // distinct fragments from distinct senders.
-  if (ckpt_.has_value() && (msg.checkpoint_id == 0 || msg.checkpoint_id == ckpt_->id)) {
-    uint32_t want = msg.share_idx;
-    if (want == kAnyShare) {
-      int my_idx = cfg_.index_of(ctx_->id());
-      want = my_idx >= 0 ? static_cast<uint32_t>(my_idx) : 0;
-    }
-    if (static_cast<size_t>(want) < ckpt_->frags.size()) {
-      man = &ckpt_->mans[want];
-      frag = &ckpt_->frags[want];
-    }
-  }
-  if (man == nullptr && snap_man_.has_value() && !snap_frag_.empty() &&
-      (msg.checkpoint_id == 0 || msg.checkpoint_id == snap_ckpt_id_) &&
-      (msg.share_idx == kAnyShare || msg.share_idx == snap_man_->share_idx)) {
-    man = &*snap_man_;
-    frag = &snap_frag_;
-  }
-  if (man == nullptr) {
-    rep.have = false;
-    rep.checkpoint_id = std::max(snap_ckpt_id_, ckpt_.has_value() ? ckpt_->id : 0);
-    ctx_->send(from, MsgType::kSnapshotFetchRep, rep.encode());
-    return;
-  }
-  rep.have = true;
-  rep.checkpoint_id = man->checkpoint_id;
-  rep.share_idx = man->share_idx;
-  rep.offset = msg.offset;
-  rep.manifest = man->encode();
-  if (msg.offset < frag->size()) {
-    size_t chunk = std::min(snapshot_chunk_limit(), frag->size() - msg.offset);
-    rep.data.assign(frag->begin() + static_cast<ptrdiff_t>(msg.offset),
-                    frag->begin() + static_cast<ptrdiff_t>(msg.offset + chunk));
-  } else if (ckpt_.has_value() && man->checkpoint_id == ckpt_->id) {
-    // Completion probe: the requester holds the whole fragment durably.
-    ckpt_->acked.insert(from);
-  }
-  ctx_->send(from, MsgType::kSnapshotFetchRep, rep.encode());
-}
-
-void Replica::start_frag_pull(NodeId leader, snapshot::SnapshotManifest man) {
-  PendingInstall ins;
-  ins.ckpt_id = man.checkpoint_id;
-  ins.pull_only = true;
-  ins.pull_from = leader;
-  ins.man = std::move(man);
-  ins.man_known = true;
-  PendingInstall::PeerFetch& pf = ins.peers[leader];
-  pf.share_idx = ins.man.share_idx;
-  pf.frag_len = ins.man.frag_len;
-  pf.man = ins.man;
-  install_ = std::move(ins);
-  install_tick();
-}
-
-void Replica::start_install(uint64_t ckpt_hint) {
-  if (install_.has_value()) {
-    if (install_->timer != 0) ctx_->cancel_timer(install_->timer);
-    install_.reset();
-  }
-  PendingInstall ins;
-  ins.ckpt_id = ckpt_hint;
-  // Seed our own durable fragment when its checkpoint matches the target.
-  if (snap_man_.has_value() && snap_ckpt_id_ != 0 &&
-      (ckpt_hint == 0 || snap_ckpt_id_ == ckpt_hint)) {
-    if (ckpt_hint == 0) ins.ckpt_id = snap_ckpt_id_;  // starting guess
-    ins.man = *snap_man_;
-    ins.man_known = true;
-    PendingInstall::PeerFetch& self = ins.peers[ctx_->id()];
-    self.share_idx = snap_man_->share_idx;
-    self.frag_len = snap_man_->frag_len;
-    self.man = *snap_man_;
-    self.data = snap_frag_;
-    self.done = true;
-  }
-  install_ = std::move(ins);
-  RSP_INFO << "node " << ctx_->id() << " installing snapshot (ckpt "
-           << install_->ckpt_id << ", 0=newest)";
-  install_tick();
-}
-
-void Replica::install_tick() {
-  if (!install_.has_value()) return;
-  PendingInstall& ins = *install_;
-  if (ins.man_known && !ins.pull_only) {
-    std::set<uint32_t> have;
-    for (const auto& [node, pf] : ins.peers) {
-      if (pf.done) have.insert(pf.share_idx);
-    }
-    if (have.size() >= static_cast<size_t>(ins.man.x)) {
-      finish_install();
-      return;
-    }
-  }
-  for (NodeId mem : cfg_.members) {
-    if (mem == ctx_->id()) continue;
-    if (ins.pull_only && mem != ins.pull_from) continue;
-    PendingInstall::PeerFetch& pf = ins.peers[mem];
-    if (pf.done) continue;
-    SnapshotFetchReqMsg req;
-    req.epoch = cfg_.epoch;
-    req.checkpoint_id = ins.ckpt_id;
-    req.share_idx = ins.pull_only ? pf.share_idx : kAnyShare;
-    req.offset = pf.data.size();
-    ctx_->send(mem, MsgType::kSnapshotFetchReq, req.encode());
-  }
-  if (ins.timer != 0) ctx_->cancel_timer(ins.timer);
-  ins.timer = ctx_->set_timer(opts_.retransmit_interval * 2, [this] {
-    if (install_.has_value()) {
-      install_->timer = 0;
-      install_tick();
-    }
-  });
-}
-
-void Replica::on_snapshot_fetch_rep(NodeId from, SnapshotFetchRepMsg msg) {
-  if (!install_.has_value()) return;
-  PendingInstall& ins = *install_;
-  if (!msg.have) {
-    if (msg.checkpoint_id > ins.ckpt_id && !ins.pull_only) {
-      // The group moved on to a newer checkpoint; restart targeting it.
-      start_install(msg.checkpoint_id);
-    }
-    return;
-  }
-  auto man_or = snapshot::SnapshotManifest::decode(msg.manifest);
-  if (!man_or.is_ok()) return;
-  snapshot::SnapshotManifest man = std::move(man_or).value();
-  if (ins.ckpt_id == 0) ins.ckpt_id = man.checkpoint_id;
-  if (man.checkpoint_id != ins.ckpt_id) {
-    if (man.checkpoint_id > ins.ckpt_id && !ins.pull_only) {
-      start_install(man.checkpoint_id);
-    }
-    return;
-  }
-  if (!ins.man_known) {
-    ins.man = man;
-    ins.man_known = true;
-  }
-  PendingInstall::PeerFetch& pf = ins.peers[from];
-  if (pf.done) return;
-  if (pf.share_idx == kAnyShare) {
-    pf.share_idx = man.share_idx;
-    pf.frag_len = man.frag_len;
-    pf.man = man;
-    pf.data.reserve(man.frag_len);
-  } else if (pf.share_idx != man.share_idx) {
-    return;  // peer switched fragments mid-stream; retry timer resyncs
-  }
-  if (msg.offset != pf.data.size()) return;  // stale or duplicate chunk
-  pf.data.insert(pf.data.end(), msg.data.begin(), msg.data.end());
-  if (pf.data.size() >= pf.frag_len) {
-    if (crc32c(pf.data) != pf.man.frag_crc) {
-      pf.data.clear();  // corrupt transfer; refetch from scratch
-      return;
-    }
-    pf.done = true;
-    if (ins.pull_only) {
-      // Own fragment complete: ack the leader (completion probe), make it
-      // durable, compact once the save commits.
-      snapshot::SnapshotManifest mine = std::move(pf.man);
-      Bytes frag = std::move(pf.data);
-      NodeId leader = ins.pull_from;
-      if (ins.timer != 0) ctx_->cancel_timer(ins.timer);
-      install_.reset();
-      SnapshotFetchReqMsg ack;
-      ack.epoch = cfg_.epoch;
-      ack.checkpoint_id = mine.checkpoint_id;
-      ack.share_idx = mine.share_idx;
-      ack.offset = mine.frag_len;
-      ctx_->send(leader, MsgType::kSnapshotFetchReq, ack.encode());
-      save_own_fragment(std::move(mine), std::move(frag), nullptr);
-      return;
-    }
-    install_tick();  // may complete the fragment set
-    return;
-  }
-  // Stop-and-wait: immediately pull this peer's next chunk.
-  SnapshotFetchReqMsg req;
-  req.epoch = cfg_.epoch;
-  req.checkpoint_id = ins.ckpt_id;
-  req.share_idx = ins.pull_only ? pf.share_idx : kAnyShare;
-  req.offset = pf.data.size();
-  ctx_->send(from, MsgType::kSnapshotFetchReq, req.encode());
-}
-
-void Replica::finish_install() {
-  PendingInstall ins = std::move(*install_);
-  if (ins.timer != 0) ctx_->cancel_timer(ins.timer);
-  install_.reset();
-
-  std::map<int, Bytes> input;
-  for (auto& [node, pf] : ins.peers) {
-    if (pf.done) input.emplace(static_cast<int>(pf.share_idx), std::move(pf.data));
-  }
-  const ec::RsCode& code = ec::RsCodeCache::get(static_cast<int>(ins.man.x),
-                                                static_cast<int>(ins.man.n));
-  auto img = code.decode(input, ins.man.state_len);
-  if (!img.is_ok() || crc32c(img.value()) != ins.man.state_crc) {
-    RSP_ERROR << "node " << ctx_->id() << " snapshot " << ins.man.checkpoint_id
-              << " reconstruction failed"
-              << (img.is_ok() ? " (state CRC mismatch)" : ": " + img.status().to_string());
-    ctx_->set_timer(opts_.retransmit_interval * 2, [this, id = ins.man.checkpoint_id] {
-      if (!install_.has_value()) start_install(id);
-    });
-    return;
-  }
-  Bytes image = std::move(img).value();
-  const Slot barrier = static_cast<Slot>(ins.man.applied_index);
-
-  // Authoritative CONFIG entries below the barrier were compacted away;
-  // the checkpoint carries the config that was current at the cut.
-  {
-    Reader r(ins.man.config_blob);
-    GroupConfig c;
-    if (decode_config(r, c).is_ok() && c.epoch > cfg_.epoch) cfg_ = c;
-  }
-  if (install_state_) install_state_(image, barrier);
-  applied_index_ = std::max(applied_index_, barrier);
-  commit_index_ = std::max(commit_index_, barrier);
-  next_slot_ = std::max(next_slot_, static_cast<Slot>(ins.man.next_slot));
-  state_ready_ = true;
-  m_.snapshot_installs.inc();
-  RSP_INFO << "node " << ctx_->id() << " installed snapshot " << ins.man.checkpoint_id
-           << " at barrier " << barrier << " (" << image.size() << "B from "
-           << input.size() << " fragments)";
-
-  int my_idx = cfg_.index_of(ctx_->id());
-  if (snap_store_ != nullptr && my_idx >= 0 && ins.man.checkpoint_id > snap_ckpt_id_) {
-    // Re-encode our own fragment from the reconstructed image and persist it,
-    // then compact the WAL below the barrier (save_own_fragment does both).
-    snapshot::SnapshotManifest mine = ins.man;
-    mine.share_idx = static_cast<uint32_t>(my_idx);
-    Bytes frag = code.encode_share(image, my_idx);
-    mine.frag_len = frag.size();
-    mine.frag_crc = crc32c(frag);
-    save_own_fragment(std::move(mine), std::move(frag), nullptr);
-  } else if (snap_applied_ < barrier) {
-    compact_log_below(barrier, ins.man.checkpoint_id);
-  }
-  try_apply();
-  maybe_request_catchup();
-}
-
 // ---------------------------------------------------------------------------
 // Dispatch.
 // ---------------------------------------------------------------------------

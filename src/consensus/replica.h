@@ -70,6 +70,11 @@ struct ReplicaOptions {
   /// the transport frame bound (64 MiB); 1 MiB keeps head-of-line blocking of
   /// consensus traffic negligible.
   size_t snapshot_chunk_bytes = 1u << 20;
+  /// Paxos group (shard) this replica belongs to, used as the `group` metric
+  /// label so per-shard series stay distinguishable when one process hosts
+  /// many groups. Purely observational — routing derives the group from the
+  /// endpoint id (net/routing.h).
+  uint32_t group_id = 0;
 };
 
 /// A committed log entry as handed to the state machine. Followers usually

@@ -1,0 +1,221 @@
+// Replica catch-up and recovery-read paths (§2.1 learning, §4.4 recovery).
+//
+// A lagging learner pulls missing committed entries from the leader; entries
+// whose payload the leader no longer caches are re-gathered from the group's
+// coded shares (the paper's recovery read: any X of N shares reconstruct the
+// value). Split out of replica.cpp; see replica_internal.h.
+#include <algorithm>
+#include <cassert>
+
+#include "consensus/replica.h"
+#include "consensus/replica_internal.h"
+#include "net/frame.h"
+#include "util/crc32.h"
+#include "util/logging.h"
+
+namespace rspaxos::consensus {
+
+void Replica::maybe_request_catchup() {
+  if (catchup_in_flight_ || applied_index_ >= commit_index_) return;
+  NodeId target = leader_hint();
+  if (target == kNoNode || target == ctx_->id()) return;
+  // First missing-or-uncommitted slot range.
+  Slot lo = applied_index_ + 1;
+  Slot hi = std::min(commit_index_, lo + 63);  // bounded batches
+  CatchupReqMsg req;
+  req.epoch = cfg_.epoch;
+  req.from_slot = lo;
+  req.to_slot = hi;
+  catchup_in_flight_ = true;
+  ctx_->send(target, MsgType::kCatchupReq, req.encode());
+  ctx_->set_timer(opts_.retransmit_interval * 2, [this] { catchup_in_flight_ = false; });
+}
+
+void Replica::on_catchup_req(NodeId from, CatchupReqMsg msg) {
+  serve_catchup(from, msg.from_slot, msg.to_slot);
+}
+
+void Replica::serve_catchup(NodeId to, Slot from_slot, Slot to_slot) {
+  CatchupRepMsg rep;
+  rep.epoch = cfg_.epoch;
+  rep.commit_index = commit_index_;
+  rep.log_start = snap_applied_ + 1;
+  int to_idx = cfg_.index_of(to);
+  if (to_idx < 0) {
+    ctx_->send(to, MsgType::kCatchupRep, rep.encode());
+    return;
+  }
+  to_slot = std::min(to_slot, commit_index_);
+  from_slot = std::max(from_slot, rep.log_start);  // compacted slots can't be served
+  std::vector<Slot> need_recovery;
+  for (Slot s = from_slot; s <= to_slot; ++s) {
+    auto it = log_.find(s);
+    if (it == log_.end() || !it->second.committed) continue;
+    LogEntry& e = it->second;
+    CatchupEntry ce;
+    ce.slot = s;
+    ce.ballot = e.accepted;
+    ce.share = e.share;  // copies metadata + header
+    ce.share.share_idx = static_cast<uint32_t>(to_idx);
+    if (e.full_payload.has_value()) {
+      // "The leader needs to re-code the data and send the corresponding
+      // fragment to the recovering server" (§4.5).
+      const ec::RsCode& code = ec::RsCodeCache::get(static_cast<int>(e.share.x),
+                                                    static_cast<int>(e.share.n));
+      ce.share.data = code.encode_share(*e.full_payload, to_idx);
+    } else if (e.share.x == 1 && !(e.share.data.empty() && e.share.value_len > 0)) {
+      // Full copy already (and not compacted away).
+    } else {
+      need_recovery.push_back(s);
+      continue;
+    }
+    m_.catchup_entries_served.inc();
+    m_.catchup_bytes.inc(ce.share.header.size() + ce.share.data.size());
+    rep.entries.push_back(std::move(ce));
+  }
+  ctx_->send(to, MsgType::kCatchupRep, rep.encode());
+  // Kick off payload recovery for what we could not serve; the requester
+  // will retry and find the payloads cached.
+  for (Slot s : need_recovery) recover_payload(s, nullptr);
+}
+
+void Replica::on_catchup_rep(NodeId from, CatchupRepMsg msg) {
+  (void)from;
+  catchup_in_flight_ = false;
+  if (msg.log_start > applied_index_ + 1 && snap_store_ != nullptr &&
+      !install_.has_value()) {
+    // Our gap predates the responder's log: slot-by-slot catch-up can never
+    // close it (the prefix was compacted into a snapshot). Reconstruct the
+    // state image instead; the entries below still persist normally.
+    RSP_INFO << "node " << ctx_->id() << " gap below responder log_start "
+             << msg.log_start << " (applied " << applied_index_
+             << "): installing snapshot";
+    start_install(0);
+  }
+  if (msg.config.has_value() && msg.config->epoch > cfg_.epoch) {
+    // Advisory only (the authoritative switch is the CONFIG log entry):
+    // use it to find the current membership for routing.
+    leader_ = kNoNode;
+  }
+  for (CatchupEntry& ce : msg.entries) {
+    LogEntry& e = log_[ce.slot];
+    if (e.applied) continue;
+    e.accepted = ce.ballot;
+    e.share = std::move(ce.share);
+    if (e.share.x == 1) e.full_payload = e.share.data;
+    e.committed = true;
+    persist_slot(ce.slot, nullptr);
+  }
+  advance_commit_index(std::max(commit_index_, msg.commit_index));
+  if (applied_index_ < commit_index_) maybe_request_catchup();
+}
+
+// ---------------------------------------------------------------------------
+// Recovery read support (§4.4): gather >= X shares, decode.
+// ---------------------------------------------------------------------------
+
+void Replica::recover_payload(Slot slot, RecoverFn cb) {
+  auto lit = log_.find(slot);
+  if (lit != log_.end() && lit->second.full_payload.has_value()) {
+    if (cb) cb(*lit->second.full_payload);
+    return;
+  }
+  if (slot <= snap_applied_ && lit == log_.end()) {
+    // Compacted: the slot's effect lives only in the snapshot image now; no
+    // quorum of shares exists to decode. Fail fast instead of retrying.
+    if (cb) cb(Status::not_found("slot compacted into snapshot"));
+    return;
+  }
+  PendingRecovery& rec = recoveries_[slot];
+  if (cb) rec.cbs.push_back(std::move(cb));
+  if (rec.retry_timer != 0) return;  // fetch already in flight
+
+  m_.recoveries.inc();
+  if (lit != log_.end() && lit->second.committed) {
+    rec.vid = lit->second.share.vid;
+    rec.vid_known = true;
+    rec.x = lit->second.share.x;
+    rec.n = lit->second.share.n;
+    rec.value_len = lit->second.share.value_len;
+    rec.shares[static_cast<int>(lit->second.share.share_idx)] = lit->second.share.data;
+  }
+  FetchShareReqMsg req;
+  req.epoch = cfg_.epoch;
+  req.slot = slot;
+  Bytes enc = req.encode();
+  for (NodeId m : cfg_.members) {
+    if (m != ctx_->id()) ctx_->send(m, MsgType::kFetchShareReq, enc);
+  }
+  rec.retry_timer = ctx_->set_timer(opts_.retransmit_interval, [this, slot] {
+    auto it = recoveries_.find(slot);
+    if (it == recoveries_.end()) return;
+    it->second.retry_timer = 0;
+    recover_payload(slot, nullptr);  // re-broadcast fetches
+  });
+}
+
+void Replica::on_fetch_share_req(NodeId from, FetchShareReqMsg msg) {
+  FetchShareRepMsg rep;
+  rep.epoch = cfg_.epoch;
+  rep.slot = msg.slot;
+  auto it = log_.find(msg.slot);
+  bool compacted = it != log_.end() && it->second.share.data.empty() &&
+                   it->second.share.value_len > 0;
+  if (it != log_.end() && !it->second.accepted.is_null() && !compacted) {
+    rep.have = true;
+    rep.committed = it->second.committed;
+    rep.accepted_ballot = it->second.accepted;
+    rep.share = it->second.share;
+    rep.share.header.clear();  // header not needed for payload recovery
+  }
+  ctx_->send(from, MsgType::kFetchShareRep, rep.encode());
+}
+
+void Replica::on_fetch_share_rep(NodeId from, FetchShareRepMsg msg) {
+  (void)from;
+  auto rit = recoveries_.find(msg.slot);
+  if (rit == recoveries_.end()) return;
+  PendingRecovery& rec = rit->second;
+  if (!msg.have) return;
+  // Pin the value id: a committed report is authoritative (Proposition 1 —
+  // later rounds can only carry the chosen value, so all committed shares of
+  // a slot agree on vid). Without one, tentatively chase the first vid seen;
+  // a later committed report overrides it.
+  if (msg.committed && !rec.vid_known) {
+    if (rec.vid != msg.share.vid) rec.shares.clear();
+    rec.vid = msg.share.vid;
+    rec.vid_known = true;
+  } else if (!rec.vid_known && rec.shares.empty()) {
+    rec.vid = msg.share.vid;
+  }
+  if (msg.share.vid != rec.vid) return;
+  rec.x = msg.share.x;
+  rec.n = msg.share.n;
+  rec.value_len = msg.share.value_len;
+  rec.shares[static_cast<int>(msg.share.share_idx)] = std::move(msg.share.data);
+  if (rec.shares.size() < static_cast<size_t>(rec.x)) return;
+
+  const ec::RsCode& code =
+      ec::RsCodeCache::get(static_cast<int>(rec.x), static_cast<int>(rec.n));
+  std::map<int, Bytes> input;
+  for (auto& [idx, data] : rec.shares) input.emplace(idx, data);
+  auto payload = code.decode(input, rec.value_len);
+  std::vector<RecoverFn> cbs = std::move(rec.cbs);
+  if (rec.retry_timer != 0) ctx_->cancel_timer(rec.retry_timer);
+  Slot slot = msg.slot;
+  recoveries_.erase(rit);
+  if (!payload.is_ok()) {
+    for (auto& cb : cbs) {
+      if (cb) cb(payload.status());
+    }
+    return;
+  }
+  Bytes value = std::move(payload).value();
+  auto lit = log_.find(slot);
+  if (lit != log_.end()) lit->second.full_payload = value;  // cache for catch-up
+  for (auto& cb : cbs) {
+    if (cb) cb(value);
+  }
+}
+
+}  // namespace rspaxos::consensus

@@ -15,8 +15,23 @@
 
 namespace rspaxos::kv {
 
+/// Version of the routing-hash contract implemented by shard_of. Bump ONLY
+/// with a data migration plan: every client and tool must map a key to the
+/// same shard, and golden vectors (kv_test) pin the current version.
+///   v1: FNV-1a 64 over the key bytes, reduced with `h % num_shards`
+///       (biased toward low shards when num_shards is not a power of two).
+///   v2 (current): FNV-1a 64 (offset 14695981039346656037, prime
+///       1099511628211), then the murmur3 fmix64 finalizer (xor-shift 33 /
+///       * ff51afd7ed558ccd / xor-shift 33 / * c4ceb9fe1a85ec53 / xor-shift
+///       33), reduced with the Lemire multiply-shift
+///       `(uint128(h) * num_shards) >> 64` — unbiased for every shard count
+///       and cheaper than the modulo. The finalizer matters: the reduction
+///       reads the high bits, which raw FNV leaves nearly constant across
+///       short similar keys.
+inline constexpr uint32_t kShardHashVersion = 2;
+
 /// Deterministic key -> shard mapping (§4.2: "defined by a deterministic
-/// mapping function"). FNV-1a over the key, mod shard count.
+/// mapping function"). See kShardHashVersion for the exact contract.
 size_t shard_of(const std::string& key, size_t num_shards);
 
 /// Static routing table: for each shard, the server endpoints of its Paxos
@@ -57,6 +72,13 @@ class KvClient final : public MessageHandler {
   void on_message(NodeId from, MsgType type, BytesView payload) override;
 
   uint64_t ops_completed() const { return completed_; }
+
+  /// Cached leader endpoint for `shard` (kNoNode while unknown). Updated from
+  /// replies and redirect hints; a failover on one shard must never disturb
+  /// another shard's entry.
+  NodeId cached_leader(size_t shard) const {
+    return shard < leader_cache_.size() ? leader_cache_[shard] : kNoNode;
+  }
 
  private:
   struct Outstanding {

@@ -1,11 +1,16 @@
 // Simulated KV cluster assembly (§6.1's testbed in miniature).
 //
-// A cluster is `num_servers` machines, each hosting one replica of every
-// Paxos group ("data shards" §4.2). Per machine there is one simulated disk
-// shared by all its groups' WALs (so disk contention across groups is
-// modeled, as on the paper's EBS volumes). Endpoint ids are composite:
-// server s, group g  ->  NodeId s * kGroupStride + g, so the unmodified
-// consensus stack routes per-group traffic.
+// A cluster is `num_servers` machines, each a NodeHost (src/node) hosting one
+// replica of every Paxos group ("data shards" §4.2). Per machine there is one
+// simulated disk and ONE multiplexed SimWal shared by all its groups — group
+// commit batches flushes across shards, mirroring FileWal's shared-segment
+// layout on the paper's EBS volumes. Endpoint ids are composite: server s,
+// group g  ->  NodeId s * kGroupStride + g, so the unmodified consensus stack
+// routes per-group traffic.
+//
+// (Declared under kv/ for historical include paths; the implementation lives
+// in src/node/sim_cluster.cpp with the rest of the host-assembly layer, so
+// users must link rspaxos_node.)
 #pragma once
 
 #include <memory>
@@ -14,6 +19,8 @@
 #include "consensus/replica.h"
 #include "kv/client.h"
 #include "kv/server.h"
+#include "net/routing.h"
+#include "node/node_host.h"
 #include "sim/sim_disk.h"
 #include "sim/sim_network.h"
 #include "sim/sim_world.h"
@@ -22,13 +29,13 @@
 
 namespace rspaxos::kv {
 
-constexpr NodeId kGroupStride = 4096;
-constexpr NodeId kClientBase = 1u << 24;
-
-inline NodeId endpoint_id(int server, int group) {
-  return static_cast<NodeId>(server) * kGroupStride + static_cast<NodeId>(group);
-}
-inline int server_of_endpoint(NodeId id) { return static_cast<int>(id / kGroupStride); }
+// Endpoint math lives in net/routing.h (shared with the TCP host demux);
+// these aliases keep existing kv:: spellings working.
+using net::kClientBase;
+using net::kGroupStride;
+using net::endpoint_id;
+using net::group_of_endpoint;
+using net::server_of_endpoint;
 
 struct SimClusterOptions {
   int num_servers = 5;
@@ -43,9 +50,13 @@ struct SimClusterOptions {
   /// false: WALs account durable bytes but keep no records (no replay);
   /// benchmarks that never restart servers use this to bound host memory.
   bool wal_retain = true;
+  /// true: group g's deterministic initial leader campaigns on server
+  /// g % num_servers (distinct leaders per shard); false: server 0 leads
+  /// every group (the historical default most tests assume).
+  bool spread_leaders = false;
 };
 
-/// Owns everything: network, disks, WALs, servers. Crash/restart a whole
+/// Owns everything: network, disks, WALs, hosts. Crash/restart a whole
 /// machine; rebuild state from the WALs like §4.5 describes.
 class SimCluster {
  public:
@@ -54,10 +65,19 @@ class SimCluster {
   /// Runs the simulation until every group has an elected leader.
   void wait_for_leaders(DurationMicros max_wait = 30 * kSeconds);
 
-  KvServer* server(int s, int g) { return servers_[idx(s, g)].get(); }
+  KvServer* server(int s, int g) {
+    auto& h = hosts_[static_cast<size_t>(s)];
+    return h ? h->server(static_cast<uint32_t>(g)) : nullptr;
+  }
+  node::NodeHost* host(int s) { return hosts_[static_cast<size_t>(s)].get(); }
   sim::SimNetwork& network() { return network_; }
   sim::SimDisk& disk(int s) { return *disks_[static_cast<size_t>(s)]; }
-  storage::SimWal& wal(int s, int g) { return *wals_[idx(s, g)]; }
+  /// Group g's view of server s's shared log (the Wal the replica writes).
+  storage::Wal& wal(int s, int g) {
+    return *wals_[static_cast<size_t>(s)]->group(static_cast<uint32_t>(g));
+  }
+  /// Server s's whole machine log, multiplexed across its groups.
+  storage::SimWal& host_wal(int s) { return *wals_[static_cast<size_t>(s)]; }
   snapshot::SimSnapshotStore& snap_store(int s, int g) { return *snaps_[idx(s, g)]; }
   const SimClusterOptions& options() const { return opts_; }
 
@@ -87,15 +107,15 @@ class SimCluster {
            static_cast<size_t>(g);
   }
   consensus::GroupConfig group_config(int group) const;
-  void build_server(int s, bool bootstrap);
+  void build_host(int s, bool initial);
 
   sim::SimWorld* world_;
   SimClusterOptions opts_;
   sim::SimNetwork network_;
-  std::vector<std::unique_ptr<sim::SimDisk>> disks_;          // per server
-  std::vector<std::unique_ptr<storage::SimWal>> wals_;        // per (s, g)
+  std::vector<std::unique_ptr<sim::SimDisk>> disks_;                // per server
+  std::vector<std::unique_ptr<storage::SimWal>> wals_;              // per server (mux)
   std::vector<std::unique_ptr<snapshot::SimSnapshotStore>> snaps_;  // per (s, g)
-  std::vector<std::unique_ptr<KvServer>> servers_;            // per (s, g)
+  std::vector<std::unique_ptr<node::NodeHost>> hosts_;              // per server
   std::vector<bool> alive_;
   int next_client_ = 0;
 };

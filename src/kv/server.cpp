@@ -27,8 +27,10 @@ KvServer::KvServer(NodeContext* ctx, storage::Wal* wal, GroupConfig cfg,
       [this] { return store_.incomplete_count() == 0; });
   auto& reg = obs::MetricsRegistry::global();
   std::string node = std::to_string(ctx_->id());
+  std::string group = std::to_string(opts.group_id);
   auto counter = [&](const char* name, const char* help) {
-    return obs::CounterView(&reg.counter_family(name, help, {"node"}).with({node}));
+    return obs::CounterView(
+        &reg.counter_family(name, help, {"node", "group"}).with({node, group}));
   };
   m_.puts = counter("rsp_kv_puts_total", "Put/delete requests accepted by this server");
   m_.fast_reads = counter("rsp_kv_fast_reads_total", "Lease-gated leader-local reads");

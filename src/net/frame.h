@@ -1,8 +1,12 @@
 // Wire framing shared by the TCP transport, its tests and benchmarks.
 //
-// Frame: u32 payload_len | u32 crc32c(payload) | u32 from | u16 type | payload
-// (little-endian, fixed 14-byte header). The format predates the epoll
-// transport and is kept byte-identical so mixed-version nodes interoperate.
+// Frame: u32 payload_len | u32 crc32c(payload) | u32 from | u32 to |
+//        u16 type | payload
+// (little-endian, fixed 18-byte header). `to` is the destination endpoint:
+// since the multi-group host change one socket carries traffic for every
+// group endpoint on a machine, and the receiving host demultiplexes on it.
+// This is frame format v2 — v1 (no `to`, 14-byte header) cannot share a
+// connection, so mixed-version nodes must be upgraded together.
 #pragma once
 
 #include <cstdint>
@@ -12,7 +16,7 @@
 
 namespace rspaxos::net {
 
-inline constexpr size_t kFrameHeaderBytes = 14;
+inline constexpr size_t kFrameHeaderBytes = 18;
 
 /// Frames larger than this are rejected on both sides (protects the decoder
 /// from a corrupt/hostile length field).
@@ -30,16 +34,18 @@ struct FrameHeader {
   uint32_t payload_len;
   uint32_t crc;
   NodeId from;
+  NodeId to;
   uint16_t type;
 };
 
 inline void encode_frame_header(uint8_t* dst, uint32_t payload_len, uint32_t crc,
-                                NodeId from, MsgType type) {
+                                NodeId from, NodeId to, MsgType type) {
   put_u32(dst, payload_len);
   put_u32(dst + 4, crc);
   put_u32(dst + 8, from);
+  put_u32(dst + 12, to);
   uint16_t t = static_cast<uint16_t>(type);
-  std::memcpy(dst + 12, &t, 2);
+  std::memcpy(dst + 16, &t, 2);
 }
 
 inline FrameHeader decode_frame_header(const uint8_t* p) {
@@ -47,7 +53,8 @@ inline FrameHeader decode_frame_header(const uint8_t* p) {
   h.payload_len = get_u32(p);
   h.crc = get_u32(p + 4);
   h.from = get_u32(p + 8);
-  std::memcpy(&h.type, p + 12, 2);
+  h.to = get_u32(p + 12);
+  std::memcpy(&h.type, p + 16, 2);
   return h;
 }
 

@@ -32,7 +32,7 @@ class LocalNode final : public NodeContext {
   bool cancel_timer(TimerId id) override;
   uint64_t bytes_sent() const override { return bytes_sent_.load(); }
 
-  void set_handler(MessageHandler* handler) { handler_ = handler; }
+  void set_handler(MessageHandler* handler) override { handler_ = handler; }
   EventLoop& loop() { return loop_; }
 
   /// Runs fn on the node's loop thread and waits for it (test helper).

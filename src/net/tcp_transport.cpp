@@ -45,24 +45,53 @@ constexpr int kFlushRounds = 8;
 
 }  // namespace
 
-TimeMicros TcpNode::steady_now_us() {
+// ---------------------------------------------------------------------------
+// TcpNode: thin endpoint facade over the owning host.
+
+TcpNode::TcpNode(TcpHost* host, NodeId id) : host_(host), id_(id) {
+  metrics_.init(id);
+}
+
+TimeMicros TcpNode::now() const { return host_->loop_.now(); }
+
+EventLoop& TcpNode::loop() { return host_->loop_; }
+
+uint64_t TcpNode::send_drops() const { return host_->send_drops_.load(); }
+
+void TcpNode::shutdown() { host_->shutdown(); }
+
+void TcpNode::send(NodeId to, MsgType type, Bytes payload) {
+  bytes_sent_.fetch_add(payload.size(), std::memory_order_relaxed);
+  metrics_.on_send(type, payload.size());
+  host_->send_frame(id_, to, type, std::move(payload));
+}
+
+NodeContext::TimerId TcpNode::set_timer(DurationMicros delay, TimerFn fn) {
+  return host_->loop_.schedule(delay, std::move(fn));
+}
+
+bool TcpNode::cancel_timer(TimerId id) { return host_->loop_.cancel(id); }
+
+// ---------------------------------------------------------------------------
+// TcpHost.
+
+TimeMicros TcpHost::steady_now_us() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
 
-TcpNode::TcpNode(TcpTransport* t, NodeId id, int listen_fd)
+TcpHost::TcpHost(TcpTransport* t, HostId id, int listen_fd)
     : transport_(t), id_(id), listen_fd_(listen_fd) {
-  metrics_.init(id);
   io_metrics_.init(id);
-  // Tag the protocol thread so every log line carries node=<id>.
+  // Tag the protocol thread so every log line carries node=<host id>.
   loop_.post([id] { set_log_node(id); });
 
   epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
   wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
 
-  // The peer set is fixed by the transport's address map, so the map itself
-  // needs no lock — only each peer's queue does.
+  // The peer-host set is fixed by the transport's address map, so the map
+  // itself needs no lock — only each peer's queue does.
   for (const auto& [peer_id, addr] : transport_->addrs_) {
     auto p = std::make_unique<Peer>();
     p->id = peer_id;
@@ -84,11 +113,11 @@ TcpNode::TcpNode(TcpTransport* t, NodeId id, int listen_fd)
     io_thread_ = std::thread([this] { io_loop(); });
     io_started_ = true;
   } else {
-    RSP_WARN << "tcp: epoll/eventfd setup failed, node " << id << " is send/recv dead";
+    RSP_WARN << "tcp: epoll/eventfd setup failed, host " << id << " is send/recv dead";
   }
 }
 
-TcpNode::~TcpNode() {
+TcpHost::~TcpHost() {
   shutdown();
   // epfd_/wake_fd_ stay open until here: send() may race shutdown() and
   // write the eventfd after stopping_ flips, which must hit our fd (harmless
@@ -98,7 +127,7 @@ TcpNode::~TcpNode() {
   if (wake_fd_ >= 0) ::close(wake_fd_);
 }
 
-void TcpNode::shutdown() {
+void TcpHost::shutdown() {
   if (stopping_.exchange(true)) return;
   if (wake_fd_ >= 0) {
     uint64_t one = 1;
@@ -114,18 +143,20 @@ void TcpNode::shutdown() {
   loop_.stop();
 }
 
+void TcpHost::register_endpoint(TcpNode* ep) {
+  loop_.post([this, ep] { endpoints_[ep->id()] = ep; });
+}
+
 // ---------------------------------------------------------------------------
 // send path (any thread): enqueue + at most one eventfd write. Never blocks
 // on a socket, a connect, or another peer's queue.
 
-void TcpNode::send(NodeId to, MsgType type, Bytes payload) {
+void TcpHost::send_frame(NodeId from, NodeId to, MsgType type, Bytes payload) {
   bool sampled = (stall_sample_.fetch_add(1, std::memory_order_relaxed) & 0xf) == 0;
   std::chrono::steady_clock::time_point t0;
   if (sampled) t0 = std::chrono::steady_clock::now();
-  bytes_sent_.fetch_add(payload.size(), std::memory_order_relaxed);
-  metrics_.on_send(type, payload.size());
 
-  auto it = peers_.find(to);
+  auto it = peers_.find(transport_->host_map_.host_of(to));
   if (it == peers_.end()) {
     send_drops_.fetch_add(1, std::memory_order_relaxed);
     io_metrics_.drops_no_peer->inc();
@@ -135,7 +166,7 @@ void TcpNode::send(NodeId to, MsgType type, Bytes payload) {
   // would be nominally accepted only for the drop-oldest loop below to shed
   // them immediately, even from an empty queue — never deliverable.
   if (payload.size() > kMaxFrameBytes ||
-      kFrameHeaderBytes + payload.size() > kMaxQueueBytes) {
+      kFrameHeaderBytes + payload.size() > TcpNode::kMaxQueueBytes) {
     send_drops_.fetch_add(1, std::memory_order_relaxed);
     io_metrics_.drops_oversize->inc();
     return;
@@ -144,7 +175,7 @@ void TcpNode::send(NodeId to, MsgType type, Bytes payload) {
 
   OutFrame f;
   encode_frame_header(f.hdr.data(), static_cast<uint32_t>(payload.size()),
-                      crc32c(payload), id_, type);
+                      crc32c(payload), from, to, type);
   f.payload = std::move(payload);
 
   bool need_wake;
@@ -157,7 +188,8 @@ void TcpNode::send(NodeId to, MsgType type, Bytes payload) {
     p->q.push_back(std::move(f));
     // Drop-oldest backpressure: bounded queue, datagram semantics. Dropping
     // from the front never reorders the frames that remain.
-    while (p->q.size() > kMaxQueueFrames || p->q_bytes > kMaxQueueBytes) {
+    while (p->q.size() > TcpNode::kMaxQueueFrames ||
+           p->q_bytes > TcpNode::kMaxQueueBytes) {
       p->q_bytes -= p->q.front().wire_size();
       p->q.pop_front();
       ++dropped;
@@ -194,7 +226,7 @@ void TcpNode::send(NodeId to, MsgType type, Bytes payload) {
 // I/O thread: one epoll loop over the listener, every inbound connection and
 // every outbound peer socket.
 
-int TcpNode::epoll_timeout_ms() const {
+int TcpHost::epoll_timeout_ms() const {
   // Next deadline is the earliest reconnect retry among idle peers that have
   // work queued; cap at 1 s so the loop re-checks stopping_ regularly.
   TimeMicros now = steady_now_us();
@@ -214,7 +246,7 @@ int TcpNode::epoll_timeout_ms() const {
   return static_cast<int>(best_ms);
 }
 
-void TcpNode::io_loop() {
+void TcpHost::io_loop() {
   set_log_node(id_);
   epoll_event evs[64];
   while (!stopping_.load(std::memory_order_relaxed)) {
@@ -284,7 +316,7 @@ void TcpNode::io_loop() {
   ::close(listen_fd_);
 }
 
-void TcpNode::on_acceptable() {
+void TcpHost::on_acceptable() {
   while (true) {
     int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
@@ -309,13 +341,13 @@ void TcpNode::on_acceptable() {
   }
 }
 
-void TcpNode::close_conn(Conn* c) {
+void TcpHost::close_conn(Conn* c) {
   ::epoll_ctl(epfd_, EPOLL_CTL_DEL, c->fd, nullptr);
   ::close(c->fd);
   conns_.erase(c->self);  // destroys *c
 }
 
-void TcpNode::on_conn_readable(Conn* c) {
+void TcpHost::on_conn_readable(Conn* c) {
   while (true) {
     if (c->filled == c->buf.size()) {
       // Grow to fit the frame in progress (bounded by the frame size cap).
@@ -352,9 +384,10 @@ void TcpNode::on_conn_readable(Conn* c) {
   }
 }
 
-bool TcpNode::decode_and_dispatch(Conn* c) {
+bool TcpHost::decode_and_dispatch(Conn* c) {
   struct FrameRef {
     NodeId from;
+    NodeId to;
     uint16_t type;
     size_t off;
     size_t len;
@@ -362,7 +395,8 @@ bool TcpNode::decode_and_dispatch(Conn* c) {
   // Complete frames stay in place: the whole read buffer is moved into one
   // EventLoop task (frame refs are offsets into it) and the connection gets a
   // fresh buffer, seeded with the trailing partial frame if any. Zero copies
-  // of delivered payload bytes, one task per read burst.
+  // of delivered payload bytes, one task per read burst. One burst may carry
+  // frames for several endpoints; the task demultiplexes per frame.
   std::vector<FrameRef> frames;
   size_t pos = 0;
   bool fatal = false;
@@ -378,7 +412,7 @@ bool TcpNode::decode_and_dispatch(Conn* c) {
     if (crc32c(BytesView(payload, h.payload_len)) != h.crc) {
       RSP_WARN << "tcp: frame checksum mismatch from node " << h.from << ", dropping";
     } else {
-      frames.push_back({h.from, h.type, pos + kFrameHeaderBytes, h.payload_len});
+      frames.push_back({h.from, h.to, h.type, pos + kFrameHeaderBytes, h.payload_len});
     }
     pos += kFrameHeaderBytes + h.payload_len;
   }
@@ -394,8 +428,13 @@ bool TcpNode::decode_and_dispatch(Conn* c) {
     posted = true;
     loop_.post([this, burst = std::move(burst), frames = std::move(frames)]() mutable {
       for (const FrameRef& f : frames) {
-        MessageHandler* h = handler_.load();
-        if (h == nullptr) return;
+        // endpoints_ is loop-thread-confined; a frame for an endpoint that
+        // has not registered yet (or a stale destination) is dropped and the
+        // sender's protocol retransmits.
+        auto eit = endpoints_.find(f.to);
+        if (eit == endpoints_.end()) continue;
+        MessageHandler* h = eit->second->handler_.load();
+        if (h == nullptr) continue;
         h->on_message(f.from, static_cast<MsgType>(f.type),
                       BytesView(burst.data() + f.off, f.len));
       }
@@ -419,7 +458,7 @@ bool TcpNode::decode_and_dispatch(Conn* c) {
   return true;
 }
 
-Bytes TcpNode::take_read_buf(size_t min_bytes) {
+Bytes TcpHost::take_read_buf(size_t min_bytes) {
   {
     std::lock_guard<std::mutex> lk(buf_pool_mu_);
     // Pool entries are all kReadBufBytes; an oversized request (huge frame
@@ -433,7 +472,7 @@ Bytes TcpNode::take_read_buf(size_t min_bytes) {
   return Bytes(std::max(min_bytes, kReadBufBytes));
 }
 
-void TcpNode::recycle_read_buf(Bytes b) {
+void TcpHost::recycle_read_buf(Bytes b) {
   constexpr size_t kBufPoolMax = 8;
   if (b.size() != kReadBufBytes) return;  // don't cache grown huge-frame buffers
   std::lock_guard<std::mutex> lk(buf_pool_mu_);
@@ -443,7 +482,7 @@ void TcpNode::recycle_read_buf(Bytes b) {
 // ---------------------------------------------------------------------------
 // Outbound: async connect + vectored drain.
 
-void TcpNode::handle_peer_event(Peer* p, uint32_t events) {
+void TcpHost::handle_peer_event(Peer* p, uint32_t events) {
   if (p->state == PeerState::kConnecting) {
     int err = 0;
     socklen_t len = sizeof(err);
@@ -477,14 +516,14 @@ void TcpNode::handle_peer_event(Peer* p, uint32_t events) {
   if (events & EPOLLOUT) flush_peer(p);
 }
 
-void TcpNode::peer_disconnected(Peer* p, const char* why) {
+void TcpHost::peer_disconnected(Peer* p, const char* why) {
   if (p->fd >= 0) {
     ::epoll_ctl(epfd_, EPOLL_CTL_DEL, p->fd, nullptr);
     ::close(p->fd);
     p->fd = -1;
   }
   if (p->state == PeerState::kConnected || p->state == PeerState::kConnecting) {
-    RSP_DEBUG << "tcp: peer " << p->id << " " << why << ", backing off";
+    RSP_DEBUG << "tcp: peer host " << p->id << " " << why << ", backing off";
   }
   p->state = PeerState::kIdle;
   p->want_write = false;
@@ -497,7 +536,7 @@ void TcpNode::peer_disconnected(Peer* p, const char* why) {
   p->retry_at = steady_now_us() + p->backoff;
 }
 
-void TcpNode::start_connect(Peer* p) {
+void TcpHost::start_connect(Peer* p) {
   io_metrics_.reconnects->inc();
   int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) {
@@ -536,7 +575,7 @@ void TcpNode::start_connect(Peer* p) {
   }
 }
 
-void TcpNode::set_peer_writable_interest(Peer* p, bool want) {
+void TcpHost::set_peer_writable_interest(Peer* p, bool want) {
   if (p->want_write == want || p->fd < 0) return;
   epoll_event ev{};
   ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
@@ -544,7 +583,7 @@ void TcpNode::set_peer_writable_interest(Peer* p, bool want) {
   if (::epoll_ctl(epfd_, EPOLL_CTL_MOD, p->fd, &ev) == 0) p->want_write = want;
 }
 
-void TcpNode::flush_peer(Peer* p) {
+void TcpHost::flush_peer(Peer* p) {
   if (p->state == PeerState::kIdle) {
     bool pending = !p->inflight.empty();
     if (!pending) {
@@ -635,60 +674,61 @@ void TcpNode::flush_peer(Peer* p) {
   set_peer_writable_interest(p, true);
 }
 
-NodeContext::TimerId TcpNode::set_timer(DurationMicros delay, TimerFn fn) {
-  return loop_.schedule(delay, std::move(fn));
-}
-
-bool TcpNode::cancel_timer(TimerId id) { return loop_.cancel(id); }
-
 // ---------------------------------------------------------------------------
 
 TcpTransport::~TcpTransport() {
   std::lock_guard<std::mutex> lk(mu_);
-  for (auto& [id, node] : nodes_) node->shutdown();
+  // Hosts first: joins every I/O thread and stops every loop, after which no
+  // thread can touch the endpoint objects the nodes_ map still owns.
+  for (auto& [id, host] : hosts_) host->shutdown();
 }
 
 StatusOr<TcpNode*> TcpTransport::start_node(NodeId id) {
-  auto ait = addrs_.find(id);
-  if (ait == addrs_.end()) return Status::invalid("unknown node id");
-
-  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (fd < 0) return Status::internal("socket failed");
-  int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in sa{};
-  sa.sin_family = AF_INET;
-  sa.sin_port = htons(ait->second.port);
-  if (::inet_pton(AF_INET, ait->second.host.c_str(), &sa.sin_addr) != 1) {
-    ::close(fd);
-    return Status::invalid("bad host " + ait->second.host);
-  }
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
-    int err = errno;
-    ::close(fd);
-    if (err == EADDRINUSE) {
-      // free_ports() reservations are released before we bind, so another
-      // process can win the port in between. Retryable by design.
-      return Status::unavailable("port " + std::to_string(ait->second.port) +
-                                 " raced (EADDRINUSE); pick fresh free_ports() and retry");
-    }
-    return Status::internal("bind failed: " + std::string(std::strerror(err)));
-  }
-  if (::listen(fd, 256) != 0) {
-    ::close(fd);
-    return Status::internal("listen failed");
-  }
+  HostId host_id = host_map_.host_of(id);
+  auto ait = addrs_.find(host_id);
+  if (ait == addrs_.end()) return Status::invalid("unknown host id");
 
   std::lock_guard<std::mutex> lk(mu_);
-  if (nodes_.count(id) != 0) {
-    ::close(fd);
-    return Status::failed_precondition("node already started");
+  if (nodes_.count(id) != 0) return Status::failed_precondition("node already started");
+
+  auto hit = hosts_.find(host_id);
+  if (hit == hosts_.end()) {
+    int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (fd < 0) return Status::internal("socket failed");
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(ait->second.port);
+    if (::inet_pton(AF_INET, ait->second.host.c_str(), &sa.sin_addr) != 1) {
+      ::close(fd);
+      return Status::invalid("bad host " + ait->second.host);
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+      int err = errno;
+      ::close(fd);
+      if (err == EADDRINUSE) {
+        // free_ports() reservations are released before we bind, so another
+        // process can win the port in between. Retryable by design.
+        return Status::unavailable("port " + std::to_string(ait->second.port) +
+                                   " raced (EADDRINUSE); pick fresh free_ports() and retry");
+      }
+      return Status::internal("bind failed: " + std::string(std::strerror(err)));
+    }
+    if (::listen(fd, 256) != 0) {
+      ::close(fd);
+      return Status::internal("listen failed");
+    }
+    auto host = std::unique_ptr<TcpHost>(new TcpHost(this, host_id, fd));
+    if (!host->io_started_) {
+      // Host destructor (via shutdown) closes the listener on this path.
+      return Status::internal("epoll/eventfd setup failed");
+    }
+    hit = hosts_.emplace(host_id, std::move(host)).first;
   }
-  auto node = std::unique_ptr<TcpNode>(new TcpNode(this, id, fd));
-  if (!node->io_started_) {
-    // Node destructor (via shutdown) closes the listener on this path.
-    return Status::internal("epoll/eventfd setup failed");
-  }
+
+  auto node = std::unique_ptr<TcpNode>(new TcpNode(hit->second.get(), id));
+  hit->second->register_endpoint(node.get());
   auto [it, inserted] = nodes_.emplace(id, std::move(node));
   return it->second.get();
 }

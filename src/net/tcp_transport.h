@@ -1,10 +1,18 @@
 // TCP transport: non-blocking epoll-driven sockets, one listener and one I/O
-// thread per node, length-prefixed CRC-checked frames.
+// thread per *host*, length-prefixed CRC-checked frames.
 //
 // Mirrors the paper's implementation substrate (§5: "an asynchronous RPC
 // module for message passing between processes. It uses TCP"). Delivery runs
-// on the node's EventLoop thread, so protocol code sees the identical
+// on the host's EventLoop thread, so protocol code sees the identical
 // single-threaded contract as under the simulator.
+//
+// Since the multi-group node host change, one physical endpoint (socket +
+// epoll + I/O thread + EventLoop) can serve many logical NodeContexts: a
+// HostMap (net/routing.h) collapses composite endpoint NodeIds onto hosts,
+// every frame carries its destination endpoint in the header, and the
+// receiving host demultiplexes inbound frames to the right TcpNode on the
+// shared loop. The default HostMap is the identity, preserving the historical
+// one-node-per-socket behavior for existing assemblies.
 //
 // send() never touches a socket: it appends the frame to a bounded per-peer
 // outbound queue (drop-oldest backpressure, preserving the datagram
@@ -14,9 +22,10 @@
 // all inbound connections into the same epoll loop with reusable per-
 // connection decode buffers. Outbound connects are asynchronous
 // (EINPROGRESS) with exponential-backoff reconnect, so an unreachable peer
-// never stalls the caller.
+// never stalls the caller. All endpoints sharing a host also share its
+// per-peer-host queues and connections.
 //
-// Frame format: see net/frame.h (unchanged from the blocking transport).
+// Frame format: see net/frame.h (v2, with a destination endpoint field).
 #pragma once
 
 #include <array>
@@ -32,6 +41,7 @@
 #include <vector>
 
 #include "net/frame.h"
+#include "net/routing.h"
 #include "net/transport.h"
 #include "obs/transport_metrics.h"
 #include "util/event_loop.h"
@@ -39,43 +49,75 @@
 
 namespace rspaxos::net {
 
-/// Host:port address of a peer.
+/// Host:port address of a peer host.
 struct PeerAddr {
   std::string host;
   uint16_t port;
 };
 
 class TcpTransport;
+class TcpHost;
 
-/// NodeContext bound to a TCP endpoint.
+/// NodeContext bound to a logical endpoint on a TcpHost. Thin: the socket,
+/// epoll loop, I/O thread and outbound queues all live on the host and are
+/// shared with every other endpoint the host serves.
 class TcpNode final : public NodeContext {
  public:
-  ~TcpNode() override;
+  ~TcpNode() override = default;
 
   NodeId id() const override { return id_; }
-  TimeMicros now() const override { return loop_.now(); }
+  TimeMicros now() const override;
   void send(NodeId to, MsgType type, Bytes payload) override;
   TimerId set_timer(DurationMicros delay, TimerFn fn) override;
   bool cancel_timer(TimerId id) override;
   uint64_t bytes_sent() const override { return bytes_sent_.load(); }
 
-  void set_handler(MessageHandler* handler) { handler_ = handler; }
-  EventLoop& loop() { return loop_; }
+  void set_handler(MessageHandler* handler) override { handler_.store(handler); }
+  /// The owning host's loop — shared by all endpoints on the host.
+  EventLoop& loop();
 
-  /// Frames dropped by the send path (queue overflow / oversize / unknown
-  /// peer) since construction. Test/diagnostic helper.
-  uint64_t send_drops() const { return send_drops_.load(); }
+  /// Frames dropped by the owning host's send path (queue overflow /
+  /// oversize / unknown peer) since construction. Test/diagnostic helper.
+  uint64_t send_drops() const;
 
-  /// Stops the I/O thread, closes all sockets, joins. Called by the
-  /// destructor; queued-but-unsent frames are dropped (datagram semantics).
+  /// Stops the owning host: I/O thread joined, all sockets closed. Every
+  /// endpoint sharing the host goes quiet with it; queued-but-unsent frames
+  /// are dropped (datagram semantics).
   void shutdown();
 
-  // Per-peer outbound queue bounds. Oldest frames are dropped first on
+  // Per-peer-host outbound queue bounds. Oldest frames are dropped first on
   // overflow, which never reorders the frames that remain.
   static constexpr size_t kMaxQueueFrames = 16384;
   static constexpr size_t kMaxQueueBytes = 64u << 20;
 
  private:
+  friend class TcpHost;
+  friend class TcpTransport;
+
+  TcpNode(TcpHost* host, NodeId id);
+
+  TcpHost* host_;
+  NodeId id_;
+  std::atomic<MessageHandler*> handler_{nullptr};
+  std::atomic<uint64_t> bytes_sent_{0};
+  obs::TransportMetrics metrics_;
+};
+
+/// One physical endpoint: listener socket, epoll loop, I/O thread, EventLoop
+/// and per-peer-host outbound queues, serving every TcpNode mapped onto it.
+class TcpHost {
+ public:
+  ~TcpHost();
+
+  HostId id() const { return id_; }
+  EventLoop& loop() { return loop_; }
+
+  /// Stops the I/O thread, closes all sockets, joins. Called by the
+  /// destructor; queued-but-unsent frames are dropped (datagram semantics).
+  void shutdown();
+
+ private:
+  friend class TcpNode;
   friend class TcpTransport;
 
   // epoll registration tag kinds (stored in epoll_event.data.ptr).
@@ -98,10 +140,10 @@ class TcpNode final : public NodeContext {
 
   enum class PeerState : uint8_t { kIdle, kConnecting, kConnected };
 
-  /// Outbound state toward one peer. `mu`/`q`/`q_bytes` are the only fields
-  /// shared with senders; everything else is I/O-thread private.
+  /// Outbound state toward one peer host. `mu`/`q`/`q_bytes` are the only
+  /// fields shared with senders; everything else is I/O-thread private.
   struct Peer {
-    NodeId id = 0;
+    HostId id = 0;
     PeerAddr addr;
 
     std::mutex mu;
@@ -133,7 +175,16 @@ class TcpNode final : public NodeContext {
     std::list<std::unique_ptr<Conn>>::iterator self;
   };
 
-  TcpNode(TcpTransport* t, NodeId id, int listen_fd);
+  TcpHost(TcpTransport* t, HostId id, int listen_fd);
+
+  /// Sender-side entry: encode from/to into the header, enqueue onto the
+  /// queue of `to`'s host. Callable from any thread.
+  void send_frame(NodeId from, NodeId to, MsgType type, Bytes payload);
+  /// Makes `ep` visible to inbound dispatch. Registration is posted onto the
+  /// loop thread — the endpoint map is loop-thread-confined, so the inbound
+  /// hot path reads it without a lock (frames racing registration are
+  /// dropped; peers retransmit).
+  void register_endpoint(TcpNode* ep);
 
   void io_loop();
   void on_acceptable();
@@ -154,7 +205,7 @@ class TcpNode final : public NodeContext {
   static TimeMicros steady_now_us();
 
   TcpTransport* transport_;
-  NodeId id_;
+  HostId id_;
   int listen_fd_;
   int epfd_ = -1;
   int wake_fd_ = -1;
@@ -162,11 +213,9 @@ class TcpNode final : public NodeContext {
   FdTag listen_tag_{TagKind::kListen, nullptr};
   // Whether the I/O thread was launched (epoll/eventfd setup succeeded).
   // Written once in the constructor; checked by start_node() to surface a
-  // dead node as a Status and by shutdown() for listen_fd_ ownership.
+  // dead host as a Status and by shutdown() for listen_fd_ ownership.
   bool io_started_ = false;
   std::atomic<bool> stopping_{false};
-  std::atomic<MessageHandler*> handler_{nullptr};
-  std::atomic<uint64_t> bytes_sent_{0};
   std::atomic<uint64_t> send_drops_{0};
   // True while the I/O thread is processing an epoll batch. Senders elide the
   // eventfd wake when set; the I/O thread clears it and then rescans every
@@ -175,13 +224,16 @@ class TcpNode final : public NodeContext {
   // send() stall timing is sampled 1-in-16 (two clock reads per frame are
   // measurable at millions of frames/s); this is the sample counter.
   std::atomic<uint32_t> stall_sample_{0};
-  obs::TransportMetrics metrics_;
   obs::TcpIoMetrics io_metrics_;
 
   // Built once in the constructor from the transport's address map and
   // immutable afterwards, so lookups need no lock.
-  std::map<NodeId, std::unique_ptr<Peer>> peers_;
+  std::map<HostId, std::unique_ptr<Peer>> peers_;
   std::list<std::unique_ptr<Conn>> conns_;  // I/O-thread private
+
+  // Loop-thread-confined: inbound frames are demultiplexed to endpoints from
+  // delivery tasks running on loop_, and registrations are posted onto it.
+  std::map<NodeId, TcpNode*> endpoints_;
 
   // Recycled receive buffers: decode_and_dispatch moves each filled buffer
   // into the delivery task and takes a replacement here, so steady-state
@@ -194,20 +246,26 @@ class TcpNode final : public NodeContext {
   std::thread io_thread_;
 };
 
-/// Builds a mesh of TcpNodes from a static address map (one per NodeId).
+/// Builds TcpNodes from a static address map keyed by *host* id. With the
+/// default identity HostMap every NodeId is its own host (one socket per
+/// node, the historical behavior); with a strided HostMap all of a server's
+/// group endpoints share one socket, loop and I/O thread.
 class TcpTransport {
  public:
-  /// addrs[i] is the listen address of node id i's endpoint.
-  explicit TcpTransport(std::map<NodeId, PeerAddr> addrs) : addrs_(std::move(addrs)) {}
+  /// addrs[h] is the listen address of host h. With the identity HostMap,
+  /// host ids are node ids.
+  explicit TcpTransport(std::map<HostId, PeerAddr> addrs, HostMap hosts = {})
+      : addrs_(std::move(addrs)), host_map_(hosts) {}
   ~TcpTransport();
 
-  /// Creates the endpoint (binds + listens). Must be called once per id.
-  /// Returns kUnavailable when the configured port is already taken (e.g. a
-  /// free_ports() reservation raced another process) — callers should pick
-  /// fresh ports and retry.
+  /// Creates the endpoint, binding + listening its host's socket on first
+  /// use. Must be called once per id. Returns kUnavailable when the
+  /// configured port is already taken (e.g. a free_ports() reservation raced
+  /// another process) — callers should pick fresh ports and retry.
   StatusOr<TcpNode*> start_node(NodeId id);
 
-  const PeerAddr& addr(NodeId id) const { return addrs_.at(id); }
+  const PeerAddr& addr(HostId id) const { return addrs_.at(id); }
+  const HostMap& host_map() const { return host_map_; }
 
   /// Picks len free localhost ports (test/example helper). Inherently TOCTOU:
   /// the reservation sockets are closed before the caller binds, so another
@@ -216,9 +274,12 @@ class TcpTransport {
   static std::vector<uint16_t> free_ports(size_t len);
 
  private:
+  friend class TcpHost;
   friend class TcpNode;
-  std::map<NodeId, PeerAddr> addrs_;
+  std::map<HostId, PeerAddr> addrs_;
+  HostMap host_map_;
   std::mutex mu_;
+  std::map<HostId, std::unique_ptr<TcpHost>> hosts_;
   std::map<NodeId, std::unique_ptr<TcpNode>> nodes_;
 };
 

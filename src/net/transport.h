@@ -72,6 +72,11 @@ class NodeContext : public Clock {
 
   virtual NodeId id() const = 0;
 
+  /// Installs (nullptr: detaches) the receiver for this node's inbound
+  /// messages. On threaded transports, call from the node's execution thread
+  /// — peers may deliver the instant the handler is visible.
+  virtual void set_handler(MessageHandler* handler) = 0;
+
   /// Fire-and-forget datagram-style send. Delivery is not guaranteed;
   /// callers own retransmission (which Paxos does by design).
   virtual void send(NodeId to, MsgType type, Bytes payload) = 0;

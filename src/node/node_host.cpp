@@ -1,0 +1,54 @@
+#include "node/node_host.h"
+
+#include <cassert>
+
+namespace rspaxos::node {
+
+NodeHost::NodeHost(int server, uint32_t num_groups, EndpointFn endpoints,
+                   storage::MuxWal* wal, SnapshotFn snaps, ConfigFn configs,
+                   NodeHostOptions opts, BootstrapFn bootstrap, PostFn post)
+    : server_(server), num_groups_(num_groups), endpoint_fn_(std::move(endpoints)),
+      wal_(wal), snap_fn_(std::move(snaps)), config_fn_(std::move(configs)),
+      opts_(std::move(opts)), bootstrap_fn_(std::move(bootstrap)),
+      post_fn_(std::move(post)) {
+  assert(num_groups_ >= 1);
+  assert(wal_ != nullptr && wal_->num_groups() >= num_groups_);
+}
+
+NodeHost::~NodeHost() { stop(); }
+
+void NodeHost::start() {
+  assert(!started_);
+  started_ = true;
+  endpoints_.resize(num_groups_, nullptr);
+  servers_.resize(num_groups_);
+  for (uint32_t g = 0; g < num_groups_; ++g) {
+    NodeContext* ctx = endpoint_fn_(net::endpoint_id(server_, static_cast<int>(g)));
+    assert(ctx != nullptr);
+    endpoints_[g] = ctx;
+    consensus::ReplicaOptions ropts = opts_.replica;
+    ropts.group_id = g;
+    ropts.bootstrap_leader = bootstrap_fn_ && bootstrap_fn_(g);
+    servers_[g] = std::make_unique<kv::KvServer>(ctx, wal_->group(g), config_fn_(g), ropts,
+                                                 opts_.kv, snap_fn_ ? snap_fn_(g) : nullptr);
+    kv::KvServer* srv = servers_[g].get();
+    auto bring_up = [ctx, srv] {
+      ctx->set_handler(srv);
+      srv->start();
+    };
+    if (post_fn_) {
+      post_fn_(ctx, std::move(bring_up));
+    } else {
+      bring_up();
+    }
+  }
+}
+
+void NodeHost::stop() {
+  for (NodeContext* ctx : endpoints_) {
+    if (ctx != nullptr) ctx->set_handler(nullptr);
+  }
+  endpoints_.clear();
+}
+
+}  // namespace rspaxos::node

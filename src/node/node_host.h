@@ -1,0 +1,95 @@
+// Multi-group node host: one process-level "machine" hosting one replica of
+// every Paxos group (§4.2's data shards) behind shared per-server resources.
+//
+// A NodeHost owns G KvServer instances (one per group) and wires each to:
+//   * its own transport endpoint — NodeId endpoint_id(server, group) from
+//     net/routing.h, all endpoints sharing the server's one socket/loop on
+//     real transports (the frame envelope's `to` field demuxes);
+//   * a per-group Wal view of the server's ONE multiplexed log (MuxWal), so
+//     group commit amortizes fsyncs across shards;
+//   * a per-group slot of the server's one snapshot store.
+//
+// The host is transport- and storage-agnostic: SimCluster and the real-TCP
+// TcpCluster both assemble machines through it, injecting their endpoint /
+// config / snapshot factories.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "consensus/replica.h"
+#include "kv/server.h"
+#include "net/routing.h"
+#include "snapshot/snapshot_store.h"
+#include "storage/wal.h"
+
+namespace rspaxos::node {
+
+struct NodeHostOptions {
+  /// Template for every group's replica; `group_id` and `bootstrap_leader`
+  /// are overridden per group by the host.
+  consensus::ReplicaOptions replica;
+  kv::KvServerOptions kv;
+};
+
+class NodeHost {
+ public:
+  /// Resolves a composite endpoint id to its live transport endpoint.
+  using EndpointFn = std::function<NodeContext*(NodeId)>;
+  /// Group index -> that group's current GroupConfig.
+  using ConfigFn = std::function<consensus::GroupConfig(uint32_t)>;
+  /// Group index -> durable snapshot slot (may return nullptr: checkpointing
+  /// disabled for that group).
+  using SnapshotFn = std::function<snapshot::SnapshotStore*(uint32_t)>;
+  /// Group index -> should this host campaign immediately (deterministic
+  /// initial leader). Empty = never.
+  using BootstrapFn = std::function<bool(uint32_t)>;
+  /// Runs `fn` on the endpoint's execution context. Empty = invoke inline
+  /// (correct for the single-threaded simulator). Threaded transports must
+  /// post (e.g. via `ctx->set_timer(0, fn)`) so handler registration and
+  /// Replica::start never race the I/O thread.
+  using PostFn = std::function<void(NodeContext*, std::function<void()>)>;
+
+  NodeHost(int server, uint32_t num_groups, EndpointFn endpoints, storage::MuxWal* wal,
+           SnapshotFn snaps, ConfigFn configs, NodeHostOptions opts,
+           BootstrapFn bootstrap = {}, PostFn post = {});
+  ~NodeHost();
+
+  NodeHost(const NodeHost&) = delete;
+  NodeHost& operator=(const NodeHost&) = delete;
+
+  /// Builds every group's server, registers it as its endpoint's handler and
+  /// starts it (WAL replay + election participation). Call once.
+  void start();
+  /// Detaches every endpoint's handler. After stop() the transport no longer
+  /// delivers into this host; safe to destroy.
+  void stop();
+
+  int server_index() const { return server_; }
+  uint32_t num_groups() const { return num_groups_; }
+  kv::KvServer* server(uint32_t g) {
+    return g < servers_.size() ? servers_[g].get() : nullptr;
+  }
+  NodeContext* endpoint(uint32_t g) {
+    return g < endpoints_.size() ? endpoints_[g] : nullptr;
+  }
+  storage::MuxWal* wal() { return wal_; }
+
+ private:
+  int server_;
+  uint32_t num_groups_;
+  EndpointFn endpoint_fn_;
+  storage::MuxWal* wal_;
+  SnapshotFn snap_fn_;
+  ConfigFn config_fn_;
+  NodeHostOptions opts_;
+  BootstrapFn bootstrap_fn_;
+  PostFn post_fn_;
+
+  std::vector<NodeContext*> endpoints_;          // per group
+  std::vector<std::unique_ptr<kv::KvServer>> servers_;  // per group
+  bool started_ = false;
+};
+
+}  // namespace rspaxos::node

@@ -1,3 +1,5 @@
+// SimCluster lives header-wise at kv/cluster.h (historical include path) but
+// is assembled here, with the rest of the node-host layer it builds on.
 #include "kv/cluster.h"
 
 #include <cassert>
@@ -16,19 +18,20 @@ SimCluster::SimCluster(sim::SimWorld* world, SimClusterOptions opts)
   for (int s = 0; s < opts_.num_servers; ++s) {
     disks_.push_back(std::make_unique<sim::SimDisk>(world_, opts_.disk));
   }
-  wals_.resize(static_cast<size_t>(opts_.num_servers) *
-               static_cast<size_t>(opts_.num_groups));
-  snaps_.resize(wals_.size());
-  servers_.resize(wals_.size());
+  wals_.resize(static_cast<size_t>(opts_.num_servers));
+  hosts_.resize(static_cast<size_t>(opts_.num_servers));
+  snaps_.resize(static_cast<size_t>(opts_.num_servers) *
+                static_cast<size_t>(opts_.num_groups));
   alive_.assign(static_cast<size_t>(opts_.num_servers), true);
   for (int s = 0; s < opts_.num_servers; ++s) {
+    wals_[static_cast<size_t>(s)] = std::make_unique<storage::SimWal>(
+        disks_[static_cast<size_t>(s)].get(), opts_.wal_retain,
+        static_cast<uint32_t>(opts_.num_groups));
     for (int g = 0; g < opts_.num_groups; ++g) {
-      wals_[idx(s, g)] = std::make_unique<storage::SimWal>(
-          disks_[static_cast<size_t>(s)].get(), opts_.wal_retain);
       snaps_[idx(s, g)] = std::make_unique<snapshot::SimSnapshotStore>(
           disks_[static_cast<size_t>(s)].get());
     }
-    build_server(s, /*bootstrap=*/s == 0);
+    build_host(s, /*initial=*/true);
   }
 }
 
@@ -44,17 +47,30 @@ GroupConfig SimCluster::group_config(int group) const {
   return GroupConfig::majority(std::move(members));
 }
 
-void SimCluster::build_server(int s, bool bootstrap) {
-  for (int g = 0; g < opts_.num_groups; ++g) {
-    sim::SimNode* node = network_.node(endpoint_id(s, g));
-    consensus::ReplicaOptions ropts = opts_.replica;
-    ropts.bootstrap_leader = bootstrap;
-    auto& slot = servers_[idx(s, g)];
-    slot = std::make_unique<KvServer>(node, wals_[idx(s, g)].get(), group_config(g), ropts,
-                                      opts_.kv, snaps_[idx(s, g)].get());
-    node->set_handler(slot.get());
-    slot->start();
+void SimCluster::build_host(int s, bool initial) {
+  node::NodeHostOptions hopts;
+  hopts.replica = opts_.replica;
+  hopts.kv = opts_.kv;
+  node::NodeHost::BootstrapFn boot;  // restarts never campaign immediately
+  if (initial) {
+    if (opts_.spread_leaders) {
+      int servers = opts_.num_servers;
+      boot = [s, servers](uint32_t g) { return static_cast<int>(g) % servers == s; };
+    } else if (s == 0) {
+      boot = [](uint32_t) { return true; };
+    }
   }
+  auto& host = hosts_[static_cast<size_t>(s)];
+  host = std::make_unique<node::NodeHost>(
+      s, static_cast<uint32_t>(opts_.num_groups),
+      [this](NodeId id) -> NodeContext* { return network_.node(id); },
+      wals_[static_cast<size_t>(s)].get(),
+      [this, s](uint32_t g) -> snapshot::SnapshotStore* {
+        return snaps_[idx(s, static_cast<int>(g))].get();
+      },
+      [this](uint32_t g) { return group_config(static_cast<int>(g)); }, hopts,
+      std::move(boot));  // PostFn empty: the sim is single-threaded, inline is safe
+  host->start();
 }
 
 void SimCluster::wait_for_leaders(DurationMicros max_wait) {
@@ -96,11 +112,11 @@ void SimCluster::crash_server(int s) {
   alive_[static_cast<size_t>(s)] = false;
   for (int g = 0; g < opts_.num_groups; ++g) {
     network_.crash(endpoint_id(s, g));
-    network_.node(endpoint_id(s, g))->set_handler(nullptr);
-    wals_[idx(s, g)]->drop_unflushed();   // power failure: un-synced data gone
-    snaps_[idx(s, g)]->drop_unflushed();  // in-flight snapshot saves gone too
-    servers_[idx(s, g)].reset();          // volatile state gone
+    snaps_[idx(s, g)]->drop_unflushed();  // in-flight snapshot saves gone
   }
+  hosts_[static_cast<size_t>(s)].reset();  // volatile state gone (all groups)
+  // Power failure: un-synced records on the machine's one shared log gone.
+  wals_[static_cast<size_t>(s)]->drop_unflushed();
 }
 
 void SimCluster::restart_server(int s) {
@@ -108,13 +124,14 @@ void SimCluster::restart_server(int s) {
   for (int g = 0; g < opts_.num_groups; ++g) {
     network_.restart(endpoint_id(s, g));
   }
-  build_server(s, /*bootstrap=*/false);  // WAL replay happens in start()
+  build_host(s, /*initial=*/false);  // WAL replay happens in start()
 }
 
 int SimCluster::leader_server_of(int group) const {
   for (int s = 0; s < opts_.num_servers; ++s) {
     if (!alive_[static_cast<size_t>(s)]) continue;
-    const auto& srv = servers_[idx(s, group)];
+    const auto& host = hosts_[static_cast<size_t>(s)];
+    KvServer* srv = host ? host->server(static_cast<uint32_t>(group)) : nullptr;
     if (srv && srv->replica().is_leader()) return s;
   }
   return -1;

@@ -1,0 +1,161 @@
+#include "node/tcp_cluster.h"
+
+#include <filesystem>
+#include <future>
+
+#include "consensus/config.h"
+
+namespace rspaxos::node {
+
+namespace fs = std::filesystem;
+
+StatusOr<std::unique_ptr<TcpCluster>> TcpCluster::start(TcpClusterOptions opts) {
+  if (opts.num_servers < 1 || opts.num_groups < 1) {
+    return Status::invalid("tcp cluster: need at least one server and one group");
+  }
+  if (opts.num_groups >= net::kGroupStride) {
+    return Status::invalid("tcp cluster: num_groups exceeds kGroupStride");
+  }
+  if (opts.data_dir.empty()) {
+    return Status::invalid("tcp cluster: data_dir is required");
+  }
+  auto cluster = std::unique_ptr<TcpCluster>(new TcpCluster(std::move(opts)));
+  RSP_RETURN_IF_ERROR(cluster->boot());
+  return cluster;
+}
+
+Status TcpCluster::boot() {
+  const int servers = opts_.num_servers;
+  const uint32_t groups = opts_.num_groups;
+
+  auto ports = net::TcpTransport::free_ports(static_cast<size_t>(servers + opts_.num_clients));
+  if (ports.size() != static_cast<size_t>(servers + opts_.num_clients)) {
+    return Status::unavailable("tcp cluster: could not reserve listen ports");
+  }
+  // One listen address per *host*: servers are hosts 0..S-1 (all their group
+  // endpoints collapse onto them via HostMap{kGroupStride}); each client id
+  // is its own host.
+  std::map<net::HostId, net::PeerAddr> addrs;
+  for (int s = 0; s < servers; ++s) {
+    addrs[static_cast<net::HostId>(s)] =
+        net::PeerAddr{"127.0.0.1", ports[static_cast<size_t>(s)]};
+  }
+  for (int c = 0; c < opts_.num_clients; ++c) {
+    addrs[net::kClientBase + static_cast<NodeId>(c)] =
+        net::PeerAddr{"127.0.0.1", ports[static_cast<size_t>(servers + c)]};
+  }
+  transport_ =
+      std::make_unique<net::TcpTransport>(std::move(addrs), net::HostMap{net::kGroupStride});
+
+  wals_.resize(static_cast<size_t>(servers));
+  snaps_.resize(static_cast<size_t>(servers));
+  hosts_.resize(static_cast<size_t>(servers));
+  for (int s = 0; s < servers; ++s) {
+    // Endpoints first: the first start_node() on a host binds its socket, so
+    // a taken port surfaces here as a Status instead of inside NodeHost.
+    for (uint32_t g = 0; g < groups; ++g) {
+      NodeId id = net::endpoint_id(s, static_cast<int>(g));
+      auto ep = transport_->start_node(id);
+      if (!ep.is_ok()) return ep.status();
+      endpoints_[id] = ep.value();
+    }
+
+    fs::path dir = fs::path(opts_.data_dir) / ("s" + std::to_string(s));
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) return Status::internal("mkdir " + dir.string() + ": " + ec.message());
+    auto wal = storage::FileWal::open((dir / "wal").string(), opts_.wal_group_commit_window_us,
+                                      opts_.wal_segment_bytes, groups);
+    if (!wal.is_ok()) return wal.status();
+    wals_[static_cast<size_t>(s)] = std::move(wal).value();
+    auto snap = snapshot::GroupedSnapshotStore::open((dir / "snap").string(), groups);
+    if (!snap.is_ok()) return snap.status();
+    snaps_[static_cast<size_t>(s)] = std::move(snap).value();
+
+    NodeHostOptions hopts;
+    hopts.replica = opts_.replica;
+    hopts.kv = opts_.kv;
+    hosts_[static_cast<size_t>(s)] = std::make_unique<NodeHost>(
+        s, groups, [this](NodeId id) -> NodeContext* { return endpoints_.at(id); },
+        wals_[static_cast<size_t>(s)].get(),
+        [this, s](uint32_t g) -> snapshot::SnapshotStore* {
+          return snaps_[static_cast<size_t>(s)]->group(g);
+        },
+        [this](uint32_t g) { return group_config(g); }, hopts,
+        [this, s](uint32_t g) {
+          return opts_.spread_leaders ? static_cast<int>(g) % opts_.num_servers == s : s == 0;
+        },
+        // Handler installation + Replica::start must run on the host's loop
+        // thread: peers may deliver the instant the handler is visible.
+        [](NodeContext* ctx, std::function<void()> fn) { ctx->set_timer(0, std::move(fn)); });
+    hosts_[static_cast<size_t>(s)]->start();
+  }
+  return Status::ok();
+}
+
+TcpCluster::~TcpCluster() {
+  // Detach handlers first, then join the I/O threads; only afterwards is it
+  // safe to destroy servers, WALs and stores (no delivery can be in flight).
+  for (auto& h : hosts_) {
+    if (h) h->stop();
+  }
+  transport_.reset();
+  hosts_.clear();
+}
+
+net::TcpNode* TcpCluster::endpoint(int s, uint32_t g) {
+  auto it = endpoints_.find(net::endpoint_id(s, static_cast<int>(g)));
+  return it != endpoints_.end() ? it->second : nullptr;
+}
+
+consensus::GroupConfig TcpCluster::group_config(uint32_t g) const {
+  std::vector<NodeId> members;
+  members.reserve(static_cast<size_t>(opts_.num_servers));
+  for (int s = 0; s < opts_.num_servers; ++s) {
+    members.push_back(net::endpoint_id(s, static_cast<int>(g)));
+  }
+  if (opts_.rs_mode) {
+    auto cfg = consensus::GroupConfig::rs_max_x(std::move(members), opts_.f);
+    if (cfg.is_ok()) return std::move(cfg).value();
+    // Too few servers for the requested f: degrade like SimCluster's callers
+    // would — majority quorums over the same members.
+    members.clear();
+    for (int s = 0; s < opts_.num_servers; ++s) {
+      members.push_back(net::endpoint_id(s, static_cast<int>(g)));
+    }
+  }
+  return consensus::GroupConfig::majority(std::move(members));
+}
+
+kv::RoutingTable TcpCluster::routing() const {
+  kv::RoutingTable rt;
+  rt.shard_members.resize(opts_.num_groups);
+  for (uint32_t g = 0; g < opts_.num_groups; ++g) {
+    for (int s = 0; s < opts_.num_servers; ++s) {
+      rt.shard_members[g].push_back(net::endpoint_id(s, static_cast<int>(g)));
+    }
+  }
+  return rt;
+}
+
+StatusOr<net::TcpNode*> TcpCluster::start_client() {
+  if (next_client_ >= opts_.num_clients) {
+    return Status::invalid("tcp cluster: all reserved client endpoints claimed");
+  }
+  return transport_->start_node(net::kClientBase + static_cast<NodeId>(next_client_++));
+}
+
+int TcpCluster::leader_server_of(uint32_t g) {
+  for (int s = 0; s < opts_.num_servers; ++s) {
+    kv::KvServer* srv = server(s, g);
+    net::TcpNode* ep = endpoint(s, g);
+    if (srv == nullptr || ep == nullptr) continue;
+    std::promise<bool> p;
+    auto fut = p.get_future();
+    ep->loop().post([&] { p.set_value(srv->replica().is_leader()); });
+    if (fut.get()) return s;
+  }
+  return -1;
+}
+
+}  // namespace rspaxos::node

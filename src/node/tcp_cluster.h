@@ -1,0 +1,93 @@
+// Real-TCP multi-group cluster assembly: the NodeHost counterpart of
+// SimCluster for the §5 substrate.
+//
+// Each of the `num_servers` machines gets exactly ONE of each shared
+// resource — listen port + I/O thread (TcpHost via HostMap{kGroupStride}),
+// fsync'ing FileWal (multiplexed across groups), snapshot root
+// (GroupedSnapshotStore) — serving a replica of every one of the
+// `num_groups` Paxos groups. Client endpoints are separate hosts with their
+// own ports, matching the routing contract (ids >= kClientBase never stride).
+//
+// Durable state lives under `<data_dir>/s<k>/`; reopening the same directory
+// restarts the cluster from its WALs and snapshots.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kv/client.h"
+#include "net/tcp_transport.h"
+#include "node/node_host.h"
+#include "snapshot/snapshot_store.h"
+#include "storage/file_wal.h"
+
+namespace rspaxos::node {
+
+struct TcpClusterOptions {
+  int num_servers = 3;
+  uint32_t num_groups = 1;
+  /// true: RS-Paxos with QR=QW=N-f, X=N-2f; false: classic majority Paxos.
+  bool rs_mode = true;
+  int f = 1;  // target fault tolerance for rs_mode
+  /// Client ports are reserved up front alongside the server ports (ports
+  /// cannot be grown later without re-racing free_ports).
+  int num_clients = 1;
+  consensus::ReplicaOptions replica;
+  kv::KvServerOptions kv;
+  int64_t wal_group_commit_window_us = 200;
+  size_t wal_segment_bytes = storage::FileWal::kDefaultSegmentBytes;
+  /// Root of all durable state; server s uses `<data_dir>/s<s>/`. Required.
+  std::string data_dir;
+  /// true: group g's deterministic initial leader campaigns on server
+  /// g % num_servers (spreads leader load); false: server 0 leads everything.
+  bool spread_leaders = true;
+};
+
+/// Owns the transport, per-server WALs/snapshot stores and NodeHosts. start()
+/// brings every server up; the destructor tears down in the safe order
+/// (handlers detached, I/O threads joined, then state freed).
+class TcpCluster {
+ public:
+  static StatusOr<std::unique_ptr<TcpCluster>> start(TcpClusterOptions opts);
+  ~TcpCluster();
+
+  TcpCluster(const TcpCluster&) = delete;
+  TcpCluster& operator=(const TcpCluster&) = delete;
+
+  const TcpClusterOptions& options() const { return opts_; }
+  NodeHost& host(int s) { return *hosts_[static_cast<size_t>(s)]; }
+  kv::KvServer* server(int s, uint32_t g) { return hosts_[static_cast<size_t>(s)]->server(g); }
+  net::TcpNode* endpoint(int s, uint32_t g);
+  /// The server's one multiplexed log (all groups share its flushes).
+  storage::FileWal& wal(int s) { return *wals_[static_cast<size_t>(s)]; }
+  /// The server's one snapshot root (per-group slots inside).
+  snapshot::GroupedSnapshotStore& snap_store(int s) {
+    return *snaps_[static_cast<size_t>(s)];
+  }
+
+  kv::RoutingTable routing() const;
+  /// Claims the next pre-reserved client endpoint (its own socket + loop).
+  /// Fails after options().num_clients claims.
+  StatusOr<net::TcpNode*> start_client();
+
+  /// Which server currently leads group g (-1 when none); polls each
+  /// replica on its own loop thread, so callable from any thread.
+  int leader_server_of(uint32_t g);
+
+ private:
+  explicit TcpCluster(TcpClusterOptions opts) : opts_(std::move(opts)) {}
+  Status boot();
+  consensus::GroupConfig group_config(uint32_t g) const;
+
+  TcpClusterOptions opts_;
+  std::unique_ptr<net::TcpTransport> transport_;
+  std::vector<std::unique_ptr<storage::FileWal>> wals_;                 // per server
+  std::vector<std::unique_ptr<snapshot::GroupedSnapshotStore>> snaps_;  // per server
+  std::vector<std::unique_ptr<NodeHost>> hosts_;                        // per server
+  std::map<NodeId, net::TcpNode*> endpoints_;  // every started server endpoint
+  int next_client_ = 0;
+};
+
+}  // namespace rspaxos::node

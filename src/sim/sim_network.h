@@ -49,7 +49,7 @@ class SimNode final : public NodeContext {
   bool cancel_timer(TimerId id) override;
   uint64_t bytes_sent() const override { return bytes_sent_; }
 
-  void set_handler(MessageHandler* handler) { handler_ = handler; }
+  void set_handler(MessageHandler* handler) override { handler_ = handler; }
   bool alive() const { return alive_; }
   uint64_t incarnation() const { return incarnation_; }
   uint64_t messages_sent() const { return messages_sent_; }

@@ -142,4 +142,23 @@ uint64_t FileSnapshotStore::stored_bytes() const {
   return total;
 }
 
+StatusOr<std::unique_ptr<GroupedSnapshotStore>> GroupedSnapshotStore::open(
+    const std::string& dir, uint32_t num_groups) {
+  if (num_groups == 0) return Status::invalid("snapshot store: num_groups must be >= 1");
+  auto grouped = std::unique_ptr<GroupedSnapshotStore>(new GroupedSnapshotStore());
+  grouped->stores_.reserve(num_groups);
+  for (uint32_t g = 0; g < num_groups; ++g) {
+    auto store = FileSnapshotStore::open(dir + "/g" + std::to_string(g));
+    if (!store.is_ok()) return store.status();
+    grouped->stores_.push_back(std::move(store).value());
+  }
+  return grouped;
+}
+
+uint64_t GroupedSnapshotStore::stored_bytes() const {
+  uint64_t total = 0;
+  for (const auto& s : stores_) total += s->stored_bytes();
+  return total;
+}
+
 }  // namespace rspaxos::snapshot

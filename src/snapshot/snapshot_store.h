@@ -11,6 +11,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "snapshot/manifest.h"
 #include "util/bytes.h"
@@ -87,6 +88,29 @@ class FileSnapshotStore final : public SnapshotStore {
   Status save_sync(const SnapshotManifest& man, const Bytes& fragment);
 
   std::string dir_;
+};
+
+/// One durable snapshot root per machine, multiplexed across Paxos groups:
+/// group g's snapshot lives under `<dir>/g<g>/` with FileSnapshotStore's
+/// crash-consistency contract applying per group. The per-group stores are
+/// owned here so a multi-group node host holds exactly one snapshot-store
+/// object per server (mirroring the shared MuxWal).
+class GroupedSnapshotStore {
+ public:
+  static StatusOr<std::unique_ptr<GroupedSnapshotStore>> open(const std::string& dir,
+                                                              uint32_t num_groups);
+
+  uint32_t num_groups() const { return static_cast<uint32_t>(stores_.size()); }
+  /// Group g's store (nullptr when g >= num_groups). Pointer stable for the
+  /// grouped store's lifetime.
+  SnapshotStore* group(uint32_t g) {
+    return g < stores_.size() ? stores_[g].get() : nullptr;
+  }
+  /// Durable footprint across every group.
+  uint64_t stored_bytes() const;
+
+ private:
+  std::vector<std::unique_ptr<FileSnapshotStore>> stores_;
 };
 
 }  // namespace rspaxos::snapshot

@@ -22,7 +22,7 @@ namespace rspaxos::storage {
 namespace {
 
 constexpr uint32_t kManifestMagic = 0x52535741;  // "RSWA"
-constexpr uint32_t kManifestVersion = 1;
+constexpr uint32_t kManifestVersion = 2;         // v2: group-tagged records
 
 /// Writes every iovec fully, resuming after partial writes and chunking the
 /// array at IOV_MAX. Mutates the iovecs as it consumes them. Returns the
@@ -87,11 +87,49 @@ struct WalMetrics {
   }
 };
 
-Bytes frame_record(BytesView record) {
-  Writer w(record.size() + 8);
-  w.u32(static_cast<uint32_t>(record.size()));
-  w.u32(crc32c(record));
+// Record payloads open with a u32 group key: group << 1 | is_marker. Data
+// records carry the caller's bytes after the key; marker records embed the
+// group's replacement head (u32 count, then u32 len + bytes per record).
+constexpr uint32_t kGkMarkerBit = 1;
+
+inline uint32_t payload_gk(BytesView payload) {
+  uint32_t gk;
+  std::memcpy(&gk, payload.data(), 4);
+  return gk;
+}
+
+/// Frames one data record for `g`: u32 len | u32 crc | u32 gk | record.
+/// The CRC covers gk + record (the whole payload), computed incrementally so
+/// the record bytes are copied exactly once.
+Bytes frame_data_record(uint32_t g, BytesView record) {
+  uint32_t gk = g << 1;
+  uint8_t gkb[4];
+  std::memcpy(gkb, &gk, 4);
+  uint32_t crc = crc32c(record.data(), record.size(), crc32c(gkb, 4));
+  Writer w(record.size() + 12);
+  w.u32(static_cast<uint32_t>(record.size()) + 4);
+  w.u32(crc);
+  w.u32(gk);
   w.raw(record);
+  return w.take();
+}
+
+/// Frames one truncation marker for `g` with its embedded replacement head.
+Bytes frame_marker_record(uint32_t g, const std::vector<Bytes>& head) {
+  size_t sz = 8;
+  for (const Bytes& r : head) sz += 4 + r.size();
+  Writer p(sz);
+  p.u32((g << 1) | kGkMarkerBit);
+  p.u32(static_cast<uint32_t>(head.size()));
+  for (const Bytes& r : head) {
+    p.u32(static_cast<uint32_t>(r.size()));
+    p.raw(r);
+  }
+  const Bytes& payload = p.buffer();
+  Writer w(payload.size() + 8);
+  w.u32(static_cast<uint32_t>(payload.size()));
+  w.u32(crc32c(payload));
+  w.raw(payload);
   return w.take();
 }
 
@@ -116,7 +154,8 @@ void fsync_parent_dir(const std::string& path) {
 /// be null for a pure scan) using a rolling buffer — memory stays
 /// O(chunk + largest record). Returns the byte length of the valid prefix and
 /// sets *clean when the file ends exactly on a frame boundary (no torn tail,
-/// no CRC mismatch). A missing file reads as empty and clean.
+/// no CRC mismatch). A missing file reads as empty and clean — after
+/// per-group reclamation the segment sequence may have holes.
 uint64_t stream_segment(const std::string& path,
                         const std::function<void(BytesView)>* fn, bool* clean) {
   *clean = true;
@@ -199,22 +238,27 @@ std::string FileWal::segment_path(uint64_t seq) const { return seg_file(path_, s
 
 StatusOr<std::unique_ptr<FileWal>> FileWal::open(const std::string& path,
                                                  int64_t group_commit_window_us,
-                                                 size_t segment_bytes) {
+                                                 size_t segment_bytes, uint32_t num_groups) {
   namespace fs = std::filesystem;
   std::error_code ec;
   fs::remove(path + ".manifest.tmp", ec);  // aborted manifest commit
+
+  if (num_groups == 0) return Status::invalid("wal: num_groups must be >= 1");
 
   uint64_t first_seq = 0;
   auto man = read_manifest(path + ".manifest");
   if (man.is_ok()) {
     first_seq = man.value();
-  } else if (man.status().code() != Code::kNotFound) {
+  } else if (man.status().code() != Code::kNotFound &&
+             man.status().code() != Code::kCorruption) {
+    // The manifest is an advisory cleanup hint since the marker-based format;
+    // a stale or old-version manifest just means no pre-deletion.
     return man.status();
   }
 
   // Discover segments on disk: the bare path is segment 0; rotated segments
   // are `path.<seq>.seg`. Anything below the manifest's first segment is a
-  // leftover from a crash after a truncation commit — delete it now.
+  // leftover from a crash after physical reclamation — delete it now.
   fs::path p(path);
   fs::path dir = p.parent_path().empty() ? fs::path(".") : p.parent_path();
   std::string base = p.filename().string();
@@ -259,16 +303,49 @@ StatusOr<std::unique_ptr<FileWal>> FileWal::open(const std::string& path,
     ::close(fd);
     return Status::internal("ftruncate(" + active + "): " + std::strerror(errno));
   }
+
+  // Rebuild the per-group liveness state (which groups touch each segment,
+  // each group's newest marker, live framed bytes) from one scan pass.
+  ScanState scan;
+  for (uint64_t s = first_seq; s <= active_seq; ++s) {
+    bool seg_clean = false;
+    std::function<void(BytesView)> index = [&](BytesView payload) {
+      if (payload.size() < 4) return;
+      uint32_t gk = payload_gk(payload);
+      uint32_t g = gk >> 1;
+      scan.seg_groups[s].insert(g);
+      uint64_t framed = 8 + payload.size();
+      if (gk & kGkMarkerBit) {
+        scan.marker_seg[g] = s;
+        scan.live_bytes[g] = framed;  // everything before the marker is dead
+      } else {
+        scan.live_bytes[g] += framed;
+      }
+    };
+    stream_segment(seg_file(path, s), &index, &seg_clean);
+    if (!seg_clean && s != active_seq) break;  // unreachable suffix
+  }
+
   return std::unique_ptr<FileWal>(new FileWal(path, group_commit_window_us, segment_bytes,
-                                              first_seq, active_seq, fd,
-                                              static_cast<size_t>(valid)));
+                                              num_groups, first_seq, active_seq, fd,
+                                              static_cast<size_t>(valid), std::move(scan)));
 }
 
 FileWal::FileWal(std::string path, int64_t window_us, size_t segment_bytes,
-                 uint64_t first_seq, uint64_t active_seq, int active_fd, size_t active_size)
+                 uint32_t num_groups, uint64_t first_seq, uint64_t active_seq,
+                 int active_fd, size_t active_size, ScanState scan)
     : path_(std::move(path)), window_us_(window_us), segment_bytes_(segment_bytes),
-      fd_(active_fd), first_seq_(first_seq), active_seq_(active_seq),
-      active_size_(active_size), flusher_([this] { flusher_loop(); }) {}
+      num_groups_(num_groups), fd_(active_fd), first_seq_(first_seq),
+      active_seq_(active_seq), active_size_(active_size), live_(std::move(scan)) {
+  group_counters_.reserve(num_groups_);
+  for (uint32_t g = 0; g < num_groups_; ++g) {
+    group_counters_.push_back(std::make_unique<GroupCounters>());
+  }
+  // Finish any physical reclamation a pre-crash truncation committed but did
+  // not complete, then start the flusher.
+  reclaim_segments();
+  flusher_ = std::thread([this] { flusher_loop(); });
+}
 
 FileWal::~FileWal() {
   {
@@ -281,8 +358,19 @@ FileWal::~FileWal() {
 }
 
 void FileWal::append(Bytes record, DurableFn cb) {
+  append(0, std::move(record), std::move(cb));
+}
+
+void FileWal::truncate_prefix(std::vector<Bytes> head, TruncateFn cb) {
+  truncate_prefix(0, std::move(head), std::move(cb));
+}
+
+void FileWal::replay(const std::function<void(BytesView)>& fn) { replay(0, fn); }
+
+void FileWal::append(uint32_t g, Bytes record, DurableFn cb) {
   Pending p;
-  p.framed = frame_record(record);
+  p.group = g;
+  p.framed = frame_data_record(g, record);
   p.cb = std::move(cb);
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -291,8 +379,9 @@ void FileWal::append(Bytes record, DurableFn cb) {
   cv_.notify_one();
 }
 
-void FileWal::truncate_prefix(std::vector<Bytes> head, TruncateFn cb) {
+void FileWal::truncate_prefix(uint32_t g, std::vector<Bytes> head, TruncateFn cb) {
   Pending p;
+  p.group = g;
   p.truncate = true;
   p.head = std::move(head);
   p.tcb = std::move(cb);
@@ -301,6 +390,14 @@ void FileWal::truncate_prefix(std::vector<Bytes> head, TruncateFn cb) {
     staged_.push_back(std::move(p));
   }
   cv_.notify_one();
+}
+
+uint64_t FileWal::group_bytes_flushed(uint32_t g) const {
+  return g < group_counters_.size() ? group_counters_[g]->flushed.load() : 0;
+}
+
+uint64_t FileWal::group_truncated_bytes(uint32_t g) const {
+  return g < group_counters_.size() ? group_counters_[g]->truncated.load() : 0;
 }
 
 void FileWal::flusher_loop() {
@@ -316,7 +413,8 @@ void FileWal::flusher_loop() {
       lk.lock();
       continue;
     }
-    // Group-commit window: let closely-following appends join this batch.
+    // Group-commit window: let closely-following appends join this batch —
+    // from every group on the machine, so shards share fsyncs.
     if (window_us_ > 0 && !stopping_) {
       cv_.wait_for(lk, std::chrono::microseconds(window_us_), [this] { return stopping_; });
     }
@@ -365,6 +463,17 @@ void FileWal::flush_batch(std::deque<Pending> batch) {
   active_size_ += wrote;
   bytes_flushed_.fetch_add(wrote);
   flush_ops_.fetch_add(1);
+  if (write_ok) {
+    uint64_t seg = active_seq_.load();
+    for (const Pending& p : batch) {
+      if (p.framed.empty()) continue;
+      live_.seg_groups[seg].insert(p.group);
+      live_.live_bytes[p.group] += p.framed.size();
+      if (p.group < group_counters_.size()) {
+        group_counters_[p.group]->flushed.fetch_add(p.framed.size());
+      }
+    }
+  }
   WalMetrics& wm = WalMetrics::get();
   wm.bytes_durable->inc(wrote);
   wm.flushes->inc();
@@ -420,60 +529,47 @@ Status FileWal::write_manifest(uint64_t first_seq) {
 }
 
 void FileWal::do_truncate(Pending t) {
-  // The head goes into a brand-new segment; the manifest rename is the commit
-  // point. Before it, the old segments (plus an inert partial head) are
-  // authoritative; after it, replay starts at the head and the old segments
-  // are unlinked.
+  // The marker (with its embedded replacement head) goes into a brand-new
+  // segment; its fdatasync is the commit point. Before it, the group's old
+  // records (plus an inert partial marker) are authoritative; after it,
+  // replay(g) starts at the marker. A crash between the two leaves a torn
+  // tail that open() trims — no manifest dance needed for correctness.
   auto start = std::chrono::steady_clock::now();
-  uint64_t old_first = first_seq_.load();
   uint64_t new_seq = active_seq_.load() + 1;
   int nfd = create_segment(new_seq);
   if (nfd < 0) {
     if (t.tcb) t.tcb(Status::internal("wal truncate: create segment failed"));
     return;
   }
-  size_t nbytes = 0;
-  std::vector<Bytes> framed;
-  framed.reserve(t.head.size());
-  for (const Bytes& r : t.head) {
-    framed.push_back(frame_record(r));
-    nbytes += framed.back().size();
-  }
-  std::vector<iovec> iov;
-  iov.reserve(framed.size());
-  for (const Bytes& f : framed) {
-    iov.push_back({const_cast<uint8_t*>(f.data()), f.size()});
-  }
+  Bytes marker = frame_marker_record(t.group, t.head);
+  std::vector<iovec> iov{{const_cast<uint8_t*>(marker.data()), marker.size()}};
   size_t wrote = writev_full(nfd, iov);
-  if (wrote != nbytes || ::fdatasync(nfd) != 0) {
+  if (wrote != marker.size() || ::fdatasync(nfd) != 0) {
     ::close(nfd);
     ::unlink(seg_file(path_, new_seq).c_str());
-    if (t.tcb) t.tcb(Status::internal("wal truncate: head write failed"));
+    if (t.tcb) t.tcb(Status::internal("wal truncate: marker write failed"));
     return;
   }
-  Status mst = write_manifest(new_seq);
-  if (!mst.is_ok()) {
-    ::close(nfd);
-    ::unlink(seg_file(path_, new_seq).c_str());
-    if (t.tcb) t.tcb(mst);
-    return;
-  }
-  // Committed: the head segment is now the whole log. Reclaim the prefix.
+  // Committed. The group's reclaimed bytes are everything it had live before
+  // this marker; physical segment reclamation is a shared-log concern and
+  // happens below, independent of what this group's number comes out to.
   ::close(fd_);
   fd_ = nfd;
   active_seq_.store(new_seq);
-  first_seq_.store(new_seq);
-  active_size_ = nbytes;
-  uint64_t reclaimed = 0;
-  for (uint64_t s = old_first; s < new_seq; ++s) {
-    std::string sp = seg_file(path_, s);
-    struct stat st;
-    if (::stat(sp.c_str(), &st) == 0) reclaimed += static_cast<uint64_t>(st.st_size);
-    ::unlink(sp.c_str());
-  }
+  active_size_ = marker.size();
+  uint64_t reclaimed = live_.live_bytes[t.group];
+  live_.live_bytes[t.group] = marker.size();
+  live_.marker_seg[t.group] = new_seq;
+  live_.seg_groups[new_seq].insert(t.group);
+  reclaim_segments();
+
   bytes_flushed_.fetch_add(wrote);
   flush_ops_.fetch_add(1);
   truncated_bytes_.fetch_add(reclaimed);
+  if (t.group < group_counters_.size()) {
+    group_counters_[t.group]->flushed.fetch_add(wrote);
+    group_counters_[t.group]->truncated.fetch_add(reclaimed);
+  }
   WalMetrics& wm = WalMetrics::get();
   wm.bytes_durable->inc(wrote);
   wm.flushes->inc();
@@ -485,15 +581,110 @@ void FileWal::do_truncate(Pending t) {
   if (t.tcb) t.tcb(reclaimed);
 }
 
-void FileWal::replay(const std::function<void(BytesView)>& fn) {
-  // Stream sealed segments in order, then the active one, each through its
-  // own read-only descriptor (the append offset is untouched). Stop at the
-  // first torn or corrupt frame — everything after it is unreachable.
+void FileWal::reclaim_segments() {
+  // A sealed segment is dead once every group with records in it has its
+  // newest marker in a later segment — those records can never be replayed.
+  // Groups that never truncated keep their segments pinned (their whole
+  // history is still live). Unlinking can leave holes; replay and the scan
+  // treat missing segments as empty.
+  uint64_t active = active_seq_.load();
+  uint64_t new_first = active;
+  for (auto it = live_.seg_groups.begin(); it != live_.seg_groups.end();) {
+    uint64_t s = it->first;
+    if (s >= active) {
+      new_first = std::min(new_first, s);
+      ++it;
+      continue;
+    }
+    bool dead = true;
+    for (uint32_t g : it->second) {
+      auto mit = live_.marker_seg.find(g);
+      if (mit == live_.marker_seg.end() || mit->second <= s) {
+        dead = false;
+        break;
+      }
+    }
+    if (dead) {
+      ::unlink(seg_file(path_, s).c_str());
+      it = live_.seg_groups.erase(it);
+    } else {
+      new_first = std::min(new_first, s);
+      ++it;
+    }
+  }
+  if (new_first > first_seq_.load()) {
+    // Advisory hint only (open() re-derives liveness from the markers), so a
+    // manifest write failure is not a truncation failure.
+    (void)write_manifest(new_first);
+    first_seq_.store(new_first);
+  }
+}
+
+void FileWal::replay(uint32_t g, const std::function<void(BytesView)>& fn) {
+  // Pass 1: locate the group's newest durable marker (segment + ordinal
+  // within the segment's valid prefix). Streams files only — no shared
+  // mutable state, so replay is safe alongside the flusher as long as the
+  // caller is not appending to this group concurrently (the usual recovery
+  // contract).
   uint64_t first = first_seq_.load();
   uint64_t last = active_seq_.load();
+  bool found = false;
+  uint64_t mseg = 0, mord = 0;
   for (uint64_t s = first; s <= last; ++s) {
+    uint64_t ord = 0;
     bool clean = false;
-    stream_segment(seg_file(path_, s), &fn, &clean);
+    std::function<void(BytesView)> index = [&](BytesView payload) {
+      if (payload.size() >= 4) {
+        uint32_t gk = payload_gk(payload);
+        if ((gk & kGkMarkerBit) != 0 && (gk >> 1) == g) {
+          found = true;
+          mseg = s;
+          mord = ord;
+        }
+      }
+      ++ord;
+    };
+    stream_segment(seg_file(path_, s), &index, &clean);
+    if (!clean) {  // everything after a torn/corrupt frame is unreachable
+      last = s;
+      break;
+    }
+  }
+
+  // Pass 2: emit the marker's embedded head, then the group's data records
+  // after it (or the whole history when the group never truncated).
+  bool stop = false;
+  for (uint64_t s = found ? mseg : first; s <= last && !stop; ++s) {
+    uint64_t ord = 0;
+    bool clean = false;
+    std::function<void(BytesView)> emit = [&](BytesView payload) {
+      uint64_t my = ord++;
+      if (stop || payload.size() < 4) return;
+      uint32_t gk = payload_gk(payload);
+      if ((gk >> 1) != g) return;
+      if (found && s == mseg && my < mord) return;  // superseded by the marker
+      if ((gk & kGkMarkerBit) != 0) {
+        if (!found || s != mseg || my != mord) return;  // stale duplicate marker
+        Reader r(BytesView(payload.data() + 4, payload.size() - 4));
+        uint32_t count = 0;
+        if (!r.u32(count).is_ok()) {
+          stop = true;  // malformed marker: treat like a corrupt frame
+          return;
+        }
+        for (uint32_t i = 0; i < count && !stop; ++i) {
+          uint32_t len = 0;
+          BytesView rec;
+          if (!r.u32(len).is_ok() || !r.view(len, rec).is_ok()) {
+            stop = true;
+            return;
+          }
+          fn(rec);
+        }
+      } else {
+        fn(BytesView(payload.data() + 4, payload.size() - 4));
+      }
+    };
+    stream_segment(seg_file(path_, s), &emit, &clean);
     if (!clean) break;
   }
 }

@@ -1,25 +1,31 @@
-// Real file-backed WAL: CRC-framed records, group commit on a flusher
-// thread, segment rotation, unlink-based prefix truncation.
+// Real file-backed WAL: CRC-framed group-tagged records, group commit on a
+// flusher thread, segment rotation, marker-based per-group prefix truncation.
 //
-// Record frame: u32 length | u32 crc32c(payload) | payload. Each group-commit
-// batch lands as one vectored write (writev over all framed records, chunked
-// at IOV_MAX) followed by one fdatasync.
+// Record frame: u32 length | u32 crc32c(payload) | payload, where the payload
+// begins with a u32 group key `gk` = group << 1 | is_marker. One log serves
+// every Paxos group on a machine: a group-commit batch mixes records from all
+// groups into one vectored write + one fdatasync, amortizing the flush across
+// shards exactly like §7 amortizes it across clients within a group.
 //
 // On-disk layout: the log is a sequence of segments. Segment 0 is the bare
 // `path` (so pre-segmentation logs open unchanged); segment k > 0 is
 // `path.<%08u k>.seg`. Appends go to the highest segment, which rolls over
 // once it exceeds `segment_bytes` (at a batch boundary, so frames never span
-// segments). `path.manifest` records the first live segment and is only
-// written by truncate_prefix — absent manifest means "start at the lowest
-// segment present".
+// segments).
 //
-// truncate_prefix seals the log up to now: the caller's replacement head is
-// written into a fresh segment and fsynced, the manifest is atomically
-// pointed at it (tmp + fsync + rename + dir fsync — the commit point), and
-// every older segment is unlinked. A crash between head write and manifest
-// commit leaves the old segments authoritative plus a harmless duplicate
-// head; a crash after the commit leaves stale pre-manifest segments that
-// open() deletes.
+// truncate_prefix(g) is *logical* per group: a marker record for g — whose
+// payload embeds the caller's replacement head — is written into a fresh
+// segment and fdatasync'd; that durable marker is the commit point. Replay(g)
+// starts at g's newest marker (emitting its embedded head) and continues with
+// g's records after it. A crash mid-marker leaves a torn tail, which open()
+// trims — the old prefix simply stays authoritative. Physical reclamation is
+// decoupled from the logical truncation: a sealed segment is unlinked once
+// every group with records in it has its newest marker in a later segment, so
+// one group's snapshot cadence never blocks another group's compaction — at
+// worst a lagging group keeps shared segments pinned. Unlinked segments may
+// leave holes in the sequence; replay treats a missing segment as empty.
+// `path.manifest` persists the first live segment as an advisory cleanup
+// hint (segments below it are deleted at open).
 //
 // Open scans the active segment and ftruncates a torn/corrupt tail down to
 // the longest valid frame prefix, so a log that crashed mid-append keeps
@@ -30,8 +36,10 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -40,24 +48,36 @@
 
 namespace rspaxos::storage {
 
-class FileWal final : public Wal {
+class FileWal final : public Wal, public MuxWal {
  public:
   static constexpr size_t kDefaultSegmentBytes = 64u << 20;
 
   /// Opens (creating if needed) the log at `path`. `group_commit_window_us`
   /// bounds how long an append may wait to share a flush with later appends;
-  /// `segment_bytes` is the rotation threshold.
+  /// `segment_bytes` is the rotation threshold; `num_groups` sizes the
+  /// per-group facades (records for groups outside the range still replay
+  /// and pin segments, so reopening with a different count is safe).
   static StatusOr<std::unique_ptr<FileWal>> open(
       const std::string& path, int64_t group_commit_window_us = 200,
-      size_t segment_bytes = kDefaultSegmentBytes);
+      size_t segment_bytes = kDefaultSegmentBytes, uint32_t num_groups = 1);
   ~FileWal() override;
 
+  // Wal interface: the log viewed as group 0 (the historical single-group
+  // callers), with whole-file counters.
   void append(Bytes record, DurableFn cb) override;
   void truncate_prefix(std::vector<Bytes> head, TruncateFn cb) override;
   void replay(const std::function<void(BytesView)>& fn) override;
   uint64_t bytes_flushed() const override { return bytes_flushed_.load(); }
   uint64_t flush_ops() const override { return flush_ops_.load(); }
   uint64_t truncated_bytes() const override { return truncated_bytes_.load(); }
+
+  // MuxWal interface.
+  uint32_t num_groups() const override { return num_groups_; }
+  void append(uint32_t g, Bytes record, DurableFn cb) override;
+  void truncate_prefix(uint32_t g, std::vector<Bytes> head, TruncateFn cb) override;
+  void replay(uint32_t g, const std::function<void(BytesView)>& fn) override;
+  uint64_t group_bytes_flushed(uint32_t g) const override;
+  uint64_t group_truncated_bytes(uint32_t g) const override;
 
   // Diagnostics / test hooks.
   uint64_t first_segment() const { return first_seq_.load(); }
@@ -66,6 +86,7 @@ class FileWal final : public Wal {
 
  private:
   struct Pending {
+    uint32_t group = 0;
     Bytes framed;   // empty for truncate markers
     DurableFn cb;
     bool truncate = false;
@@ -73,11 +94,22 @@ class FileWal final : public Wal {
     TruncateFn tcb;
   };
 
-  FileWal(std::string path, int64_t window_us, size_t segment_bytes, uint64_t first_seq,
-          uint64_t active_seq, int active_fd, size_t active_size);
+  /// Flusher-thread-private liveness state rebuilt by open()'s scan.
+  struct ScanState {
+    std::map<uint64_t, std::set<uint32_t>> seg_groups;  // groups present per segment
+    std::map<uint32_t, uint64_t> marker_seg;            // newest marker segment per group
+    std::map<uint32_t, uint64_t> live_bytes;            // framed live bytes per group
+  };
+
+  FileWal(std::string path, int64_t window_us, size_t segment_bytes, uint32_t num_groups,
+          uint64_t first_seq, uint64_t active_seq, int active_fd, size_t active_size,
+          ScanState scan);
   void flusher_loop();
   void flush_batch(std::deque<Pending> batch);
   void do_truncate(Pending t);
+  /// Unlinks sealed segments no group still needs, advances first_seq_ and
+  /// rewrites the manifest hint when it moved. Flusher thread (or open).
+  void reclaim_segments();
   /// Creates segment `seq` (O_TRUNC) and fsyncs the directory so the entry
   /// survives a crash; returns the fd or -1.
   int create_segment(uint64_t seq);
@@ -86,12 +118,14 @@ class FileWal final : public Wal {
   std::string path_;
   int64_t window_us_;
   size_t segment_bytes_;
+  uint32_t num_groups_;
 
   // Flusher-thread private (atomics where other threads read diagnostics).
   int fd_;
   std::atomic<uint64_t> first_seq_;
   std::atomic<uint64_t> active_seq_;
   size_t active_size_;
+  ScanState live_;
 
   std::mutex mu_;
   std::condition_variable cv_;
@@ -101,6 +135,11 @@ class FileWal final : public Wal {
   std::atomic<uint64_t> bytes_flushed_{0};
   std::atomic<uint64_t> flush_ops_{0};
   std::atomic<uint64_t> truncated_bytes_{0};
+  struct GroupCounters {
+    std::atomic<uint64_t> flushed{0};
+    std::atomic<uint64_t> truncated{0};
+  };
+  std::vector<std::unique_ptr<GroupCounters>> group_counters_;  // size num_groups_
   std::thread flusher_;
 };
 

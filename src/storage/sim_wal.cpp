@@ -38,13 +38,20 @@ struct SimWalMetrics {
 
 }  // namespace
 
-void SimWal::append(Bytes record, DurableFn cb) {
-  staged_.push_back(Pending{std::move(record), std::move(cb)});
+void SimWal::append(uint32_t g, Bytes record, DurableFn cb) {
+  if (g >= groups_.size()) groups_.resize(g + 1);
+  Pending p;
+  p.group = g;
+  p.record = std::move(record);
+  p.cb = std::move(cb);
+  staged_.push_back(std::move(p));
   maybe_flush();
 }
 
-void SimWal::truncate_prefix(std::vector<Bytes> head, TruncateFn cb) {
+void SimWal::truncate_prefix(uint32_t g, std::vector<Bytes> head, TruncateFn cb) {
+  if (g >= groups_.size()) groups_.resize(g + 1);
   Pending p;
+  p.group = g;
   p.truncate = true;
   p.head = std::move(head);
   p.tcb = std::move(cb);
@@ -56,8 +63,10 @@ void SimWal::maybe_flush() {
   if (flush_in_flight_ || staged_.empty()) return;
   if (staged_.front().truncate) {
     // The replacement head goes down as one device write; on completion the
-    // old durable log is atomically replaced (the manifest-rename commit
-    // point of FileWal collapses to this single event in sim time).
+    // group's old durable log is atomically replaced (the marker-fdatasync
+    // commit point of FileWal collapses to this single event in sim time).
+    // Only the truncating group's records are reclaimed — the other groups'
+    // durable logs are untouched, like FileWal's per-group markers.
     size_t nbytes = 0;
     for (const Bytes& r : staged_.front().head) nbytes += r.size();
     flush_in_flight_ = true;
@@ -66,12 +75,15 @@ void SimWal::maybe_flush() {
       if (epoch != wipe_epoch_) return;  // crashed mid-truncate: old log stands
       Pending t = std::move(staged_.front());
       staged_.pop_front();
+      GroupState& gs = groups_[t.group];
       uint64_t reclaimed = 0;
-      for (const Bytes& r : durable_) reclaimed += r.size();
+      for (const Bytes& r : gs.durable) reclaimed += r.size();
       truncated_ += reclaimed;
-      durable_.clear();
-      if (retain_) durable_ = std::move(t.head);
+      gs.truncated += reclaimed;
+      gs.durable.clear();
+      if (retain_) gs.durable = std::move(t.head);
       bytes_flushed_ += nbytes;
+      gs.bytes_flushed += nbytes;
       SimWalMetrics& wm = SimWalMetrics::get();
       wm.bytes_durable->inc(nbytes);
       wm.flushes->inc();
@@ -84,8 +96,8 @@ void SimWal::maybe_flush() {
     return;
   }
   // Take everything staged up to the next truncation barrier as one batch:
-  // group commit (or a single record when batching is disabled for the §7
-  // ablation).
+  // group commit — across every group sharing this device — or a single
+  // record when batching is disabled for the §7 ablation.
   size_t limit = staged_.size();
   for (size_t i = 0; i < staged_.size(); ++i) {
     if (staged_[i].truncate) {
@@ -110,8 +122,11 @@ void SimWal::maybe_flush() {
     std::vector<DurableFn> cbs;
     cbs.reserve(batch);
     for (size_t i = 0; i < batch; ++i) {
-      if (retain_) durable_.push_back(std::move(staged_.front().record));
-      cbs.push_back(std::move(staged_.front().cb));
+      Pending& p = staged_.front();
+      GroupState& gs = groups_[p.group];
+      gs.bytes_flushed += p.record.size();
+      if (retain_) gs.durable.push_back(std::move(p.record));
+      cbs.push_back(std::move(p.cb));
       staged_.pop_front();
     }
     flush_in_flight_ = false;
@@ -122,8 +137,9 @@ void SimWal::maybe_flush() {
   });
 }
 
-void SimWal::replay(const std::function<void(BytesView)>& fn) {
-  for (const Bytes& r : durable_) fn(r);
+void SimWal::replay(uint32_t g, const std::function<void(BytesView)>& fn) {
+  if (g >= groups_.size()) return;
+  for (const Bytes& r : groups_[g].durable) fn(r);
 }
 
 void SimWal::drop_unflushed() {

@@ -1,9 +1,12 @@
-// WAL backed by a simulated disk, with group commit.
+// WAL backed by a simulated disk, with group commit across Paxos groups.
 //
 // Appends are staged; a flush is issued either immediately (if the device is
 // idle) or when the in-flight flush completes, so all appends that arrive
 // while the device is busy share the next flush — the batching behaviour the
-// paper relies on for small-write throughput (§6.2.2, §7).
+// paper relies on for small-write throughput (§6.2.2, §7). One SimWal models
+// one machine's log device: appends from every group on the machine share the
+// staged queue and its flushes, mirroring FileWal's shared-segment layout,
+// while the durable record store and truncation stay per-group.
 #pragma once
 
 #include <deque>
@@ -13,36 +16,60 @@
 
 namespace rspaxos::storage {
 
-class SimWal final : public Wal {
+class SimWal final : public Wal, public MuxWal {
  public:
   /// With retain_for_replay = false, durable records are accounted but not
   /// kept in memory (replay returns nothing). Benchmarks that never restart
   /// nodes use this to bound host memory on multi-GB runs.
-  explicit SimWal(sim::SimDisk* disk, bool retain_for_replay = true)
-      : disk_(disk), retain_(retain_for_replay) {}
+  explicit SimWal(sim::SimDisk* disk, bool retain_for_replay = true,
+                  uint32_t num_groups = 1)
+      : disk_(disk), retain_(retain_for_replay), groups_(num_groups) {}
 
   /// Disables group commit: every append becomes its own device flush (the
   /// §7 IO-batching ablation). Default on.
   void set_group_commit(bool enabled) { group_commit_ = enabled; }
 
-  void append(Bytes record, DurableFn cb) override;
-  void truncate_prefix(std::vector<Bytes> head, TruncateFn cb) override;
-  void replay(const std::function<void(BytesView)>& fn) override;
+  // Wal interface: the log viewed as group 0 (historical single-group
+  // callers), with whole-device counters.
+  void append(Bytes record, DurableFn cb) override { append(0, std::move(record), std::move(cb)); }
+  void truncate_prefix(std::vector<Bytes> head, TruncateFn cb) override {
+    truncate_prefix(0, std::move(head), std::move(cb));
+  }
+  void replay(const std::function<void(BytesView)>& fn) override { replay(0, fn); }
   uint64_t bytes_flushed() const override { return bytes_flushed_; }
   uint64_t flush_ops() const override { return flush_ops_; }
   uint64_t truncated_bytes() const override { return truncated_; }
+
+  // MuxWal interface.
+  uint32_t num_groups() const override { return static_cast<uint32_t>(groups_.size()); }
+  void append(uint32_t g, Bytes record, DurableFn cb) override;
+  void truncate_prefix(uint32_t g, std::vector<Bytes> head, TruncateFn cb) override;
+  void replay(uint32_t g, const std::function<void(BytesView)>& fn) override;
+  uint64_t group_bytes_flushed(uint32_t g) const override {
+    return g < groups_.size() ? groups_[g].bytes_flushed : 0;
+  }
+  uint64_t group_truncated_bytes(uint32_t g) const override {
+    return g < groups_.size() ? groups_[g].truncated : 0;
+  }
 
   /// Simulated crash helper: records whose flush had not completed are lost,
   /// mirroring a real power failure. (Durable records always survive.)
   void drop_unflushed();
 
  private:
+  struct GroupState {
+    std::vector<Bytes> durable;
+    uint64_t bytes_flushed = 0;
+    uint64_t truncated = 0;
+  };
+
   void maybe_flush();
 
   sim::SimDisk* disk_;
   bool retain_;
   bool group_commit_ = true;
   struct Pending {
+    uint32_t group = 0;
     Bytes record;
     DurableFn cb;
     // Truncation marker: acts as a flush barrier in the staged queue.
@@ -53,7 +80,7 @@ class SimWal final : public Wal {
   std::deque<Pending> staged_;
   bool flush_in_flight_ = false;
   uint64_t wipe_epoch_ = 0;  // invalidates in-flight flushes on crash
-  std::vector<Bytes> durable_;
+  std::vector<GroupState> groups_;
   uint64_t bytes_flushed_ = 0;
   uint64_t flush_ops_ = 0;
   uint64_t truncated_ = 0;

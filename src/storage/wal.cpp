@@ -2,6 +2,13 @@
 
 namespace rspaxos::storage {
 
+Wal* MuxWal::group(uint32_t g) {
+  if (g >= num_groups()) return nullptr;
+  if (views_.size() < num_groups()) views_.resize(num_groups());
+  if (!views_[g]) views_[g] = std::make_unique<GroupWalView>(this, g);
+  return views_[g].get();
+}
+
 void MemWal::append(Bytes record, DurableFn cb) {
   bytes_ += record.size();
   records_.push_back(std::move(record));

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "util/bytes.h"
@@ -47,6 +48,61 @@ class Wal {
   virtual uint64_t flush_ops() const = 0;
   /// Durable bytes reclaimed by truncate_prefix over this WAL's lifetime.
   virtual uint64_t truncated_bytes() const = 0;
+};
+
+/// A durable log multiplexed across several Paxos groups: one device flush
+/// stream serves every group's appends (group commit batches fsyncs *across*
+/// shards), while truncation and replay stay per-group. `group(g)` returns a
+/// Wal facade scoped to one group, so consumers written against Wal (Replica,
+/// KvServer) run unchanged over a shared log.
+///
+/// group() lazily builds the facades and is setup-phase only (not
+/// thread-safe); the returned pointers are stable for the MuxWal's lifetime.
+class MuxWal {
+ public:
+  virtual ~MuxWal() = default;
+
+  virtual uint32_t num_groups() const = 0;
+
+  /// Per-group Wal facade (nullptr when g >= num_groups()).
+  Wal* group(uint32_t g);
+
+  // Group-scoped primitives the facades delegate to.
+  virtual void append(uint32_t g, Bytes record, Wal::DurableFn cb) = 0;
+  virtual void truncate_prefix(uint32_t g, std::vector<Bytes> head,
+                               Wal::TruncateFn cb) = 0;
+  virtual void replay(uint32_t g, const std::function<void(BytesView)>& fn) = 0;
+  virtual uint64_t group_bytes_flushed(uint32_t g) const = 0;
+  virtual uint64_t group_truncated_bytes(uint32_t g) const = 0;
+  /// Device flushes are shared across groups, so the facades all report the
+  /// whole log's flush count.
+  virtual uint64_t flush_ops() const = 0;
+
+ private:
+  std::vector<std::unique_ptr<Wal>> views_;
+};
+
+/// Wal facade over one group of a MuxWal (what MuxWal::group returns).
+class GroupWalView final : public Wal {
+ public:
+  GroupWalView(MuxWal* mux, uint32_t g) : mux_(mux), g_(g) {}
+
+  void append(Bytes record, DurableFn cb) override {
+    mux_->append(g_, std::move(record), std::move(cb));
+  }
+  void truncate_prefix(std::vector<Bytes> head, TruncateFn cb) override {
+    mux_->truncate_prefix(g_, std::move(head), std::move(cb));
+  }
+  void replay(const std::function<void(BytesView)>& fn) override {
+    mux_->replay(g_, fn);
+  }
+  uint64_t bytes_flushed() const override { return mux_->group_bytes_flushed(g_); }
+  uint64_t flush_ops() const override { return mux_->flush_ops(); }
+  uint64_t truncated_bytes() const override { return mux_->group_truncated_bytes(g_); }
+
+ private:
+  MuxWal* mux_;
+  uint32_t g_;
 };
 
 /// Instant in-memory WAL for protocol unit tests: records are "durable"

@@ -3,6 +3,8 @@
 // recovery reads, and storage-cost accounting.
 #include <gtest/gtest.h>
 
+#include <array>
+
 #include "kv/cluster.h"
 
 namespace rspaxos::kv {
@@ -203,6 +205,103 @@ TEST(Kv, DeterministicShardMapping) {
   size_t hits[4] = {0, 0, 0, 0};
   for (int i = 0; i < 1000; ++i) hits[shard_of("k" + std::to_string(i), 4)]++;
   for (size_t h : hits) EXPECT_GT(h, 100u);  // roughly uniform
+}
+
+// Golden vectors pinning the kShardHashVersion == 2 contract (FNV-1a 64 +
+// fmix64 + Lemire reduction). Any change to these outputs reshards every
+// key in a deployed cluster — see the contract comment in kv/client.h. The
+// vectors cover the empty key, 1-byte, multi-byte, common prefixes, and
+// power-of-two / prime / large shard counts.
+TEST(Kv, ShardHashGoldenVectors) {
+  ASSERT_EQ(kShardHashVersion, 2u) << "bumping the contract requires new vectors";
+  struct Vector {
+    const char* key;
+    size_t num_shards;
+    size_t shard;
+  };
+  constexpr Vector kVectors[] = {
+      {"", 1, 0},           {"", 4, 3},           {"", 7, 6},
+      {"", 16, 14},         {"", 4096, 3837},     {"a", 4, 2},
+      {"a", 7, 3},          {"a", 16, 8},         {"a", 4096, 2090},
+      {"abc", 4, 0},        {"abc", 7, 1},        {"abc", 16, 3},
+      {"abc", 4096, 830},   {"key/0", 4, 3},      {"key/0", 7, 6},
+      {"key/0", 16, 15},    {"key/0", 4096, 3856}, {"key/1", 4, 1},
+      {"key/1", 7, 2},      {"key/1", 16, 6},     {"key/1", 4096, 1701},
+      {"user/42", 4, 2},    {"user/42", 7, 4},    {"user/42", 16, 10},
+      {"user/42", 4096, 2741}, {"the-quick-brown-fox", 4, 0},
+      {"the-quick-brown-fox", 7, 0}, {"the-quick-brown-fox", 16, 0},
+      {"the-quick-brown-fox", 4096, 221},
+  };
+  for (const auto& v : kVectors) {
+    EXPECT_EQ(shard_of(v.key, v.num_shards), v.shard)
+        << "key=\"" << v.key << "\" shards=" << v.num_shards;
+  }
+  // Every shard must be reachable (the v1 modulo never violated this, but
+  // the reduction rewrite could have).
+  for (size_t n : {2u, 3u, 5u, 8u}) {
+    std::vector<bool> seen(n, false);
+    for (int i = 0; i < 4096; ++i) seen[shard_of("probe" + std::to_string(i), n)] = true;
+    for (size_t s = 0; s < n; ++s) EXPECT_TRUE(seen[s]) << n << "/" << s;
+  }
+}
+
+// Failover on one shard must only disturb that shard's cached leader: the
+// client keeps sending other shards' traffic to their unchanged leaders
+// (§4.4's per-shard leader cache). spread_leaders puts each group's leader
+// on a different machine, so killing shard 0's machine leaves the other
+// shards' leaders alive.
+TEST(Kv, LeaderCacheIsPerShardAcrossFailover) {
+  SimClusterOptions opts;
+  opts.num_groups = 4;
+  opts.spread_leaders = true;
+  KvFixture f(opts);
+  // Touch every group once so the cache is warm for all shards.
+  std::vector<std::string> shard_key(4);
+  int covered = 0;
+  for (int i = 0; covered < 4 && i < 4096; ++i) {
+    std::string key = "warm/" + std::to_string(i);
+    size_t g = shard_of(key, 4);
+    if (!shard_key[g].empty()) continue;
+    shard_key[g] = key;
+    covered++;
+    ASSERT_TRUE(f.put(key, to_bytes("v")).is_ok());
+  }
+  ASSERT_EQ(covered, 4);
+  std::array<NodeId, 4> before{};
+  for (size_t g = 0; g < 4; ++g) {
+    before[g] = f.client->cached_leader(g);
+    ASSERT_NE(before[g], kNoNode) << "shard " << g << " cache not warm";
+  }
+
+  int victim_server = f.cluster.leader_server_of(0);
+  ASSERT_GE(victim_server, 0);
+  // The point of the test: at least one other shard's leader lives elsewhere.
+  int spread = 0;
+  for (size_t g = 1; g < 4; ++g) {
+    if (server_of_endpoint(before[g]) != victim_server) spread++;
+  }
+  ASSERT_GT(spread, 0) << "leaders all co-located; spread_leaders broken";
+
+  f.cluster.crash_server(victim_server);
+  f.run_until([&] {
+    int l = f.cluster.leader_server_of(0);
+    return l >= 0 && l != victim_server;
+  });
+
+  // Write to shard 0: its cache entry must move off the dead server.
+  ASSERT_TRUE(f.put(shard_key[0], to_bytes("v2")).is_ok());
+  EXPECT_NE(f.client->cached_leader(0), before[0]);
+  EXPECT_EQ(server_of_endpoint(f.client->cached_leader(0)),
+            f.cluster.leader_server_of(0));
+
+  // Shards whose leader stayed on a live machine keep their entry untouched,
+  // and a fresh write to them sticks with the cached leader (no redirects).
+  for (size_t g = 1; g < 4; ++g) {
+    if (server_of_endpoint(before[g]) == victim_server) continue;  // co-located
+    EXPECT_EQ(f.client->cached_leader(g), before[g]) << "shard " << g;
+    ASSERT_TRUE(f.put(shard_key[g], to_bytes("v3")).is_ok());
+    EXPECT_EQ(f.client->cached_leader(g), before[g]) << "shard " << g;
+  }
 }
 
 TEST(Kv, FailoverServesOldDataViaRecoveryRead) {

@@ -178,10 +178,10 @@ TEST_F(FileWalTest, CorruptRecordStopsReplay) {
   {
     FILE* f = std::fopen(path_.string().c_str(), "rb+");
     ASSERT_NE(f, nullptr);
-    // frame1 = 8 + 5; corrupt one payload byte of frame 2.
-    std::fseek(f, 13 + 8 + 2, SEEK_SET);
+    // frame1 = 8 + 4 (group key) + 5; corrupt one payload byte of frame 2.
+    std::fseek(f, 17 + 8 + 2, SEEK_SET);
     int c = std::fgetc(f);
-    std::fseek(f, 13 + 8 + 2, SEEK_SET);
+    std::fseek(f, 17 + 8 + 2, SEEK_SET);
     std::fputc(c ^ 0xff, f);
     std::fclose(f);
   }
@@ -356,15 +356,16 @@ TEST_F(FileWalTest, TornTailRepairAtEveryByteOffset) {
     }
     done.get_future().wait();
   }
-  // Byte image of the intact log; each frame is 8 bytes of header + payload.
+  // Byte image of the intact log; each frame is 8 bytes of header + 4 bytes
+  // of group key + payload.
   std::vector<uint8_t> image;
   {
     std::ifstream in(path_.string(), std::ios::binary);
     image.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
   }
   size_t prefix = 0;
-  for (size_t i = 0; i + 1 < recs.size(); ++i) prefix += 8 + recs[i].size();
-  ASSERT_EQ(image.size(), prefix + 8 + recs.back().size());
+  for (size_t i = 0; i + 1 < recs.size(); ++i) prefix += 12 + recs[i].size();
+  ASSERT_EQ(image.size(), prefix + 12 + recs.back().size());
 
   for (size_t cut = prefix; cut < image.size(); ++cut) {
     SCOPED_TRACE("cut=" + std::to_string(cut));

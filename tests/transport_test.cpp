@@ -332,7 +332,7 @@ TEST_F(TcpTest, CorruptFrameDroppedConnectionSurvives) {
     Bytes out(kFrameHeaderBytes + payload.size());
     uint32_t crc = crc32c(payload) ^ (corrupt ? 0xdeadbeef : 0);
     encode_frame_header(out.data(), static_cast<uint32_t>(payload.size()), crc, 42,
-                        MsgType::kTestPing);
+                        /*to=*/2, MsgType::kTestPing);
     std::memcpy(out.data() + kFrameHeaderBytes, payload.data(), payload.size());
     return out;
   };
@@ -371,11 +371,11 @@ TEST_F(TcpTest, OversizedFrameClosesConnectionTransportSurvives) {
   Bytes payload = to_bytes("before-bomb");
   Bytes wire(kFrameHeaderBytes + payload.size() + kFrameHeaderBytes);
   encode_frame_header(wire.data(), static_cast<uint32_t>(payload.size()),
-                      crc32c(payload), 42, MsgType::kTestPing);
+                      crc32c(payload), 42, /*to=*/2, MsgType::kTestPing);
   std::memcpy(wire.data() + kFrameHeaderBytes, payload.data(), payload.size());
   // Header claiming a 1 GiB payload, far over kMaxFrameBytes.
   encode_frame_header(wire.data() + kFrameHeaderBytes + payload.size(), 1u << 30,
-                      0, 42, MsgType::kTestPing);
+                      0, 42, /*to=*/2, MsgType::kTestPing);
   ASSERT_EQ(::write(fd, wire.data(), wire.size()), static_cast<ssize_t>(wire.size()));
 
   ASSERT_TRUE(rx.wait_for(1));
