@@ -5,8 +5,19 @@
 // (kv::shard_of), so the shards commit independently while sharing each
 // machine's group-commit stream.
 //
-// Build & run:   ./build/examples/tcp_cluster
+// Every machine also exposes its live introspection plane — an admin HTTP
+// endpoint on 127.0.0.1 serving GET /metrics (Prometheus), /status (per-group
+// consensus state as JSON), /healthz (event-loop / fsync watchdog) and
+// /traces/recent (span trees of recent commits). Pass a number of seconds to
+// keep the cluster alive after the demo workload so you can poke it:
+//
+//   ./build/examples/tcp_cluster 60 &
+//   curl localhost:<admin_port>/status     # ports are printed at startup
+//
+// Build & run:   ./build/examples/tcp_cluster [serve_seconds]
 #include <unistd.h>
+
+#include <cstdlib>
 
 #include <atomic>
 #include <chrono>
@@ -19,9 +30,10 @@
 
 using namespace rspaxos;
 
-int main() {
+int main(int argc, char** argv) {
   constexpr int kServers = 5;
   constexpr uint32_t kGroups = 4;
+  const int serve_seconds = argc > 1 ? std::atoi(argv[1]) : 0;
 
   auto dir = std::filesystem::temp_directory_path() /
              ("rspaxos_tcp_demo_" + std::to_string(::getpid()));
@@ -35,6 +47,7 @@ int main() {
   opts.replica.election_timeout_min = 300 * kMillis;
   opts.replica.election_timeout_max = 600 * kMillis;
   opts.replica.lease_duration = 250 * kMillis;
+  opts.admin = true;  // per-server introspection endpoints (ephemeral ports)
 
   auto started = node::TcpCluster::start(opts);
   if (!started.is_ok()) {
@@ -45,6 +58,11 @@ int main() {
   std::printf("%d servers x %u groups: one port, one I/O thread, one WAL and one\n"
               "snapshot root per server; every group replicated on all servers\n",
               kServers, kGroups);
+  for (int s = 0; s < kServers; ++s) {
+    std::printf("  server %d admin: curl http://127.0.0.1:%u/status   "
+                "(also /metrics, /healthz, /traces/recent)\n",
+                s, cluster->admin_port(s));
+  }
 
   // Wait until every shard elected a leader (spread_leaders places group g's
   // initial leader on server g % kServers).
@@ -125,6 +143,12 @@ int main() {
               "share each machine's group-commit window)\n",
               kServers, static_cast<unsigned long long>(flushed),
               static_cast<unsigned long long>(flushes), kGroups);
+
+  if (serve_seconds > 0) {
+    std::printf("serving admin endpoints for %ds — try the curl lines above\n",
+                serve_seconds);
+    std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
+  }
 
   cluster.reset();  // detaches handlers, joins I/O threads
   std::filesystem::remove_all(dir);

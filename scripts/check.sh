@@ -4,6 +4,8 @@
 #   scripts/check.sh            # tier-1 (default preset, all tests)
 #   scripts/check.sh --fast     # tier-1 minus the `slow`-labeled socket suites
 #   scripts/check.sh --san      # tier-1 + asan/tsan/ubsan preset suites
+#   scripts/check.sh --obs      # observability loop only: metrics/trace/admin
+#                               # suites + a live curl-style scrape smoke test
 #
 # The sanitizer presets build into their own trees (build-asan/ build-tsan/
 # build-ubsan/) and run curated subsets: ASan+UBSan runs everything, TSan
@@ -16,11 +18,13 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 FAST=0
 SAN=0
+OBS=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
     --san) SAN=1 ;;
-    *) echo "usage: $0 [--fast] [--san]" >&2; exit 2 ;;
+    --obs) OBS=1 ;;
+    *) echo "usage: $0 [--fast] [--san] [--obs]" >&2; exit 2 ;;
   esac
 done
 
@@ -32,6 +36,15 @@ run_preset() {
   echo "=== [$preset] ctest $* ==="
   ctest --preset "$preset" -j "$JOBS" "$@"
 }
+
+if [[ "$OBS" == 1 ]]; then
+  # Narrow observability loop: histogram/exporter/tracer units plus the
+  # real-socket admin scrape suite (admin_http_test boots a live TcpCluster
+  # and scrapes /metrics, /status and /healthz exactly like curl would).
+  run_preset default -R 'histogram_test|obs_test|trace_test|admin_http_test'
+  echo "check.sh: observability suites passed"
+  exit 0
+fi
 
 if [[ "$FAST" == 1 ]]; then
   # Narrow loop: skip the real-socket suites (labeled `slow`).

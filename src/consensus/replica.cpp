@@ -356,8 +356,15 @@ void Replica::propose_internal(Slot slot, EntryKind kind, ValueId vid, Bytes hea
 
   obs::Tracer& tracer = obs::Tracer::global();
   TimeMicros proposed_at = ctx_->now();
-  obs::TraceId trace = tracer.enabled() ? tracer.mint(ctx_->id()) : obs::kNoTrace;
-  tracer.begin(trace, slot, ctx_->id(), static_cast<int64_t>(proposed_at));
+  // The commit span adopts the caller's ambient trace (a client RPC that
+  // arrived with frame-header context) or roots a fresh one.
+  obs::SpanContext parent = obs::current_span();
+  obs::SpanContext commit_span =
+      parent.valid() ? tracer.start_span(parent, "commit", ctx_->id(),
+                                         static_cast<int64_t>(proposed_at))
+                     : tracer.begin_trace("commit", ctx_->id(),
+                                          static_cast<int64_t>(proposed_at));
+  tracer.set_slot(commit_span.trace_id, slot);
 
   const ec::RsCode& code = codec();
   const int n = cfg_.n();
@@ -371,7 +378,7 @@ void Replica::propose_internal(Slot slot, EntryKind kind, ValueId vid, Bytes hea
   p.value_len = payload.size();
   p.cb = std::move(cb);
   p.last_sent = proposed_at;
-  p.trace = trace;
+  p.commit_span = commit_span;
 
   // The leader is also an acceptor: record and persist its own share, cache
   // the full value for serving reads and catch-up (§1: "the leader caches
@@ -399,8 +406,10 @@ void Replica::propose_internal(Slot slot, EntryKind kind, ValueId vid, Bytes hea
   meta.slot = slot;
   meta.share = e.share;  // data still empty; per-member share_idx set below
   meta.commit_index = commit_index_;
-  meta.trace_id = trace;
+  meta.trace_id = commit_span.trace_id;
   e.share.data.resize(ss);
+  obs::SpanContext encode_span = tracer.start_span(
+      commit_span, "ec_encode", ctx_->id(), static_cast<int64_t>(ctx_->now()));
   p.frames.assign(static_cast<size_t>(n), Bytes{});
   std::vector<uint8_t*> dsts(static_cast<size_t>(n), nullptr);
   for (int idx = 0; idx < n; ++idx) {
@@ -415,21 +424,38 @@ void Replica::propose_internal(Slot slot, EntryKind kind, ValueId vid, Bytes hea
     dsts[static_cast<size_t>(idx)] = p.frames[static_cast<size_t>(idx)].data() + gap;
   }
   code.encode_into(payload, dsts.data());
-  tracer.event(trace, "encode", ctx_->id(), static_cast<int64_t>(ctx_->now()));
+  tracer.end_span(encode_span, static_cast<int64_t>(ctx_->now()));
   e.full_payload = std::move(payload);
-  inflight_[slot] = Inflight{trace, proposed_at, 0};
 
   auto [it, inserted] = pending_.emplace(slot, std::move(p));
   assert(inserted);
   PendingProposal& pp = it->second;
+  pp.net_spans.assign(static_cast<size_t>(n), obs::SpanContext{});
 
   // Send coded accepts to followers immediately; count ourselves only after
-  // our own share is durable (same rule as every acceptor).
+  // our own share is durable (same rule as every acceptor). Each follower
+  // gets its own "net_accept" span, opened here and closed by the receiving
+  // acceptor (the global tracer spans the whole process).
   for (NodeId m : cfg_.members) {
-    if (m != ctx_->id()) send_accept_to(m, pp);
+    if (m == ctx_->id()) continue;
+    int midx = cfg_.index_of(m);
+    if (midx >= 0 && static_cast<size_t>(midx) < pp.net_spans.size()) {
+      pp.net_spans[static_cast<size_t>(midx)] =
+          tracer.start_span(commit_span, "net_accept:" + std::to_string(m), ctx_->id(),
+                            static_cast<int64_t>(ctx_->now()));
+    }
+    send_accept_to(m, pp);
   }
-  tracer.event(trace, "accept_sent", ctx_->id(), static_cast<int64_t>(ctx_->now()));
-  persist_slot(slot, [this, slot, ballot = ballot_] {
+  Inflight inf;
+  inf.commit_span = commit_span;
+  inf.proposed_at = proposed_at;
+  inf.quorum_span = tracer.start_span(commit_span, "quorum_wait", ctx_->id(),
+                                      static_cast<int64_t>(ctx_->now()));
+  inflight_[slot] = inf;
+  obs::SpanContext fsync_span = tracer.start_span(
+      commit_span, "wal_fsync", ctx_->id(), static_cast<int64_t>(ctx_->now()));
+  persist_slot(slot, [this, slot, ballot = ballot_, fsync_span] {
+    obs::Tracer::global().end_span(fsync_span, static_cast<int64_t>(ctx_->now()));
     auto lit = log_.find(slot);
     if (lit != log_.end() && lit->second.accepted == ballot) lit->second.durable = true;
     auto pit = pending_.find(slot);
@@ -449,6 +475,12 @@ void Replica::send_accept_to(NodeId member, const PendingProposal& p) {
     return;
   }
   m_.accepts_sent.inc();
+  // The accept travels inside its per-acceptor network span: the transport
+  // stamps the ambient context into the frame and the acceptor ends the span
+  // on receipt (retransmits re-carry it; re-ending is a no-op).
+  obs::SpanScope scope(static_cast<size_t>(idx) < p.net_spans.size()
+                           ? p.net_spans[static_cast<size_t>(idx)]
+                           : obs::SpanContext{});
   ctx_->send(member, MsgType::kAccept, p.frames[static_cast<size_t>(idx)]);
 }
 
@@ -482,8 +514,9 @@ void Replica::handle_commit_of(Slot slot) {
       m_.quorum_wait_us->observe(static_cast<int64_t>(now - iit->second.proposed_at));
     }
     obs::Tracer& tracer = obs::Tracer::global();
-    tracer.event(iit->second.trace, "quorum", ctx_->id(), static_cast<int64_t>(now));
-    tracer.event(iit->second.trace, "committed", ctx_->id(), static_cast<int64_t>(now));
+    tracer.end_span(iit->second.quorum_span, static_cast<int64_t>(now));
+    iit->second.apply_span = tracer.start_span(iit->second.commit_span, "apply", ctx_->id(),
+                                               static_cast<int64_t>(now));
   }
 
   LogEntry& e = log_[slot];
@@ -540,8 +573,15 @@ void Replica::on_prepare(NodeId from, PrepareMsg msg) {
 }
 
 void Replica::on_accept(NodeId from, AcceptMsg msg) {
-  obs::Tracer::global().event(msg.trace_id, "accept_recv", ctx_->id(),
-                              static_cast<int64_t>(ctx_->now()));
+  obs::Tracer& tracer = obs::Tracer::global();
+  // The ambient span is the leader's "net_accept" span carried in the frame
+  // header; ending it here closes the network+queue measurement. Falls back
+  // to the message's trace id (root attach) if the frame context was lost.
+  obs::SpanContext in_span = obs::current_span();
+  if (!in_span.valid() && msg.trace_id != obs::kNoTrace) {
+    in_span = obs::SpanContext{msg.trace_id, 0};
+  }
+  tracer.end_span(in_span, static_cast<int64_t>(ctx_->now()));
   AcceptedMsg out;
   out.epoch = cfg_.epoch;
   out.ballot = msg.ballot;
@@ -594,12 +634,13 @@ void Replica::on_accept(NodeId from, AcceptMsg msg) {
   next_slot_ = std::max(next_slot_, msg.slot + 1);
   out.ok = true;
   out.promised = promised_;
+  obs::SpanContext fsync_span = tracer.start_span(in_span, "wal_fsync", ctx_->id(),
+                                                  static_cast<int64_t>(ctx_->now()));
   persist_slot(msg.slot, [this, from, slot = msg.slot, ballot = msg.ballot,
-                          trace = msg.trace_id, out = std::move(out)]() mutable {
+                          fsync_span, out = std::move(out)]() mutable {
     auto it = log_.find(slot);
     if (it != log_.end() && it->second.accepted == ballot) it->second.durable = true;
-    obs::Tracer::global().event(trace, "durable", ctx_->id(),
-                                static_cast<int64_t>(ctx_->now()));
+    obs::Tracer::global().end_span(fsync_span, static_cast<int64_t>(ctx_->now()));
     ctx_->send(from, MsgType::kAccepted, out.encode());
   });
   mark_committed_up_to(msg.commit_index, msg.ballot);
@@ -705,7 +746,11 @@ void Replica::try_apply() {
       if (m_.commit_total_us != nullptr) {
         m_.commit_total_us->observe(static_cast<int64_t>(now - iit->second.proposed_at));
       }
-      obs::Tracer::global().finish(iit->second.trace, ctx_->id(), static_cast<int64_t>(now));
+      obs::Tracer& tracer = obs::Tracer::global();
+      tracer.end_span(iit->second.apply_span, static_cast<int64_t>(now));
+      // Ending the commit span completes the trace when this replica minted
+      // it; under a client-rooted trace the client's reply handler finishes.
+      tracer.end_span(iit->second.commit_span, static_cast<int64_t>(now));
       inflight_.erase(iit);
     }
     auto wit = commit_waiters_.find(slot);

@@ -210,13 +210,18 @@ class Replica final : public MessageHandler {
     std::set<NodeId> acks;
     ProposeFn cb;
     TimeMicros last_sent = 0;
-    obs::TraceId trace = obs::kNoTrace;
+    obs::SpanContext commit_span;
+    /// Per member index: the "net_accept" span covering that acceptor's
+    /// network + queue time. Opened at first send; the receiver ends it.
+    std::vector<obs::SpanContext> net_spans;
   };
 
   /// Per-slot commit-latency bookkeeping, kept from propose until apply so
   /// quorum-wait / apply spans can be measured and the trace finished.
   struct Inflight {
-    obs::TraceId trace = obs::kNoTrace;
+    obs::SpanContext commit_span;
+    obs::SpanContext quorum_span;
+    obs::SpanContext apply_span;
     TimeMicros proposed_at = 0;
     TimeMicros quorum_at = 0;
   };

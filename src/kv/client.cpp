@@ -101,7 +101,17 @@ void KvClient::dispatch(uint64_t req_id) {
     return;
   }
   NodeId target = pick_target(o);
-  ctx_->send(target, MsgType::kClientRequest, o.req.encode());
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (!o.span.valid() && tracer.enabled()) {
+    o.span = tracer.begin_trace("client_rpc", ctx_->id(),
+                                static_cast<int64_t>(ctx_->now()));
+  }
+  {
+    // The request frame carries the root span, so the leader's commit tree
+    // attaches under this client RPC.
+    obs::SpanScope scope(o.span);
+    ctx_->send(target, MsgType::kClientRequest, o.req.encode());
+  }
   if (o.timer != 0) ctx_->cancel_timer(o.timer);
   o.timer = ctx_->set_timer(opts_.request_timeout, [this, req_id] {
     auto oit = outstanding_.find(req_id);
@@ -114,6 +124,7 @@ void KvClient::dispatch(uint64_t req_id) {
 
 void KvClient::fail(Outstanding& o, Status st) {
   if (o.timer != 0) ctx_->cancel_timer(o.timer);
+  obs::Tracer::global().end_span(o.span, static_cast<int64_t>(ctx_->now()));
   if (o.put_cb) o.put_cb(st);
   if (o.get_cb) o.get_cb(std::move(st));
 }
@@ -151,6 +162,7 @@ void KvClient::on_message(NodeId from, MsgType type, BytesView payload) {
       leader_cache_[o.shard] = from;
       if (o.timer != 0) ctx_->cancel_timer(o.timer);
       completed_++;
+      obs::Tracer::global().end_span(o.span, static_cast<int64_t>(ctx_->now()));
       PutFn put_cb = std::move(o.put_cb);
       GetFn get_cb = std::move(o.get_cb);
       bool found = rep.code == ReplyCode::kOk;

@@ -12,6 +12,7 @@
 
 #include "kv/command.h"
 #include "net/transport.h"
+#include "obs/trace.h"
 
 namespace rspaxos::kv {
 
@@ -89,6 +90,10 @@ class KvClient final : public MessageHandler {
     PutFn put_cb;
     GetFn get_cb;
     NodeContext::TimerId timer = 0;
+    /// Root "client_rpc" span covering the whole user-visible request,
+    /// retries and redirects included; the server-side commit tree hangs
+    /// under it via frame-header propagation.
+    obs::SpanContext span;
   };
 
   void dispatch(uint64_t req_id);

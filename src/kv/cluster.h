@@ -21,6 +21,7 @@
 #include "kv/server.h"
 #include "net/routing.h"
 #include "node/node_host.h"
+#include "obs/admin_server.h"
 #include "sim/sim_disk.h"
 #include "sim/sim_network.h"
 #include "sim/sim_world.h"
@@ -54,6 +55,15 @@ struct SimClusterOptions {
   /// g % num_servers (distinct leaders per shard); false: server 0 leads
   /// every group (the historical default most tests assume).
   bool spread_leaders = false;
+  /// Health watchdog configuration forwarded to every NodeHost. Probes run
+  /// on sim timers, so lag values stay deterministic.
+  obs::HealthOptions health;
+  bool watchdog = true;
+  /// Start a per-server admin HTTP endpoint (real socket over the simulated
+  /// cluster). Handlers only read thread-safe state — the global registry,
+  /// the tracer, and boards published by sim-time probes — never live
+  /// protocol state, so the admin thread cannot race the sim thread.
+  bool admin = false;
 };
 
 /// Owns everything: network, disks, WALs, hosts. Crash/restart a whole
@@ -96,6 +106,13 @@ class SimCluster {
   /// -1 if no (live) leader.
   int leader_server_of(int group) const;
 
+  /// Bound admin port of server s (0 when options().admin is false or the
+  /// server is crashed).
+  uint16_t admin_port(int s) const {
+    size_t i = static_cast<size_t>(s);
+    return i < admins_.size() && admins_[i] ? admins_[i]->port() : 0;
+  }
+
   // Cost metrics across the whole cluster (the paper's two cost axes).
   uint64_t total_network_bytes() const;
   uint64_t total_flushed_bytes() const;
@@ -108,6 +125,7 @@ class SimCluster {
   }
   consensus::GroupConfig group_config(int group) const;
   void build_host(int s, bool initial);
+  void start_admin(int s);
 
   sim::SimWorld* world_;
   SimClusterOptions opts_;
@@ -116,6 +134,7 @@ class SimCluster {
   std::vector<std::unique_ptr<storage::SimWal>> wals_;              // per server (mux)
   std::vector<std::unique_ptr<snapshot::SimSnapshotStore>> snaps_;  // per (s, g)
   std::vector<std::unique_ptr<node::NodeHost>> hosts_;              // per server
+  std::vector<std::unique_ptr<obs::AdminServer>> admins_;           // per server
   std::vector<bool> alive_;
   int next_client_ = 0;
 };

@@ -55,6 +55,7 @@ class KvServer final : public MessageHandler {
   void on_message(NodeId from, MsgType type, BytesView payload) override;
 
   consensus::Replica& replica() { return replica_; }
+  const consensus::Replica& replica() const { return replica_; }
   const LocalStore& store() const { return store_; }
   KvServerStats stats() const;
 

@@ -1,12 +1,17 @@
 // Wire framing shared by the TCP transport, its tests and benchmarks.
 //
 // Frame: u32 payload_len | u32 crc32c(payload) | u32 from | u32 to |
-//        u16 type | payload
-// (little-endian, fixed 18-byte header). `to` is the destination endpoint:
+//        u16 type | u64 trace_id | u64 span_id | payload
+// (little-endian, fixed 34-byte header). `to` is the destination endpoint:
 // since the multi-group host change one socket carries traffic for every
 // group endpoint on a machine, and the receiving host demultiplexes on it.
-// This is frame format v2 — v1 (no `to`, 14-byte header) cannot share a
-// connection, so mixed-version nodes must be upgraded together.
+// trace_id/span_id carry the sender's ambient SpanContext (obs/trace.h);
+// zero means untraced.
+//
+// This is frame format v3 — it extends v2 (18-byte header, no trace fields)
+// by appending the trace context after `type`; the v2 prefix layout is
+// unchanged, but the header length differs, so mixed-version nodes must be
+// upgraded together (as for the v1 -> v2 `to`-field change).
 #pragma once
 
 #include <cstdint>
@@ -16,7 +21,7 @@
 
 namespace rspaxos::net {
 
-inline constexpr size_t kFrameHeaderBytes = 18;
+inline constexpr size_t kFrameHeaderBytes = 34;
 
 /// Frames larger than this are rejected on both sides (protects the decoder
 /// from a corrupt/hostile length field).
@@ -28,6 +33,12 @@ inline uint32_t get_u32(const uint8_t* p) {
   std::memcpy(&v, p, 4);
   return v;
 }
+inline void put_u64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, 8); }
+inline uint64_t get_u64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
 
 /// Decoded view of the fixed header.
 struct FrameHeader {
@@ -36,16 +47,21 @@ struct FrameHeader {
   NodeId from;
   NodeId to;
   uint16_t type;
+  uint64_t trace_id;
+  uint64_t span_id;
 };
 
 inline void encode_frame_header(uint8_t* dst, uint32_t payload_len, uint32_t crc,
-                                NodeId from, NodeId to, MsgType type) {
+                                NodeId from, NodeId to, MsgType type,
+                                uint64_t trace_id = 0, uint64_t span_id = 0) {
   put_u32(dst, payload_len);
   put_u32(dst + 4, crc);
   put_u32(dst + 8, from);
   put_u32(dst + 12, to);
   uint16_t t = static_cast<uint16_t>(type);
   std::memcpy(dst + 16, &t, 2);
+  put_u64(dst + 18, trace_id);
+  put_u64(dst + 26, span_id);
 }
 
 inline FrameHeader decode_frame_header(const uint8_t* p) {
@@ -55,6 +71,8 @@ inline FrameHeader decode_frame_header(const uint8_t* p) {
   h.from = get_u32(p + 8);
   h.to = get_u32(p + 12);
   std::memcpy(&h.type, p + 16, 2);
+  h.trace_id = get_u64(p + 18);
+  h.span_id = get_u64(p + 26);
   return h;
 }
 

@@ -2,6 +2,8 @@
 
 #include <future>
 
+#include "obs/trace.h"
+
 namespace rspaxos::net {
 
 void LocalNode::send(NodeId to, MsgType type, Bytes payload) {
@@ -71,9 +73,14 @@ void LocalTransport::route(NodeId from, NodeId to, MsgType type, Bytes payload) 
     if (it == nodes_.end()) return;
     dst = it->second.get();
   }
-  auto deliver = [dst, from, type, msg = std::move(payload)] {
+  // Carry the sender's ambient span across the thread hop, exactly like the
+  // TCP transport carries it in the frame header.
+  auto deliver = [dst, from, type, msg = std::move(payload),
+                  span = obs::current_span()] {
     MessageHandler* h = dst->handler_.load();
-    if (h != nullptr) h->on_message(from, type, msg);
+    if (h == nullptr) return;
+    obs::SpanScope scope(span);
+    h->on_message(from, type, msg);
   };
   if (delay > 0) {
     dst->loop().schedule(delay, std::move(deliver));

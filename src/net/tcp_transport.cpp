@@ -9,10 +9,12 @@
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 
+#include "obs/trace.h"
 #include "util/crc32.h"
 #include "util/logging.h"
 
@@ -57,6 +59,15 @@ TimeMicros TcpNode::now() const { return host_->loop_.now(); }
 EventLoop& TcpNode::loop() { return host_->loop_; }
 
 uint64_t TcpNode::send_drops() const { return host_->send_drops_.load(); }
+
+uint64_t TcpNode::max_peer_queue_depth() const {
+  uint64_t worst = 0;
+  for (const auto& [id, p] : host_->peers_) {
+    std::lock_guard<std::mutex> lk(p->mu);
+    worst = std::max<uint64_t>(worst, p->q.size());
+  }
+  return worst;
+}
 
 void TcpNode::shutdown() { host_->shutdown(); }
 
@@ -174,8 +185,11 @@ void TcpHost::send_frame(NodeId from, NodeId to, MsgType type, Bytes payload) {
   Peer* p = it->second.get();
 
   OutFrame f;
+  // The caller's ambient span rides in the header so the receiver's handler
+  // runs inside the sender's trace (frame format v3).
+  obs::SpanContext span = obs::current_span();
   encode_frame_header(f.hdr.data(), static_cast<uint32_t>(payload.size()),
-                      crc32c(payload), from, to, type);
+                      crc32c(payload), from, to, type, span.trace_id, span.span_id);
   f.payload = std::move(payload);
 
   bool need_wake;
@@ -391,6 +405,7 @@ bool TcpHost::decode_and_dispatch(Conn* c) {
     uint16_t type;
     size_t off;
     size_t len;
+    obs::SpanContext span;
   };
   // Complete frames stay in place: the whole read buffer is moved into one
   // EventLoop task (frame refs are offsets into it) and the connection gets a
@@ -412,7 +427,8 @@ bool TcpHost::decode_and_dispatch(Conn* c) {
     if (crc32c(BytesView(payload, h.payload_len)) != h.crc) {
       RSP_WARN << "tcp: frame checksum mismatch from node " << h.from << ", dropping";
     } else {
-      frames.push_back({h.from, h.to, h.type, pos + kFrameHeaderBytes, h.payload_len});
+      frames.push_back({h.from, h.to, h.type, pos + kFrameHeaderBytes, h.payload_len,
+                        obs::SpanContext{h.trace_id, h.span_id}});
     }
     pos += kFrameHeaderBytes + h.payload_len;
   }
@@ -435,6 +451,7 @@ bool TcpHost::decode_and_dispatch(Conn* c) {
         if (eit == endpoints_.end()) continue;
         MessageHandler* h = eit->second->handler_.load();
         if (h == nullptr) continue;
+        obs::SpanScope scope(f.span);
         h->on_message(f.from, static_cast<MsgType>(f.type),
                       BytesView(burst.data() + f.off, f.len));
       }

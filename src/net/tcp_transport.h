@@ -80,6 +80,10 @@ class TcpNode final : public NodeContext {
   /// oversize / unknown peer) since construction. Test/diagnostic helper.
   uint64_t send_drops() const;
 
+  /// Depth (frames) of the owning host's most backlogged per-peer outbound
+  /// queue. Any thread — the health watchdog samples this each probe.
+  uint64_t max_peer_queue_depth() const;
+
   /// Stops the owning host: I/O thread joined, all sockets closed. Every
   /// endpoint sharing the host goes quiet with it; queued-but-unsent frames
   /// are dropped (datagram semantics).

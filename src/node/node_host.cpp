@@ -4,6 +4,12 @@
 
 namespace rspaxos::node {
 
+namespace {
+
+std::string json_bool(bool b) { return b ? "true" : "false"; }
+
+}  // namespace
+
 NodeHost::NodeHost(int server, uint32_t num_groups, EndpointFn endpoints,
                    storage::MuxWal* wal, SnapshotFn snaps, ConfigFn configs,
                    NodeHostOptions opts, BootstrapFn bootstrap, PostFn post)
@@ -42,13 +48,106 @@ void NodeHost::start() {
       bring_up();
     }
   }
+
+  if (opts_.watchdog) {
+    health_ = std::make_unique<obs::HealthMonitor>(static_cast<uint32_t>(server_),
+                                                   opts_.health);
+    if (queue_sampler_) health_->set_queue_sampler(queue_sampler_);
+    // Each probe republishes the status board so any-thread readers (the
+    // admin server) always have a recent document even if the loop later
+    // wedges.
+    health_->set_on_probe([this] {
+      std::string doc = status_json();
+      std::lock_guard<std::mutex> lk(board_mu_);
+      board_ = std::move(doc);
+    });
+    // The flusher pushes fsync latencies in from its own thread; the monitor
+    // outlives traffic (reset in stop()).
+    wal_->set_flush_observer([h = health_.get()](int64_t us) { h->record_fsync(us); });
+    NodeContext* ctx0 = endpoints_[0];
+    auto arm = [this, ctx0] { health_->start(ctx0); };
+    if (post_fn_) {
+      post_fn_(ctx0, std::move(arm));
+    } else {
+      arm();
+    }
+  }
 }
 
 void NodeHost::stop() {
+  if (health_) {
+    health_->stop();
+    wal_->set_flush_observer(nullptr);
+  }
   for (NodeContext* ctx : endpoints_) {
     if (ctx != nullptr) ctx->set_handler(nullptr);
   }
   endpoints_.clear();
+}
+
+std::string NodeHost::status_json() const {
+  std::string out = "{";
+  out += "\"server\":" + std::to_string(server_);
+  if (!endpoints_.empty() && endpoints_[0] != nullptr) {
+    out += ",\"now_us\":" + std::to_string(endpoints_[0]->now());
+  }
+  out += ",\"groups\":[";
+  for (uint32_t g = 0; g < num_groups_; ++g) {
+    const kv::KvServer* srv = servers_[g].get();
+    if (srv == nullptr) continue;
+    const consensus::Replica& r = srv->replica();
+    if (g > 0) out += ",";
+    out += "{";
+    out += "\"group\":" + std::to_string(g);
+    out += ",\"role\":\"" + std::string(r.is_leader() ? "leader" : "follower") + "\"";
+    NodeId hint = r.leader_hint();
+    out += ",\"leader_hint\":" +
+           (hint == kNoNode ? std::string("null") : std::to_string(hint));
+    out += ",\"epoch\":" + std::to_string(r.config().epoch);
+    out += ",\"ballot\":{\"round\":" + std::to_string(r.current_ballot().round) +
+           ",\"node\":" + std::to_string(r.current_ballot().node) + "}";
+    out += ",\"commit_index\":" + std::to_string(r.commit_index());
+    out += ",\"applied\":" + std::to_string(r.last_applied());
+    out += ",\"log_start\":" + std::to_string(r.log_start());
+    out += ",\"snapshot_applied\":" + std::to_string(r.snapshot_applied());
+    out += ",\"snapshot_checkpoint\":" + std::to_string(r.snapshot_checkpoint_id());
+    out += ",\"state_ready\":" + json_bool(r.state_ready());
+    out += ",\"lease_valid\":" + json_bool(r.lease_valid());
+    out += ",\"wal_bytes\":" + std::to_string(wal_->group_bytes_flushed(g));
+    out += ",\"wal_truncated_bytes\":" + std::to_string(wal_->group_truncated_bytes(g));
+    out += "}";
+  }
+  out += "]";
+  out += ",\"wal\":{";
+  out += "\"machine_bytes_flushed\":" + std::to_string(wal_->machine_bytes_flushed());
+  out += ",\"flush_ops\":" + std::to_string(wal_->flush_ops());
+  out += ",\"first_segment\":" + std::to_string(wal_->first_segment());
+  out += ",\"active_segment\":" + std::to_string(wal_->active_segment());
+  out += "}";
+  if (health_) out += ",\"health\":" + healthz_json();
+  out += "}";
+  return out;
+}
+
+std::string NodeHost::status_snapshot() const {
+  std::lock_guard<std::mutex> lk(board_mu_);
+  return board_.empty() ? "{}" : board_;
+}
+
+std::string NodeHost::healthz_json() const {
+  if (!health_) return "{}";
+  NodeContext* ctx0 = !endpoints_.empty() ? endpoints_[0] : nullptr;
+  int64_t now = ctx0 != nullptr ? static_cast<int64_t>(ctx0->now())
+                                : health_->last_probe_us();
+  return health_->healthz_json(now);
+}
+
+bool NodeHost::stalled() const {
+  if (!health_) return false;
+  NodeContext* ctx0 = !endpoints_.empty() ? endpoints_[0] : nullptr;
+  int64_t now = ctx0 != nullptr ? static_cast<int64_t>(ctx0->now())
+                                : health_->last_probe_us();
+  return health_->stalled(now);
 }
 
 }  // namespace rspaxos::node

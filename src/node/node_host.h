@@ -16,11 +16,14 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "consensus/replica.h"
 #include "kv/server.h"
 #include "net/routing.h"
+#include "obs/health.h"
 #include "snapshot/snapshot_store.h"
 #include "storage/wal.h"
 
@@ -31,6 +34,11 @@ struct NodeHostOptions {
   /// are overridden per group by the host.
   consensus::ReplicaOptions replica;
   kv::KvServerOptions kv;
+  /// Event-loop / WAL health watchdog (see obs/health.h). The monitor runs
+  /// on the group-0 endpoint's execution context and republishes the status
+  /// board after every probe.
+  obs::HealthOptions health;
+  bool watchdog = true;
 };
 
 class NodeHost {
@@ -62,8 +70,8 @@ class NodeHost {
   /// Builds every group's server, registers it as its endpoint's handler and
   /// starts it (WAL replay + election participation). Call once.
   void start();
-  /// Detaches every endpoint's handler. After stop() the transport no longer
-  /// delivers into this host; safe to destroy.
+  /// Detaches every endpoint's handler and stops the watchdog. After stop()
+  /// the transport no longer delivers into this host; safe to destroy.
   void stop();
 
   int server_index() const { return server_; }
@@ -75,6 +83,30 @@ class NodeHost {
     return g < endpoints_.size() ? endpoints_[g] : nullptr;
   }
   storage::MuxWal* wal() { return wal_; }
+
+  // --- introspection plane ---
+
+  /// Samples the worst per-peer send-queue depth each health probe. Set
+  /// before start().
+  void set_queue_sampler(std::function<int64_t()> fn) { queue_sampler_ = std::move(fn); }
+
+  /// nullptr when watchdog is disabled or before start().
+  obs::HealthMonitor* health() { return health_.get(); }
+
+  /// Live per-group status document (role, ballot, commit/applied indices,
+  /// log window, snapshot barrier) plus machine-wide WAL and health state.
+  /// Reads loop-thread-confined replica state: call on the host's execution
+  /// context only.
+  std::string status_json() const;
+  /// Last board published by the watchdog's probe (empty JSON object before
+  /// the first probe). Any thread — what /status serves when the loop is too
+  /// wedged to answer a posted refresh.
+  std::string status_snapshot() const;
+  /// Health summary with stall verdict, stamped with the node clock. Any
+  /// thread. "{}" when the watchdog is disabled.
+  std::string healthz_json() const;
+  /// True when the watchdog currently judges the host stalled.
+  bool stalled() const;
 
  private:
   int server_;
@@ -90,6 +122,13 @@ class NodeHost {
   std::vector<NodeContext*> endpoints_;          // per group
   std::vector<std::unique_ptr<kv::KvServer>> servers_;  // per group
   bool started_ = false;
+
+  std::function<int64_t()> queue_sampler_;
+  std::unique_ptr<obs::HealthMonitor> health_;
+  // Status board: written by the watchdog probe on the loop thread, read by
+  // the admin server's thread.
+  mutable std::mutex board_mu_;
+  std::string board_;
 };
 
 }  // namespace rspaxos::node

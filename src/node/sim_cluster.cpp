@@ -4,6 +4,8 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace rspaxos::kv {
@@ -23,6 +25,7 @@ SimCluster::SimCluster(sim::SimWorld* world, SimClusterOptions opts)
   snaps_.resize(static_cast<size_t>(opts_.num_servers) *
                 static_cast<size_t>(opts_.num_groups));
   alive_.assign(static_cast<size_t>(opts_.num_servers), true);
+  admins_.resize(static_cast<size_t>(opts_.num_servers));
   for (int s = 0; s < opts_.num_servers; ++s) {
     wals_[static_cast<size_t>(s)] = std::make_unique<storage::SimWal>(
         disks_[static_cast<size_t>(s)].get(), opts_.wal_retain,
@@ -51,6 +54,8 @@ void SimCluster::build_host(int s, bool initial) {
   node::NodeHostOptions hopts;
   hopts.replica = opts_.replica;
   hopts.kv = opts_.kv;
+  hopts.health = opts_.health;
+  hopts.watchdog = opts_.watchdog;
   node::NodeHost::BootstrapFn boot;  // restarts never campaign immediately
   if (initial) {
     if (opts_.spread_leaders) {
@@ -71,6 +76,50 @@ void SimCluster::build_host(int s, bool initial) {
       [this](uint32_t g) { return group_config(static_cast<int>(g)); }, hopts,
       std::move(boot));  // PostFn empty: the sim is single-threaded, inline is safe
   host->start();
+  if (opts_.admin) start_admin(s);
+}
+
+void SimCluster::start_admin(int s) {
+  auto admin = std::make_unique<obs::AdminServer>();
+  node::NodeHost* host = hosts_[static_cast<size_t>(s)].get();
+  obs::HealthMonitor* health = host->health();
+  admin->route("/metrics", [](const obs::AdminRequest&) {
+    obs::AdminResponse r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = obs::MetricsRegistry::global().to_prometheus();
+    return r;
+  });
+  // Unlike TcpCluster, /status never posts into the host: the sim loop only
+  // advances when the test pumps it, so the admin thread serves the board
+  // published by the last probe instead.
+  admin->route("/status", [host](const obs::AdminRequest&) {
+    obs::AdminResponse r;
+    r.content_type = "application/json";
+    r.body = host->status_snapshot();
+    return r;
+  });
+  // Stamped with the last probe's sim time, not a live now(): reading the
+  // sim clock from the admin thread would race the sim thread, and halted
+  // sim time must not read as a stall anyway.
+  admin->route("/healthz", [health](const obs::AdminRequest&) {
+    obs::AdminResponse r;
+    r.content_type = "application/json";
+    r.body = health != nullptr ? health->healthz_json(health->last_probe_us()) : "{}";
+    return r;
+  });
+  admin->route("/traces/recent", [](const obs::AdminRequest& req) {
+    obs::AdminResponse r;
+    r.content_type = "application/json";
+    r.body = req.query == "slow" ? obs::Tracer::global().slow_json(32)
+                                 : obs::Tracer::global().recent_json(32);
+    return r;
+  });
+  Status st = admin->start({});
+  if (!st.is_ok()) {
+    RSP_WARN << "sim admin server for s" << s << " failed: " << st.to_string();
+    return;
+  }
+  admins_[static_cast<size_t>(s)] = std::move(admin);
 }
 
 void SimCluster::wait_for_leaders(DurationMicros max_wait) {
@@ -110,6 +159,8 @@ std::unique_ptr<KvClient> SimCluster::make_client(int client_idx, KvClient::Opti
 
 void SimCluster::crash_server(int s) {
   alive_[static_cast<size_t>(s)] = false;
+  // Admin handlers hold the host pointer; kill the server before the host.
+  admins_[static_cast<size_t>(s)].reset();
   for (int g = 0; g < opts_.num_groups; ++g) {
     network_.crash(endpoint_id(s, g));
     snaps_[idx(s, g)]->drop_unflushed();  // in-flight snapshot saves gone

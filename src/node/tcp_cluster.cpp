@@ -1,9 +1,13 @@
 #include "node/tcp_cluster.h"
 
+#include <chrono>
 #include <filesystem>
 #include <future>
+#include <memory>
 
 #include "consensus/config.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rspaxos::node {
 
@@ -75,6 +79,8 @@ Status TcpCluster::boot() {
     NodeHostOptions hopts;
     hopts.replica = opts_.replica;
     hopts.kv = opts_.kv;
+    hopts.health = opts_.health;
+    hopts.watchdog = opts_.watchdog;
     hosts_[static_cast<size_t>(s)] = std::make_unique<NodeHost>(
         s, groups, [this](NodeId id) -> NodeContext* { return endpoints_.at(id); },
         wals_[static_cast<size_t>(s)].get(),
@@ -88,19 +94,95 @@ Status TcpCluster::boot() {
         // Handler installation + Replica::start must run on the host's loop
         // thread: peers may deliver the instant the handler is visible.
         [](NodeContext* ctx, std::function<void()> fn) { ctx->set_timer(0, std::move(fn)); });
+    // The watchdog samples the worst per-peer outbound queue each probe; all
+    // of a server's endpoints share one host, so group 0's view is the
+    // machine's.
+    net::TcpNode* ep0 = endpoints_.at(net::endpoint_id(s, 0));
+    hosts_[static_cast<size_t>(s)]->set_queue_sampler(
+        [ep0] { return static_cast<int64_t>(ep0->max_peer_queue_depth()); });
     hosts_[static_cast<size_t>(s)]->start();
+  }
+
+  if (opts_.admin) {
+    admins_.resize(static_cast<size_t>(servers));
+    for (int s = 0; s < servers; ++s) {
+      RSP_RETURN_IF_ERROR(start_admin(s));
+    }
   }
   return Status::ok();
 }
 
+Status TcpCluster::start_admin(int s) {
+  auto admin = std::make_unique<obs::AdminServer>();
+  NodeHost* host = hosts_[static_cast<size_t>(s)].get();
+  net::TcpNode* ep0 = endpoints_.at(net::endpoint_id(s, 0));
+
+  // /metrics scrapes the process-global registry: one process hosts every
+  // server in these assemblies, so each admin port serves the same families
+  // and the {server=...} labels do the splitting.
+  admin->route("/metrics", [](const obs::AdminRequest&) {
+    obs::AdminResponse r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = obs::MetricsRegistry::global().to_prometheus();
+    return r;
+  });
+
+  admin->route("/healthz", [host](const obs::AdminRequest&) {
+    obs::AdminResponse r;
+    r.content_type = "application/json";
+    r.body = host->healthz_json();
+    if (host->stalled()) r.status = 503;
+    return r;
+  });
+
+  // /status wants a fresh document, which only the host's loop thread may
+  // build. Post a refresh and wait briefly; if the loop is too wedged to
+  // answer, fall back to the last board the watchdog published — a stalled
+  // host must still describe itself.
+  admin->route("/status", [host, ep0](const obs::AdminRequest&) {
+    auto p = std::make_shared<std::promise<std::string>>();
+    auto fut = p->get_future();
+    ep0->loop().post([host, p] { p->set_value(host->status_json()); });
+    obs::AdminResponse r;
+    r.content_type = "application/json";
+    if (fut.wait_for(std::chrono::milliseconds(250)) == std::future_status::ready) {
+      r.body = fut.get();
+    } else {
+      r.body = host->status_snapshot();
+    }
+    return r;
+  });
+
+  admin->route("/traces/recent", [](const obs::AdminRequest& req) {
+    obs::AdminResponse r;
+    r.content_type = "application/json";
+    r.body = req.query == "slow" ? obs::Tracer::global().slow_json(32)
+                                 : obs::Tracer::global().recent_json(32);
+    return r;
+  });
+
+  obs::AdminServer::Options aopts;
+  if (opts_.admin_base_port != 0) {
+    aopts.port = static_cast<uint16_t>(opts_.admin_base_port + s);
+  }
+  RSP_RETURN_IF_ERROR(admin->start(aopts));
+  admins_[static_cast<size_t>(s)] = std::move(admin);
+  return Status::ok();
+}
+
 TcpCluster::~TcpCluster() {
-  // Detach handlers first, then join the I/O threads; only afterwards is it
+  // Admin servers first: their handlers read hosts and post onto loops.
+  // Then detach handlers and join the I/O threads; only afterwards is it
   // safe to destroy servers, WALs and stores (no delivery can be in flight).
+  for (auto& a : admins_) {
+    if (a) a->stop();
+  }
   for (auto& h : hosts_) {
     if (h) h->stop();
   }
   transport_.reset();
   hosts_.clear();
+  admins_.clear();
 }
 
 net::TcpNode* TcpCluster::endpoint(int s, uint32_t g) {

@@ -20,6 +20,7 @@
 #include "kv/client.h"
 #include "net/tcp_transport.h"
 #include "node/node_host.h"
+#include "obs/admin_server.h"
 #include "snapshot/snapshot_store.h"
 #include "storage/file_wal.h"
 
@@ -43,6 +44,15 @@ struct TcpClusterOptions {
   /// true: group g's deterministic initial leader campaigns on server
   /// g % num_servers (spreads leader load); false: server 0 leads everything.
   bool spread_leaders = true;
+  /// Start a per-server admin HTTP endpoint serving GET /metrics, /status,
+  /// /healthz and /traces/recent on 127.0.0.1 (ephemeral port unless
+  /// admin_base_port is set; read back via admin_port(s)).
+  bool admin = false;
+  /// 0 = ephemeral; otherwise server s binds admin_base_port + s.
+  uint16_t admin_base_port = 0;
+  /// Health watchdog configuration forwarded to every NodeHost.
+  obs::HealthOptions health;
+  bool watchdog = true;
 };
 
 /// Owns the transport, per-server WALs/snapshot stores and NodeHosts. start()
@@ -76,9 +86,20 @@ class TcpCluster {
   /// replica on its own loop thread, so callable from any thread.
   int leader_server_of(uint32_t g);
 
+  /// Bound admin port of server s (0 when options().admin is false).
+  uint16_t admin_port(int s) const {
+    size_t i = static_cast<size_t>(s);
+    return i < admins_.size() && admins_[i] ? admins_[i]->port() : 0;
+  }
+  obs::AdminServer* admin(int s) {
+    size_t i = static_cast<size_t>(s);
+    return i < admins_.size() ? admins_[i].get() : nullptr;
+  }
+
  private:
   explicit TcpCluster(TcpClusterOptions opts) : opts_(std::move(opts)) {}
   Status boot();
+  Status start_admin(int s);
   consensus::GroupConfig group_config(uint32_t g) const;
 
   TcpClusterOptions opts_;
@@ -86,6 +107,7 @@ class TcpCluster {
   std::vector<std::unique_ptr<storage::FileWal>> wals_;                 // per server
   std::vector<std::unique_ptr<snapshot::GroupedSnapshotStore>> snaps_;  // per server
   std::vector<std::unique_ptr<NodeHost>> hosts_;                        // per server
+  std::vector<std::unique_ptr<obs::AdminServer>> admins_;               // per server
   std::map<NodeId, net::TcpNode*> endpoints_;  // every started server endpoint
   int next_client_ = 0;
 };

@@ -1,0 +1,262 @@
+#include "obs/admin_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace rspaxos::obs {
+
+namespace {
+
+// A scrape request is one short line plus a few headers; anything bigger is
+// either not HTTP or hostile.
+constexpr size_t kMaxRequestBytes = 8 * 1024;
+
+constexpr const char* status_text(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 431: return "Request Header Fields Too Large";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+bool set_nonblocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::string render(const AdminResponse& r) {
+  std::string out = "HTTP/1.1 " + std::to_string(r.status) + " " + status_text(r.status) +
+                    "\r\nContent-Type: " + r.content_type +
+                    "\r\nContent-Length: " + std::to_string(r.body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += r.body;
+  return out;
+}
+
+}  // namespace
+
+struct AdminServer::Conn {
+  int fd = -1;
+  std::string in;        // request bytes read so far
+  std::string out;       // staged response
+  size_t out_off = 0;
+  bool responding = false;
+};
+
+AdminServer::~AdminServer() { stop(); }
+
+void AdminServer::route(std::string path, Handler handler) {
+  routes_[std::move(path)] = std::move(handler);
+}
+
+Status AdminServer::start(Options opts) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Status::internal("admin: socket failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts.port);
+  if (::inet_pton(AF_INET, opts.bind.c_str(), &addr.sin_addr) != 1) {
+    stop();
+    return Status::invalid("admin: bad bind address " + opts.bind);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0 || !set_nonblocking(listen_fd_)) {
+    stop();
+    return Status::internal("admin: bind/listen failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    stop();
+    return Status::internal("admin: getsockname failed");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epfd_ < 0 || wake_fd_ < 0) {
+    stop();
+    return Status::internal("admin: epoll/eventfd setup failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epfd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epfd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  started_ = true;
+  thread_ = std::thread([this] { serve_loop(); });
+  return Status::ok();
+}
+
+void AdminServer::stop() {
+  if (started_ && !stopping_.exchange(true)) {
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t r = ::write(wake_fd_, &one, sizeof(one));
+    if (thread_.joinable()) thread_.join();
+  }
+  for (auto& [fd, c] : conns_) {
+    ::close(fd);
+    delete c;
+  }
+  conns_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epfd_ >= 0) ::close(epfd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  listen_fd_ = epfd_ = wake_fd_ = -1;
+  started_ = false;
+}
+
+void AdminServer::serve_loop() {
+  epoll_event events[64];
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    int n = ::epoll_wait(epfd_, events, 64, 1000);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == wake_fd_) continue;  // shutdown; loop condition re-checks
+      if (fd == listen_fd_) {
+        accept_conns();
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      Conn* c = it->second;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        close_conn(c);  // early close / reset: just drop the connection
+        continue;
+      }
+      if (events[i].events & EPOLLIN) handle_readable(c);
+      // handle_readable may stage a response and close on error; re-lookup.
+      if (conns_.count(fd) != 0 && c->responding) handle_writable(c);
+    }
+  }
+}
+
+void AdminServer::accept_conns() {
+  for (;;) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC | SOCK_NONBLOCK);
+    if (fd < 0) return;  // EAGAIN / transient error: epoll re-fires
+    auto* c = new Conn();
+    c->fd = fd;
+    conns_[fd] = c;
+    // EPOLLOUT is added only once a response is staged (handle_writable),
+    // else every idle connection would spin the loop on "writable".
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) close_conn(c);
+  }
+}
+
+void AdminServer::handle_readable(Conn* c) {
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::read(c->fd, buf, sizeof(buf));
+    if (n == 0) {  // peer closed before sending a full request
+      if (!c->responding) close_conn(c);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_conn(c);
+      return;
+    }
+    if (c->responding) continue;  // draining extra bytes after the request
+    c->in.append(buf, static_cast<size_t>(n));
+    if (c->in.size() > kMaxRequestBytes) {
+      c->out = render(AdminResponse{431, "text/plain; charset=utf-8", "request too large\n"});
+      c->responding = true;
+      break;
+    }
+    if (c->in.find("\r\n\r\n") != std::string::npos ||
+        c->in.find("\n\n") != std::string::npos) {
+      build_response(c);
+      break;
+    }
+  }
+}
+
+void AdminServer::build_response(Conn* c) {
+  AdminResponse resp;
+  size_t eol = c->in.find_first_of("\r\n");
+  std::string line = c->in.substr(0, eol == std::string::npos ? c->in.size() : eol);
+  // Request line: METHOD SP target SP version.
+  size_t sp1 = line.find(' ');
+  size_t sp2 = sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+    resp = {400, "text/plain; charset=utf-8", "malformed request\n"};
+  } else {
+    AdminRequest req;
+    req.method = line.substr(0, sp1);
+    std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    size_t qpos = target.find('?');
+    req.path = target.substr(0, qpos);
+    if (qpos != std::string::npos) req.query = target.substr(qpos + 1);
+    if (req.method != "GET") {
+      resp = {405, "text/plain; charset=utf-8", "only GET is supported\n"};
+    } else {
+      auto it = routes_.find(req.path);
+      if (it == routes_.end()) {
+        resp = {404, "text/plain; charset=utf-8", "unknown path " + req.path + "\n"};
+      } else {
+        resp = it->second(req);
+      }
+    }
+  }
+  c->out = render(resp);
+  c->responding = true;
+}
+
+void AdminServer::handle_writable(Conn* c) {
+  while (c->out_off < c->out.size()) {
+    ssize_t n = ::write(c->fd, c->out.data() + c->out_off, c->out.size() - c->out_off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLOUT;
+        ev.data.fd = c->fd;
+        ::epoll_ctl(epfd_, EPOLL_CTL_MOD, c->fd, &ev);  // resume on writable
+        return;
+      }
+      close_conn(c);  // peer went away mid-response
+      return;
+    }
+    c->out_off += static_cast<size_t>(n);
+  }
+  close_conn(c);  // response fully sent; Connection: close
+}
+
+void AdminServer::close_conn(Conn* c) {
+  ::epoll_ctl(epfd_, EPOLL_CTL_DEL, c->fd, nullptr);
+  ::close(c->fd);
+  conns_.erase(c->fd);
+  delete c;
+}
+
+}  // namespace rspaxos::obs

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "util/logging.h"
+
 namespace rspaxos::obs {
 namespace {
 
@@ -13,6 +15,21 @@ std::string escaped(const std::string& s) {
     switch (c) {
       case '\\': out += "\\\\"; break;
       case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// HELP text escaping per the exposition format: only backslash and newline
+/// (quotes stay raw on HELP lines, unlike label values).
+std::string help_escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
       case '\n': out += "\\n"; break;
       default: out += c;
     }
@@ -61,6 +78,26 @@ std::string num(double v) {
 
 constexpr double kQuantiles[] = {0.5, 0.9, 0.99};
 
+/// Naming convention: rsp_<subsystem>_<name>[_total|_us|_bytes], charset
+/// [a-zA-Z0-9_]. Out-of-convention names are sanitized (bad chars -> '_',
+/// missing prefix prepended) with a one-time warning, so a typo'd metric
+/// still exports instead of corrupting the exposition format.
+std::string sanitized_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 4);
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  if (out.rfind("rsp_", 0) != 0) out = "rsp_" + out;
+  if (out != name) {
+    RSP_WARN << "metric name '" << name << "' violates the rsp_ naming convention; "
+             << "registered as '" << out << "'";
+  }
+  return out;
+}
+
 }  // namespace
 
 MetricsRegistry& MetricsRegistry::global() {
@@ -73,11 +110,14 @@ Family<T>& MetricsRegistry::family_in(std::map<std::string, std::unique_ptr<Fami
                                       Kind kind, const std::string& name,
                                       const std::string& help,
                                       std::vector<std::string>&& label_names) {
+  std::string reg_name = sanitized_name(name);
   std::lock_guard<std::mutex> lk(mu_);
-  auto it = m.find(name);
+  auto it = m.find(reg_name);
   if (it == m.end()) {
-    it = m.emplace(name, std::make_unique<Family<T>>(name, help, std::move(label_names))).first;
-    order_.emplace_back(kind, name);
+    it = m.emplace(reg_name,
+                   std::make_unique<Family<T>>(reg_name, help, std::move(label_names)))
+             .first;
+    order_.emplace_back(kind, reg_name);
   }
   return *it->second;
 }
@@ -110,7 +150,7 @@ std::string MetricsRegistry::to_prometheus() const {
     switch (kind) {
       case Kind::kCounter: {
         const Family<Counter>& f = *counters_.at(name);
-        out += "# HELP " + f.name() + " " + f.help() + "\n";
+        out += "# HELP " + f.name() + " " + help_escaped(f.help()) + "\n";
         out += "# TYPE " + f.name() + " counter\n";
         f.for_each([&](const std::vector<std::string>& values, const Counter& c) {
           out += f.name() + label_block(f.label_names(), values) + " " +
@@ -120,7 +160,7 @@ std::string MetricsRegistry::to_prometheus() const {
       }
       case Kind::kGauge: {
         const Family<Gauge>& f = *gauges_.at(name);
-        out += "# HELP " + f.name() + " " + f.help() + "\n";
+        out += "# HELP " + f.name() + " " + help_escaped(f.help()) + "\n";
         out += "# TYPE " + f.name() + " gauge\n";
         f.for_each([&](const std::vector<std::string>& values, const Gauge& g) {
           out += f.name() + label_block(f.label_names(), values) + " " +
@@ -130,7 +170,7 @@ std::string MetricsRegistry::to_prometheus() const {
       }
       case Kind::kHistogram: {
         const Family<HistogramMetric>& f = *histograms_.at(name);
-        out += "# HELP " + f.name() + " " + f.help() + "\n";
+        out += "# HELP " + f.name() + " " + help_escaped(f.help()) + "\n";
         out += "# TYPE " + f.name() + " summary\n";
         f.for_each([&](const std::vector<std::string>& values, const HistogramMetric& hm) {
           Histogram h = hm.snapshot();

@@ -60,6 +60,12 @@ class HistogramMetric {
     std::lock_guard<std::mutex> lk(mu_);
     h_.record(v);
   }
+  /// Folds an externally accumulated histogram in (sliding-window flushes,
+  /// cross-shard rollups) without per-sample lock traffic.
+  void merge(const Histogram& other) {
+    std::lock_guard<std::mutex> lk(mu_);
+    h_.merge(other);
+  }
   /// Consistent copy for export / percentile queries.
   Histogram snapshot() const {
     std::lock_guard<std::mutex> lk(mu_);

@@ -2,51 +2,104 @@
 
 #include <algorithm>
 
+#include "util/logging.h"
+
 namespace rspaxos::obs {
+
+namespace {
+thread_local SpanContext g_ambient_span;
+}  // namespace
+
+SpanContext current_span() { return g_ambient_span; }
+
+SpanScope::SpanScope(SpanContext ctx) : prev_(g_ambient_span) { g_ambient_span = ctx; }
+SpanScope::~SpanScope() { g_ambient_span = prev_; }
+
+const TraceSpan* CommitTrace::find(const std::string& name) const {
+  for (const TraceSpan& s : spans) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
 
 Tracer& Tracer::global() {
   static Tracer* t = new Tracer();
   return *t;
 }
 
-TraceId Tracer::mint(uint32_t node) {
-  uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
-  TraceId id = (static_cast<uint64_t>(node) << 32) ^ seq;
-  return id == kNoTrace ? 1 : id;
+CommitTrace* Tracer::find_active(TraceId id) {
+  auto it = active_.find(id);
+  return it == active_.end() ? nullptr : &it->second;
 }
 
-void Tracer::begin(TraceId id, uint64_t slot, uint32_t node, int64_t t_us) {
-  if (id == kNoTrace || !enabled()) return;
+SpanContext Tracer::begin_trace(std::string root_name, uint32_t node, int64_t t_us) {
+  if (!enabled()) return {};
+  uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  TraceId id = (static_cast<uint64_t>(node) << 32) ^ seq;
+  if (id == kNoTrace) id = 1;
+  SpanId root = seq_.fetch_add(1, std::memory_order_relaxed);
+
   std::lock_guard<std::mutex> lk(mu_);
   CommitTrace& t = active_[id];
   t.id = id;
-  t.slot = slot;
+  t.root = root;
   t.start_us = t_us;
-  t.spans.push_back(TraceSpan{"propose", node, t_us});
-  // Abandoned proposals (leadership lost before apply) must not accumulate.
+  t.spans.push_back(TraceSpan{root, 0, std::move(root_name), node, t_us, 0});
+  // Abandoned traces (root never ended) must not accumulate.
   while (active_.size() > capacity_ * 2) active_.erase(active_.begin());
+  return {id, root};
 }
 
-void Tracer::event(TraceId id, const char* phase, uint32_t node, int64_t t_us) {
-  if (id == kNoTrace || !enabled()) return;
+SpanContext Tracer::start_span(SpanContext parent, std::string name, uint32_t node,
+                               int64_t t_us) {
+  if (!parent.valid() || !enabled()) return {};
+  SpanId id = seq_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lk(mu_);
-  auto it = active_.find(id);
-  if (it == active_.end()) return;
-  it->second.spans.push_back(TraceSpan{phase, node, t_us});
+  CommitTrace* t = find_active(parent.trace_id);
+  if (t == nullptr) return {};  // evicted or already completed
+  SpanId under = parent.span_id != 0 ? parent.span_id : t->root;
+  t->spans.push_back(TraceSpan{id, under, std::move(name), node, t_us, 0});
+  return {parent.trace_id, id};
 }
 
-void Tracer::finish(TraceId id, uint32_t node, int64_t t_us) {
-  if (id == kNoTrace || !enabled()) return;
+void Tracer::end_span(SpanContext span, int64_t t_us) {
+  if (!span.valid() || span.span_id == 0 || !enabled()) return;
   std::lock_guard<std::mutex> lk(mu_);
-  auto it = active_.find(id);
+  auto it = active_.find(span.trace_id);
   if (it == active_.end()) return;
+  CommitTrace& t = it->second;
+  for (TraceSpan& s : t.spans) {
+    if (s.id != span.span_id) continue;
+    if (s.end_us == 0) s.end_us = t_us;
+    if (s.id == t.root) complete(it, t_us);
+    return;
+  }
+}
+
+void Tracer::complete(std::map<TraceId, CommitTrace>::iterator it, int64_t t_us) {
   CommitTrace t = std::move(it->second);
   active_.erase(it);
-  t.spans.push_back(TraceSpan{"applied", node, t_us});
   t.end_us = t_us;
   t.done = true;
+  std::stable_sort(t.spans.begin(), t.spans.end(),
+                   [](const TraceSpan& a, const TraceSpan& b) { return a.start_us < b.start_us; });
+  int64_t threshold = slow_threshold_us_.load(std::memory_order_relaxed);
+  if (threshold > 0 && t.duration_us() >= threshold) {
+    RSP_WARN << "trace: slow op " << t.id << " slot " << t.slot << " took "
+             << t.duration_us() << "us (threshold " << threshold
+             << "us): " << to_json({t});
+    slow_.push_back(t);
+    while (slow_.size() > 64) slow_.pop_front();
+  }
   completed_.push_back(std::move(t));
   while (completed_.size() > capacity_) completed_.pop_front();
+}
+
+void Tracer::set_slot(TraceId id, uint64_t slot) {
+  if (id == kNoTrace || !enabled()) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  CommitTrace* t = find_active(id);
+  if (t != nullptr) t->slot = slot;
 }
 
 size_t Tracer::completed_count() const {
@@ -59,6 +112,29 @@ size_t Tracer::active_count() const {
   return active_.size();
 }
 
+size_t Tracer::slow_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return slow_.size();
+}
+
+std::vector<CommitTrace> Tracer::recent(size_t k) const {
+  std::vector<CommitTrace> out;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto it = completed_.rbegin(); it != completed_.rend() && out.size() < k; ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+std::vector<CommitTrace> Tracer::slow_recent(size_t k) const {
+  std::vector<CommitTrace> out;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto it = slow_.rbegin(); it != slow_.rend() && out.size() < k; ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
 std::vector<CommitTrace> Tracer::slowest(size_t k) const {
   std::vector<CommitTrace> all;
   {
@@ -69,17 +145,13 @@ std::vector<CommitTrace> Tracer::slowest(size_t k) const {
     return a.duration_us() > b.duration_us();
   });
   if (all.size() > k) all.resize(k);
-  for (CommitTrace& t : all) {
-    std::stable_sort(t.spans.begin(), t.spans.end(),
-                     [](const TraceSpan& a, const TraceSpan& b) { return a.t_us < b.t_us; });
-  }
   return all;
 }
 
-std::string Tracer::slowest_json(size_t k) const {
+std::string Tracer::to_json(const std::vector<CommitTrace>& traces) {
   std::string out = "{\"traces\":[";
   bool first_t = true;
-  for (const CommitTrace& t : slowest(k)) {
+  for (const CommitTrace& t : traces) {
     if (!first_t) out += ',';
     first_t = false;
     out += "{\"trace_id\":" + std::to_string(t.id) + ",\"slot\":" + std::to_string(t.slot) +
@@ -88,8 +160,10 @@ std::string Tracer::slowest_json(size_t k) const {
     for (const TraceSpan& s : t.spans) {
       if (!first_s) out += ',';
       first_s = false;
-      out += "{\"phase\":\"" + s.phase + "\",\"node\":" + std::to_string(s.node) +
-             ",\"t_us\":" + std::to_string(s.t_us) + "}";
+      out += "{\"id\":" + std::to_string(s.id) + ",\"parent\":" + std::to_string(s.parent) +
+             ",\"name\":\"" + s.name + "\",\"node\":" + std::to_string(s.node) +
+             ",\"start_us\":" + std::to_string(s.start_us) +
+             ",\"end_us\":" + std::to_string(s.end_us) + "}";
     }
     out += "]}";
   }
@@ -97,10 +171,15 @@ std::string Tracer::slowest_json(size_t k) const {
   return out;
 }
 
+std::string Tracer::recent_json(size_t k) const { return to_json(recent(k)); }
+std::string Tracer::slowest_json(size_t k) const { return to_json(slowest(k)); }
+std::string Tracer::slow_json(size_t k) const { return to_json(slow_recent(k)); }
+
 void Tracer::clear() {
   std::lock_guard<std::mutex> lk(mu_);
   active_.clear();
   completed_.clear();
+  slow_.clear();
 }
 
 }  // namespace rspaxos::obs

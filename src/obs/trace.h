@@ -1,8 +1,30 @@
-// Per-request commit tracing: a TraceId is minted at Replica::propose,
-// carried in the consensus accept messages, and every pipeline phase appends
-// a span event (propose -> encode -> accept_sent -> quorum -> committed ->
-// applied, plus follower-side accept_recv/durable). Completed commits land in
-// a bounded ring; the K slowest can be dumped as a JSON timeline.
+// Span-based distributed tracing for the commit pipeline.
+//
+// A trace is a tree of spans (Dapper-style): each span has a (trace_id,
+// span_id, parent) triple plus a name, the recording node and start/end
+// timestamps. The SpanContext pair travels in the frame header (format v3),
+// so a commit's tree spans the client, the leader and every acceptor:
+//
+//   client_rpc                         (client)
+//   └─ commit                          (leader)
+//      ├─ ec_encode                    (leader: θ(X,N) Reed-Solomon encode)
+//      ├─ wal_fsync                    (leader's own durability)
+//      ├─ net_accept:<id> ...          (per-acceptor network + queue time;
+//      │   └─ wal_fsync                 started by the sender, ended by the
+//      │                                receiver — one process hosts all
+//      │                                nodes, so the global tracer sees both)
+//      ├─ quorum_wait                  (accepts sent -> QW durable acks)
+//      └─ apply                        (commit -> state machine applied)
+//
+// Ambient propagation: the current span is a thread-local (obs::current_span);
+// transports capture it at send time, stamp it into the frame, and deliver
+// handlers under a SpanScope carrying the sender's context, so protocol code
+// only ever talks to the ambient context.
+//
+// Completed traces (root span ended) land in a bounded ring; the K most
+// recent / slowest can be dumped as JSON (`/traces/recent`, bench reports).
+// Traces slower than a configurable threshold are additionally dumped to the
+// log and kept in a separate slow-op ring.
 //
 // Timestamps are supplied by the caller's NodeContext clock, so under the
 // simulator traces are sim-time and fully deterministic.
@@ -19,31 +41,50 @@
 namespace rspaxos::obs {
 
 using TraceId = uint64_t;
-/// Zero means "not traced"; untraced accepts skip all tracer work.
+using SpanId = uint64_t;
+/// Zero means "not traced"; untraced operations skip all tracer work.
 constexpr TraceId kNoTrace = 0;
 
-/// One phase event within a commit's lifetime.
-struct TraceSpan {
-  std::string phase;
-  uint32_t node = 0;
-  int64_t t_us = 0;
+/// The propagated pair: which trace, and which span is the current parent.
+/// span_id == 0 with a valid trace_id means "parent unknown" — children
+/// attach to the trace's root span.
+struct SpanContext {
+  TraceId trace_id = kNoTrace;
+  SpanId span_id = 0;
+
+  bool valid() const { return trace_id != kNoTrace; }
 };
 
-/// The full timeline of one committed slot.
+/// One timed phase within a trace.
+struct TraceSpan {
+  SpanId id = 0;
+  SpanId parent = 0;  // 0 only for the root span
+  std::string name;
+  uint32_t node = 0;
+  int64_t start_us = 0;
+  int64_t end_us = 0;  // 0 while still open
+
+  bool open() const { return end_us == 0 && start_us != 0; }
+  int64_t duration_us() const { return open() ? 0 : end_us - start_us; }
+};
+
+/// The full span tree of one traced operation (one committed slot).
 struct CommitTrace {
   TraceId id = kNoTrace;
   uint64_t slot = 0;
+  SpanId root = 0;
   std::vector<TraceSpan> spans;
   bool done = false;
   int64_t start_us = 0;
   int64_t end_us = 0;
 
   int64_t duration_us() const { return end_us - start_us; }
+  const TraceSpan* find(const std::string& name) const;
 };
 
-/// Bounded collector of commit traces. All methods are thread-safe; the
+/// Bounded collector of span trees. All methods are thread-safe; the
 /// in-flight set and the completed ring are both capped so an abandoned
-/// proposal (lost leadership) can never leak memory.
+/// trace (lost leadership, dropped frame) can never leak memory.
 class Tracer {
  public:
   explicit Tracer(size_t capacity = 512) : capacity_(capacity) {}
@@ -54,35 +95,82 @@ class Tracer {
   void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
-  /// Mints a fresh nonzero id tagged with the proposing node.
-  TraceId mint(uint32_t node);
+  /// Commits slower than this are dumped to the log with their full span
+  /// tree and retained in the slow-op ring. 0 disables the slow-op log.
+  void set_slow_threshold_us(int64_t us) {
+    slow_threshold_us_.store(us, std::memory_order_relaxed);
+  }
+  int64_t slow_threshold_us() const {
+    return slow_threshold_us_.load(std::memory_order_relaxed);
+  }
 
-  /// Opens a trace for `slot` and records the "propose" span.
-  void begin(TraceId id, uint64_t slot, uint32_t node, int64_t t_us);
-  /// Appends a phase span; unknown/evicted ids are ignored.
-  void event(TraceId id, const char* phase, uint32_t node, int64_t t_us);
-  /// Records the terminal "applied" span and moves the trace to the ring.
-  void finish(TraceId id, uint32_t node, int64_t t_us);
+  /// Mints a fresh trace with its root span open; returns the root context.
+  /// Invalid context when the tracer is disabled.
+  SpanContext begin_trace(std::string root_name, uint32_t node, int64_t t_us);
+
+  /// Opens a child span under `parent`. Unknown/evicted traces and invalid
+  /// parents yield an invalid context (all subsequent calls no-op). A parent
+  /// with span_id 0 attaches the child to the trace's root span.
+  SpanContext start_span(SpanContext parent, std::string name, uint32_t node, int64_t t_us);
+
+  /// Closes a span (idempotent: re-ending keeps the first end time). Ending
+  /// the root span completes the trace and moves it to the ring.
+  void end_span(SpanContext span, int64_t t_us);
+
+  /// Tags the trace with the consensus slot it committed (set at propose).
+  void set_slot(TraceId id, uint64_t slot);
 
   size_t completed_count() const;
   size_t active_count() const;
+  size_t slow_count() const;
 
-  /// The K slowest completed commits (by propose->applied wall time),
-  /// slowest first; spans sorted by timestamp.
+  /// The K most recently completed traces, newest first; spans in start
+  /// order.
+  std::vector<CommitTrace> recent(size_t k) const;
+  /// The K slowest completed traces (by root span wall time), slowest first.
   std::vector<CommitTrace> slowest(size_t k) const;
-  /// Same, as a JSON document: {"traces":[{trace_id,slot,duration_us,spans}]}.
+  /// The K most recent over-threshold traces, newest first.
+  std::vector<CommitTrace> slow_recent(size_t k) const;
+
+  /// JSON documents: {"traces":[{trace_id,slot,duration_us,spans:[...]}]}.
+  std::string recent_json(size_t k) const;
   std::string slowest_json(size_t k) const;
+  std::string slow_json(size_t k) const;
 
   void clear();
 
  private:
+  CommitTrace* find_active(TraceId id);  // mu_ held
+  void complete(std::map<TraceId, CommitTrace>::iterator it, int64_t t_us);  // mu_ held
+  static std::string to_json(const std::vector<CommitTrace>& traces);
+
   std::atomic<bool> enabled_{true};
+  std::atomic<int64_t> slow_threshold_us_{0};
   std::atomic<uint64_t> seq_{1};
   const size_t capacity_;
 
   mutable std::mutex mu_;
   std::map<TraceId, CommitTrace> active_;
   std::deque<CommitTrace> completed_;  // ring of finished traces
+  std::deque<CommitTrace> slow_;       // ring of over-threshold traces
+};
+
+/// The ambient span of the calling thread (invalid when none). Transports
+/// stamp it into outgoing frames; receivers run handlers under a SpanScope.
+SpanContext current_span();
+
+/// RAII: installs `ctx` as the thread's ambient span, restoring the previous
+/// one on destruction. Installing an invalid context clears the ambient span.
+class SpanScope {
+ public:
+  explicit SpanScope(SpanContext ctx);
+  ~SpanScope();
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  SpanContext prev_;
 };
 
 }  // namespace rspaxos::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace rspaxos::sim {
@@ -98,10 +99,14 @@ void SimNetwork::do_send(SimNode* from, NodeId to, MsgType type, Bytes payload) 
     // on arrival if it is down; a restarted node (new incarnation) does
     // receive late messages, as over a real network.
     Bytes copy = (c + 1 < copies) ? payload : std::move(payload);
+    // The sender's ambient span is captured at send time and reinstated at
+    // delivery — the sim-world equivalent of the frame-header trace fields.
     world_->schedule(deliver_at - world_->now() + c, [this, to, type, msg = std::move(copy),
-                                                      from_id = from->id_] {
+                                                      from_id = from->id_,
+                                                      span = obs::current_span()] {
       SimNode* dst = node(to);
       if (!dst->alive_ || dst->handler_ == nullptr) return;
+      obs::SpanScope scope(span);
       dst->handler_->on_message(from_id, type, msg);
     });
   }

@@ -400,6 +400,11 @@ uint64_t FileWal::group_truncated_bytes(uint32_t g) const {
   return g < group_counters_.size() ? group_counters_[g]->truncated.load() : 0;
 }
 
+void FileWal::set_flush_observer(std::function<void(int64_t)> fn) {
+  std::lock_guard<std::mutex> lk(observer_mu_);
+  flush_observer_ = std::move(fn);
+}
+
 void FileWal::flusher_loop() {
   std::unique_lock<std::mutex> lk(mu_);
   while (true) {
@@ -474,13 +479,18 @@ void FileWal::flush_batch(std::deque<Pending> batch) {
       }
     }
   }
+  int64_t fsync_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - flush_start)
+                         .count();
   WalMetrics& wm = WalMetrics::get();
   wm.bytes_durable->inc(wrote);
   wm.flushes->inc();
-  wm.fsync_us->observe(std::chrono::duration_cast<std::chrono::microseconds>(
-                           std::chrono::steady_clock::now() - flush_start)
-                           .count());
+  wm.fsync_us->observe(fsync_us);
   wm.batch_records->observe(static_cast<int64_t>(batch.size()));
+  {
+    std::lock_guard<std::mutex> olk(observer_mu_);
+    if (flush_observer_) flush_observer_(fsync_us);
+  }
   Status st = write_ok ? Status::ok() : Status::internal("wal write/fsync failed");
   for (Pending& p : batch) {
     if (p.cb) p.cb(st);

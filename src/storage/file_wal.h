@@ -78,10 +78,12 @@ class FileWal final : public Wal, public MuxWal {
   void replay(uint32_t g, const std::function<void(BytesView)>& fn) override;
   uint64_t group_bytes_flushed(uint32_t g) const override;
   uint64_t group_truncated_bytes(uint32_t g) const override;
+  uint64_t machine_bytes_flushed() const override { return bytes_flushed_.load(); }
+  void set_flush_observer(std::function<void(int64_t)> fn) override;
 
-  // Diagnostics / test hooks.
-  uint64_t first_segment() const { return first_seq_.load(); }
-  uint64_t active_segment() const { return active_seq_.load(); }
+  // Diagnostics / test hooks (also surfaced via MuxWal for /status).
+  uint64_t first_segment() const override { return first_seq_.load(); }
+  uint64_t active_segment() const override { return active_seq_.load(); }
   std::string segment_path(uint64_t seq) const;
 
  private:
@@ -131,6 +133,10 @@ class FileWal final : public Wal, public MuxWal {
   std::condition_variable cv_;
   std::deque<Pending> staged_;
   bool stopping_ = false;
+
+  // Flush-latency observer: written at assembly time, read by the flusher.
+  std::mutex observer_mu_;
+  std::function<void(int64_t)> flush_observer_;
 
   std::atomic<uint64_t> bytes_flushed_{0};
   std::atomic<uint64_t> flush_ops_{0};

@@ -117,8 +117,10 @@ void SimWal::maybe_flush() {
     SimWalMetrics& wm = SimWalMetrics::get();
     wm.bytes_durable->inc(nbytes);
     wm.flushes->inc();
-    wm.fsync_us->observe(static_cast<int64_t>(disk_->world()->now() - issued_at));
+    int64_t fsync_us = static_cast<int64_t>(disk_->world()->now() - issued_at);
+    wm.fsync_us->observe(fsync_us);
     wm.batch_records->observe(static_cast<int64_t>(batch));
+    if (flush_observer_) flush_observer_(fsync_us);
     std::vector<DurableFn> cbs;
     cbs.reserve(batch);
     for (size_t i = 0; i < batch; ++i) {

@@ -51,6 +51,10 @@ class SimWal final : public Wal, public MuxWal {
   uint64_t group_truncated_bytes(uint32_t g) const override {
     return g < groups_.size() ? groups_[g].truncated : 0;
   }
+  uint64_t machine_bytes_flushed() const override { return bytes_flushed_; }
+  void set_flush_observer(std::function<void(int64_t)> fn) override {
+    flush_observer_ = std::move(fn);  // single-threaded (sim event loop)
+  }
 
   /// Simulated crash helper: records whose flush had not completed are lost,
   /// mirroring a real power failure. (Durable records always survive.)
@@ -78,6 +82,7 @@ class SimWal final : public Wal, public MuxWal {
     TruncateFn tcb;
   };
   std::deque<Pending> staged_;
+  std::function<void(int64_t)> flush_observer_;
   bool flush_in_flight_ = false;
   uint64_t wipe_epoch_ = 0;  // invalidates in-flight flushes on crash
   std::vector<GroupState> groups_;

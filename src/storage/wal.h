@@ -77,6 +77,18 @@ class MuxWal {
   /// Device flushes are shared across groups, so the facades all report the
   /// whole log's flush count.
   virtual uint64_t flush_ops() const = 0;
+  /// Whole-machine durable bytes across every group (the shared device) —
+  /// what /status reports as the machine's disk-cost axis.
+  virtual uint64_t machine_bytes_flushed() const = 0;
+  /// Observer invoked with each device flush's latency in microseconds, from
+  /// the flushing execution context (a real flusher thread for FileWal, the
+  /// sim event for SimWal). Set during assembly, before traffic; feeds the
+  /// health watchdog's sliding fsync window.
+  virtual void set_flush_observer(std::function<void(int64_t)> fn) = 0;
+  /// Segment window of the underlying device log (FileWal's on-disk
+  /// sequence); logs without segments report [0, 0].
+  virtual uint64_t first_segment() const { return 0; }
+  virtual uint64_t active_segment() const { return 0; }
 
  private:
   std::vector<std::unique_ptr<Wal>> views_;

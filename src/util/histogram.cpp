@@ -21,15 +21,14 @@ int Histogram::bucket_index(int64_t v) {
   return (shift + 1) * kSubBuckets + sub;
 }
 
-int64_t Histogram::bucket_midpoint(int index) {
+int64_t Histogram::bucket_lower(int index) {
   if (index < kSubBuckets) return index;
   int octave = index / kSubBuckets;
   int sub = index % kSubBuckets;
   // Reconstruct: value had MSB at position (octave + kSubBucketBits - 1) and
-  // the next bits equal to sub.
-  int64_t base = (static_cast<int64_t>(kSubBuckets) | sub) << (octave - 1);
-  int64_t width = static_cast<int64_t>(1) << (octave - 1);
-  return base + width / 2;
+  // the next bits equal to sub. Buckets tile the axis, so bucket i's upper
+  // edge is bucket_lower(i + 1).
+  return (static_cast<int64_t>(kSubBuckets) | sub) << (octave - 1);
 }
 
 void Histogram::record(int64_t value) {
@@ -77,9 +76,22 @@ int64_t Histogram::value_at(double q) const {
   uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
   uint64_t seen = 0;
   for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    uint64_t before = seen;
     seen += buckets_[i];
     if (seen >= target) {
-      int64_t v = bucket_midpoint(static_cast<int>(i));
+      int64_t lo = bucket_lower(static_cast<int>(i));
+      // The terminal bucket also absorbs clamped out-of-range records, and
+      // bucket_lower(size) would shift past 2^63 — its real upper edge is
+      // the observed max.
+      int64_t hi = i + 1 == buckets_.size() ? max_
+                                            : bucket_lower(static_cast<int>(i) + 1);
+      // Linear interpolation by mid-rank within the bucket: ranks spread
+      // uniformly across [lo, hi), so an exact-valued bucket never reports
+      // its upper edge.
+      double frac = (static_cast<double>(target - before) - 0.5) /
+                    static_cast<double>(buckets_[i]);
+      int64_t v = lo + static_cast<int64_t>(frac * static_cast<double>(hi - lo));
       return std::clamp(v, min_, max_);
     }
   }

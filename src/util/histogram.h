@@ -38,7 +38,7 @@ class Histogram {
   static constexpr int kOctaves = 58;       // covers up to ~2^63
 
   static int bucket_index(int64_t v);
-  static int64_t bucket_midpoint(int index);
+  static int64_t bucket_lower(int index);
 
   std::vector<uint64_t> buckets_;
   uint64_t count_ = 0;

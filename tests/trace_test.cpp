@@ -1,0 +1,151 @@
+// Trace-propagation tests over the simulated cluster: a committed put must
+// leave ONE connected span tree whose spans were recorded on several distinct
+// nodes (client, leader, acceptors) — proof that the SpanContext actually
+// crossed the wire in the frame header rather than every node minting its own
+// trace. The tree contract must also survive a leader failover: spans from
+// the doomed leader's era may be abandoned, but post-election commits trace
+// exactly like first-era ones.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "kv/cluster.h"
+#include "obs/trace.h"
+#include "sim/sim_world.h"
+
+namespace rspaxos {
+namespace {
+
+using obs::CommitTrace;
+using obs::TraceSpan;
+using obs::Tracer;
+
+/// Every non-root span's parent must exist within the same trace.
+void expect_connected(const CommitTrace& t) {
+  for (const TraceSpan& s : t.spans) {
+    if (s.id == t.root) {
+      EXPECT_EQ(s.parent, 0u);
+      continue;
+    }
+    bool parent_known = std::any_of(
+        t.spans.begin(), t.spans.end(),
+        [&s](const TraceSpan& p) { return p.id == s.parent; });
+    EXPECT_TRUE(parent_known) << "orphan span " << s.name << " on node " << s.node;
+  }
+}
+
+/// The trace for one committed put: full phase set, connected, multi-node.
+const CommitTrace* find_commit_trace(const std::vector<CommitTrace>& traces) {
+  for (const CommitTrace& t : traces) {
+    bool has_net = std::any_of(t.spans.begin(), t.spans.end(), [](const TraceSpan& s) {
+      return s.name.rfind("net_accept:", 0) == 0;
+    });
+    if (t.find("client_rpc") != nullptr && t.find("commit") != nullptr &&
+        t.find("quorum_wait") != nullptr && has_net) {
+      return &t;
+    }
+  }
+  return nullptr;
+}
+
+struct Fixture {
+  sim::SimWorld world{7};
+  kv::SimCluster cluster;
+
+  Fixture() : cluster(&world, [] {
+    kv::SimClusterOptions o;
+    o.num_servers = 5;
+    o.f = 1;  // theta(3,5)
+    return o;
+  }()) {}
+
+  Status put(kv::KvClient* client, const std::string& key, const std::string& val) {
+    bool done = false;
+    Status st = Status::ok();
+    client->put(key, to_bytes(val), [&](Status s) {
+      st = s;
+      done = true;
+    });
+    TimeMicros deadline = world.now() + 60 * kSeconds;
+    while (!done && world.now() < deadline) world.run_for(5 * kMillis);
+    return done ? st : Status::timeout("put " + key);
+  }
+};
+
+TEST(TracePropagation, CommitSpanTreeCoversClientLeaderAndAcceptors) {
+  Fixture f;
+  f.cluster.wait_for_leaders();
+  auto client = f.cluster.make_client(0);
+
+  Tracer::global().clear();
+  Tracer::global().set_enabled(true);
+  ASSERT_TRUE(f.put(client.get(), "prop-key", "prop-value").is_ok());
+
+  const auto traces = Tracer::global().slowest(16);
+  const CommitTrace* t = find_commit_trace(traces);
+  ASSERT_NE(t, nullptr) << Tracer::global().slowest_json(16);
+  expect_connected(*t);
+
+  // The same trace id collected spans from several processes-worth of nodes:
+  // the client endpoint, the leader, and at least a write quorum's worth of
+  // acceptor-side wal_fsync spans recorded under the propagated context.
+  std::set<uint32_t> nodes;
+  for (const TraceSpan& s : t->spans) nodes.insert(s.node);
+  EXPECT_GE(nodes.size(), 3u) << "spans did not cross the wire: "
+                              << Tracer::global().slowest_json(16);
+  uint32_t leader_node = t->find("commit")->node;
+  EXPECT_NE(t->find("client_rpc")->node, leader_node);
+  int follower_fsyncs = 0;
+  for (const TraceSpan& s : t->spans) {
+    if (s.name == "wal_fsync" && s.node != leader_node) follower_fsyncs++;
+  }
+  // theta(3,5): QW=4 durable shares, so at least QW-1=3 follower fsyncs were
+  // traced (minus any still open at root end — require a majority of them).
+  EXPECT_GE(follower_fsyncs, 2) << Tracer::global().slowest_json(16);
+}
+
+TEST(TracePropagation, SpanTreeSurvivesLeaderFailover) {
+  Fixture f;
+  f.cluster.wait_for_leaders();
+  auto client = f.cluster.make_client(0);
+  ASSERT_TRUE(f.put(client.get(), "pre-crash", "v0").is_ok());
+
+  int old_leader = f.cluster.leader_server_of(0);
+  ASSERT_GE(old_leader, 0);
+  f.cluster.crash_server(old_leader);
+  TimeMicros deadline = f.world.now() + 120 * kSeconds;
+  while (f.world.now() < deadline) {
+    int l = f.cluster.leader_server_of(0);
+    if (l >= 0 && l != old_leader) break;
+    f.world.run_for(10 * kMillis);
+  }
+  int new_leader = f.cluster.leader_server_of(0);
+  ASSERT_GE(new_leader, 0);
+  ASSERT_NE(new_leader, old_leader);
+
+  // Only post-election traffic from here on.
+  Tracer::global().clear();
+  Tracer::global().set_enabled(true);
+  ASSERT_TRUE(f.put(client.get(), "post-crash", "v1").is_ok());
+
+  const auto traces = Tracer::global().slowest(16);
+  const CommitTrace* t = find_commit_trace(traces);
+  ASSERT_NE(t, nullptr) << Tracer::global().slowest_json(16);
+  expect_connected(*t);
+  EXPECT_TRUE(t->done);
+  // The commit span now lives on the new leader's endpoint.
+  EXPECT_EQ(t->find("commit")->node,
+            static_cast<uint32_t>(kv::endpoint_id(new_leader, 0)));
+  // The crashed server contributed nothing to the post-election tree.
+  for (const TraceSpan& s : t->spans) {
+    if (s.name == "client_rpc") continue;  // client endpoint, not a server
+    EXPECT_NE(s.node, static_cast<uint32_t>(kv::endpoint_id(old_leader, 0)))
+        << s.name;
+  }
+}
+
+}  // namespace
+}  // namespace rspaxos
