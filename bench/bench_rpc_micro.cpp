@@ -20,12 +20,16 @@
 #include <future>
 #include <thread>
 
+#include <map>
+
 #include "consensus/msg.h"
 #include "net/frame.h"
 #include "net/local_transport.h"
 #include "net/tcp_transport.h"
 #include "util/crc32.h"
 #include "util/event_loop.h"
+#include "util/rng.h"
+#include "util/slab_map.h"
 
 namespace {
 
@@ -77,6 +81,61 @@ void BM_Crc32c(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
 }
 BENCHMARK(BM_Crc32c)->Arg(64)->Arg(4 << 10)->Arg(1 << 20);
+
+// --- Outstanding-request table: SlabMap vs std::map --------------------------
+//
+// The KvClient reply hot path is insert (dispatch), find + erase (reply) keyed
+// by req_id, with `range(0)` requests live at once (the pipelining window).
+// Mimics an Outstanding record: big enough that per-node allocation matters.
+struct FakeOutstanding {
+  std::array<uint8_t, 96> blob{};
+  uint64_t deadline = 0;
+};
+
+void BM_OutstandingStdMap(benchmark::State& state) {
+  const size_t window = static_cast<size_t>(state.range(0));
+  std::map<uint64_t, FakeOutstanding> m;
+  std::vector<uint64_t> live(window);  // exact live set: replies pick from it
+  uint64_t next_id = 0;
+  Rng rng(7);
+  for (size_t i = 0; i < window; ++i) {
+    live[i] = next_id;
+    m.emplace(next_id++, FakeOutstanding{});
+  }
+  for (auto _ : state) {
+    // Replies complete out of order: erase a uniformly random live entry,
+    // insert the next request into its place.
+    size_t idx = static_cast<size_t>(rng.next_below(window));
+    m.erase(m.find(live[idx]));
+    live[idx] = next_id;
+    m.emplace(next_id++, FakeOutstanding{});
+    benchmark::DoNotOptimize(m.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OutstandingStdMap)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_OutstandingSlabMap(benchmark::State& state) {
+  const size_t window = static_cast<size_t>(state.range(0));
+  SlabMap<FakeOutstanding> m;
+  std::vector<uint64_t> live(window);
+  uint64_t next_id = 0;
+  Rng rng(7);
+  for (size_t i = 0; i < window; ++i) {
+    live[i] = next_id;
+    m.emplace(next_id++, FakeOutstanding{});
+  }
+  for (auto _ : state) {
+    size_t idx = static_cast<size_t>(rng.next_below(window));
+    benchmark::DoNotOptimize(m.find(live[idx]));
+    m.erase(live[idx]);
+    live[idx] = next_id;
+    m.emplace(next_id++, FakeOutstanding{});
+    benchmark::DoNotOptimize(m.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OutstandingSlabMap)->Arg(16)->Arg(256)->Arg(4096);
 
 // §5: "over 1 million batched ADD operations in 1 second between two
 // servers": measures small-message dispatch rate through the in-process

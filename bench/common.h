@@ -17,6 +17,9 @@
 #include <vector>
 
 #include "kv/cluster.h"
+// Shared CO-safe latency recording for all benchmarks: percentiles come from
+// util::Histogram via load::LatencyRecorder, never ad-hoc sorted-vector math.
+#include "load/latency_recorder.h"
 #include "obs/metrics.h"
 #include "obs/reporter.h"
 #include "obs/trace.h"

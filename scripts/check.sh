@@ -6,6 +6,9 @@
 #   scripts/check.sh --san      # tier-1 + asan/tsan/ubsan preset suites
 #   scripts/check.sh --obs      # observability loop only: metrics/trace/admin
 #                               # suites + a live curl-style scrape smoke test
+#   scripts/check.sh --sat      # saturation loop: admission/pipelining suites
+#                               # + a short bench_saturation --smoke sweep that
+#                               # must emit a sane BENCH_saturation.json
 #
 # The sanitizer presets build into their own trees (build-asan/ build-tsan/
 # build-ubsan/) and run curated subsets: ASan+UBSan runs everything, TSan
@@ -19,12 +22,14 @@ JOBS="${JOBS:-$(nproc)}"
 FAST=0
 SAN=0
 OBS=0
+SAT=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
     --san) SAN=1 ;;
     --obs) OBS=1 ;;
-    *) echo "usage: $0 [--fast] [--san] [--obs]" >&2; exit 2 ;;
+    --sat) SAT=1 ;;
+    *) echo "usage: $0 [--fast] [--san] [--obs] [--sat]" >&2; exit 2 ;;
   esac
 done
 
@@ -43,6 +48,27 @@ if [[ "$OBS" == 1 ]]; then
   # and scrapes /metrics, /status and /healthz exactly like curl would).
   run_preset default -R 'histogram_test|obs_test|trace_test|admin_http_test'
   echo "check.sh: observability suites passed"
+  exit 0
+fi
+
+if [[ "$SAT" == 1 ]]; then
+  # Saturation loop: the admission-control and pipelined-client suites, then
+  # a low-QPS sim-only open-loop sweep. The smoke sweep must finish inside
+  # the timeout and write a BENCH_saturation.json whose knee is a number.
+  run_preset default -R 'saturation_test|pipeline_test|pipeline_tcp_test|util_test'
+  echo "=== [default] bench_saturation --smoke ==="
+  (cd build/bench && timeout 300 ./bench_saturation --smoke)
+  python3 - <<'EOF'
+import json
+with open("build/bench/BENCH_saturation.json") as f:
+    doc = json.load(f)
+knee = doc["sim"]["knee_qps"]
+points = doc["sim"]["points"]
+assert isinstance(knee, (int, float)) and knee == knee and knee > 0, knee
+assert len(points) >= 6, len(points)
+print(f"check.sh: smoke sweep ok — {len(points)} points, knee {knee:.0f} qps")
+EOF
+  echo "check.sh: saturation suites passed"
   exit 0
 fi
 

@@ -885,13 +885,21 @@ void Replica::restore_from_wal() {
 void Replica::maybe_drop_old_payloads() {
   if (opts_.payload_cache_slots != 0 && applied_index_ > opts_.payload_cache_slots) {
     Slot cutoff = applied_index_ - opts_.payload_cache_slots;
-    // Walk only entries below the cutoff; the map is ordered.
-    for (auto it = log_.begin(); it != log_.end() && it->first <= cutoff; ++it) {
+    // Incremental: slots <= the floor were stripped by an earlier pass, so
+    // each call walks only newly aged-out entries. Without the floor this
+    // rescan is O(applied_index) per apply batch — quadratic over a long
+    // run, and open-loop saturation runs push hundreds of thousands of
+    // slots. (A retransmitted accept can re-create a slot below the floor;
+    // its cached bytes then live until restart, bounded by retransmit
+    // traffic.)
+    for (auto it = log_.upper_bound(payload_gc_floor_);
+         it != log_.end() && it->first <= cutoff; ++it) {
       if (it->second.applied && it->second.full_payload.has_value() &&
           it->second.share.x > 1) {
         it->second.full_payload.reset();
       }
     }
+    payload_gc_floor_ = std::max(payload_gc_floor_, cutoff);
   }
   if (opts_.share_cache_slots != 0 && applied_index_ > opts_.share_cache_slots) {
     Slot cutoff = applied_index_ - opts_.share_cache_slots;
@@ -905,7 +913,8 @@ void Replica::maybe_drop_old_payloads() {
           snap_man_.has_value() ? static_cast<Slot>(snap_man_->applied_index) : 0;
       cutoff = std::min(cutoff, watermark);
     }
-    for (auto it = log_.begin(); it != log_.end() && it->first <= cutoff; ++it) {
+    for (auto it = log_.upper_bound(share_gc_floor_);
+         it != log_.end() && it->first <= cutoff; ++it) {
       LogEntry& e = it->second;
       if (e.applied && !e.share.data.empty()) {
         e.full_payload.reset();
@@ -914,6 +923,7 @@ void Replica::maybe_drop_old_payloads() {
         m_.share_gc_dropped.inc();
       }
     }
+    share_gc_floor_ = std::max(share_gc_floor_, cutoff);
   }
 }
 // ---------------------------------------------------------------------------

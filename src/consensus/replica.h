@@ -334,6 +334,11 @@ class Replica final : public MessageHandler {
   Slot next_slot_ = 1;       // leader: next slot to assign
   Slot commit_index_ = 0;    // all slots <= this are committed
   Slot applied_index_ = 0;
+  // Monotone scan floors for maybe_drop_old_payloads: everything at or
+  // below a floor has already been stripped, so per-apply cache GC walks
+  // only newly aged-out slots instead of rescanning from log_.begin().
+  Slot payload_gc_floor_ = 0;
+  Slot share_gc_floor_ = 0;
 
   std::map<Slot, PendingProposal> pending_;
   // Chosen-but-not-yet-applied proposal callbacks: fired on apply so a

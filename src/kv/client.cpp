@@ -28,58 +28,86 @@ size_t shard_of(const std::string& key, size_t num_shards) {
 
 KvClient::KvClient(NodeContext* ctx, RoutingTable routing, Options opts)
     : ctx_(ctx), routing_(std::move(routing)), opts_(opts),
-      leader_cache_(routing_.num_shards(), kNoNode) {}
+      wheel_(static_cast<int64_t>(opts.timer_tick > 0 ? opts.timer_tick : 1)),
+      backoff_rng_(0x5a7f00d5ull ^ (static_cast<uint64_t>(ctx->id()) << 17)),
+      leader_cache_(routing_.num_shards(), kNoNode) {
+  auto& reg = obs::MetricsRegistry::global();
+  std::string node = std::to_string(ctx_->id());
+  inflight_gauge_ = &reg.gauge_family("rsp_client_inflight",
+                                      "Client ops currently occupying window slots",
+                                      {"node"})
+                         .with({node});
+  queue_gauge_ = &reg.gauge_family("rsp_client_queue_depth",
+                                   "Client ops waiting for a window slot", {"node"})
+                      .with({node});
+  overload_counter_ =
+      &reg.counter_family("rsp_client_overload_backoffs_total",
+                          "kOverloaded replies absorbed with a backoff", {"node"})
+           .with({node});
+}
 
 KvClient::KvClient(NodeContext* ctx, RoutingTable routing)
     : KvClient(ctx, std::move(routing), Options{}) {}
 
+// No teardown: the destructor must not touch ctx_ — established usage
+// destroys the transport (and its loops/timers) before the client. An owner
+// destroying the client while its loop is still live must call cancel_all()
+// on the loop thread first; that disarms the sweep timer.
+KvClient::~KvClient() = default;
+
+void KvClient::set_inflight_gauge() {
+  inflight_gauge_->set(static_cast<int64_t>(inflight_));
+  queue_gauge_->set(static_cast<int64_t>(queue_.size()));
+}
+
 void KvClient::put(const std::string& key, Bytes value, PutFn cb) {
   Outstanding o;
-  o.req.req_id = next_req_id_++;
   o.req.op = ClientOp::kPut;
   o.req.key = key;
   o.req.value = std::move(value);
-  o.shard = shard_of(key, routing_.num_shards());
   o.put_cb = std::move(cb);
-  uint64_t id = o.req.req_id;
-  outstanding_.emplace(id, std::move(o));
-  dispatch(id);
+  submit(std::move(o));
 }
 
 void KvClient::get(const std::string& key, GetFn cb) {
   Outstanding o;
-  o.req.req_id = next_req_id_++;
   o.req.op = ClientOp::kGet;
   o.req.key = key;
-  o.shard = shard_of(key, routing_.num_shards());
   o.get_cb = std::move(cb);
-  uint64_t id = o.req.req_id;
-  outstanding_.emplace(id, std::move(o));
-  dispatch(id);
+  submit(std::move(o));
 }
 
 void KvClient::consistent_get(const std::string& key, GetFn cb) {
   Outstanding o;
-  o.req.req_id = next_req_id_++;
   o.req.op = ClientOp::kConsistentGet;
   o.req.key = key;
-  o.shard = shard_of(key, routing_.num_shards());
   o.get_cb = std::move(cb);
-  uint64_t id = o.req.req_id;
-  outstanding_.emplace(id, std::move(o));
-  dispatch(id);
+  submit(std::move(o));
 }
 
 void KvClient::del(const std::string& key, PutFn cb) {
   Outstanding o;
-  o.req.req_id = next_req_id_++;
   o.req.op = ClientOp::kDelete;
   o.req.key = key;
-  o.shard = shard_of(key, routing_.num_shards());
   o.put_cb = std::move(cb);
+  submit(std::move(o));
+}
+
+void KvClient::submit(Outstanding&& o) {
+  o.req.req_id = next_req_id_++;
+  o.shard = shard_of(o.req.key, routing_.num_shards());
   uint64_t id = o.req.req_id;
+  bool has_slot = inflight_ < opts_.max_inflight;
+  o.state = has_slot ? OpState::kInflight : OpState::kQueued;
   outstanding_.emplace(id, std::move(o));
-  dispatch(id);
+  if (has_slot) {
+    ++inflight_;
+    set_inflight_gauge();
+    dispatch(id);
+  } else {
+    queue_.push_back(id);
+    set_inflight_gauge();
+  }
 }
 
 NodeId KvClient::pick_target(Outstanding& o) {
@@ -92,41 +120,131 @@ NodeId KvClient::pick_target(Outstanding& o) {
 }
 
 void KvClient::dispatch(uint64_t req_id) {
-  auto it = outstanding_.find(req_id);
-  if (it == outstanding_.end()) return;
-  Outstanding& o = it->second;
-  if (++o.attempts > opts_.max_attempts) {
-    fail(o, Status::timeout("kv request exhausted attempts"));
-    outstanding_.erase(it);
+  Outstanding* o = outstanding_.find(req_id);
+  if (o == nullptr) return;
+  if (++o->attempts > opts_.max_attempts) {
+    finish(req_id, Status::timeout("kv request exhausted attempts"), {}, false);
     return;
   }
-  NodeId target = pick_target(o);
+  NodeId target = pick_target(*o);
   obs::Tracer& tracer = obs::Tracer::global();
-  if (!o.span.valid() && tracer.enabled()) {
-    o.span = tracer.begin_trace("client_rpc", ctx_->id(),
-                                static_cast<int64_t>(ctx_->now()));
+  if (!o->span.valid() && tracer.enabled()) {
+    o->span = tracer.begin_trace("client_rpc", ctx_->id(),
+                                 static_cast<int64_t>(ctx_->now()));
   }
   {
     // The request frame carries the root span, so the leader's commit tree
     // attaches under this client RPC.
-    obs::SpanScope scope(o.span);
-    ctx_->send(target, MsgType::kClientRequest, o.req.encode());
+    obs::SpanScope scope(o->span);
+    ctx_->send(target, MsgType::kClientRequest, o->req.encode());
   }
-  if (o.timer != 0) ctx_->cancel_timer(o.timer);
-  o.timer = ctx_->set_timer(opts_.request_timeout, [this, req_id] {
-    auto oit = outstanding_.find(req_id);
-    if (oit == outstanding_.end()) return;
-    // No reply in time: forget the cached leader and try the next member.
-    leader_cache_[oit->second.shard] = kNoNode;
-    dispatch(req_id);
-  });
+  schedule_event(req_id, *o, opts_.request_timeout, OpState::kInflight);
 }
 
-void KvClient::fail(Outstanding& o, Status st) {
-  if (o.timer != 0) ctx_->cancel_timer(o.timer);
-  obs::Tracer::global().end_span(o.span, static_cast<int64_t>(ctx_->now()));
-  if (o.put_cb) o.put_cb(st);
-  if (o.get_cb) o.get_cb(std::move(st));
+void KvClient::schedule_event(uint64_t req_id, Outstanding& o, DurationMicros delay,
+                              OpState state) {
+  o.state = state;
+  // Bumping the gen lazily cancels whatever wheel entry was armed before.
+  ++o.timer_gen;
+  wheel_.add(req_id, o.timer_gen, static_cast<int64_t>(ctx_->now() + delay));
+  arm_tick();
+}
+
+void KvClient::arm_tick() {
+  if (tick_timer_ != 0 || wheel_.empty()) return;
+  tick_timer_ = ctx_->set_timer(opts_.timer_tick, [this] { on_tick(); });
+}
+
+void KvClient::on_tick() {
+  tick_timer_ = 0;
+  due_.clear();
+  wheel_.advance(static_cast<int64_t>(ctx_->now()), due_);
+  for (const TimingWheel::Entry& e : due_) {
+    Outstanding* o = outstanding_.find(e.id);
+    if (o == nullptr || o->timer_gen != e.gen) continue;  // lazily cancelled
+    switch (o->state) {
+      case OpState::kInflight:
+        // No reply in time: forget the cached leader and try the next member.
+        stats_.timeouts++;
+        leader_cache_[o->shard] = kNoNode;
+        dispatch(e.id);
+        break;
+      case OpState::kWaitRetry:
+        dispatch(e.id);
+        break;
+      case OpState::kQueued:
+        break;  // queued ops never arm deadlines
+    }
+  }
+  arm_tick();
+}
+
+void KvClient::finish(uint64_t req_id, Status st, Bytes value, bool found) {
+  Outstanding* o = outstanding_.find(req_id);
+  if (o == nullptr) return;
+  obs::Tracer::global().end_span(o->span, static_cast<int64_t>(ctx_->now()));
+  PutFn put_cb = std::move(o->put_cb);
+  GetFn get_cb = std::move(o->get_cb);
+  bool occupied_slot = o->state != OpState::kQueued;
+  outstanding_.erase(req_id);
+  if (occupied_slot && inflight_ > 0) --inflight_;
+  if (st.is_ok()) {
+    stats_.completed++;
+  } else {
+    stats_.failed++;
+  }
+  set_inflight_gauge();
+  // Callbacks may submit new ops (closed-loop callers): they see the freed
+  // window slot first; whatever is left goes to the queued ops below.
+  if (put_cb) put_cb(st);
+  if (get_cb) {
+    if (!st.is_ok()) {
+      get_cb(std::move(st));
+    } else if (found) {
+      get_cb(std::move(value));
+    } else {
+      get_cb(Status::not_found("key not found"));
+    }
+  }
+  drain_queue();
+}
+
+void KvClient::drain_queue() {
+  while (inflight_ < opts_.max_inflight && !queue_.empty()) {
+    uint64_t id = queue_.front();
+    queue_.pop_front();
+    Outstanding* o = outstanding_.find(id);
+    if (o == nullptr || o->state != OpState::kQueued) continue;
+    o->state = OpState::kInflight;
+    ++inflight_;
+    set_inflight_gauge();
+    dispatch(id);
+  }
+}
+
+void KvClient::cancel_all(Status st) {
+  if (tick_timer_ != 0) {
+    ctx_->cancel_timer(tick_timer_);
+    tick_timer_ = 0;
+  }
+  wheel_.clear();
+  queue_.clear();
+  inflight_ = 0;
+  // Collect callbacks first: callbacks may re-enter submit(), which must see
+  // a consistent (empty) table.
+  std::vector<std::pair<PutFn, GetFn>> cbs;
+  obs::Tracer& tracer = obs::Tracer::global();
+  outstanding_.for_each([&](uint64_t, Outstanding& o) {
+    tracer.end_span(o.span, static_cast<int64_t>(ctx_->now()));
+    cbs.emplace_back(std::move(o.put_cb), std::move(o.get_cb));
+  });
+  outstanding_.clear();
+  stats_.failed += cbs.size();
+  set_inflight_gauge();
+  for (auto& [put_cb, get_cb] : cbs) {
+    if (put_cb) put_cb(st);
+    if (get_cb) get_cb(st);
+  }
 }
 
 void KvClient::on_message(NodeId from, MsgType type, BytesView payload) {
@@ -134,48 +252,50 @@ void KvClient::on_message(NodeId from, MsgType type, BytesView payload) {
   auto m = ClientReply::decode(payload);
   if (!m.is_ok()) return;
   ClientReply& rep = m.value();
-  auto it = outstanding_.find(rep.req_id);
-  if (it == outstanding_.end()) return;  // duplicate / late reply
-  Outstanding& o = it->second;
+  Outstanding* o = outstanding_.find(rep.req_id);
+  if (o == nullptr) return;  // duplicate / late reply
+  // A reply for a queued op is impossible (never dispatched); a reply during
+  // kWaitRetry is a late duplicate of the attempt we already acted on.
+  if (o->state != OpState::kInflight) return;
 
   switch (rep.code) {
     case ReplyCode::kNotLeader: {
       // Follow the hint; if there is none, probe the next member.
-      leader_cache_[o.shard] = (rep.leader_hint != kNoNode) ? rep.leader_hint : kNoNode;
+      leader_cache_[o->shard] = (rep.leader_hint != kNoNode) ? rep.leader_hint : kNoNode;
       if (rep.leader_hint == kNoNode || rep.leader_hint == from) {
-        leader_cache_[o.shard] = kNoNode;
+        leader_cache_[o->shard] = kNoNode;
       }
       // Small delay avoids hammering a group mid-election.
-      if (o.timer != 0) ctx_->cancel_timer(o.timer);
-      uint64_t id = rep.req_id;
-      o.timer = ctx_->set_timer(10 * kMillis, [this, id] { dispatch(id); });
+      schedule_event(rep.req_id, *o, 10 * kMillis, OpState::kWaitRetry);
       return;
     }
     case ReplyCode::kRetry: {
-      if (o.timer != 0) ctx_->cancel_timer(o.timer);
-      uint64_t id = rep.req_id;
-      o.timer = ctx_->set_timer(20 * kMillis, [this, id] { dispatch(id); });
+      schedule_event(rep.req_id, *o, 20 * kMillis, OpState::kWaitRetry);
+      return;
+    }
+    case ReplyCode::kOverloaded: {
+      // Admission control shed us: the leader is alive and correct, just
+      // saturated. Keep the leader cache; back off with jittered exponential
+      // delay so a fleet of shed clients does not resynchronize into waves.
+      stats_.overload_backoffs++;
+      overload_counter_->inc();
+      int exp = o->overloads < 7 ? o->overloads : 7;
+      o->overloads++;
+      uint64_t base = static_cast<uint64_t>(opts_.overload_backoff_base) << exp;
+      if (base > static_cast<uint64_t>(opts_.overload_backoff_max)) {
+        base = static_cast<uint64_t>(opts_.overload_backoff_max);
+      }
+      // Jitter to [0.5x, 1.5x).
+      uint64_t delay = base / 2 + backoff_rng_.next_below(base > 0 ? base : 1);
+      schedule_event(rep.req_id, *o, static_cast<DurationMicros>(delay),
+                     OpState::kWaitRetry);
       return;
     }
     case ReplyCode::kOk:
     case ReplyCode::kNotFound: {
-      leader_cache_[o.shard] = from;
-      if (o.timer != 0) ctx_->cancel_timer(o.timer);
-      completed_++;
-      obs::Tracer::global().end_span(o.span, static_cast<int64_t>(ctx_->now()));
-      PutFn put_cb = std::move(o.put_cb);
-      GetFn get_cb = std::move(o.get_cb);
-      bool found = rep.code == ReplyCode::kOk;
-      Bytes value = std::move(rep.value);
-      outstanding_.erase(it);
-      if (put_cb) put_cb(Status::ok());
-      if (get_cb) {
-        if (found) {
-          get_cb(std::move(value));
-        } else {
-          get_cb(Status::not_found("key not found"));
-        }
-      }
+      leader_cache_[o->shard] = from;
+      finish(rep.req_id, Status::ok(), std::move(rep.value),
+             rep.code == ReplyCode::kOk);
       return;
     }
   }

@@ -1,18 +1,32 @@
-// KV client: shard routing (§4.2), leader tracking, retry/redirect.
+// KV client: shard routing (§4.2), leader tracking, retry/redirect, and a
+// fully pipelined dispatch path.
 //
 // "On client startup, it firstly gathers the information that which replica
 // is the leader of each data shard, and saves this information in its local
 // cache. Clients send their requests to the leaders." (§4.4)
+//
+// Pipelining: the client keeps up to Options::max_inflight operations on the
+// wire simultaneously (out-of-order completion keyed by req_id); further
+// submissions queue client-side until a window slot frees. The outstanding
+// table is a SlabMap (contiguous slab + free-list — no per-op allocation on
+// the reply hot path), and all per-op deadlines (request timeouts, redirect
+// and overload backoff waits) coalesce into ONE timing-wheel sweep timer
+// instead of one armed loop timer per op. kOverloaded replies from server
+// admission control are retried after a jittered exponential backoff.
 #pragma once
 
+#include <deque>
 #include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "kv/command.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/rng.h"
+#include "util/slab_map.h"
+#include "util/timing_wheel.h"
 
 namespace rspaxos::kv {
 
@@ -46,8 +60,10 @@ struct RoutingTable {
   }
 };
 
-/// Asynchronous client. One outstanding request per call; callers may issue
-/// many concurrently. Retries on timeout / kRetry; follows kNotLeader hints.
+/// Asynchronous pipelined client. Callers may issue any number of concurrent
+/// operations; at most Options::max_inflight are on the wire at once and the
+/// rest wait in a client-side queue. Retries on timeout / kRetry; follows
+/// kNotLeader hints; backs off exponentially (with jitter) on kOverloaded.
 /// Not thread-safe: like all protocol objects, a KvClient lives on its
 /// node's execution context. Over a threaded transport (TCP/local), call
 /// put/get/del from that node's loop (e.g. `node->loop().post(...)`), never
@@ -60,10 +76,27 @@ class KvClient final : public MessageHandler {
   struct Options {
     DurationMicros request_timeout = 1000 * kMillis;
     int max_attempts = 100;
+    /// In-flight window: ops dispatched (or awaiting a scheduled retry)
+    /// simultaneously. Submissions beyond it queue client-side in order.
+    size_t max_inflight = 256;
+    /// Timing-wheel sweep granularity — the error bound on every per-op
+    /// deadline. One loop timer fires per tick while any op is outstanding.
+    DurationMicros timer_tick = 5 * kMillis;
+    /// kOverloaded backoff: base * 2^n jittered to [0.5x, 1.5x), capped.
+    DurationMicros overload_backoff_base = 5 * kMillis;
+    DurationMicros overload_backoff_max = 640 * kMillis;
+  };
+
+  struct Stats {
+    uint64_t completed = 0;          // ops finished ok / not-found
+    uint64_t failed = 0;             // ops failed definitively
+    uint64_t overload_backoffs = 0;  // kOverloaded replies absorbed
+    uint64_t timeouts = 0;           // per-attempt timeouts fired
   };
 
   KvClient(NodeContext* ctx, RoutingTable routing, Options opts);
   KvClient(NodeContext* ctx, RoutingTable routing);
+  ~KvClient() override;
 
   void put(const std::string& key, Bytes value, PutFn cb);
   void get(const std::string& key, GetFn cb);
@@ -72,7 +105,20 @@ class KvClient final : public MessageHandler {
 
   void on_message(NodeId from, MsgType type, BytesView payload) override;
 
-  uint64_t ops_completed() const { return completed_; }
+  /// Fails every outstanding and queued op with `st` (callbacks run inline)
+  /// and disarms the sweep timer. After this the client is quiescent — safe
+  /// to destroy even mid-workload. Loop thread only. Required before
+  /// destroying a client whose loop will outlive it (the destructor itself
+  /// never touches the context: it may already be gone in the established
+  /// transport-first teardown order).
+  void cancel_all(Status st);
+
+  uint64_t ops_completed() const { return stats_.completed; }
+  const Stats& stats() const { return stats_; }
+  /// Ops occupying window slots (on the wire or in a retry wait).
+  size_t inflight() const { return inflight_; }
+  /// Ops submitted but still waiting for a window slot.
+  size_t queued() const { return queue_.size(); }
 
   /// Cached leader endpoint for `shard` (kNoNode while unknown). Updated from
   /// replies and redirect hints; a failover on one shard must never disturb
@@ -82,31 +128,60 @@ class KvClient final : public MessageHandler {
   }
 
  private:
+  enum class OpState : uint8_t {
+    kQueued,     // waiting for a window slot; no armed deadline
+    kInflight,   // dispatched; deadline = per-attempt request timeout
+    kWaitRetry,  // backoff / redirect pause; deadline = when to re-dispatch
+  };
+
   struct Outstanding {
     ClientRequest req;
-    size_t shard;
+    size_t shard = 0;
     int attempts = 0;
+    int overloads = 0;  // consecutive kOverloaded replies (backoff exponent)
     size_t next_member = 0;  // round-robin fallback when no leader known
+    OpState state = OpState::kQueued;
+    /// Guards wheel entries: an entry only acts if its gen matches. Bumping
+    /// the gen is how superseded deadlines are (lazily) cancelled.
+    uint32_t timer_gen = 0;
     PutFn put_cb;
     GetFn get_cb;
-    NodeContext::TimerId timer = 0;
     /// Root "client_rpc" span covering the whole user-visible request,
     /// retries and redirects included; the server-side commit tree hangs
     /// under it via frame-header propagation.
     obs::SpanContext span;
   };
 
+  void submit(Outstanding&& o);
   void dispatch(uint64_t req_id);
-  void fail(Outstanding& o, Status st);
+  /// Arms the wheel for `o` and re-arms the sweep timer if needed.
+  void schedule_event(uint64_t req_id, Outstanding& o, DurationMicros delay,
+                      OpState state);
+  void on_tick();
+  void arm_tick();
+  /// Completes `req_id` (removing it from the table and freeing its window
+  /// slot), invokes its callback, then admits queued ops into the window.
+  void finish(uint64_t req_id, Status st, Bytes value, bool found);
+  void drain_queue();
   NodeId pick_target(Outstanding& o);
+  void set_inflight_gauge();
 
   NodeContext* ctx_;
   RoutingTable routing_;
   Options opts_;
   uint64_t next_req_id_ = 1;
-  uint64_t completed_ = 0;
-  std::map<uint64_t, Outstanding> outstanding_;
+  Stats stats_;
+  SlabMap<Outstanding> outstanding_;
+  std::deque<uint64_t> queue_;  // req_ids in kQueued state, FIFO
+  size_t inflight_ = 0;
+  TimingWheel wheel_;
+  NodeContext::TimerId tick_timer_ = 0;
+  std::vector<TimingWheel::Entry> due_;  // scratch for on_tick
+  Rng backoff_rng_;
   std::vector<NodeId> leader_cache_;  // per shard; kNoNode if unknown
+  obs::Gauge* inflight_gauge_;
+  obs::Gauge* queue_gauge_;
+  obs::Counter* overload_counter_;
 };
 
 }  // namespace rspaxos::kv

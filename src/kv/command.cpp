@@ -105,7 +105,7 @@ StatusOr<ClientReply> ClientReply::decode(BytesView b) {
   RSP_RETURN_IF_ERROR(r.u64(m.req_id));
   uint8_t code;
   RSP_RETURN_IF_ERROR(r.u8(code));
-  if (code > 3) return Status::corruption("bad reply code");
+  if (code > 4) return Status::corruption("bad reply code");
   m.code = static_cast<ReplyCode>(code);
   RSP_RETURN_IF_ERROR(r.u32(m.leader_hint));
   RSP_RETURN_IF_ERROR(r.bytes(m.value));

@@ -78,8 +78,9 @@ struct ClientRequest {
 enum class ReplyCode : uint8_t {
   kOk = 0,
   kNotFound = 1,
-  kNotLeader = 2,  // leader_hint is set
-  kRetry = 3,      // transient (e.g. mid-failover); try again
+  kNotLeader = 2,   // leader_hint is set
+  kRetry = 3,       // transient (e.g. mid-failover); try again
+  kOverloaded = 4,  // admission control shed the request; back off, then retry
 };
 
 struct ClientReply {

@@ -41,6 +41,64 @@ KvServer::KvServer(NodeContext* ctx, storage::Wal* wal, GroupConfig cfg,
   m_.redirects = counter("rsp_kv_redirects_total", "Client requests bounced to the leader");
   m_.batches_committed =
       counter("rsp_kv_batches_committed_total", "Composite batch instances committed");
+  auto shed = [&](const char* reason) {
+    return obs::CounterView(
+        &reg.counter_family("rsp_admission_shed_total",
+                            "Client requests bounced with kOverloaded by admission control",
+                            {"node", "group", "reason"})
+             .with({node, group, reason}));
+  };
+  m_.shed_inflight = shed("inflight");
+  m_.shed_queue_bytes = shed("queue_bytes");
+  m_.shed_health = shed("health");
+  m_.adm_inflight =
+      &reg.gauge_family("rsp_admission_inflight",
+                        "Replication ops accepted but not yet committed", {"node", "group"})
+           .with({node, group});
+  m_.adm_queue_bytes =
+      &reg.gauge_family("rsp_admission_queue_bytes",
+                        "Client value bytes accepted but not yet committed",
+                        {"node", "group"})
+           .with({node, group});
+}
+
+void KvServer::admission_acquire(size_t bytes) {
+  ++adm_inflight_;
+  adm_queue_bytes_ += bytes;
+  m_.adm_inflight->set(static_cast<int64_t>(adm_inflight_));
+  m_.adm_queue_bytes->set(static_cast<int64_t>(adm_queue_bytes_));
+}
+
+void KvServer::admission_release(size_t bytes) {
+  if (adm_inflight_ > 0) --adm_inflight_;
+  adm_queue_bytes_ = adm_queue_bytes_ >= bytes ? adm_queue_bytes_ - bytes : 0;
+  m_.adm_inflight->set(static_cast<int64_t>(adm_inflight_));
+  m_.adm_queue_bytes->set(static_cast<int64_t>(adm_queue_bytes_));
+}
+
+bool KvServer::admit(NodeId from, uint64_t req_id, size_t bytes, bool replicating) {
+  const KvAdmissionOptions& a = kv_opts_.admission;
+  if (replicating) {
+    if (a.max_inflight != 0 && adm_inflight_ >= a.max_inflight) {
+      m_.shed_inflight.inc();
+      reply(from, req_id, ReplyCode::kOverloaded);
+      return false;
+    }
+    if (a.max_queue_bytes != 0 && adm_queue_bytes_ + bytes > a.max_queue_bytes &&
+        adm_queue_bytes_ > 0) {
+      // (A single value larger than the whole budget is still admitted when
+      // the queue is empty — rejecting it forever would wedge that client.)
+      m_.shed_queue_bytes.inc();
+      reply(from, req_id, ReplyCode::kOverloaded);
+      return false;
+    }
+  }
+  if (a.shed_on_health && health_ != nullptr && health_->overloaded()) {
+    m_.shed_health.inc();
+    reply(from, req_id, ReplyCode::kOverloaded);
+    return false;
+  }
+  return true;
 }
 
 KvServerStats KvServer::stats() const {
@@ -51,6 +109,8 @@ KvServerStats KvServer::stats() const {
   s.recovery_reads = m_.recovery_reads.value();
   s.redirects = m_.redirects.value();
   s.batches_committed = m_.batches_committed.value();
+  s.admission_shed =
+      m_.shed_inflight.value() + m_.shed_queue_bytes.value() + m_.shed_health.value();
   return s;
 }
 
@@ -82,15 +142,19 @@ void KvServer::handle_client(NodeId from, ClientRequest req) {
   }
   switch (req.op) {
     case ClientOp::kPut:
+      if (!admit(from, req.req_id, req.value.size(), /*replicating=*/true)) return;
       do_put(from, std::move(req));
       return;
     case ClientOp::kGet:
+      if (!admit(from, req.req_id, 0, /*replicating=*/false)) return;
       do_fast_get(from, std::move(req));
       return;
     case ClientOp::kConsistentGet:
+      if (!admit(from, req.req_id, 0, /*replicating=*/true)) return;
       do_consistent_get(from, std::move(req));
       return;
     case ClientOp::kDelete:
+      if (!admit(from, req.req_id, 0, /*replicating=*/true)) return;
       do_delete(from, std::move(req));
       return;
   }
@@ -98,6 +162,8 @@ void KvServer::handle_client(NodeId from, ClientRequest req) {
 
 void KvServer::do_put(NodeId from, ClientRequest req) {
   m_.puts.inc();
+  size_t bytes = req.value.size();
+  admission_acquire(bytes);
   if (kv_opts_.batch_window > 0) {
     enqueue_batch(from, req.req_id, Op::kPut, std::move(req.key), std::move(req.value));
     return;
@@ -107,7 +173,8 @@ void KvServer::do_put(NodeId from, ClientRequest req) {
   h.key = req.key;
   uint64_t req_id = req.req_id;
   replica_.propose(h.encode(), std::move(req.value),
-                   [this, from, req_id](StatusOr<consensus::Slot> r) {
+                   [this, from, req_id, bytes](StatusOr<consensus::Slot> r) {
+                     admission_release(bytes);
                      if (r.is_ok()) {
                        reply(from, req_id, ReplyCode::kOk);
                      } else {
@@ -118,6 +185,7 @@ void KvServer::do_put(NodeId from, ClientRequest req) {
 
 void KvServer::do_delete(NodeId from, ClientRequest req) {
   // "Delete operations are treated as write(key, NULL)" (§4.4).
+  admission_acquire(0);
   if (kv_opts_.batch_window > 0) {
     enqueue_batch(from, req.req_id, Op::kDelete, std::move(req.key), Bytes{});
     return;
@@ -128,6 +196,7 @@ void KvServer::do_delete(NodeId from, ClientRequest req) {
   uint64_t req_id = req.req_id;
   replica_.propose(h.encode(), Bytes{},
                    [this, from, req_id](StatusOr<consensus::Slot> r) {
+                     admission_release(0);
                      reply(from, req_id, r.is_ok() ? ReplyCode::kOk : ReplyCode::kRetry);
                    });
 }
@@ -167,10 +236,17 @@ void KvServer::flush_batch() {
   BatchHeader h;
   h.items = std::move(batch.items);
   auto waiters = std::move(batch.waiters);
+  size_t batch_bytes = batch.payload.size();
   replica_.propose(h.encode(), std::move(batch.payload),
-                   [this, waiters = std::move(waiters)](StatusOr<consensus::Slot> r) {
+                   [this, waiters = std::move(waiters),
+                    batch_bytes](StatusOr<consensus::Slot> r) {
                      ReplyCode code = r.is_ok() ? ReplyCode::kOk : ReplyCode::kRetry;
                      if (r.is_ok()) m_.batches_committed.inc();
+                     // Each waiter acquired one inflight slot; together they
+                     // acquired the batch's payload bytes.
+                     for (size_t i = 0; i < waiters.size(); ++i) {
+                       admission_release(i == 0 ? batch_bytes : 0);
+                     }
                      for (const auto& [client, req_id] : waiters) {
                        reply(client, req_id, code);
                      }
@@ -190,6 +266,7 @@ void KvServer::do_fast_get(NodeId from, ClientRequest req) {
 
 void KvServer::do_consistent_get(NodeId from, ClientRequest req) {
   m_.consistent_reads.inc();
+  admission_acquire(0);
   // Preserve client-visible order: everything queued for batching commits
   // before the read marker.
   flush_batch();
@@ -200,6 +277,7 @@ void KvServer::do_consistent_get(NodeId from, ClientRequest req) {
   std::string key = req.key;
   replica_.propose(h.encode(), Bytes{},
                    [this, from, req_id, key](StatusOr<consensus::Slot> r) {
+                     admission_release(0);
                      if (!r.is_ok()) {
                        reply(from, req_id, ReplyCode::kRetry);
                        return;

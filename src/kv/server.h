@@ -15,6 +15,7 @@
 #include "consensus/replica.h"
 #include "kv/command.h"
 #include "kv/store.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 
 namespace rspaxos::kv {
@@ -28,6 +29,25 @@ struct KvServerStats {
   uint64_t recovery_reads = 0;
   uint64_t redirects = 0;
   uint64_t batches_committed = 0;
+  uint64_t admission_shed = 0;  // requests bounced with kOverloaded (all reasons)
+};
+
+/// Per-group admission control: overload is answered with kOverloaded (the
+/// client backs off) instead of queueing without bound. A request that
+/// consumes replication capacity (put / delete / consistent read) is admitted
+/// only while every enabled budget has room; fast reads are leader-local and
+/// only shed on the health watermark (an overloaded event loop slows
+/// everything, including them).
+struct KvAdmissionOptions {
+  /// Max replication ops accepted but not yet committed. 0 = unlimited.
+  size_t max_inflight = 0;
+  /// Max bytes of client values accepted but not yet committed (covers both
+  /// the batch accumulator and proposed-but-uncommitted instances).
+  /// 0 = unlimited.
+  size_t max_queue_bytes = 0;
+  /// Also shed while the host HealthMonitor reports overload (loop lag /
+  /// WAL fsync p99 past its watermarks — see obs::HealthOptions).
+  bool shed_on_health = true;
 };
 
 /// Server-side behaviour knobs.
@@ -39,6 +59,7 @@ struct KvServerOptions {
   DurationMicros batch_window = 0;
   size_t batch_max_bytes = 4 << 20;
   size_t batch_max_count = 64;
+  KvAdmissionOptions admission;
 };
 
 class KvServer final : public MessageHandler {
@@ -54,10 +75,19 @@ class KvServer final : public MessageHandler {
 
   void on_message(NodeId from, MsgType type, BytesView payload) override;
 
+  /// Feeds the host health watchdog's overload verdict into admission
+  /// control (see KvAdmissionOptions::shed_on_health). Set before start();
+  /// the monitor must outlive this server's message processing.
+  void set_health(const obs::HealthMonitor* health) { health_ = health; }
+
   consensus::Replica& replica() { return replica_; }
   const consensus::Replica& replica() const { return replica_; }
   const LocalStore& store() const { return store_; }
   KvServerStats stats() const;
+
+  /// Live admission-control occupancy (loop thread only; tests/benchmarks).
+  size_t admission_inflight() const { return adm_inflight_; }
+  size_t admission_queue_bytes() const { return adm_queue_bytes_; }
 
   /// Leader-side sweep after a view change that requires re-coding: re-puts
   /// every complete value so it is re-committed under the new θ(X', N').
@@ -65,6 +95,11 @@ class KvServer final : public MessageHandler {
 
  private:
   void handle_client(NodeId from, ClientRequest req);
+  /// Admission check for a request wanting `bytes` of queue budget. When it
+  /// sheds, the kOverloaded reply has already been sent.
+  bool admit(NodeId from, uint64_t req_id, size_t bytes, bool replicating);
+  void admission_acquire(size_t bytes);
+  void admission_release(size_t bytes);
   void reply(NodeId to, uint64_t req_id, ReplyCode code, Bytes value = {});
   void do_put(NodeId from, ClientRequest req);
   void do_fast_get(NodeId from, ClientRequest req);
@@ -91,10 +126,19 @@ class KvServer final : public MessageHandler {
   NodeContext* ctx_;
   KvServerOptions kv_opts_;
   LocalStore store_;
+  const obs::HealthMonitor* health_ = nullptr;
+  // Admission occupancy: replication ops accepted but not yet resolved, and
+  // the client value bytes they hold. Released when the commit callback runs
+  // (ok or failed), so leadership loss can never leak budget.
+  size_t adm_inflight_ = 0;
+  size_t adm_queue_bytes_ = 0;
   /// Cached registry handles, labeled by node id (delta views: see replica.h).
   struct Metrics {
     obs::CounterView puts, fast_reads, consistent_reads;
     obs::CounterView recovery_reads, redirects, batches_committed;
+    obs::CounterView shed_inflight, shed_queue_bytes, shed_health;
+    obs::Gauge* adm_inflight = nullptr;
+    obs::Gauge* adm_queue_bytes = nullptr;
   } m_;
 
   // Pending composite instance (leader only; see KvServerOptions).

@@ -1,0 +1,70 @@
+// Coordinated-omission-safe latency recording.
+//
+// An open-loop generator decides WHEN each operation should start before the
+// system's behaviour can influence it. If the measured latency were
+// (completion - actual dispatch), a saturated system that delays dispatch
+// would silently erase its own queueing delay from the numbers — the classic
+// coordinated-omission bug. The recorder therefore keeps two series:
+//
+//   response time = completion - intended start   (what a real user feels;
+//                                                  includes client queueing)
+//   service time  = completion - actual dispatch  (what the server did)
+//
+// Percentile math reuses util::Histogram (log-bucketed, ~1% relative error)
+// rather than ad-hoc sorted-vector interpolation.
+#pragma once
+
+#include <cstdint>
+
+#include "util/histogram.h"
+
+namespace rspaxos::load {
+
+class LatencyRecorder {
+ public:
+  /// All timestamps on the same clock (NodeContext::now()). `ok` = the op
+  /// completed successfully; failures count but never pollute the latency
+  /// distributions.
+  void record(int64_t intended_start_us, int64_t actual_start_us, int64_t end_us,
+              bool ok) {
+    if (ok) {
+      int64_t resp = end_us - intended_start_us;
+      int64_t serv = end_us - actual_start_us;
+      response_us_.record(resp > 0 ? resp : 0);
+      service_us_.record(serv > 0 ? serv : 0);
+      ++ok_;
+    } else {
+      ++failed_;
+    }
+  }
+
+  void merge(const LatencyRecorder& other) {
+    response_us_.merge(other.response_us_);
+    service_us_.merge(other.service_us_);
+    ok_ += other.ok_;
+    failed_ += other.failed_;
+  }
+
+  void clear() {
+    response_us_.clear();
+    service_us_.clear();
+    ok_ = 0;
+    failed_ = 0;
+  }
+
+  /// Completion - intended start: the coordinated-omission-safe series.
+  /// Report percentiles from THIS one.
+  const Histogram& response_us() const { return response_us_; }
+  /// Completion - actual dispatch: diagnostic (server-side view).
+  const Histogram& service_us() const { return service_us_; }
+  uint64_t ok() const { return ok_; }
+  uint64_t failed() const { return failed_; }
+
+ private:
+  Histogram response_us_;
+  Histogram service_us_;
+  uint64_t ok_ = 0;
+  uint64_t failed_ = 0;
+};
+
+}  // namespace rspaxos::load

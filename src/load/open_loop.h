@@ -1,0 +1,101 @@
+// Open-loop (Poisson) load generator over a pipelined KvClient.
+//
+// Closed-loop drivers (bench/common.h WorkloadDriver) issue the next op only
+// after the previous completes, so offered load collapses exactly when the
+// system slows down — they cannot measure behaviour past the saturation knee.
+// This generator schedules arrivals from a Poisson process at a target QPS
+// regardless of completions: ops the window cannot absorb queue client-side,
+// and every latency is measured from the op's INTENDED arrival time
+// (coordinated-omission-safe; see latency_recorder.h).
+//
+// The generator lives on the client's NodeContext, so the same code drives a
+// SimWorld cluster (sim timers, deterministic) and a TcpCluster (loop-thread
+// timers, wall clock). All methods are loop-thread-only.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "kv/client.h"
+#include "load/latency_recorder.h"
+#include "net/transport.h"
+#include "util/rng.h"
+
+namespace rspaxos::load {
+
+struct OpenLoopSpec {
+  double qps = 1000.0;        // target offered load (Poisson arrival rate)
+  double read_ratio = 0.0;    // fraction of arrivals that are fast reads
+  size_t value_size = 1024;   // write payload bytes
+  int key_space = 64;         // distinct keys, uniformly chosen
+  uint64_t seed = 1;
+  /// Arrival window: ops are generated for exactly this long.
+  DurationMicros duration = 10 * kSeconds;
+  /// After the window closes, stragglers get this long to complete before
+  /// the generator cancels them (they count as failed).
+  DurationMicros drain_timeout = 30 * kSeconds;
+  /// Client-side queue bound: an arrival that would find this many ops
+  /// already waiting for a window slot is shed immediately (counted as
+  /// failed, never submitted). 0 = unbounded. Without a bound, a sweep past
+  /// the knee queues every excess op in client memory and they all complete
+  /// during the drain — achieved load can then never fall below offered and
+  /// the knee is unmeasurable.
+  size_t max_client_queue = 0;
+};
+
+/// One generator drives one KvClient. start() begins the arrival process;
+/// `on_done` fires (on the loop) once every generated op has resolved —
+/// completed, failed, or cancelled at the drain deadline.
+class OpenLoopGen {
+ public:
+  OpenLoopGen(NodeContext* ctx, kv::KvClient* client, OpenLoopSpec spec);
+
+  void start(std::function<void()> on_done);
+  /// Disarms timers without completing. Safe to call any time (loop thread);
+  /// after it, on_done will not fire.
+  void stop();
+
+  const LatencyRecorder& recorder() const { return recorder_; }
+  uint64_t issued() const { return issued_; }
+  uint64_t resolved() const { return resolved_; }
+  /// Arrivals shed at the client-queue bound (subset of recorder().failed()).
+  uint64_t client_shed() const { return client_shed_; }
+  /// Achieved throughput: completed-ok per second of actual run time (arrival
+  /// window plus whatever drain the stragglers used). Using real elapsed time
+  /// — not the arrival window — keeps overload honest: ops finishing during
+  /// the drain must not inflate the rate.
+  double achieved_qps() const;
+  /// Offered load actually generated (arrivals per second over the window).
+  double offered_qps() const;
+
+ private:
+  void pump();
+  void issue(int64_t intended_us);
+  void on_op_done(int64_t intended_us, int64_t actual_us, bool ok);
+  void maybe_finish();
+  void arm(DurationMicros delay);
+
+  NodeContext* ctx_;
+  kv::KvClient* client_;
+  OpenLoopSpec spec_;
+  Rng rng_;
+  LatencyRecorder recorder_;
+  Bytes value_;  // one shared payload; contents don't affect the protocol
+
+  int64_t start_us_ = 0;
+  int64_t end_arrivals_us_ = 0;   // start + duration
+  int64_t next_arrival_us_ = 0;
+  bool arrivals_done_ = false;
+  bool draining_cancelled_ = false;
+  bool done_ = false;
+  uint64_t issued_ = 0;
+  uint64_t resolved_ = 0;
+  uint64_t client_shed_ = 0;
+  int64_t last_resolve_us_ = 0;
+  NodeContext::TimerId pump_timer_ = 0;
+  NodeContext::TimerId drain_timer_ = 0;
+  std::function<void()> on_done_;
+};
+
+}  // namespace rspaxos::load

@@ -26,6 +26,13 @@ NodeHost::~NodeHost() { stop(); }
 void NodeHost::start() {
   assert(!started_);
   started_ = true;
+  // The monitor is built before the per-group servers so its overload verdict
+  // (health watermarks -> admission control) can be fed to every KvServer;
+  // probes only arm at the end of start().
+  if (opts_.watchdog) {
+    health_ = std::make_unique<obs::HealthMonitor>(static_cast<uint32_t>(server_),
+                                                   opts_.health);
+  }
   endpoints_.resize(num_groups_, nullptr);
   servers_.resize(num_groups_);
   for (uint32_t g = 0; g < num_groups_; ++g) {
@@ -38,6 +45,7 @@ void NodeHost::start() {
     servers_[g] = std::make_unique<kv::KvServer>(ctx, wal_->group(g), config_fn_(g), ropts,
                                                  opts_.kv, snap_fn_ ? snap_fn_(g) : nullptr);
     kv::KvServer* srv = servers_[g].get();
+    if (health_) srv->set_health(health_.get());
     auto bring_up = [ctx, srv] {
       ctx->set_handler(srv);
       srv->start();
@@ -49,9 +57,7 @@ void NodeHost::start() {
     }
   }
 
-  if (opts_.watchdog) {
-    health_ = std::make_unique<obs::HealthMonitor>(static_cast<uint32_t>(server_),
-                                                   opts_.health);
+  if (health_) {
     if (queue_sampler_) health_->set_queue_sampler(queue_sampler_);
     // Each probe republishes the status board so any-thread readers (the
     // admin server) always have a recent document even if the loop later

@@ -74,6 +74,12 @@ HealthMonitor::HealthMonitor(uint32_t server, HealthOptions opts)
                                      "1 while the host event loop is stalled",
                                      {"server"})
                         .with({s});
+  overloaded_gauge_ =
+      &reg.gauge_family("rsp_health_overloaded",
+                        "1 while a watermark (loop lag / fsync p99) is tripped "
+                        "and admission control sheds load",
+                        {"server"})
+           .with({s});
 }
 
 int64_t HealthMonitor::wall_now_us() {
@@ -117,9 +123,26 @@ void HealthMonitor::probe() {
   last_probe_node_us_.store(node_now, std::memory_order_relaxed);
   last_lag_us_.store(lag, std::memory_order_relaxed);
 
-  lag_p99_gauge_->set(loop_lag_.window(wall).value_at(0.99));
-  fsync_p99_gauge_->set(fsync_.window(wall).value_at(0.99));
+  int64_t lag_p99 = loop_lag_.window(wall).value_at(0.99);
+  int64_t fsync_p99 = fsync_.window(wall).value_at(0.99);
+  lag_p99_gauge_->set(lag_p99);
+  fsync_p99_gauge_->set(fsync_p99);
   stalled_gauge_->set(stalled(node_now) ? 1 : 0);
+
+  // Overload watermarks (admission control feed): trip at the watermark,
+  // clear below half of it — hysteresis stops probe-to-probe flapping.
+  if (opts_.overload_lag_p99 > 0 || opts_.overload_fsync_p99 > 0) {
+    bool was = overloaded_.load(std::memory_order_relaxed);
+    auto over = [&](int64_t v, DurationMicros mark) {
+      if (mark == 0) return false;
+      int64_t m = static_cast<int64_t>(mark);
+      return v >= (was ? m / 2 : m);
+    };
+    bool now_over =
+        over(lag_p99, opts_.overload_lag_p99) || over(fsync_p99, opts_.overload_fsync_p99);
+    overloaded_.store(now_over, std::memory_order_relaxed);
+    overloaded_gauge_->set(now_over ? 1 : 0);
+  }
 
   if (on_probe_) on_probe_();
 

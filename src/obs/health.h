@@ -62,6 +62,12 @@ struct HealthOptions {
   /// probe_interval + this — flips the host to "stalled".
   DurationMicros stall_threshold = 1 * kSeconds;
   int slices = 10;
+  /// Overload watermarks feeding KvServer admission control (0 = disabled).
+  /// The flag trips when a windowed p99 crosses its watermark and clears with
+  /// hysteresis once it falls below half of it, so admission does not flap
+  /// probe-to-probe.
+  DurationMicros overload_lag_p99 = 0;
+  DurationMicros overload_fsync_p99 = 0;
 };
 
 class HealthMonitor {
@@ -86,6 +92,11 @@ class HealthMonitor {
 
   /// WAL flusher hook — any thread.
   void record_fsync(int64_t lat_us);
+
+  /// Overload verdict, recomputed once per probe from the watermarks in
+  /// HealthOptions (any thread; cheap). Always false while both watermarks
+  /// are disabled.
+  bool overloaded() const { return overloaded_.load(std::memory_order_relaxed); }
 
   /// `now_us` is the host's node-clock time (NodeContext::now()); probes
   /// stamp the same clock, so staleness works across sim and real time.
@@ -112,6 +123,7 @@ class HealthMonitor {
   std::atomic<int64_t> last_probe_node_us_{0};
   std::atomic<int64_t> expected_at_node_us_{0};
   std::atomic<int64_t> last_lag_us_{0};
+  std::atomic<bool> overloaded_{false};
 
   // Sliced on the steady wall clock (flusher threads have no node clock);
   // recorded *values* use the caller's clock, so sim lags stay deterministic.
@@ -125,6 +137,7 @@ class HealthMonitor {
   Gauge* lag_p99_gauge_;
   Gauge* fsync_p99_gauge_;
   Gauge* stalled_gauge_;
+  Gauge* overloaded_gauge_;
 };
 
 }  // namespace rspaxos::obs

@@ -1,0 +1,168 @@
+// Open-addressed uint64-keyed map backed by a slab with a free-list.
+//
+// Purpose-built for hot request tables (KvClient's outstanding-ops map): a
+// reply arrives carrying a req_id and must find / erase its record. std::map
+// pays a node allocation per insert and pointer-chases a red-black tree on
+// every lookup; SlabMap stores records contiguously in a slab (indices are
+// recycled through a free-list, so steady-state traffic allocates nothing)
+// and resolves keys through a linear-probing index table of (key, slot)
+// pairs — one cache line covers several probes.
+//
+// Deletion uses backward-shift (no tombstones), so probe sequences never
+// degrade under churn. Value references are stable only until the next
+// emplace (the slab vector may grow); keys must be unique.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rspaxos {
+
+template <typename T>
+class SlabMap {
+ public:
+  explicit SlabMap(size_t initial_buckets = 64) {
+    size_t cap = 16;
+    while (cap < initial_buckets) cap <<= 1;
+    table_.assign(cap, Bucket{});
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Pointer to the value for `key`, or nullptr. Stable until the next
+  /// emplace().
+  T* find(uint64_t key) {
+    size_t pos;
+    return find_pos(key, pos) ? &slab_[table_[pos].slot].value : nullptr;
+  }
+  const T* find(uint64_t key) const {
+    size_t pos;
+    return find_pos(key, pos) ? &slab_[table_[pos].slot].value : nullptr;
+  }
+
+  /// Inserts a new entry; `key` must not already be present.
+  T& emplace(uint64_t key, T&& value) {
+    assert(find(key) == nullptr);
+    if ((size_ + 1) * 4 > table_.size() * 3) grow();
+    uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+      slab_[slot].value = std::move(value);
+    } else {
+      slot = static_cast<uint32_t>(slab_.size());
+      slab_.push_back(Entry{std::move(value)});
+    }
+    insert_index(key, slot);
+    ++size_;
+    return slab_[slot].value;
+  }
+
+  /// Removes `key`; returns false when absent. The slab slot is reset to a
+  /// default-constructed T (releasing its resources) and recycled.
+  bool erase(uint64_t key) {
+    size_t pos;
+    if (!find_pos(key, pos)) return false;
+    uint32_t slot = table_[pos].slot;
+    slab_[slot].value = T{};
+    free_.push_back(slot);
+    erase_index(pos);
+    --size_;
+    return true;
+  }
+
+  /// Visits every live entry as fn(key, T&). Do not mutate the map inside.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (const Bucket& b : table_) {
+      if (b.slot != kEmpty) fn(b.key, slab_[b.slot].value);
+    }
+  }
+
+  void clear() {
+    for (Bucket& b : table_) b = Bucket{};
+    slab_.clear();
+    free_.clear();
+    size_ = 0;
+  }
+
+ private:
+  static constexpr uint32_t kEmpty = 0xffffffffu;
+
+  struct Bucket {
+    uint64_t key = 0;
+    uint32_t slot = kEmpty;
+  };
+  struct Entry {
+    T value;
+  };
+
+  // murmur3 fmix64: the index table masks with low bits, so every input bit
+  // must reach them (req_ids are small sequential integers).
+  static uint64_t mix(uint64_t h) {
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ull;
+    h ^= h >> 33;
+    return h;
+  }
+
+  size_t home(uint64_t key) const { return mix(key) & (table_.size() - 1); }
+
+  bool find_pos(uint64_t key, size_t& pos) const {
+    size_t mask = table_.size() - 1;
+    size_t i = home(key);
+    while (table_[i].slot != kEmpty) {
+      if (table_[i].key == key) {
+        pos = i;
+        return true;
+      }
+      i = (i + 1) & mask;
+    }
+    return false;
+  }
+
+  void insert_index(uint64_t key, uint32_t slot) {
+    size_t mask = table_.size() - 1;
+    size_t i = home(key);
+    while (table_[i].slot != kEmpty) i = (i + 1) & mask;
+    table_[i] = Bucket{key, slot};
+  }
+
+  // Classic backward-shift deletion for linear probing: pull each following
+  // cluster member into the hole if (and only if) the hole lies within its
+  // probe path, leaving no tombstone behind.
+  void erase_index(size_t hole) {
+    size_t mask = table_.size() - 1;
+    size_t j = hole;
+    while (true) {
+      j = (j + 1) & mask;
+      if (table_[j].slot == kEmpty) break;
+      size_t h = home(table_[j].key);
+      if (((j - h) & mask) >= ((j - hole) & mask)) {
+        table_[hole] = table_[j];
+        hole = j;
+      }
+    }
+    table_[hole] = Bucket{};
+  }
+
+  void grow() {
+    std::vector<Bucket> old = std::move(table_);
+    table_.assign(old.size() * 2, Bucket{});
+    for (const Bucket& b : old) {
+      if (b.slot != kEmpty) insert_index(b.key, b.slot);
+    }
+  }
+
+  std::vector<Bucket> table_;
+  std::vector<Entry> slab_;
+  std::vector<uint32_t> free_;
+  size_t size_ = 0;
+};
+
+}  // namespace rspaxos

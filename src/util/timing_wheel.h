@@ -1,0 +1,116 @@
+// Hashed timing wheel with lazy cancellation.
+//
+// Coalesces thousands of per-operation deadlines into ONE armed host timer:
+// the owner ticks the wheel at a fixed granularity and collects every entry
+// that came due, instead of arming one NodeContext/EventLoop timer per
+// operation (10k outstanding ops would otherwise mean 10k live timers in the
+// loop's priority queue).
+//
+// Cancellation is lazy: entries carry a (id, gen) pair and the owner bumps
+// the generation it stores per operation whenever the pending deadline is
+// superseded; stale wheel entries fire and are discarded by the gen check.
+// This keeps add() O(1) with no per-entry handle bookkeeping.
+//
+// Deadlines may lie arbitrarily far out: an entry parks in its bucket
+// (deadline / tick % buckets) and is re-examined each time the cursor passes
+// — for the intended use (request timeouts within a few wheel turns) each
+// entry is touched O(1) times.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace rspaxos {
+
+class TimingWheel {
+ public:
+  struct Entry {
+    uint64_t id = 0;
+    uint32_t gen = 0;
+    int64_t deadline_us = 0;
+  };
+
+  /// `tick_us` is the sweep granularity (deadline error bound);
+  /// `buckets` is rounded up to a power of two.
+  explicit TimingWheel(int64_t tick_us, size_t buckets = 256) : tick_us_(tick_us) {
+    size_t cap = 8;
+    while (cap < buckets) cap <<= 1;
+    buckets_.resize(cap);
+  }
+
+  int64_t tick_us() const { return tick_us_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void add(uint64_t id, uint32_t gen, int64_t deadline_us) {
+    size_t b = static_cast<size_t>(deadline_us / tick_us_) & (buckets_.size() - 1);
+    buckets_[b].push_back(Entry{id, gen, deadline_us});
+    ++size_;
+    if (deadline_us < next_deadline_) next_deadline_ = deadline_us;
+  }
+
+  /// Moves every entry with deadline <= now into `due` (appended, bucket
+  /// order — callers needing strict deadline order must sort). Call with
+  /// monotonically non-decreasing `now`.
+  void advance(int64_t now_us, std::vector<Entry>& due) {
+    if (size_ == 0) {
+      cursor_ = now_us / tick_us_;
+      return;
+    }
+    if (now_us < next_deadline_) {  // cheap skip for sparse wheels
+      cursor_ = now_us / tick_us_;
+      return;
+    }
+    int64_t now_tick = now_us / tick_us_;
+    size_t nb = buckets_.size();
+    // If time jumped past a whole revolution, one pass over every bucket
+    // beats walking each intermediate tick.
+    size_t span = now_tick - cursor_ >= static_cast<int64_t>(nb)
+                      ? nb
+                      : static_cast<size_t>(now_tick - cursor_) + 1;
+    int64_t min_left = INT64_MAX;
+    for (size_t s = 0; s < span; ++s) {
+      size_t b = static_cast<size_t>(cursor_ + static_cast<int64_t>(s)) & (nb - 1);
+      auto& vec = buckets_[b];
+      size_t keep = 0;
+      for (size_t i = 0; i < vec.size(); ++i) {
+        if (vec[i].deadline_us <= now_us) {
+          due.push_back(vec[i]);
+          --size_;
+        } else {
+          vec[keep++] = vec[i];
+        }
+      }
+      vec.resize(keep);
+      for (const Entry& e : vec) {
+        if (e.deadline_us < min_left) min_left = e.deadline_us;
+      }
+    }
+    cursor_ = now_tick;
+    // next_deadline_ is a lower bound used only for the cheap skip. Entries
+    // in unscanned buckets all have deadline ticks beyond now_tick (live
+    // entries never sit behind the cursor), so (now_tick + 1) * tick bounds
+    // them; scanned buckets' survivors are bounded exactly by min_left.
+    if (size_ == 0) {
+      next_deadline_ = INT64_MAX;
+    } else {
+      next_deadline_ = std::min(min_left, (now_tick + 1) * tick_us_);
+    }
+  }
+
+  void clear() {
+    for (auto& b : buckets_) b.clear();
+    size_ = 0;
+    next_deadline_ = INT64_MAX;
+  }
+
+ private:
+  int64_t tick_us_;
+  int64_t cursor_ = 0;  // last processed tick number
+  int64_t next_deadline_ = INT64_MAX;
+  size_t size_ = 0;
+  std::vector<std::vector<Entry>> buckets_;
+};
+
+}  // namespace rspaxos
