@@ -28,6 +28,7 @@
 #include "net/tcp_transport.h"
 #include "util/crc32.h"
 #include "util/event_loop.h"
+#include "util/io_driver.h"
 #include "util/rng.h"
 #include "util/slab_map.h"
 
@@ -435,13 +436,17 @@ void run_rpc_sweep() {
     return;
   }
   std::fprintf(f,
-               "{\n  \"transport\": \"tcp-epoll\",\n  \"sender_threads\": %d,\n"
-               "  \"cores\": %u,\n"
-               "  \"note\": \"median of 3 runs per cell; on single-core hosts "
-               "frames >=64KiB are memory-bandwidth-bound, so the epoll "
-               "syscall savings show up at small frames\",\n"
+               "{\n  \"transport\": \"tcp\",\n  \"sender_threads\": %d,\n"
+               "  \"cores\": %u,\n  \"reactors\": 1,\n  \"io_backend\": \"%s\",\n"
+               "  \"note\": \"median of 3 runs per cell; reactors=1 because the "
+               "sweep drives a single point-to-point node pair; io_backend is "
+               "the driver behind both the sweep's transport loop and FileWal "
+               "(RSPAXOS_IO_BACKEND). On single-core hosts frames >=64KiB are "
+               "memory-bandwidth-bound, so the syscall savings show up at "
+               "small frames\",\n"
                "  \"sweep\": [\n",
-               kSweepThreads, std::thread::hardware_concurrency());
+               kSweepThreads, std::thread::hardware_concurrency(),
+               util::io_backend_name());
   for (size_t i = 0; i < rows.size(); ++i) {
     const RpcRow& r = rows[i];
     std::fprintf(f,

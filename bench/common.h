@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "kv/cluster.h"
@@ -24,6 +25,7 @@
 #include "obs/reporter.h"
 #include "obs/trace.h"
 #include "util/histogram.h"
+#include "util/io_driver.h"
 #include "util/rng.h"
 
 namespace rspaxos::bench {
@@ -43,6 +45,17 @@ struct DiskKind {
 
 inline DiskKind hdd() { return DiskKind{"HDD", sim::DiskParams::hdd()}; }
 inline DiskKind ssd() { return DiskKind{"SSD", sim::DiskParams::ssd()}; }
+
+/// Execution-environment metadata stamped into every bench JSON header (no
+/// surrounding braces — splice into an object): the host's ACTUAL core count,
+/// the reactor count the cluster ran with, and the IO backend this build
+/// would select. A result claiming 4-way parallelism from a 1-core container
+/// is a lie; these fields make the claim checkable after the fact.
+inline std::string bench_meta_json(int reactors) {
+  return "\"cores\": " + std::to_string(std::thread::hardware_concurrency()) +
+         ", \"reactors\": " + std::to_string(reactors) + ", \"io_backend\": \"" +
+         util::io_backend_name() + "\"";
+}
 
 /// Replica timing used by all benchmarks (scaled for WAN round trips).
 inline consensus::ReplicaOptions bench_replica_options(bool wan) {

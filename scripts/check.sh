@@ -9,6 +9,11 @@
 #   scripts/check.sh --sat      # saturation loop: admission/pipelining suites
 #                               # + a short bench_saturation --smoke sweep that
 #                               # must emit a sane BENCH_saturation.json
+#   scripts/check.sh --uring    # io_uring lane: re-runs the WAL + TCP socket
+#                               # suites with RSPAXOS_IO_BACKEND=uring; skips
+#                               # (exit 0, clear message) when the kernel or
+#                               # build lacks io_uring support. The tier-1
+#                               # ladder always runs the epoll default.
 #
 # The sanitizer presets build into their own trees (build-asan/ build-tsan/
 # build-ubsan/) and run curated subsets: ASan+UBSan runs everything, TSan
@@ -23,13 +28,15 @@ FAST=0
 SAN=0
 OBS=0
 SAT=0
+URING=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
     --san) SAN=1 ;;
     --obs) OBS=1 ;;
     --sat) SAT=1 ;;
-    *) echo "usage: $0 [--fast] [--san] [--obs] [--sat]" >&2; exit 2 ;;
+    --uring) URING=1 ;;
+    *) echo "usage: $0 [--fast] [--san] [--obs] [--sat] [--uring]" >&2; exit 2 ;;
   esac
 done
 
@@ -69,6 +76,28 @@ assert len(points) >= 6, len(points)
 print(f"check.sh: smoke sweep ok — {len(points)} points, knee {knee:.0f} qps")
 EOF
   echo "check.sh: saturation suites passed"
+  exit 0
+fi
+
+if [[ "$URING" == 1 ]]; then
+  # io_uring lane: the suites that exercise IoDriver on both of its surfaces —
+  # FileWal's WRITEV+FSYNC flusher and the TCP transport's readiness loop —
+  # re-run with the uring backend selected. Support is probed with the same
+  # code make_io_driver() uses, so "skip" here means production binaries on
+  # this kernel would silently fall back to epoll too.
+  echo "=== [default] configure + build (uring probe) ==="
+  cmake --preset default
+  cmake --build --preset default -j "$JOBS" --target io_backend_probe
+  if ! ./build/tests/io_backend_probe; then
+    echo "check.sh: --uring SKIPPED — kernel or build lacks io_uring support" \
+         "(io_backend_probe reports epoll fallback); epoll coverage is tier-1"
+    exit 0
+  fi
+  cmake --build --preset default -j "$JOBS"
+  echo "=== [default] ctest (RSPAXOS_IO_BACKEND=uring) ==="
+  RSPAXOS_IO_BACKEND=uring ctest --preset default -j "$JOBS" \
+    -R 'storage_test|wal_conformance_test|transport_test|multi_group_tcp_test|multi_reactor_test|admin_http_test'
+  echo "check.sh: uring suites passed"
   exit 0
 fi
 

@@ -25,6 +25,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 
@@ -37,6 +38,10 @@
 #include "obs/trace.h"
 #include "snapshot/snapshot_store.h"
 #include "storage/wal.h"
+
+namespace rspaxos::ec {
+class EcWorkerPool;
+}
 
 namespace rspaxos::consensus {
 
@@ -75,6 +80,13 @@ struct ReplicaOptions {
   /// many groups. Purely observational — routing derives the group from the
   /// endpoint id (net/routing.h).
   uint32_t group_id = 0;
+  /// When set, θ(X,N) encoding of payloads >= ec_async_min_bytes runs on this
+  /// worker pool instead of the reactor thread; the completion is posted back
+  /// via the NodeContext so large-value proposals no longer stall other
+  /// groups sharing the reactor. The pool must outlive the replica. Null
+  /// (and the single-threaded simulator) keeps the historical inline encode.
+  ec::EcWorkerPool* ec_pool = nullptr;
+  size_t ec_async_min_bytes = 64u << 10;
 };
 
 /// A committed log entry as handed to the state machine. Followers usually
@@ -250,6 +262,16 @@ class Replica final : public MessageHandler {
   static constexpr Slot kNoSlot = 0;
   void propose_internal(Slot slot, EntryKind kind, ValueId vid, Bytes header,
                         Bytes payload, ProposeFn cb);
+  /// Everything a proposal does after its shares exist: installs the leader's
+  /// own log entry, registers the pending proposal, sends the accepts and
+  /// persists the leader's share. Runs on the reactor thread — directly for
+  /// inline encodes, or from the posted completion of a pool encode.
+  struct AsyncEncode;
+  void finish_propose(Slot slot, EntryKind kind, ValueId vid, Bytes header,
+                      Bytes payload, ProposeFn cb, std::vector<Bytes> frames,
+                      Bytes my_share, obs::SpanContext commit_span,
+                      TimeMicros proposed_at);
+  void on_encode_done(std::shared_ptr<AsyncEncode> job);
   void send_accept_to(NodeId member, const PendingProposal& p);
   void init_metrics();
   void on_accepted(NodeId from, AcceptedMsg msg);

@@ -1,0 +1,58 @@
+#include "ec/ec_pool.h"
+
+#include <algorithm>
+
+namespace rspaxos::ec {
+
+EcWorkerPool::EcWorkerPool(int threads) {
+  int n = std::max(1, threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+EcWorkerPool::~EcWorkerPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void EcWorkerPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    q_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void EcWorkerPool::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [this] { return q_.empty() && running_ == 0; });
+}
+
+void EcWorkerPool::worker_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    cv_.wait(lk, [this] { return stopping_ || !q_.empty(); });
+    if (q_.empty()) {
+      if (stopping_) return;  // drained: stop only once the queue is empty
+      continue;
+    }
+    std::function<void()> job = std::move(q_.front());
+    q_.pop_front();
+    running_++;
+    lk.unlock();
+    job();
+    lk.lock();
+    running_--;
+    if (q_.empty() && running_ == 0) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace rspaxos::ec

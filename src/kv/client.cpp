@@ -1,5 +1,7 @@
 #include "kv/client.h"
 
+#include <cassert>
+
 #include "util/logging.h"
 
 namespace rspaxos::kv {
@@ -94,6 +96,10 @@ void KvClient::del(const std::string& key, PutFn cb) {
 }
 
 void KvClient::submit(Outstanding&& o) {
+  // Single-loop contract: every mutation of client state must come from the
+  // context's own thread. With multi-reactor hosts it became easy to grab a
+  // client from the wrong loop — fail loudly instead of silently racing.
+  assert(ctx_->on_context_thread());
   o.req.req_id = next_req_id_++;
   o.shard = shard_of(o.req.key, routing_.num_shards());
   uint64_t id = o.req.req_id;

@@ -60,6 +60,9 @@ struct KvServerOptions {
   size_t batch_max_bytes = 4 << 20;
   size_t batch_max_count = 64;
   KvAdmissionOptions admission;
+  /// Reactor hosting this group (label on the rsp_admission_* series).
+  /// NodeHost fills it from its placement; standalone servers leave 0.
+  uint32_t reactor = 0;
 };
 
 class KvServer final : public MessageHandler {

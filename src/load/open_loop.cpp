@@ -1,6 +1,7 @@
 #include "load/open_loop.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace rspaxos::load {
 
@@ -10,6 +11,11 @@ OpenLoopGen::OpenLoopGen(NodeContext* ctx, kv::KvClient* client, OpenLoopSpec sp
 }
 
 void OpenLoopGen::start(std::function<void()> on_done) {
+  // The generator shares its client's single-loop contract: arrivals, timer
+  // pumps and completions all run on ctx_'s loop. Starting it from another
+  // thread (easy to do by accident against a multi-reactor host) would race
+  // every counter here — fail loudly.
+  assert(ctx_->on_context_thread());
   on_done_ = std::move(on_done);
   start_us_ = static_cast<int64_t>(ctx_->now());
   end_arrivals_us_ = start_us_ + static_cast<int64_t>(spec_.duration);

@@ -83,6 +83,8 @@ NodeContext::TimerId TcpNode::set_timer(DurationMicros delay, TimerFn fn) {
 
 bool TcpNode::cancel_timer(TimerId id) { return host_->loop_.cancel(id); }
 
+bool TcpNode::on_context_thread() const { return host_->loop_.on_loop_thread(); }
+
 // ---------------------------------------------------------------------------
 // TcpHost.
 
@@ -98,7 +100,7 @@ TcpHost::TcpHost(TcpTransport* t, HostId id, int listen_fd)
   // Tag the protocol thread so every log line carries node=<host id>.
   loop_.post([id] { set_log_node(id); });
 
-  epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  driver_ = util::make_io_driver();
   wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
 
   // The peer-host set is fixed by the transport's address map, so the map
@@ -113,28 +115,22 @@ TcpHost::TcpHost(TcpTransport* t, HostId id, int listen_fd)
     peers_.emplace(peer_id, std::move(p));
   }
 
-  if (epfd_ >= 0 && wake_fd_ >= 0) {
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.ptr = &wake_tag_;
-    ::epoll_ctl(epfd_, EPOLL_CTL_ADD, wake_fd_, &ev);
-    ev.events = EPOLLIN;
-    ev.data.ptr = &listen_tag_;
-    ::epoll_ctl(epfd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  if (driver_->ok() && wake_fd_ >= 0) {
+    driver_->add(wake_fd_, EPOLLIN, &wake_tag_);
+    driver_->add(listen_fd_, EPOLLIN, &listen_tag_);
     io_thread_ = std::thread([this] { io_loop(); });
     io_started_ = true;
   } else {
-    RSP_WARN << "tcp: epoll/eventfd setup failed, host " << id << " is send/recv dead";
+    RSP_WARN << "tcp: io driver/eventfd setup failed, host " << id << " is send/recv dead";
   }
 }
 
 TcpHost::~TcpHost() {
   shutdown();
-  // epfd_/wake_fd_ stay open until here: send() may race shutdown() and
+  // driver_/wake_fd_ stay open until here: send() may race shutdown() and
   // write the eventfd after stopping_ flips, which must hit our fd (harmless
   // wakeup), never a closed or kernel-reused one. By destruction time the
   // caller has quiesced all senders.
-  if (epfd_ >= 0) ::close(epfd_);
   if (wake_fd_ >= 0) ::close(wake_fd_);
 }
 
@@ -145,7 +141,7 @@ void TcpHost::shutdown() {
     [[maybe_unused]] ssize_t r = ::write(wake_fd_, &one, sizeof(one));
   }
   if (io_thread_.joinable()) io_thread_.join();
-  // io_loop() closes listen_fd_ on exit; if it never ran (epoll/eventfd
+  // io_loop() closes listen_fd_ on exit; if it never ran (driver/eventfd
   // setup failure), the listener is still ours to close.
   if (!io_started_ && listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -240,7 +236,7 @@ void TcpHost::send_frame(NodeId from, NodeId to, MsgType type, Bytes payload) {
 // I/O thread: one epoll loop over the listener, every inbound connection and
 // every outbound peer socket.
 
-int TcpHost::epoll_timeout_ms() const {
+int TcpHost::io_timeout_ms() const {
   // Next deadline is the earliest reconnect retry among idle peers that have
   // work queued; cap at 1 s so the loop re-checks stopping_ regularly.
   TimeMicros now = steady_now_us();
@@ -262,9 +258,9 @@ int TcpHost::epoll_timeout_ms() const {
 
 void TcpHost::io_loop() {
   set_log_node(id_);
-  epoll_event evs[64];
+  util::IoEvent evs[64];
   while (!stopping_.load(std::memory_order_relaxed)) {
-    int n = ::epoll_wait(epfd_, evs, 64, epoll_timeout_ms());
+    int n = driver_->wait(evs, 64, io_timeout_ms());
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
@@ -274,7 +270,7 @@ void TcpHost::io_loop() {
     io_busy_.store(true);
     bool woke = n == 0;  // timeout: retry deadlines may have passed
     for (int i = 0; i < n && !stopping_.load(std::memory_order_relaxed); ++i) {
-      auto* tag = static_cast<FdTag*>(evs[i].data.ptr);
+      auto* tag = static_cast<FdTag*>(evs[i].tag);
       switch (tag->kind) {
         case TagKind::kWake: {
           uint64_t v;
@@ -348,15 +344,12 @@ void TcpHost::on_acceptable() {
     conns_.push_back(std::move(c));
     Conn* raw = conns_.back().get();
     raw->self = std::prev(conns_.end());
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.ptr = &raw->tag;
-    if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) close_conn(raw);
+    if (!driver_->add(fd, EPOLLIN, &raw->tag)) close_conn(raw);
   }
 }
 
 void TcpHost::close_conn(Conn* c) {
-  ::epoll_ctl(epfd_, EPOLL_CTL_DEL, c->fd, nullptr);
+  driver_->del(c->fd);
   ::close(c->fd);
   conns_.erase(c->self);  // destroys *c
 }
@@ -535,7 +528,7 @@ void TcpHost::handle_peer_event(Peer* p, uint32_t events) {
 
 void TcpHost::peer_disconnected(Peer* p, const char* why) {
   if (p->fd >= 0) {
-    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, p->fd, nullptr);
+    driver_->del(p->fd);
     ::close(p->fd);
     p->fd = -1;
   }
@@ -582,22 +575,18 @@ void TcpHost::start_connect(Peer* p) {
   p->state = rc == 0 ? PeerState::kConnected : PeerState::kConnecting;
   if (rc == 0) p->backoff = 0;
   p->want_write = true;
-  epoll_event ev{};
-  ev.events = EPOLLIN | EPOLLOUT;
-  ev.data.ptr = &p->tag;
-  if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+  if (!driver_->add(fd, EPOLLIN | EPOLLOUT, &p->tag)) {
     ::close(fd);
     p->fd = -1;
-    peer_disconnected(p, "epoll add failed");
+    peer_disconnected(p, "driver add failed");
   }
 }
 
 void TcpHost::set_peer_writable_interest(Peer* p, bool want) {
   if (p->want_write == want || p->fd < 0) return;
-  epoll_event ev{};
-  ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
-  ev.data.ptr = &p->tag;
-  if (::epoll_ctl(epfd_, EPOLL_CTL_MOD, p->fd, &ev) == 0) p->want_write = want;
+  if (driver_->mod(p->fd, EPOLLIN | (want ? EPOLLOUT : 0u), &p->tag)) {
+    p->want_write = want;
+  }
 }
 
 void TcpHost::flush_peer(Peer* p) {
@@ -739,7 +728,7 @@ StatusOr<TcpNode*> TcpTransport::start_node(NodeId id) {
     auto host = std::unique_ptr<TcpHost>(new TcpHost(this, host_id, fd));
     if (!host->io_started_) {
       // Host destructor (via shutdown) closes the listener on this path.
-      return Status::internal("epoll/eventfd setup failed");
+      return Status::internal("io driver/eventfd setup failed");
     }
     hit = hosts_.emplace(host_id, std::move(host)).first;
   }

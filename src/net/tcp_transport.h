@@ -1,5 +1,6 @@
-// TCP transport: non-blocking epoll-driven sockets, one listener and one I/O
-// thread per *host*, length-prefixed CRC-checked frames.
+// TCP transport: non-blocking readiness-driven sockets (epoll or io_uring
+// behind util::IoDriver, RSPAXOS_IO_BACKEND selects), one listener and one
+// I/O thread per *host*, length-prefixed CRC-checked frames.
 //
 // Mirrors the paper's implementation substrate (§5: "an asynchronous RPC
 // module for message passing between processes. It uses TCP"). Delivery runs
@@ -7,12 +8,16 @@
 // single-threaded contract as under the simulator.
 //
 // Since the multi-group node host change, one physical endpoint (socket +
-// epoll + I/O thread + EventLoop) can serve many logical NodeContexts: a
+// I/O driver + I/O thread + EventLoop) can serve many logical NodeContexts: a
 // HostMap (net/routing.h) collapses composite endpoint NodeIds onto hosts,
 // every frame carries its destination endpoint in the header, and the
 // receiving host demultiplexes inbound frames to the right TcpNode on the
 // shared loop. The default HostMap is the identity, preserving the historical
-// one-node-per-socket behavior for existing assemblies.
+// one-node-per-socket behavior for existing assemblies. A HostMap with
+// reactors > 1 makes each (server, reactor) pair its own TcpHost — N listen
+// sockets, loops and I/O threads per machine with round-robin static group
+// placement — so frames land directly on the owning reactor's socket and
+// consensus for independent shards runs truly in parallel.
 //
 // send() never touches a socket: it appends the frame to a bounded per-peer
 // outbound queue (drop-oldest backpressure, preserving the datagram
@@ -45,6 +50,7 @@
 #include "net/transport.h"
 #include "obs/transport_metrics.h"
 #include "util/event_loop.h"
+#include "util/io_driver.h"
 #include "util/status.h"
 
 namespace rspaxos::net {
@@ -59,7 +65,7 @@ class TcpTransport;
 class TcpHost;
 
 /// NodeContext bound to a logical endpoint on a TcpHost. Thin: the socket,
-/// epoll loop, I/O thread and outbound queues all live on the host and are
+/// I/O driver, I/O thread and outbound queues all live on the host and are
 /// shared with every other endpoint the host serves.
 class TcpNode final : public NodeContext {
  public:
@@ -71,6 +77,7 @@ class TcpNode final : public NodeContext {
   TimerId set_timer(DurationMicros delay, TimerFn fn) override;
   bool cancel_timer(TimerId id) override;
   uint64_t bytes_sent() const override { return bytes_sent_.load(); }
+  bool on_context_thread() const override;
 
   void set_handler(MessageHandler* handler) override { handler_.store(handler); }
   /// The owning host's loop — shared by all endpoints on the host.
@@ -107,8 +114,10 @@ class TcpNode final : public NodeContext {
   obs::TransportMetrics metrics_;
 };
 
-/// One physical endpoint: listener socket, epoll loop, I/O thread, EventLoop
-/// and per-peer-host outbound queues, serving every TcpNode mapped onto it.
+/// One physical endpoint: listener socket, I/O driver (epoll or io_uring),
+/// I/O thread, EventLoop and per-peer-host outbound queues, serving every
+/// TcpNode mapped onto it. With a reactors > 1 HostMap, one machine runs
+/// several TcpHosts — one per reactor.
 class TcpHost {
  public:
   ~TcpHost();
@@ -124,7 +133,7 @@ class TcpHost {
   friend class TcpNode;
   friend class TcpTransport;
 
-  // epoll registration tag kinds (stored in epoll_event.data.ptr).
+  // I/O driver registration tag kinds (stored as the readiness tag).
   struct Peer;
   struct Conn;
   enum class TagKind : uint8_t { kWake, kListen, kPeer, kConn };
@@ -205,17 +214,17 @@ class TcpHost {
   void handle_peer_event(Peer* p, uint32_t events);
   void peer_disconnected(Peer* p, const char* why);
   void set_peer_writable_interest(Peer* p, bool want);
-  int epoll_timeout_ms() const;
+  int io_timeout_ms() const;
   static TimeMicros steady_now_us();
 
   TcpTransport* transport_;
   HostId id_;
   int listen_fd_;
-  int epfd_ = -1;
+  std::unique_ptr<util::IoDriver> driver_;
   int wake_fd_ = -1;
   FdTag wake_tag_{TagKind::kWake, nullptr};
   FdTag listen_tag_{TagKind::kListen, nullptr};
-  // Whether the I/O thread was launched (epoll/eventfd setup succeeded).
+  // Whether the I/O thread was launched (driver/eventfd setup succeeded).
   // Written once in the constructor; checked by start_node() to surface a
   // dead host as a Status and by shutdown() for listen_fd_ ownership.
   bool io_started_ = false;

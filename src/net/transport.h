@@ -87,6 +87,13 @@ class NodeContext : public Clock {
 
   /// Cumulative bytes handed to send() — the paper's network-cost metric.
   virtual uint64_t bytes_sent() const = 0;
+
+  /// True when the caller is on this node's execution thread (the thread all
+  /// handlers and timers run on). Loop-confined client-side state (KvClient,
+  /// OpenLoopGen) asserts on this instead of silently racing when a caller
+  /// mixes contexts from different reactors. Transports without a dedicated
+  /// thread (the simulator's single-threaded world) report true.
+  virtual bool on_context_thread() const { return true; }
 };
 
 }  // namespace rspaxos

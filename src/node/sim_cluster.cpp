@@ -2,6 +2,7 @@
 // is assembled here, with the rest of the node-host layer it builds on.
 #include "kv/cluster.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "obs/metrics.h"
@@ -15,21 +16,30 @@ using consensus::GroupConfig;
 SimCluster::SimCluster(sim::SimWorld* world, SimClusterOptions opts)
     : world_(world), opts_(opts), network_(world) {
   assert(opts_.num_servers >= 1 && opts_.num_groups >= 1);
+  opts_.reactors = std::max(1, std::min(opts_.reactors, opts_.num_groups));
+  const int R = opts_.reactors;
   network_.set_default_link(opts_.link);
   disks_.reserve(static_cast<size_t>(opts_.num_servers));
   for (int s = 0; s < opts_.num_servers; ++s) {
     disks_.push_back(std::make_unique<sim::SimDisk>(world_, opts_.disk));
   }
-  wals_.resize(static_cast<size_t>(opts_.num_servers));
+  wals_.resize(static_cast<size_t>(opts_.num_servers) * static_cast<size_t>(R));
   hosts_.resize(static_cast<size_t>(opts_.num_servers));
   snaps_.resize(static_cast<size_t>(opts_.num_servers) *
                 static_cast<size_t>(opts_.num_groups));
   alive_.assign(static_cast<size_t>(opts_.num_servers), true);
   admins_.resize(static_cast<size_t>(opts_.num_servers));
   for (int s = 0; s < opts_.num_servers; ++s) {
-    wals_[static_cast<size_t>(s)] = std::make_unique<storage::SimWal>(
-        disks_[static_cast<size_t>(s)].get(), opts_.wal_retain,
-        static_cast<uint32_t>(opts_.num_groups));
+    for (int r = 0; r < R; ++r) {
+      // Reactor r's log holds its ceil((G - r) / R) groups; all reactors of
+      // a machine share its one disk, so contention is modeled — only the
+      // one-flush-in-flight-per-log serialization is gone.
+      uint32_t local_groups = (static_cast<uint32_t>(opts_.num_groups - r) +
+                               static_cast<uint32_t>(R) - 1) /
+                              static_cast<uint32_t>(R);
+      wals_[widx(s, r)] = std::make_unique<storage::SimWal>(
+          disks_[static_cast<size_t>(s)].get(), opts_.wal_retain, local_groups);
+    }
     for (int g = 0; g < opts_.num_groups; ++g) {
       snaps_[idx(s, g)] = std::make_unique<snapshot::SimSnapshotStore>(
           disks_[static_cast<size_t>(s)].get());
@@ -65,11 +75,13 @@ void SimCluster::build_host(int s, bool initial) {
       boot = [](uint32_t) { return true; };
     }
   }
+  std::vector<storage::MuxWal*> host_wals;
+  for (int r = 0; r < opts_.reactors; ++r) host_wals.push_back(wals_[widx(s, r)].get());
   auto& host = hosts_[static_cast<size_t>(s)];
   host = std::make_unique<node::NodeHost>(
       s, static_cast<uint32_t>(opts_.num_groups),
       [this](NodeId id) -> NodeContext* { return network_.node(id); },
-      wals_[static_cast<size_t>(s)].get(),
+      std::move(host_wals),
       [this, s](uint32_t g) -> snapshot::SnapshotStore* {
         return snaps_[idx(s, static_cast<int>(g))].get();
       },
@@ -82,7 +94,6 @@ void SimCluster::build_host(int s, bool initial) {
 void SimCluster::start_admin(int s) {
   auto admin = std::make_unique<obs::AdminServer>();
   node::NodeHost* host = hosts_[static_cast<size_t>(s)].get();
-  obs::HealthMonitor* health = host->health();
   admin->route("/metrics", [](const obs::AdminRequest&) {
     obs::AdminResponse r;
     r.content_type = "text/plain; version=0.0.4; charset=utf-8";
@@ -98,13 +109,27 @@ void SimCluster::start_admin(int s) {
     r.body = host->status_snapshot();
     return r;
   });
-  // Stamped with the last probe's sim time, not a live now(): reading the
-  // sim clock from the admin thread would race the sim thread, and halted
-  // sim time must not read as a stall anyway.
-  admin->route("/healthz", [health](const obs::AdminRequest&) {
+  // Stamped with each monitor's last probe sim time, not a live now():
+  // reading the sim clock from the admin thread would race the sim thread,
+  // and halted sim time must not read as a stall anyway. Worst reactor wins,
+  // matching NodeHost::healthz_json's aggregate.
+  admin->route("/healthz", [host](const obs::AdminRequest&) {
     obs::AdminResponse r;
     r.content_type = "application/json";
-    r.body = health != nullptr ? health->healthz_json(health->last_probe_us()) : "{}";
+    std::string inner;
+    bool bad = false;
+    for (uint32_t rr = 0; rr < host->num_reactors(); ++rr) {
+      obs::HealthMonitor* h = host->health(rr);
+      if (h == nullptr) {
+        r.body = "{}";
+        return r;
+      }
+      if (h->stalled(h->last_probe_us())) bad = true;
+      if (rr > 0) inner += ",";
+      inner += h->healthz_json(h->last_probe_us());
+    }
+    r.body = "{\"server\":" + std::to_string(host->server_index()) + ",\"status\":\"" +
+             (bad ? "stalled" : "ok") + "\",\"reactors\":[" + inner + "]}";
     return r;
   });
   admin->route("/traces/recent", [](const obs::AdminRequest& req) {
@@ -166,8 +191,8 @@ void SimCluster::crash_server(int s) {
     snaps_[idx(s, g)]->drop_unflushed();  // in-flight snapshot saves gone
   }
   hosts_[static_cast<size_t>(s)].reset();  // volatile state gone (all groups)
-  // Power failure: un-synced records on the machine's one shared log gone.
-  wals_[static_cast<size_t>(s)]->drop_unflushed();
+  // Power failure: un-synced records on every one of the machine's logs gone.
+  for (int r = 0; r < opts_.reactors; ++r) wals_[widx(s, r)]->drop_unflushed();
 }
 
 void SimCluster::restart_server(int s) {

@@ -1,9 +1,11 @@
 #include "node/tcp_cluster.h"
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <future>
 #include <memory>
+#include <thread>
 
 #include "consensus/config.h"
 #include "obs/metrics.h"
@@ -32,26 +34,47 @@ Status TcpCluster::boot() {
   const int servers = opts_.num_servers;
   const uint32_t groups = opts_.num_groups;
 
-  auto ports = net::TcpTransport::free_ports(static_cast<size_t>(servers + opts_.num_clients));
-  if (ports.size() != static_cast<size_t>(servers + opts_.num_clients)) {
+  // Resolve the reactor count: 0 = auto-scale to the machine, always clamped
+  // to [1, groups] (an empty reactor would have no endpoint to run on).
+  int R = opts_.reactors;
+  if (R <= 0) {
+    R = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  }
+  R = std::max(1, std::min(R, static_cast<int>(groups)));
+  reactors_ = R;
+
+  if (opts_.ec_pool_threads >= 0) {
+    int threads = opts_.ec_pool_threads;
+    if (threads == 0) {
+      threads = static_cast<int>(std::min(4u, std::max(1u, std::thread::hardware_concurrency())));
+    }
+    ec_pool_ = std::make_unique<ec::EcWorkerPool>(threads);
+  }
+
+  auto ports =
+      net::TcpTransport::free_ports(static_cast<size_t>(servers * R + opts_.num_clients));
+  if (ports.size() != static_cast<size_t>(servers * R + opts_.num_clients)) {
     return Status::unavailable("tcp cluster: could not reserve listen ports");
   }
-  // One listen address per *host*: servers are hosts 0..S-1 (all their group
-  // endpoints collapse onto them via HostMap{kGroupStride}); each client id
-  // is its own host.
+  // One listen address per *host* = per reactor: server s's reactor r is host
+  // s*R + r (its group endpoints collapse onto it via the reactor-aware
+  // HostMap{kGroupStride, R}); each client id is its own host.
   std::map<net::HostId, net::PeerAddr> addrs;
   for (int s = 0; s < servers; ++s) {
-    addrs[static_cast<net::HostId>(s)] =
-        net::PeerAddr{"127.0.0.1", ports[static_cast<size_t>(s)]};
+    for (int r = 0; r < R; ++r) {
+      addrs[static_cast<net::HostId>(s * R + r)] =
+          net::PeerAddr{"127.0.0.1", ports[static_cast<size_t>(s * R + r)]};
+    }
   }
   for (int c = 0; c < opts_.num_clients; ++c) {
     addrs[net::kClientBase + static_cast<NodeId>(c)] =
-        net::PeerAddr{"127.0.0.1", ports[static_cast<size_t>(servers + c)]};
+        net::PeerAddr{"127.0.0.1", ports[static_cast<size_t>(servers * R + c)]};
   }
-  transport_ =
-      std::make_unique<net::TcpTransport>(std::move(addrs), net::HostMap{net::kGroupStride});
+  net::HostMap hmap{net::kGroupStride};
+  hmap.reactors = static_cast<NodeId>(R);
+  transport_ = std::make_unique<net::TcpTransport>(std::move(addrs), hmap);
 
-  wals_.resize(static_cast<size_t>(servers));
+  wals_.resize(static_cast<size_t>(servers * R));
   snaps_.resize(static_cast<size_t>(servers));
   hosts_.resize(static_cast<size_t>(servers));
   for (int s = 0; s < servers; ++s) {
@@ -68,22 +91,34 @@ Status TcpCluster::boot() {
     std::error_code ec;
     fs::create_directories(dir, ec);
     if (ec) return Status::internal("mkdir " + dir.string() + ": " + ec.message());
-    auto wal = storage::FileWal::open((dir / "wal").string(), opts_.wal_group_commit_window_us,
-                                      opts_.wal_segment_bytes, groups);
-    if (!wal.is_ok()) return wal.status();
-    wals_[static_cast<size_t>(s)] = std::move(wal).value();
+    std::vector<storage::MuxWal*> host_wals;
+    for (int r = 0; r < R; ++r) {
+      // Reactor 0 keeps the bare "wal" name so single-reactor data dirs
+      // reopen unchanged; reactor r's log holds its ceil((G - r) / R) groups.
+      std::string wal_name = r == 0 ? "wal" : "wal.r" + std::to_string(r);
+      uint32_t local_groups =
+          (groups - static_cast<uint32_t>(r) + static_cast<uint32_t>(R) - 1) /
+          static_cast<uint32_t>(R);
+      auto wal = storage::FileWal::open((dir / wal_name).string(),
+                                        opts_.wal_group_commit_window_us,
+                                        opts_.wal_segment_bytes, local_groups);
+      if (!wal.is_ok()) return wal.status();
+      wals_[static_cast<size_t>(s * R + r)] = std::move(wal).value();
+      host_wals.push_back(wals_[static_cast<size_t>(s * R + r)].get());
+    }
     auto snap = snapshot::GroupedSnapshotStore::open((dir / "snap").string(), groups);
     if (!snap.is_ok()) return snap.status();
     snaps_[static_cast<size_t>(s)] = std::move(snap).value();
 
     NodeHostOptions hopts;
     hopts.replica = opts_.replica;
+    hopts.replica.ec_pool = ec_pool_.get();
     hopts.kv = opts_.kv;
     hopts.health = opts_.health;
     hopts.watchdog = opts_.watchdog;
     hosts_[static_cast<size_t>(s)] = std::make_unique<NodeHost>(
         s, groups, [this](NodeId id) -> NodeContext* { return endpoints_.at(id); },
-        wals_[static_cast<size_t>(s)].get(),
+        std::move(host_wals),
         [this, s](uint32_t g) -> snapshot::SnapshotStore* {
           return snaps_[static_cast<size_t>(s)]->group(g);
         },
@@ -94,12 +129,15 @@ Status TcpCluster::boot() {
         // Handler installation + Replica::start must run on the host's loop
         // thread: peers may deliver the instant the handler is visible.
         [](NodeContext* ctx, std::function<void()> fn) { ctx->set_timer(0, std::move(fn)); });
-    // The watchdog samples the worst per-peer outbound queue each probe; all
-    // of a server's endpoints share one host, so group 0's view is the
-    // machine's.
-    net::TcpNode* ep0 = endpoints_.at(net::endpoint_id(s, 0));
-    hosts_[static_cast<size_t>(s)]->set_queue_sampler(
-        [ep0] { return static_cast<int64_t>(ep0->max_peer_queue_depth()); });
+    // Each reactor's watchdog samples the worst per-peer outbound queue of
+    // ITS loop each probe; group r is the first group on reactor r, so its
+    // endpoint sees that reactor's whole host.
+    for (int r = 0; r < R; ++r) {
+      net::TcpNode* epr = endpoints_.at(net::endpoint_id(s, r));
+      hosts_[static_cast<size_t>(s)]->set_queue_sampler(
+          static_cast<uint32_t>(r),
+          [epr] { return static_cast<int64_t>(epr->max_peer_queue_depth()); });
+    }
     hosts_[static_cast<size_t>(s)]->start();
   }
 
@@ -115,7 +153,6 @@ Status TcpCluster::boot() {
 Status TcpCluster::start_admin(int s) {
   auto admin = std::make_unique<obs::AdminServer>();
   NodeHost* host = hosts_[static_cast<size_t>(s)].get();
-  net::TcpNode* ep0 = endpoints_.at(net::endpoint_id(s, 0));
 
   // /metrics scrapes the process-global registry: one process hosts every
   // server in these assemblies, so each admin port serves the same families
@@ -135,21 +172,31 @@ Status TcpCluster::start_admin(int s) {
     return r;
   });
 
-  // /status wants a fresh document, which only the host's loop thread may
-  // build. Post a refresh and wait briefly; if the loop is too wedged to
-  // answer, fall back to the last board the watchdog published — a stalled
-  // host must still describe itself.
-  admin->route("/status", [host, ep0](const obs::AdminRequest&) {
-    auto p = std::make_shared<std::promise<std::string>>();
-    auto fut = p->get_future();
-    ep0->loop().post([host, p] { p->set_value(host->status_json()); });
+  // /status wants a fresh document, but each reactor's replica state may
+  // only be read on that reactor's loop. Post a board refresh to every
+  // reactor and wait briefly; a reactor too wedged to answer keeps its last
+  // watchdog-published slice — a stalled host must still describe itself.
+  std::vector<net::TcpNode*> reps;
+  for (uint32_t r = 0; r < host->num_reactors(); ++r) {
+    reps.push_back(endpoints_.at(net::endpoint_id(s, static_cast<int>(r))));
+  }
+  admin->route("/status", [host, reps](const obs::AdminRequest&) {
+    std::vector<std::shared_ptr<std::promise<void>>> ps;
+    std::vector<std::future<void>> futs;
+    for (uint32_t r = 0; r < reps.size(); ++r) {
+      auto p = std::make_shared<std::promise<void>>();
+      futs.push_back(p->get_future());
+      reps[r]->loop().post([host, r, p] {
+        host->refresh_board(r);
+        p->set_value();
+      });
+      ps.push_back(std::move(p));
+    }
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(250);
+    for (auto& f : futs) f.wait_until(deadline);
     obs::AdminResponse r;
     r.content_type = "application/json";
-    if (fut.wait_for(std::chrono::milliseconds(250)) == std::future_status::ready) {
-      r.body = fut.get();
-    } else {
-      r.body = host->status_snapshot();
-    }
+    r.body = host->status_snapshot();
     return r;
   });
 
@@ -172,14 +219,18 @@ Status TcpCluster::start_admin(int s) {
 
 TcpCluster::~TcpCluster() {
   // Admin servers first: their handlers read hosts and post onto loops.
-  // Then detach handlers and join the I/O threads; only afterwards is it
-  // safe to destroy servers, WALs and stores (no delivery can be in flight).
+  // Then detach handlers (no new proposals reach replicas, so no new EC
+  // submissions), drain the EC pool while the loops still run (queued
+  // completions post onto live contexts), then join the I/O threads; only
+  // afterwards is it safe to destroy servers, WALs and stores (no delivery
+  // or completion can be in flight).
   for (auto& a : admins_) {
     if (a) a->stop();
   }
   for (auto& h : hosts_) {
     if (h) h->stop();
   }
+  ec_pool_.reset();
   transport_.reset();
   hosts_.clear();
   admins_.clear();

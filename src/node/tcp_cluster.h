@@ -1,15 +1,22 @@
 // Real-TCP multi-group cluster assembly: the NodeHost counterpart of
 // SimCluster for the §5 substrate.
 //
-// Each of the `num_servers` machines gets exactly ONE of each shared
-// resource — listen port + I/O thread (TcpHost via HostMap{kGroupStride}),
-// fsync'ing FileWal (multiplexed across groups), snapshot root
-// (GroupedSnapshotStore) — serving a replica of every one of the
-// `num_groups` Paxos groups. Client endpoints are separate hosts with their
-// own ports, matching the routing contract (ids >= kClientBase never stride).
+// Each of the `num_servers` machines runs `reactors` reactors; each reactor
+// gets its OWN listen port + I/O thread (TcpHost via the reactor-aware
+// HostMap{kGroupStride, reactors}), its own fsync'ing FileWal (multiplexed
+// across its groups) and its own health watchdog. Group g of every server is
+// statically placed on reactor g % reactors, so a frame addressed to an
+// endpoint lands directly on the loop that owns the replica — no cross-core
+// handoff. The snapshot root (GroupedSnapshotStore) stays per-server. With
+// reactors == 1 (the default) this is the historical single-loop machine.
+// Client endpoints are separate hosts with their own ports, matching the
+// routing contract (ids >= kClientBase never stride).
 //
-// Durable state lives under `<data_dir>/s<k>/`; reopening the same directory
-// restarts the cluster from its WALs and snapshots.
+// Durable state lives under `<data_dir>/s<k>/` (reactor r > 0 appends `.r<r>`
+// to the WAL file name); reopening the same directory with the SAME reactor
+// count restarts the cluster from its WALs and snapshots. Changing the
+// reactor count over existing data re-partitions groups across logs and is
+// not supported.
 #pragma once
 
 #include <map>
@@ -17,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "ec/ec_pool.h"
 #include "kv/client.h"
 #include "net/tcp_transport.h"
 #include "node/node_host.h"
@@ -29,6 +37,13 @@ namespace rspaxos::node {
 struct TcpClusterOptions {
   int num_servers = 3;
   uint32_t num_groups = 1;
+  /// Reactors (event loop + socket + WAL + watchdog) per server. 0 = auto:
+  /// min(num_groups, hardware cores). Always clamped to [1, num_groups].
+  int reactors = 1;
+  /// EC worker pool threads shared by every hosted replica for off-loop
+  /// encodes of large values. 0 = auto (hardware cores, capped at 4);
+  /// negative = no pool (all encodes inline on the proposing reactor).
+  int ec_pool_threads = 0;
   /// true: RS-Paxos with QR=QW=N-f, X=N-2f; false: classic majority Paxos.
   bool rs_mode = true;
   int f = 1;  // target fault tolerance for rs_mode
@@ -67,11 +82,15 @@ class TcpCluster {
   TcpCluster& operator=(const TcpCluster&) = delete;
 
   const TcpClusterOptions& options() const { return opts_; }
+  /// Resolved reactor count (after the 0 = auto rule), fixed at boot.
+  int reactors() const { return reactors_; }
   NodeHost& host(int s) { return *hosts_[static_cast<size_t>(s)]; }
   kv::KvServer* server(int s, uint32_t g) { return hosts_[static_cast<size_t>(s)]->server(g); }
   net::TcpNode* endpoint(int s, uint32_t g);
-  /// The server's one multiplexed log (all groups share its flushes).
-  storage::FileWal& wal(int s) { return *wals_[static_cast<size_t>(s)]; }
+  /// Reactor r's multiplexed log on server s (its groups share the flushes).
+  storage::FileWal& wal(int s, int r = 0) {
+    return *wals_[static_cast<size_t>(s * reactors_ + r)];
+  }
   /// The server's one snapshot root (per-group slots inside).
   snapshot::GroupedSnapshotStore& snap_store(int s) {
     return *snaps_[static_cast<size_t>(s)];
@@ -103,8 +122,12 @@ class TcpCluster {
   consensus::GroupConfig group_config(uint32_t g) const;
 
   TcpClusterOptions opts_;
+  int reactors_ = 1;  // resolved from opts_.reactors at boot
   std::unique_ptr<net::TcpTransport> transport_;
-  std::vector<std::unique_ptr<storage::FileWal>> wals_;                 // per server
+  /// Shared EC worker pool: destroyed after hosts stop (no new submissions)
+  /// but before the transport (queued completions post onto live loops).
+  std::unique_ptr<ec::EcWorkerPool> ec_pool_;
+  std::vector<std::unique_ptr<storage::FileWal>> wals_;  // [s * reactors_ + r]
   std::vector<std::unique_ptr<snapshot::GroupedSnapshotStore>> snaps_;  // per server
   std::vector<std::unique_ptr<NodeHost>> hosts_;                        // per server
   std::vector<std::unique_ptr<obs::AdminServer>> admins_;               // per server

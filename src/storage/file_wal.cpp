@@ -16,6 +16,7 @@
 
 #include "obs/metrics.h"
 #include "util/crc32.h"
+#include "util/io_driver.h"
 #include "util/marshal.h"
 
 namespace rspaxos::storage {
@@ -23,38 +24,6 @@ namespace {
 
 constexpr uint32_t kManifestMagic = 0x52535741;  // "RSWA"
 constexpr uint32_t kManifestVersion = 2;         // v2: group-tagged records
-
-/// Writes every iovec fully, resuming after partial writes and chunking the
-/// array at IOV_MAX. Mutates the iovecs as it consumes them. Returns the
-/// number of bytes actually written — on error that is fewer than the batch
-/// total, but the prefix may still have reached the file and must be counted.
-size_t writev_full(int fd, std::vector<iovec>& iov) {
-  size_t i = 0;
-  size_t written = 0;
-  while (i < iov.size()) {
-    size_t cnt = std::min<size_t>(iov.size() - i, IOV_MAX);
-    ssize_t n = ::writev(fd, &iov[i], static_cast<int>(cnt));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return written;
-    }
-    written += static_cast<size_t>(n);
-    size_t left = static_cast<size_t>(n);
-    while (left > 0 && i < iov.size()) {
-      if (left >= iov[i].iov_len) {
-        left -= iov[i].iov_len;
-        ++i;
-      } else {
-        iov[i].iov_base = static_cast<char*>(iov[i].iov_base) + left;
-        iov[i].iov_len -= left;
-        left = 0;
-      }
-    }
-    // Skip iovecs already fully consumed (writev may return exactly the
-    // batch size, leaving i at iov.size()).
-  }
-  return written;
-}
 
 /// Shared WAL metric handles (one label-less set per process; both WAL
 /// implementations report under the same names).
@@ -337,6 +306,10 @@ FileWal::FileWal(std::string path, int64_t window_us, size_t segment_bytes,
     : path_(std::move(path)), window_us_(window_us), segment_bytes_(segment_bytes),
       num_groups_(num_groups), fd_(active_fd), first_seq_(first_seq),
       active_seq_(active_seq), active_size_(active_size), live_(std::move(scan)) {
+  // Dedicated driver for the flusher's write+sync chains (uring: linked
+  // WRITEV→FSYNC SQEs; epoll: writev+fdatasync syscalls). Created here,
+  // used only by the flusher thread (thread start is the handoff).
+  io_ = util::make_io_driver();
   group_counters_.reserve(num_groups_);
   for (uint32_t g = 0; g < num_groups_; ++g) {
     group_counters_.push_back(std::make_unique<GroupCounters>());
@@ -439,7 +412,7 @@ void FileWal::flusher_loop() {
 void FileWal::flush_batch(std::deque<Pending> batch) {
   auto flush_start = std::chrono::steady_clock::now();
   // The whole group-commit batch goes down in one vectored write (chunked
-  // at IOV_MAX by writev_full), not one write() per record.
+  // at IOV_MAX by the driver), not one write() per record.
   size_t nbytes = 0;
   std::vector<iovec> iov;
   iov.reserve(batch.size());
@@ -462,9 +435,9 @@ void FileWal::flush_batch(std::deque<Pending> batch) {
   // Count bytes that actually hit the file: on a mid-batch failure the
   // prefix iovecs may have been written, and the counters should reflect
   // that rather than zero (callbacks still get the error status).
-  size_t wrote = writev_full(fd_, iov);
-  bool write_ok = wrote == nbytes;
-  if (write_ok && ::fdatasync(fd_) != 0) write_ok = false;
+  bool synced = false;
+  size_t wrote = io_->write_and_sync(fd_, iov, &synced);
+  bool write_ok = wrote == nbytes && synced;
   active_size_ += wrote;
   bytes_flushed_.fetch_add(wrote);
   flush_ops_.fetch_add(1);
@@ -553,8 +526,9 @@ void FileWal::do_truncate(Pending t) {
   }
   Bytes marker = frame_marker_record(t.group, t.head);
   std::vector<iovec> iov{{const_cast<uint8_t*>(marker.data()), marker.size()}};
-  size_t wrote = writev_full(nfd, iov);
-  if (wrote != marker.size() || ::fdatasync(nfd) != 0) {
+  bool synced = false;
+  size_t wrote = io_->write_and_sync(nfd, iov, &synced);
+  if (wrote != marker.size() || !synced) {
     ::close(nfd);
     ::unlink(seg_file(path_, new_seq).c_str());
     if (t.tcb) t.tcb(Status::internal("wal truncate: marker write failed"));

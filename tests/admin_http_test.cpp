@@ -107,6 +107,9 @@ struct ClusterFixture {
     node::TcpClusterOptions opts;
     opts.num_servers = kServers;
     opts.num_groups = kGroups;
+    // Two reactors (one group each): scrapes must compose per-reactor boards
+    // and aggregate worst-reactor health, not just read one loop's state.
+    opts.reactors = 2;
     opts.f = 1;
     opts.rs_mode = false;  // 3 servers: classic majority quorums
     opts.data_dir = dir.string();
@@ -177,6 +180,9 @@ TEST(AdminHttp, EndpointsServeLiveClusterState) {
     EXPECT_EQ(h.status, 200) << "server " << s << ": " << h.raw;
     EXPECT_NE(h.body.find("\"status\":\"ok\""), std::string::npos) << h.body;
     EXPECT_NE(h.body.find("\"loop_lag_us\""), std::string::npos) << h.body;
+    // Worst-reactor aggregate: the document carries one entry per reactor.
+    EXPECT_NE(h.body.find("\"reactors\":["), std::string::npos) << h.body;
+    EXPECT_NE(h.body.find("\"reactor\":1"), std::string::npos) << h.body;
   }
 
   // Commit indices advance between scrapes as puts land in both groups.
@@ -199,6 +205,11 @@ TEST(AdminHttp, EndpointsServeLiveClusterState) {
   }
   EXPECT_NE(after.body.find("\"wal\":{"), std::string::npos);
   EXPECT_NE(after.body.find("\"machine_bytes_flushed\":"), std::string::npos);
+  // Reactor surface: count, backend, static placement, per-reactor WALs.
+  EXPECT_NE(after.body.find("\"reactors\":2"), std::string::npos) << after.body;
+  EXPECT_NE(after.body.find("\"io_backend\":\""), std::string::npos) << after.body;
+  EXPECT_NE(after.body.find("\"placement\":[0,1]"), std::string::npos) << after.body;
+  EXPECT_NE(after.body.find("\"wals\":["), std::string::npos) << after.body;
 
   // /metrics: Prometheus exposition with per-group labels from one shared
   // process-wide registry.
@@ -208,6 +219,9 @@ TEST(AdminHttp, EndpointsServeLiveClusterState) {
   EXPECT_NE(m.body.find("# TYPE rsp_"), std::string::npos);
   EXPECT_NE(m.body.find("group=\"0\""), std::string::npos);
   EXPECT_NE(m.body.find("group=\"1\""), std::string::npos);
+  // Health + admission series are per-reactor now.
+  EXPECT_NE(m.body.find("reactor=\"0\""), std::string::npos);
+  EXPECT_NE(m.body.find("reactor=\"1\""), std::string::npos);
 
   // /traces/recent: JSON document (possibly empty list), both plain and
   // ?slow variants.

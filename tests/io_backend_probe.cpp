@@ -1,0 +1,18 @@
+// Probe for scripts/check.sh --uring: exit 0 iff this build, on this kernel,
+// would actually run the io_uring backend when asked for it — i.e. exactly
+// the condition under which make_io_driver() would NOT fall back to epoll.
+// Deliberately not a gtest: on hosts without io_uring the right outcome for
+// the lane is "skip", not "fail".
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/io_driver.h"
+
+int main() {
+  ::setenv("RSPAXOS_IO_BACKEND", "uring", 1);
+  const char* effective = rspaxos::util::io_backend_name();
+  std::printf("requested=uring effective=%s kernel_supported=%d\n", effective,
+              rspaxos::util::uring_supported() ? 1 : 0);
+  return std::strcmp(effective, "uring") == 0 ? 0 : 1;
+}
