@@ -1,0 +1,238 @@
+// Code-zoo comparison bench: encode/decode throughput, single-failure repair
+// network bytes and degraded-read latency for every EcPolicy (rs, lrc, hh) at
+// one geometry, emitted as BENCH_codes.json.
+//
+// The repair-bytes column is the headline: it is the exact number of bytes
+// catch-up share repair and InstallSnapshot would pull over the network to
+// rebuild one lost share, computed from the policy's own repair plan
+// (plan_bytes), and every plan is executed and checked byte-identical against
+// re-encoding before it is reported. --smoke shrinks the value and the timing
+// windows so scripts/check.sh --codes can gate on the JSON in seconds.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ec/policy.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace rspaxos;
+
+struct PolicyRow {
+  const char* name;
+  const ec::EcPolicy* pol;
+  double encode_mbps = 0;
+  double decode_mbps = 0;
+  uint64_t repair_bytes_single = 0;  // rebuild share 0 (a data share)
+  double repair_bytes_avg = 0;       // mean over every single-failure target
+  uint64_t whole_value_bytes = 0;    // cheapest full-value fetch, nothing local
+  double degraded_read_us = 0;       // decode from x survivors, share 0 dead
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Extracts the masked sub-shares of one share, ascending bit order — the
+/// same layout replica_catchup's responder puts on the wire.
+Bytes slice_sub_shares(const Bytes& share, int s, size_t sub, uint32_t mask) {
+  Bytes out;
+  for (int b = 0; b < s; ++b) {
+    if ((mask & (1u << b)) == 0) continue;
+    size_t off = static_cast<size_t>(b) * sub;
+    out.insert(out.end(), share.begin() + static_cast<long>(off),
+               share.begin() + static_cast<long>(off + sub));
+  }
+  return out;
+}
+
+double measure_encode_mbps(const ec::EcPolicy& pol, const Bytes& value,
+                           double window_s) {
+  auto shares = pol.encode(value);  // warm caches
+  uint64_t iters = 0;
+  auto start = std::chrono::steady_clock::now();
+  double elapsed = 0;
+  do {
+    shares = pol.encode(value);
+    ++iters;
+    elapsed = seconds_since(start);
+  } while (elapsed < window_s);
+  return static_cast<double>(iters) * static_cast<double>(value.size()) /
+         elapsed / 1e6;
+}
+
+/// Smallest decodable prefix {0..k-1}: systematic-heavy, the common case.
+std::map<int, Bytes> decodable_prefix(const ec::EcPolicy& pol,
+                                      const std::vector<Bytes>& shares) {
+  std::vector<int> idxs;
+  std::map<int, Bytes> input;
+  for (int i = 0; i < pol.n(); ++i) {
+    idxs.push_back(i);
+    input.emplace(i, shares[static_cast<size_t>(i)]);
+    if (pol.decodable(idxs)) return input;
+  }
+  return input;
+}
+
+double measure_decode_mbps(const ec::EcPolicy& pol,
+                           const std::map<int, Bytes>& input, size_t value_len,
+                           double window_s) {
+  uint64_t iters = 0;
+  auto start = std::chrono::steady_clock::now();
+  double elapsed = 0;
+  do {
+    auto out = pol.decode(input, value_len);
+    if (!out.is_ok()) return 0;
+    ++iters;
+    elapsed = seconds_since(start);
+  } while (elapsed < window_s);
+  return static_cast<double>(iters) * static_cast<double>(value_len) / elapsed /
+         1e6;
+}
+
+/// Executes the plan against real shares and checks the rebuilt share is
+/// byte-identical to re-encoding; returns plan_bytes or ~0 on failure.
+uint64_t verified_repair_bytes(const ec::EcPolicy& pol, int target,
+                               const Bytes& value,
+                               const std::vector<Bytes>& shares) {
+  std::vector<int> live;
+  for (int i = 0; i < pol.n(); ++i) {
+    if (i != target) live.push_back(i);
+  }
+  ec::RepairPlan plan = pol.plan_repair(target, live);
+  if (!plan.feasible()) return ~0ull;
+  std::map<int, Bytes> fetched;
+  const size_t sub = pol.sub_size(value.size());
+  for (const ec::ShareFetch& f : plan.fetches) {
+    fetched[f.share_idx] = slice_sub_shares(shares[static_cast<size_t>(f.share_idx)],
+                                            pol.sub_shares(), sub, f.sub_mask);
+  }
+  auto rebuilt = pol.run_repair(plan, fetched, value.size());
+  if (!rebuilt.is_ok() || rebuilt.value() != shares[static_cast<size_t>(target)]) {
+    std::fprintf(stderr, "repair verification FAILED: target %d\n", target);
+    return ~0ull;
+  }
+  return pol.plan_bytes(plan, value.size());
+}
+
+double measure_degraded_read_us(const ec::EcPolicy& pol,
+                                const std::vector<Bytes>& shares,
+                                size_t value_len, double window_s) {
+  // Share 0 is gone (say, its holder crashed); decode from the smallest
+  // decodable survivor set — the leader's finish_get recovery path.
+  std::vector<int> idxs;
+  std::map<int, Bytes> input;
+  for (int i = 1; i < pol.n(); ++i) {
+    idxs.push_back(i);
+    input.emplace(i, shares[static_cast<size_t>(i)]);
+    if (pol.decodable(idxs)) break;
+  }
+  uint64_t iters = 0;
+  auto start = std::chrono::steady_clock::now();
+  double elapsed = 0;
+  do {
+    auto out = pol.decode(input, value_len);
+    if (!out.is_ok()) return 0;
+    ++iters;
+    elapsed = seconds_since(start);
+  } while (elapsed < window_s);
+  return elapsed / static_cast<double>(iters) * 1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  // x=4, n=10: big enough that locality bites — lrc forms two local groups
+  // of two data shares, so one repair reads 2 full shares against rs's 4;
+  // hh reads half-shares. Small enough for the lrc brute-force cap.
+  const int x = 4, n = 10;
+  const size_t value_len = smoke ? (64u << 10) : (1u << 20);
+  const double window_s = smoke ? 0.005 : 0.05;
+
+  Rng rng(11);
+  Bytes value(value_len);
+  rng.fill(value.data(), value_len);
+
+  PolicyRow rows[] = {
+      {"rs", &ec::PolicyCache::get(ec::CodeId::kRs, x, n)},
+      {"lrc", &ec::PolicyCache::get(ec::CodeId::kLrc, x, n)},
+      {"hh", &ec::PolicyCache::get(ec::CodeId::kHh, x, n)},
+  };
+
+  std::printf("code zoo @ theta(%d,%d), value %zu bytes%s\n", x, n, value_len,
+              smoke ? " (smoke)" : "");
+  std::printf("%5s %12s %12s %13s %13s %13s %13s\n", "code", "enc MB/s",
+              "dec MB/s", "repair B", "repair avg B", "wholeval B", "degr us");
+  bool ok = true;
+  for (PolicyRow& r : rows) {
+    const ec::EcPolicy& pol = *r.pol;
+    auto shares = pol.encode(value);
+    r.encode_mbps = measure_encode_mbps(pol, value, window_s);
+    r.decode_mbps =
+        measure_decode_mbps(pol, decodable_prefix(pol, shares), value_len, window_s);
+    uint64_t total = 0;
+    for (int t = 0; t < pol.n(); ++t) {
+      uint64_t b = verified_repair_bytes(pol, t, value, shares);
+      if (b == ~0ull) {
+        ok = false;
+        break;
+      }
+      if (t == 0) r.repair_bytes_single = b;
+      total += b;
+    }
+    r.repair_bytes_avg = static_cast<double>(total) / pol.n();
+    // A node with nothing local fetching the whole value (recovery read /
+    // InstallSnapshot): the policy's cheapest whole-value plan.
+    std::vector<int> live;
+    for (int i = 0; i < pol.n(); ++i) live.push_back(i);
+    ec::RepairPlan whole = pol.plan_repair(ec::RepairPlan::kWholeValue, live);
+    r.whole_value_bytes = whole.feasible() ? pol.plan_bytes(whole, value_len) : 0;
+    r.degraded_read_us = measure_degraded_read_us(pol, shares, value_len, window_s);
+    std::printf("%5s %12.0f %12.0f %13llu %13.0f %13llu %13.1f\n", r.name,
+                r.encode_mbps, r.decode_mbps,
+                static_cast<unsigned long long>(r.repair_bytes_single),
+                r.repair_bytes_avg,
+                static_cast<unsigned long long>(r.whole_value_bytes),
+                r.degraded_read_us);
+  }
+  if (!ok) {
+    std::fprintf(stderr, "some repair plan failed verification\n");
+    return 1;
+  }
+
+  std::FILE* f = std::fopen("BENCH_codes.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write BENCH_codes.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"x\": %d,\n  \"n\": %d,\n  \"value_bytes\": %zu,\n", x,
+               n, value_len);
+  std::fprintf(f, "  \"smoke\": %s,\n  \"policies\": [\n", smoke ? "true" : "false");
+  const size_t kRows = sizeof(rows) / sizeof(rows[0]);
+  for (size_t i = 0; i < kRows; ++i) {
+    const PolicyRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"code\": \"%s\", \"encode_mbps\": %.1f, "
+                 "\"decode_mbps\": %.1f, \"repair_bytes_single\": %llu, "
+                 "\"repair_bytes_avg\": %.1f, \"whole_value_bytes\": %llu, "
+                 "\"degraded_read_us\": %.1f}%s\n",
+                 r.name, r.encode_mbps, r.decode_mbps,
+                 static_cast<unsigned long long>(r.repair_bytes_single),
+                 r.repair_bytes_avg,
+                 static_cast<unsigned long long>(r.whole_value_bytes),
+                 r.degraded_read_us, i + 1 < kRows ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_codes.json\n");
+  return 0;
+}

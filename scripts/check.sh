@@ -14,6 +14,11 @@
 #                               # (exit 0, clear message) when the kernel or
 #                               # build lacks io_uring support. The tier-1
 #                               # ladder always runs the epoll default.
+#   scripts/check.sh --codes    # erasure-code policy lane: the policy suites
+#                               # (incl. the scalar-GF rerun and the hh sim
+#                               # cluster) + bench_codes --smoke, gated on the
+#                               # JSON showing lrc single-failure repair
+#                               # strictly below the rs baseline.
 #
 # The sanitizer presets build into their own trees (build-asan/ build-tsan/
 # build-ubsan/) and run curated subsets: ASan+UBSan runs everything, TSan
@@ -29,6 +34,7 @@ SAN=0
 OBS=0
 SAT=0
 URING=0
+CODES=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
@@ -36,7 +42,8 @@ for arg in "$@"; do
     --obs) OBS=1 ;;
     --sat) SAT=1 ;;
     --uring) URING=1 ;;
-    *) echo "usage: $0 [--fast] [--san] [--obs] [--sat] [--uring]" >&2; exit 2 ;;
+    --codes) CODES=1 ;;
+    *) echo "usage: $0 [--fast] [--san] [--obs] [--sat] [--uring] [--codes]" >&2; exit 2 ;;
   esac
 done
 
@@ -76,6 +83,38 @@ assert len(points) >= 6, len(points)
 print(f"check.sh: smoke sweep ok — {len(points)} points, knee {knee:.0f} qps")
 EOF
   echo "check.sh: saturation suites passed"
+  exit 0
+fi
+
+if [[ "$CODES" == 1 ]]; then
+  # Erasure-code policy lane: the policy unit/property suites (both the
+  # dispatched and forced-scalar GF tiers), the wire-conformance suites that
+  # pin rs byte-identity, and the hh sim-cluster end-to-end. Then a smoke
+  # bench_codes run whose JSON must show the locality win the subsystem
+  # exists for: lrc repairs one lost share with strictly fewer network bytes
+  # than the rs any-x-of-n baseline.
+  run_preset default -R 'ec_test|ec_policy_test|ec_cluster_test|msg_test|config_test|snapshot_test'
+  echo "=== [default] bench_codes --smoke ==="
+  (cd build/bench && timeout 300 ./bench_codes --smoke)
+  python3 - <<'EOF'
+import json
+with open("build/bench/BENCH_codes.json") as f:
+    doc = json.load(f)
+rows = {p["code"]: p for p in doc["policies"]}
+assert set(rows) == {"rs", "lrc", "hh"}, sorted(rows)
+for p in rows.values():
+    assert p["encode_mbps"] > 0 and p["decode_mbps"] > 0, p
+    assert p["repair_bytes_single"] > 0, p
+assert rows["lrc"]["repair_bytes_single"] < rows["rs"]["repair_bytes_single"], \
+    (rows["lrc"]["repair_bytes_single"], rows["rs"]["repair_bytes_single"])
+assert rows["hh"]["repair_bytes_single"] < rows["rs"]["repair_bytes_single"], \
+    (rows["hh"]["repair_bytes_single"], rows["rs"]["repair_bytes_single"])
+print("check.sh: code zoo ok — lrc repairs at "
+      f"{rows['lrc']['repair_bytes_single'] / rows['rs']['repair_bytes_single']:.0%} "
+      f"and hh at {rows['hh']['repair_bytes_single'] / rows['rs']['repair_bytes_single']:.0%} "
+      "of rs bytes")
+EOF
+  echo "check.sh: code-policy suites passed"
   exit 0
 fi
 

@@ -4,6 +4,8 @@
 #include <map>
 #include <sstream>
 
+#include "ec/policy.h"
+
 namespace rspaxos::consensus {
 
 bool GroupConfig::contains(NodeId id) const {
@@ -29,9 +31,22 @@ Status GroupConfig::validate() const {
   if (x < 1 || x > std::min(qr, qw)) {
     return Status::invalid("X out of range");
   }
-  if (qr + qw - x < N) {
-    // The intersection of any read and write quorum must hold at least X
-    // acceptors, or a chosen value could be unrecoverable (§2.3's bug).
+  // The intersection of any read and write quorum must hold enough shares
+  // to decode, or a chosen value could be unrecoverable (§2.3's bug). For
+  // MDS codes (rs) that is exactly X; non-MDS codes (lrc) need
+  // any_subset_decodable() shares, because not every X-subset decodes.
+  int need = x;
+  if (code != ec::CodeId::kRs) {
+    auto policy = ec::PolicyCache::get_checked(static_cast<uint8_t>(code),
+                                               static_cast<uint64_t>(x),
+                                               static_cast<uint64_t>(N));
+    if (!policy.is_ok()) return policy.status();
+    need = policy.value()->any_subset_decodable();
+    if (need > std::min(qr, qw)) {
+      return Status::invalid("code's any-subset-decodable exceeds a quorum");
+    }
+  }
+  if (qr + qw - need < N) {
     // Equality is the paper's minimal-redundancy point; exceeding it is
     // safe but wasteful (classic majority Paxos on even N does).
     return Status::invalid("quorum equation QR+QW-X >= N violated");
@@ -42,7 +57,7 @@ Status GroupConfig::validate() const {
 std::string GroupConfig::to_string() const {
   std::ostringstream os;
   os << "cfg{N=" << n() << " QR=" << qr << " QW=" << qw << " X=" << x
-     << " F=" << f() << " epoch=" << epoch << "}";
+     << " code=" << ec::to_string(code) << " F=" << f() << " epoch=" << epoch << "}";
   return os.str();
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "consensus/types.h"
+#include "ec/code_id.h"
 #include "util/status.h"
 
 namespace rspaxos::consensus {
@@ -21,6 +22,10 @@ struct GroupConfig {
   int qr = 0;       // read quorum size (phase 1)
   int qw = 0;       // write quorum size (phase 2)
   int x = 1;        // original data shares of θ(X, N); 1 == classic Paxos
+  /// Erasure-code policy the group runs (DESIGN.md §13). Packed into the x
+  /// varint on the wire (bits 12+), so rs configs stay byte-identical and
+  /// old decoders reject non-rs configs as an out-of-range X.
+  ec::CodeId code = ec::CodeId::kRs;
   Epoch epoch = 0;
 
   int n() const { return static_cast<int>(members.size()); }

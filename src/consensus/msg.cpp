@@ -30,7 +30,12 @@ namespace {
 /// regular encoder and the zero-copy accept-frame builder).
 void encode_share_meta(Writer& w, const CodedShare& s) {
   encode_value_id(w, s.vid);
-  w.u8(static_cast<uint8_t>(s.kind));
+  // Kind byte doubles as the code-id carrier (high nibble). rs == 0 keeps
+  // the byte — and therefore the whole frame and WAL record — identical to
+  // the pre-policy format; pre-policy decoders reject non-rs shares as a
+  // bad entry kind instead of mis-decoding them.
+  w.u8(static_cast<uint8_t>(s.kind) |
+       static_cast<uint8_t>(static_cast<uint8_t>(s.code) << 4));
   w.varint(s.share_idx);
   w.varint(s.x);
   w.varint(s.n);
@@ -65,12 +70,18 @@ size_t encode_accept_frame(Writer& w, const AcceptMsg& m, size_t share_size) {
 
 Status decode_share(Reader& r, CodedShare& s) {
   RSP_RETURN_IF_ERROR(decode_value_id(r, s.vid));
-  uint8_t kind;
-  RSP_RETURN_IF_ERROR(r.u8(kind));
+  uint8_t kind_byte;
+  RSP_RETURN_IF_ERROR(r.u8(kind_byte));
+  const uint8_t kind = kind_byte & 0x0f;
+  const uint8_t code = kind_byte >> 4;
   if (kind > static_cast<uint8_t>(EntryKind::kConfig)) {
     return Status::corruption("bad entry kind");
   }
+  if (!ec::code_id_valid(code)) {
+    return Status::corruption("unknown erasure-code id in share");
+  }
   s.kind = static_cast<EntryKind>(kind);
+  s.code = static_cast<ec::CodeId>(code);
   uint64_t v;
   RSP_RETURN_IF_ERROR(r.varint(v));
   s.share_idx = static_cast<uint32_t>(v);
@@ -92,7 +103,12 @@ void encode_config(Writer& w, const GroupConfig& c) {
   for (NodeId m : c.members) w.u32(m);
   w.varint(static_cast<uint64_t>(c.qr));
   w.varint(static_cast<uint64_t>(c.qw));
-  w.varint(static_cast<uint64_t>(c.x));
+  // Code id rides in bits 12+ of the x varint: x <= |members| <= 1024 never
+  // reaches bit 12, rs (= 0) encodes byte-identically to the pre-policy
+  // format, and a pre-policy decoder sees a non-rs config as a huge X and
+  // rejects it in validate() rather than silently running the wrong code.
+  w.varint(static_cast<uint64_t>(c.x) |
+           (static_cast<uint64_t>(static_cast<uint8_t>(c.code)) << 12));
   w.u32(c.epoch);
 }
 
@@ -108,7 +124,12 @@ Status decode_config(Reader& r, GroupConfig& c) {
   RSP_RETURN_IF_ERROR(r.varint(v));
   c.qw = static_cast<int>(v);
   RSP_RETURN_IF_ERROR(r.varint(v));
-  c.x = static_cast<int>(v);
+  const uint64_t code = v >> 12;
+  if (!ec::code_id_valid(static_cast<uint8_t>(code)) || code > 0xff) {
+    return Status::corruption("unknown erasure-code id in config");
+  }
+  c.x = static_cast<int>(v & 0xfff);
+  c.code = static_cast<ec::CodeId>(code);
   RSP_RETURN_IF_ERROR(r.u32(c.epoch));
   return c.validate();
 }
@@ -335,6 +356,10 @@ Bytes FetchShareReqMsg::encode() const {
   Writer w(16);
   w.u32(epoch);
   w.varint(slot);
+  // Trailing-optional: only emitted for sub-masked (hh repair) fetches, so
+  // full-share requests stay byte-identical to the pre-policy wire format
+  // and pre-policy decoders (which never read past the slot) interoperate.
+  if (sub_mask != 0) w.varint(sub_mask);
   return w.take();
 }
 
@@ -343,6 +368,12 @@ StatusOr<FetchShareReqMsg> FetchShareReqMsg::decode(BytesView b) {
   FetchShareReqMsg m;
   RSP_RETURN_IF_ERROR(r.u32(m.epoch));
   RSP_RETURN_IF_ERROR(r.varint(m.slot));
+  if (!r.done()) {
+    uint64_t v;
+    RSP_RETURN_IF_ERROR(r.varint(v));
+    if (v > 0xffffffffu) return Status::corruption("bad sub-share mask");
+    m.sub_mask = static_cast<uint32_t>(v);
+  }
   return m;
 }
 
@@ -354,6 +385,7 @@ Bytes FetchShareRepMsg::encode() const {
   w.u8(committed ? 1 : 0);
   encode_ballot(w, accepted_ballot);
   if (have) encode_share(w, share);
+  if (have && sub_mask != 0) w.varint(sub_mask);  // trailing-optional, like the request
   return w.take();
 }
 
@@ -369,6 +401,12 @@ StatusOr<FetchShareRepMsg> FetchShareRepMsg::decode(BytesView b) {
   m.committed = committed != 0;
   RSP_RETURN_IF_ERROR(decode_ballot(r, m.accepted_ballot));
   if (m.have) RSP_RETURN_IF_ERROR(decode_share(r, m.share));
+  if (m.have && !r.done()) {
+    uint64_t v;
+    RSP_RETURN_IF_ERROR(r.varint(v));
+    if (v > 0xffffffffu) return Status::corruption("bad sub-share mask");
+    m.sub_mask = static_cast<uint32_t>(v);
+  }
   return m;
 }
 

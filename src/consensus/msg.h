@@ -131,10 +131,15 @@ struct CatchupRepMsg {
 };
 
 /// Recovery read support (§4.4): fetch whatever share a replica logged for a
-/// slot so the caller can decode the full value from >= X of them.
+/// slot so the caller can decode the full value from a decodable subset.
 struct FetchShareReqMsg {
   Epoch epoch = 0;
   Slot slot = 0;
+  /// Sub-stripe selector for multi-sub-stripe codes (DESIGN.md §13): 0 (the
+  /// wire default — the field is omitted when 0, keeping rs requests
+  /// byte-identical to the pre-policy format) means the full share; bit j
+  /// asks for sub-stripe j only, halving repair bytes under hh plans.
+  uint32_t sub_mask = 0;
 
   Bytes encode() const;
   static StatusOr<FetchShareReqMsg> decode(BytesView b);
@@ -147,6 +152,9 @@ struct FetchShareRepMsg {
   bool committed = false;
   Ballot accepted_ballot;
   CodedShare share;
+  /// Which sub-stripes share.data carries, mask-bit order (0 = full share).
+  /// Trailing-optional like the request's mask.
+  uint32_t sub_mask = 0;
 
   Bytes encode() const;
   static StatusOr<FetchShareRepMsg> decode(BytesView b);

@@ -39,6 +39,9 @@ void Replica::init_metrics() {
       counter("rsp_consensus_recoveries_total", "Recovery reads started (share gathering)");
   m_.catchup_bytes =
       counter("rsp_catchup_bytes_sent", "Share+header bytes served in catch-up replies");
+  m_.repair_bytes =
+      counter("rsp_repair_bytes_total",
+              "Share bytes fetched from peers for repairs and recovery reads");
   auto histogram = [&](const char* name, const char* help) {
     return &reg.histogram_family(name, help, {"node", "group"}).with({node, group});
   };
@@ -71,6 +74,7 @@ ReplicaStats Replica::stats() const {
   s.snapshot_installs = m_.snapshot_installs.value();
   s.snapshot_bytes = m_.snapshot_bytes.value();
   s.share_gc_dropped = m_.share_gc_dropped.value();
+  s.repair_bytes = m_.repair_bytes.value();
   return s;
 }
 
@@ -390,7 +394,7 @@ void Replica::propose_internal(Slot slot, EntryKind kind, ValueId vid, Bytes hea
                                           static_cast<int64_t>(proposed_at));
   tracer.set_slot(commit_span.trace_id, slot);
 
-  const ec::RsCode& code = codec();
+  const ec::EcPolicy& code = policy();
   const int n = cfg_.n();
   const int my_idx = cfg_.index_of(ctx_->id());
   const size_t ss = code.share_size(payload.size());
@@ -408,6 +412,7 @@ void Replica::propose_internal(Slot slot, EntryKind kind, ValueId vid, Bytes hea
   meta.slot = slot;
   meta.share.vid = vid;
   meta.share.kind = kind;
+  meta.share.code = cfg_.code;
   meta.share.x = static_cast<uint32_t>(cfg_.x);
   meta.share.n = static_cast<uint32_t>(n);
   meta.share.value_len = payload.size();
@@ -452,7 +457,7 @@ void Replica::propose_internal(Slot slot, EntryKind kind, ValueId vid, Bytes hea
     job->commit_span = commit_span;
     job->encode_span = encode_span;
     job->proposed_at = proposed_at;
-    const ec::RsCode* codep = &code;  // cache entries are immortal
+    const ec::EcPolicy* codep = &code;  // cache entries are immortal
     opts_.ec_pool->submit([this, job, codep] {
       codep->encode_into(job->payload, job->dsts.data());
       // set_timer is the one NodeContext entry point that is thread-safe on
@@ -511,6 +516,7 @@ void Replica::finish_propose(Slot slot, EntryKind kind, ValueId vid, Bytes heade
   e.accepted = ballot_;
   e.share.vid = vid;
   e.share.kind = kind;
+  e.share.code = cfg_.code;
   e.share.share_idx = static_cast<uint32_t>(my_idx);
   e.share.x = static_cast<uint32_t>(cfg_.x);
   e.share.n = static_cast<uint32_t>(n);
@@ -720,8 +726,9 @@ void Replica::on_accept(NodeId from, AcceptMsg msg) {
   e.accepted = msg.ballot;
   e.share = std::move(msg.share);
   e.durable = false;
-  if (e.share.x == 1) {
-    // Full-copy mode: the share *is* the value (classic Paxos).
+  if (e.share.x == 1 && e.share.code == ec::CodeId::kRs) {
+    // Full-copy mode: the share *is* the value (classic Paxos). Non-rs codes
+    // never qualify — even at x == 1 their shares carry parity layout.
     e.full_payload = e.share.data;
   }
   next_slot_ = std::max(next_slot_, msg.slot + 1);
@@ -939,7 +946,9 @@ void Replica::restore_from_wal() {
           LogEntry& e = log_[slot];
           e.accepted = accepted;
           e.share = std::move(share);
-          if (e.share.x == 1) e.full_payload = e.share.data;
+          if (e.share.x == 1 && e.share.code == ec::CodeId::kRs) {
+            e.full_payload = e.share.data;
+          }
           next_slot_ = std::max(next_slot_, slot + 1);
         }
         return;

@@ -32,7 +32,7 @@
 #include "consensus/msg.h"
 #include "consensus/single.h"
 #include "consensus/view.h"
-#include "ec/rs_code.h"
+#include "ec/policy.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -87,6 +87,12 @@ struct ReplicaOptions {
   /// (and the single-threaded simulator) keeps the historical inline encode.
   ec::EcWorkerPool* ec_pool = nullptr;
   size_t ec_async_min_bytes = 64u << 10;
+  /// Relative per-byte cost of fetching shares from each peer (missing peers
+  /// cost 1.0; the local replica is always free). Repair planning — targeted
+  /// recovery reads, catch-up share repair, InstallSnapshot fragment pulls —
+  /// feeds these into EcPolicy::plan_repair so cross-AZ/cross-rack peers are
+  /// avoided when a cheaper decodable set exists.
+  std::map<NodeId, double> peer_costs;
 };
 
 /// A committed log entry as handed to the state machine. Followers usually
@@ -116,6 +122,7 @@ struct ReplicaStats {
   uint64_t snapshot_installs = 0;  // full-state reconstructions completed
   uint64_t snapshot_bytes = 0;     // fragment bytes durably saved
   uint64_t share_gc_dropped = 0;   // log-entry shares dropped by gated GC
+  uint64_t repair_bytes = 0;       // share bytes fetched from peers for repairs
 };
 
 class Replica final : public MessageHandler {
@@ -243,8 +250,32 @@ class Replica final : public MessageHandler {
     ValueId vid;                  // vid being gathered (from committed info)
     bool vid_known = false;
     uint32_t x = 0, n = 0;
+    ec::CodeId code = ec::CodeId::kRs;
     uint64_t value_len = 0;
+    /// First attempt fetches only the policy's cheapest decodable set; a
+    /// retry widens to the full membership broadcast (peer died / compacted).
+    bool widened = false;
     std::vector<RecoverFn> cbs;
+    NodeContext::TimerId retry_timer = 0;
+  };
+
+  /// One in-flight single-share repair: rebuilds exactly the requester's
+  /// share of `slot` from the policy's cheapest repair plan (sub-masked
+  /// fetches under hh, local-group reads under lrc) instead of decoding the
+  /// whole value from any X of N. Falls back to recover_payload when the
+  /// plan cannot complete (dead peers, unknown code).
+  struct PendingRepair {
+    ValueId vid;
+    Ballot ballot;                   // ballot the entry committed under
+    uint32_t x = 0, n = 0;
+    ec::CodeId code = ec::CodeId::kRs;
+    uint64_t value_len = 0;
+    EntryKind kind = EntryKind::kNormal;
+    Bytes header;
+    NodeId requester = kNoNode;      // catch-up requester awaiting the share
+    int target = 0;                  // share index being rebuilt
+    ec::RepairPlan plan;
+    std::map<int, Bytes> fetched;    // share_idx -> masked sub-share bytes
     NodeContext::TimerId retry_timer = 0;
   };
 
@@ -294,6 +325,19 @@ class Replica final : public MessageHandler {
   void on_catchup_rep(NodeId from, CatchupRepMsg msg);
   void on_fetch_share_req(NodeId from, FetchShareReqMsg msg);
   void on_fetch_share_rep(NodeId from, FetchShareRepMsg msg);
+  /// Begins a plan-driven single-share repair of `slot` for `requester`
+  /// (member index `target`); serve_catchup uses it when the leader no
+  /// longer caches the full payload. Falls back to recover_payload when no
+  /// feasible plan exists.
+  void start_share_repair(Slot slot, NodeId requester, int target);
+  /// Consumes a fetch-share reply into an in-flight repair. Returns true if
+  /// the reply belonged to (and was absorbed by) the repair for that slot.
+  bool absorb_repair_rep(const FetchShareRepMsg& msg);
+  void finish_share_repair(Slot slot);
+  void abort_share_repair(Slot slot);
+  /// Per-share relative fetch cost derived from ReplicaOptions::peer_costs
+  /// (self = 0, unknown peers = 1).
+  std::vector<double> share_costs() const;
   void apply_config_entry(const LogEntry& e, Slot slot);
 
   // --- snapshots / log compaction ---
@@ -331,7 +375,13 @@ class Replica final : public MessageHandler {
   void restore_from_wal();
 
   // --- misc ---
-  const ec::RsCode& codec() const { return ec::RsCodeCache::get(cfg_.x, cfg_.n()); }
+  /// The group's erasure-code policy (immortal cache entry; rs by default).
+  /// Every encode/decode/repair in the replica goes through this — never
+  /// through a raw codec — so swapping GroupConfig::code swaps the whole
+  /// share pipeline.
+  const ec::EcPolicy& policy() const {
+    return ec::PolicyCache::get(cfg_.code, cfg_.x, cfg_.n());
+  }
   void maybe_drop_old_payloads();
   DurationMicros election_timeout();
 
@@ -378,6 +428,7 @@ class Replica final : public MessageHandler {
   TimeMicros last_leader_contact_ = 0;
 
   std::map<Slot, PendingRecovery> recoveries_;
+  std::map<Slot, PendingRepair> repairs_;
   // Catch-up entries awaiting payload recovery, per requester.
   bool catchup_in_flight_ = false;
 
@@ -422,6 +473,11 @@ class Replica final : public MessageHandler {
       bool done = false;
     };
     std::map<NodeId, PeerFetch> peers;
+    /// First pass fetches only the policy's cheapest decodable fragment set
+    /// (each member's own fragment, targeted by index); a tick that makes no
+    /// progress widens back to the historical any-fragment broadcast.
+    bool widened = false;
+    size_t done_last_tick = 0;
     NodeContext::TimerId timer = 0;
   };
   std::optional<PendingInstall> install_;
@@ -436,6 +492,7 @@ class Replica final : public MessageHandler {
     obs::CounterView proposals, commits, accepts_sent;
     obs::CounterView elections_started, times_elected;
     obs::CounterView catchup_entries_served, recoveries, catchup_bytes;
+    obs::CounterView repair_bytes;  // share bytes fetched for repair/recovery
     obs::CounterView checkpoints, snapshot_installs, snapshot_bytes;
     obs::CounterView share_gc_dropped;
     obs::HistogramMetric* quorum_wait_us = nullptr;

@@ -50,7 +50,7 @@ void Replica::maybe_checkpoint() {
   encode_config(cw, cfg_);
   Bytes cfg_blob = cw.take();
 
-  const ec::RsCode& code = codec();
+  const ec::EcPolicy& code = policy();
   const int n = cfg_.n();
   PendingCheckpoint ck;
   ck.id = id;
@@ -67,6 +67,7 @@ void Replica::maybe_checkpoint() {
     man.share_idx = static_cast<uint32_t>(idx);
     man.x = static_cast<uint32_t>(cfg_.x);
     man.n = static_cast<uint32_t>(n);
+    man.code = cfg_.code;
     man.state_len = image.size();
     man.state_crc = state_crc;
     man.frag_len = frag.size();
@@ -320,34 +321,78 @@ void Replica::start_install(uint64_t ckpt_hint) {
 void Replica::install_tick() {
   if (!install_.has_value()) return;
   PendingInstall& ins = *install_;
+  const ec::EcPolicy* pol = nullptr;
+  if (ins.man_known) {
+    auto pol_or = ec::PolicyCache::get_checked(
+        static_cast<uint8_t>(ins.man.code), ins.man.x, ins.man.n);
+    if (!pol_or.is_ok()) {
+      // Validated-at-decode manifest with policy-infeasible geometry: a
+      // forged or corrupt manifest. Abandon rather than assert.
+      RSP_ERROR << "node " << ctx_->id() << " snapshot " << ins.man.checkpoint_id
+                << ": bad manifest coding params: " << pol_or.status().to_string();
+      if (ins.timer != 0) ctx_->cancel_timer(ins.timer);
+      install_.reset();
+      return;
+    }
+    pol = pol_or.value();
+  }
   if (ins.man_known && !ins.pull_only) {
     std::set<uint32_t> have;
     for (const auto& [node, pf] : ins.peers) {
       if (pf.done) have.insert(pf.share_idx);
     }
-    if (have.size() >= static_cast<size_t>(ins.man.x)) {
+    // Not every x-subset of a non-MDS code's fragments decodes; ask the
+    // policy, not a counter.
+    std::vector<int> idxs(have.begin(), have.end());
+    if (pol->decodable(idxs)) {
       finish_install();
       return;
+    }
+  }
+  // Cheapest-set targeting: once the geometry is known, fetch only the
+  // fragments the policy's whole-value plan names (each member serves its
+  // own index), honoring peer costs. A tick with no completed fragment
+  // widens back to the any-fragment broadcast so dead peers can't stall.
+  std::set<int> want;
+  bool targeted = false;
+  if (ins.man_known && !ins.pull_only && !ins.widened &&
+      static_cast<int>(ins.man.n) == cfg_.n()) {
+    std::vector<int> live;
+    for (int i = 0; i < pol->n(); ++i) live.push_back(i);
+    ec::RepairPlan plan =
+        pol->plan_repair(ec::RepairPlan::kWholeValue, live, share_costs());
+    if (plan.feasible()) {
+      targeted = true;
+      for (const ec::ShareFetch& f : plan.fetches) want.insert(f.share_idx);
     }
   }
   for (NodeId mem : cfg_.members) {
     if (mem == ctx_->id()) continue;
     if (ins.pull_only && mem != ins.pull_from) continue;
+    int midx = cfg_.index_of(mem);
+    if (targeted && (midx < 0 || want.count(midx) == 0)) continue;
     PendingInstall::PeerFetch& pf = ins.peers[mem];
     if (pf.done) continue;
     SnapshotFetchReqMsg req;
     req.epoch = cfg_.epoch;
     req.checkpoint_id = ins.ckpt_id;
-    req.share_idx = ins.pull_only ? pf.share_idx : kAnyShare;
+    req.share_idx = ins.pull_only
+                        ? pf.share_idx
+                        : (targeted ? static_cast<uint32_t>(midx) : kAnyShare);
     req.offset = pf.data.size();
     ctx_->send(mem, MsgType::kSnapshotFetchReq, req.encode());
   }
   if (ins.timer != 0) ctx_->cancel_timer(ins.timer);
   ins.timer = ctx_->set_timer(opts_.retransmit_interval * 2, [this] {
-    if (install_.has_value()) {
-      install_->timer = 0;
-      install_tick();
+    if (!install_.has_value()) return;
+    install_->timer = 0;
+    size_t done = 0;
+    for (const auto& [node, pf] : install_->peers) {
+      if (pf.done) ++done;
     }
+    if (done <= install_->done_last_tick) install_->widened = true;
+    install_->done_last_tick = done;
+    install_tick();
   });
 }
 
@@ -431,8 +476,16 @@ void Replica::finish_install() {
   for (auto& [node, pf] : ins.peers) {
     if (pf.done) input.emplace(static_cast<int>(pf.share_idx), std::move(pf.data));
   }
-  const ec::RsCode& code = ec::RsCodeCache::get(static_cast<int>(ins.man.x),
-                                                static_cast<int>(ins.man.n));
+  // Wire-validated policy lookup (no int-narrowing of manifest params);
+  // install_tick already vetted the geometry before declaring completion.
+  auto code_or = ec::PolicyCache::get_checked(static_cast<uint8_t>(ins.man.code),
+                                              ins.man.x, ins.man.n);
+  if (!code_or.is_ok()) {
+    RSP_ERROR << "node " << ctx_->id() << " snapshot " << ins.man.checkpoint_id
+              << ": bad manifest coding params: " << code_or.status().to_string();
+    return;
+  }
+  const ec::EcPolicy& code = *code_or.value();
   auto img = code.decode(input, ins.man.state_len);
   if (!img.is_ok() || crc32c(img.value()) != ins.man.state_crc) {
     RSP_ERROR << "node " << ctx_->id() << " snapshot " << ins.man.checkpoint_id

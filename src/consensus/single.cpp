@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ec/policy.h"
 #include "util/logging.h"
 
 namespace rspaxos::consensus {
@@ -31,11 +32,17 @@ StatusOr<Phase1Choice> choose_phase1_value(const std::vector<PromiseEntry>& entr
 
   for (const auto& [ballot, vid] : order) {
     const Candidate& c = by_vid[vid];
-    int need = static_cast<int>(c.any->x);
-    if (static_cast<int>(c.shares.size()) < need) continue;  // not recoverable
+    // Validate the wire coding params before any cache lookup: a corrupt
+    // promise entry yields a Status, not an assert.
+    auto pol = ec::PolicyCache::get_checked(static_cast<uint8_t>(c.any->code),
+                                            c.any->x, c.any->n);
+    if (!pol.is_ok()) return pol.status();
+    const ec::EcPolicy& code = *pol.value();
+    std::vector<int> have;
+    have.reserve(c.shares.size());
+    for (const auto& [idx, share] : c.shares) have.push_back(idx);
+    if (!code.decodable(have)) continue;  // not recoverable
     // Decode the payload from the shares.
-    const ec::RsCode& code = ec::RsCodeCache::get(static_cast<int>(c.any->x),
-                                                  static_cast<int>(c.any->n));
     std::map<int, Bytes> input;
     for (const auto& [idx, share] : c.shares) input.emplace(idx, share->data);
     auto payload = code.decode(input, c.any->value_len);
@@ -194,7 +201,7 @@ void SingleProposer::begin_phase2(Phase1Choice choice) {
     active_header_ = my_header_;
     active_payload_ = my_payload_;
   }
-  const ec::RsCode& code = ec::RsCodeCache::get(cfg_.x, cfg_.n());
+  const ec::EcPolicy& code = ec::PolicyCache::get(cfg_.code, cfg_.x, cfg_.n());
   active_shares_ = code.encode(active_payload_);
   send_accepts();
   arm_retransmit();
@@ -210,6 +217,7 @@ void SingleProposer::send_accepts() {
     msg.slot = opts_.slot;
     msg.share.vid = active_vid_;
     msg.share.kind = active_kind_;
+    msg.share.code = cfg_.code;
     msg.share.share_idx = static_cast<uint32_t>(i);
     msg.share.x = static_cast<uint32_t>(cfg_.x);
     msg.share.n = static_cast<uint32_t>(cfg_.n());

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <string>
 
+#include "ec/code_id.h"
 #include "net/transport.h"
 #include "util/bytes.h"
 
@@ -74,6 +75,11 @@ enum class EntryKind : uint8_t {
 struct CodedShare {
   ValueId vid;
   EntryKind kind = EntryKind::kNormal;
+  /// Which erasure code produced `data`. Packed into the high nibble of the
+  /// kind byte on the wire/WAL, so rs (= 0) frames stay byte-identical to
+  /// the pre-policy format and old decoders reject non-rs frames instead of
+  /// mis-decoding them.
+  ec::CodeId code = ec::CodeId::kRs;
   uint32_t share_idx = 0;   // which of the n shares this is
   uint32_t x = 1;           // original-share count of the coding config
   uint32_t n = 1;           // total share count of the coding config

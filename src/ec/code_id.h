@@ -1,0 +1,42 @@
+// Wire-stable identifiers for the erasure-code policies (DESIGN.md §13).
+//
+// A CodeId travels inside share records, group configs, snapshot manifests
+// and fetch messages, so the numeric values are frozen: kRs must stay 0 so
+// that pre-policy frames (which never wrote a code id) decode as Reed-Solomon
+// byte-for-byte. Ids are packed into 4-bit fields on the wire, so new codes
+// must fit in [0, 15].
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace rspaxos::ec {
+
+enum class CodeId : uint8_t {
+  kRs = 0,   // θ(X,N) systematic Reed-Solomon (the paper's code; MDS)
+  kLrc = 1,  // Azure-style Locally Repairable Code (local XOR groups; not MDS)
+  kHh = 2,   // Hitchhiker-style XOR piggyback over RS (2 sub-shares; MDS)
+};
+
+inline constexpr uint8_t kMaxCodeId = 2;
+
+inline bool code_id_valid(uint8_t raw) { return raw <= kMaxCodeId; }
+
+inline const char* to_string(CodeId c) {
+  switch (c) {
+    case CodeId::kRs: return "rs";
+    case CodeId::kLrc: return "lrc";
+    case CodeId::kHh: return "hh";
+  }
+  return "?";
+}
+
+inline std::optional<CodeId> parse_code_id(std::string_view s) {
+  if (s == "rs") return CodeId::kRs;
+  if (s == "lrc") return CodeId::kLrc;
+  if (s == "hh") return CodeId::kHh;
+  return std::nullopt;
+}
+
+}  // namespace rspaxos::ec

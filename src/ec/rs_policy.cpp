@@ -1,0 +1,44 @@
+// Reed-Solomon wrapped as an EcPolicy: the byte paths delegate straight to
+// the cached RsCode so the SIMD cache-blocked kernels, metrics, and the
+// exact pre-policy share bytes are preserved (rs is the wire-compatibility
+// baseline — conformance tests assert byte identity).
+#include "ec/policy.h"
+#include "ec/rs_code.h"
+
+namespace rspaxos::ec {
+namespace {
+
+class RsPolicy final : public EcPolicy {
+ public:
+  RsPolicy(int x, int n, const RsCode* code)
+      // MDS: any x shares decode, so any_subset_decodable == x.
+      : EcPolicy(x, n, /*s=*/1, /*asd=*/x, code->encoding_matrix()), code_(code) {}
+
+  CodeId id() const override { return CodeId::kRs; }
+
+  std::vector<Bytes> encode(BytesView value) const override { return code_->encode(value); }
+  void encode_into(BytesView value, uint8_t* const* dsts) const override {
+    code_->encode_into(value, dsts);
+  }
+  Bytes encode_share(BytesView value, int index) const override {
+    return code_->encode_share(value, index);
+  }
+  StatusOr<Bytes> decode(const std::map<int, Bytes>& shares, size_t value_len) const override {
+    return code_->decode(shares, value_len);
+  }
+
+ private:
+  const RsCode* code_;  // immortal RsCodeCache entry
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<EcPolicy>> make_rs_policy(int x, int n) {
+  // Validate before touching RsCodeCache::get, which asserts on bad keys.
+  auto probe = RsCode::create(x, n);
+  if (!probe.is_ok()) return probe.status();
+  const RsCode& cached = RsCodeCache::get(x, n);
+  return std::unique_ptr<EcPolicy>(new RsPolicy(x, n, &cached));
+}
+
+}  // namespace rspaxos::ec

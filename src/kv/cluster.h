@@ -51,6 +51,11 @@ struct SimClusterOptions {
   /// true: RS-Paxos with QR=QW=N-f, X=N-2f; false: classic majority Paxos.
   bool rs_mode = true;
   int f = 1;  // target fault tolerance for rs_mode
+  /// Erasure-code policy for every group (rs_mode only). Non-rs codes must
+  /// keep the quorum equation feasible for the derived θ(X,N) — hh is MDS
+  /// and always qualifies; lrc only when its any-subset-decodable fits the
+  /// quorums (GroupConfig::validate enforces it; construction asserts).
+  ec::CodeId code = ec::CodeId::kRs;
   sim::LinkParams link = sim::LinkParams::lan();
   sim::DiskParams disk = sim::DiskParams::ssd();
   consensus::ReplicaOptions replica;

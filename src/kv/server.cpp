@@ -38,6 +38,9 @@ KvServer::KvServer(NodeContext* ctx, storage::Wal* wal, GroupConfig cfg,
       counter("rsp_kv_consistent_reads_total", "Reads committed via a read-marker instance");
   m_.recovery_reads =
       counter("rsp_kv_recovery_reads_total", "Reads that gathered shares to decode the value");
+  m_.ec_degraded_reads =
+      counter("rsp_ec_degraded_reads_total",
+              "Reads served degraded: value decoded from a gathered share set");
   m_.redirects = counter("rsp_kv_redirects_total", "Client requests bounced to the leader");
   m_.batches_committed =
       counter("rsp_kv_batches_committed_total", "Composite batch instances committed");
@@ -111,6 +114,7 @@ KvServerStats KvServer::stats() const {
   s.fast_reads = m_.fast_reads.value();
   s.consistent_reads = m_.consistent_reads.value();
   s.recovery_reads = m_.recovery_reads.value();
+  s.ec_degraded_reads = m_.ec_degraded_reads.value();
   s.redirects = m_.redirects.value();
   s.batches_committed = m_.batches_committed.value();
   s.admission_shed =
@@ -304,6 +308,7 @@ void KvServer::finish_get(NodeId from, uint64_t req_id, const std::string& key) 
   // value; gather >= X shares from the group, decode, cache, reply. "The
   // cost of a recovery read is similar to a write."
   m_.recovery_reads.inc();
+  m_.ec_degraded_reads.inc();
   uint64_t slot = rec->slot;
   uint64_t off = rec->slice_off;
   uint64_t len = rec->slice_len;

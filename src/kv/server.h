@@ -27,6 +27,7 @@ struct KvServerStats {
   uint64_t fast_reads = 0;
   uint64_t consistent_reads = 0;
   uint64_t recovery_reads = 0;
+  uint64_t ec_degraded_reads = 0;  // reads decoded from a gathered share set
   uint64_t redirects = 0;
   uint64_t batches_committed = 0;
   uint64_t admission_shed = 0;  // requests bounced with kOverloaded (all reasons)
@@ -139,6 +140,11 @@ class KvServer final : public MessageHandler {
   struct Metrics {
     obs::CounterView puts, fast_reads, consistent_reads;
     obs::CounterView recovery_reads, redirects, batches_committed;
+    /// Reads answered from gathered shares while the local row was only a
+    /// coded share (DESIGN.md §13 degraded reads). Superset label of
+    /// recovery_reads kept separate so EC-policy dashboards don't depend on
+    /// the legacy recovery-read series.
+    obs::CounterView ec_degraded_reads;
     obs::CounterView shed_inflight, shed_queue_bytes, shed_health;
     obs::Gauge* adm_inflight = nullptr;
     obs::Gauge* adm_queue_bytes = nullptr;

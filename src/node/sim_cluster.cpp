@@ -55,7 +55,14 @@ GroupConfig SimCluster::group_config(int group) const {
   if (opts_.rs_mode) {
     auto cfg = GroupConfig::rs_max_x(std::move(members), opts_.f);
     assert(cfg.is_ok());
-    return std::move(cfg).value();
+    GroupConfig c = std::move(cfg).value();
+    if (opts_.code != ec::CodeId::kRs) {
+      c.code = opts_.code;
+      // Misconfigured geometry (e.g. lrc whose any-subset-decodable exceeds
+      // a quorum) is a test-author error; fail loudly.
+      assert(c.validate().is_ok());
+    }
+    return c;
   }
   return GroupConfig::majority(std::move(members));
 }

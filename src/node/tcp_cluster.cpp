@@ -249,7 +249,14 @@ consensus::GroupConfig TcpCluster::group_config(uint32_t g) const {
   }
   if (opts_.rs_mode) {
     auto cfg = consensus::GroupConfig::rs_max_x(std::move(members), opts_.f);
-    if (cfg.is_ok()) return std::move(cfg).value();
+    if (cfg.is_ok()) {
+      consensus::GroupConfig c = std::move(cfg).value();
+      if (opts_.code != ec::CodeId::kRs) {
+        c.code = opts_.code;
+        if (!c.validate().is_ok()) c.code = ec::CodeId::kRs;
+      }
+      return c;
+    }
     // Too few servers for the requested f: degrade like SimCluster's callers
     // would — majority quorums over the same members.
     members.clear();

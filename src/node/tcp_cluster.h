@@ -47,6 +47,10 @@ struct TcpClusterOptions {
   /// true: RS-Paxos with QR=QW=N-f, X=N-2f; false: classic majority Paxos.
   bool rs_mode = true;
   int f = 1;  // target fault tolerance for rs_mode
+  /// Erasure-code policy for every group (rs_mode only). Kept when the
+  /// resulting config validates (hh always does — MDS); silently degraded
+  /// back to rs otherwise, matching this struct's degrade-don't-die style.
+  ec::CodeId code = ec::CodeId::kRs;
   /// Client ports are reserved up front alongside the server ports (ports
   /// cannot be grown later without re-racing free_ports).
   int num_clients = 1;

@@ -8,13 +8,19 @@ namespace {
 
 constexpr uint32_t kMagic = 0x52534e50;  // "RSNP"
 constexpr uint32_t kVersion = 1;
+/// Version 2 == version 1 plus a code-id byte after the coding geometry.
+/// Only emitted when the code is not rs, so rs manifests stay byte-identical
+/// to pre-policy ones and old readers never see a version they can't parse
+/// unless the fragments really do need the new decoder.
+constexpr uint32_t kVersionCoded = 2;
 
 }  // namespace
 
 Bytes SnapshotManifest::encode() const {
+  const bool coded = code != ec::CodeId::kRs;
   Writer w(96 + config_blob.size());
   w.u32(kMagic);
-  w.u32(kVersion);
+  w.u32(coded ? kVersionCoded : kVersion);
   w.varint(checkpoint_id);
   w.varint(applied_index);
   w.varint(next_slot);
@@ -22,6 +28,7 @@ Bytes SnapshotManifest::encode() const {
   w.varint(share_idx);
   w.varint(x);
   w.varint(n);
+  if (coded) w.u8(static_cast<uint8_t>(code));
   w.varint(state_len);
   w.u32(state_crc);
   w.varint(frag_len);
@@ -46,7 +53,9 @@ StatusOr<SnapshotManifest> SnapshotManifest::decode(BytesView b) {
   RSP_RETURN_IF_ERROR(r.u32(magic));
   if (magic != kMagic) return Status::corruption("bad manifest magic");
   RSP_RETURN_IF_ERROR(r.u32(version));
-  if (version != kVersion) return Status::corruption("unknown manifest version");
+  if (version != kVersion && version != kVersionCoded) {
+    return Status::corruption("unknown manifest version");
+  }
 
   SnapshotManifest m;
   uint64_t v = 0;
@@ -60,6 +69,16 @@ StatusOr<SnapshotManifest> SnapshotManifest::decode(BytesView b) {
   m.x = static_cast<uint32_t>(v);
   RSP_RETURN_IF_ERROR(r.varint(v));
   m.n = static_cast<uint32_t>(v);
+  if (version == kVersionCoded) {
+    uint8_t code = 0;
+    RSP_RETURN_IF_ERROR(r.u8(code));
+    if (!ec::code_id_valid(code) || code == static_cast<uint8_t>(ec::CodeId::kRs)) {
+      // rs must use version 1; anything else here is a corrupt or forged
+      // manifest (and would silently change fragment geometry if trusted).
+      return Status::corruption("bad manifest code id");
+    }
+    m.code = static_cast<ec::CodeId>(code);
+  }
   RSP_RETURN_IF_ERROR(r.varint(m.state_len));
   RSP_RETURN_IF_ERROR(r.u32(m.state_crc));
   RSP_RETURN_IF_ERROR(r.varint(m.frag_len));

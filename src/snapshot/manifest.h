@@ -15,6 +15,7 @@
 // library does not depend on the consensus layer.
 #pragma once
 
+#include "ec/code_id.h"
 #include "util/bytes.h"
 #include "util/status.h"
 
@@ -34,6 +35,11 @@ struct SnapshotManifest {
   uint32_t share_idx = 0;
   uint32_t x = 1;
   uint32_t n = 1;
+  /// Erasure-code policy the fragments were cut with. Version-gated: rs
+  /// manifests encode as the pre-policy version-1 image (byte-identical),
+  /// non-rs manifests bump the wire version to 2 so pre-policy readers
+  /// reject them instead of decoding fragments with the wrong code.
+  ec::CodeId code = ec::CodeId::kRs;
 
   uint64_t state_len = 0;  // full state image length
   uint32_t state_crc = 0;  // crc32c of the full image

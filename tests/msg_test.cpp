@@ -264,6 +264,142 @@ TEST(Msg, FetchShareRoundTrip) {
   EXPECT_FALSE(dnone.value().have);
 }
 
+// The policy layer threads a code id through shares, configs and fetch
+// messages, but rs (the default) must stay byte-identical to the pre-policy
+// wire format. These goldens hand-build the pre-policy frames field by field
+// so a regression in the gating shows up as a byte diff, not just a failed
+// round-trip.
+TEST(Msg, RsShareBytesMatchPrePolicyLayout) {
+  CodedShare s = sample_share();
+  ASSERT_EQ(s.code, ec::CodeId::kRs);
+  Writer w;
+  encode_share(w, s);
+
+  Writer pre;  // pre-policy layout: plain kind byte, no code anywhere
+  pre.u32(s.vid.origin);
+  pre.u64(s.vid.seq);
+  pre.u8(static_cast<uint8_t>(s.kind));
+  pre.varint(s.share_idx);
+  pre.varint(s.x);
+  pre.varint(s.n);
+  pre.varint(s.value_len);
+  pre.bytes(s.header);
+  pre.bytes(s.data);
+  EXPECT_EQ(w.take(), pre.take());
+}
+
+TEST(Msg, NonRsShareCodeRoundTrips) {
+  for (ec::CodeId code : {ec::CodeId::kLrc, ec::CodeId::kHh}) {
+    AcceptMsg m;
+    m.ballot = Ballot{1, 1};
+    m.slot = 1;
+    m.share = sample_share();
+    m.share.code = code;
+    auto d = AcceptMsg::decode(m.encode());
+    ASSERT_TRUE(d.is_ok()) << ec::to_string(code);
+    EXPECT_EQ(d.value().share.code, code);
+    EXPECT_TRUE(share_eq(d.value().share, m.share));
+  }
+}
+
+TEST(Msg, BadShareCodeIdRejected) {
+  AcceptMsg m;
+  m.ballot = Ballot{1, 1};
+  m.slot = 1;
+  m.share = sample_share();
+  m.share.code = static_cast<ec::CodeId>(7);  // unassigned id
+  auto st = AcceptMsg::decode(m.encode());
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_NE(st.status().to_string().find("erasure-code"), std::string::npos);
+}
+
+TEST(Msg, RsConfigBytesMatchPrePolicyLayout) {
+  auto cfg = GroupConfig::rs_max_x({1, 2, 3, 4, 5}, 1);
+  ASSERT_TRUE(cfg.is_ok());
+  GroupConfig c = std::move(cfg).value();
+  c.epoch = 3;
+  ASSERT_EQ(c.code, ec::CodeId::kRs);
+  Writer w;
+  encode_config(w, c);
+
+  Writer pre;  // pre-policy layout: plain x varint, no code bits
+  pre.varint(c.members.size());
+  for (NodeId m : c.members) pre.u32(m);
+  pre.varint(static_cast<uint64_t>(c.qr));
+  pre.varint(static_cast<uint64_t>(c.qw));
+  pre.varint(static_cast<uint64_t>(c.x));
+  pre.u32(c.epoch);
+  EXPECT_EQ(w.take(), pre.take());
+}
+
+TEST(Msg, NonRsConfigRoundTrips) {
+  auto cfg = GroupConfig::rs_max_x({1, 2, 3, 4, 5}, 1);
+  ASSERT_TRUE(cfg.is_ok());
+  GroupConfig c = std::move(cfg).value();
+  c.code = ec::CodeId::kHh;  // MDS: same quorums as rs always validate
+  ASSERT_TRUE(c.validate().is_ok());
+  Writer w;
+  encode_config(w, c);
+  Bytes wire = w.take();
+  Reader r(wire);
+  GroupConfig d;
+  ASSERT_TRUE(decode_config(r, d).is_ok());
+  EXPECT_EQ(d.code, ec::CodeId::kHh);
+  EXPECT_EQ(d.x, c.x);
+  EXPECT_EQ(d.members, c.members);
+}
+
+TEST(Msg, BadConfigCodeIdRejected) {
+  auto cfg = GroupConfig::rs_max_x({1, 2, 3, 4, 5}, 1);
+  ASSERT_TRUE(cfg.is_ok());
+  GroupConfig c = std::move(cfg).value();
+  Writer w;  // hand-encode with an unassigned code id in the x varint
+  w.varint(c.members.size());
+  for (NodeId m : c.members) w.u32(m);
+  w.varint(static_cast<uint64_t>(c.qr));
+  w.varint(static_cast<uint64_t>(c.qw));
+  w.varint(static_cast<uint64_t>(c.x) | (9ull << 12));
+  w.u32(c.epoch);
+  Bytes wire = w.take();
+  Reader r(wire);
+  GroupConfig d;
+  EXPECT_FALSE(decode_config(r, d).is_ok());
+}
+
+TEST(Msg, FetchShareSubMaskRoundTrip) {
+  // sub_mask == 0 (a whole-share fetch) must stay byte-identical to the
+  // pre-policy request frame: epoch then slot, nothing else.
+  FetchShareReqMsg req;
+  req.epoch = 1;
+  req.slot = 66;
+  Writer pre;
+  pre.u32(req.epoch);
+  pre.varint(req.slot);
+  EXPECT_EQ(req.encode(), pre.take());
+
+  req.sub_mask = 0b101;  // hh repair: sub-shares 0 and 2 only
+  auto dreq = FetchShareReqMsg::decode(req.encode());
+  ASSERT_TRUE(dreq.is_ok());
+  EXPECT_EQ(dreq.value().sub_mask, 0b101u);
+
+  FetchShareRepMsg rep;
+  rep.epoch = 1;
+  rep.slot = 66;
+  rep.have = true;
+  rep.share = sample_share();
+  rep.share.code = ec::CodeId::kHh;
+  rep.sub_mask = 0b10;
+  auto drep = FetchShareRepMsg::decode(rep.encode());
+  ASSERT_TRUE(drep.is_ok());
+  EXPECT_EQ(drep.value().sub_mask, 0b10u);
+  EXPECT_EQ(drep.value().share.code, ec::CodeId::kHh);
+
+  rep.sub_mask = 0;  // whole-share reply: no trailing mask byte
+  auto dfull = FetchShareRepMsg::decode(rep.encode());
+  ASSERT_TRUE(dfull.is_ok());
+  EXPECT_EQ(dfull.value().sub_mask, 0u);
+}
+
 TEST(Msg, TruncatedMessagesRejected) {
   AcceptMsg m;
   m.ballot = Ballot{1, 1};

@@ -68,6 +68,48 @@ TEST(Manifest, CorruptionDetected) {
   }
 }
 
+TEST(Manifest, RsStaysVersion1AndCodedBumpsToVersion2) {
+  // rs manifests must stay byte-identical to the pre-policy format: the
+  // version word (bytes 4..8, little-endian after the magic) is still 1 and
+  // no code byte appears anywhere in the image.
+  SnapshotManifest rs = sample_manifest(77);
+  ASSERT_EQ(rs.code, ec::CodeId::kRs);
+  Bytes rs_wire = rs.encode();
+  EXPECT_EQ(rs_wire[4], 1);
+  EXPECT_EQ(rs_wire[5], 0);
+
+  SnapshotManifest hh = sample_manifest(77);
+  hh.code = ec::CodeId::kHh;
+  Bytes hh_wire = hh.encode();
+  EXPECT_EQ(hh_wire[4], 2);
+  EXPECT_EQ(hh_wire.size(), rs_wire.size() + 1);  // exactly one code byte
+  auto d = SnapshotManifest::decode(hh_wire);
+  ASSERT_TRUE(d.is_ok());
+  EXPECT_EQ(d.value(), hh);
+
+  // rs smuggled into a version-2 image is a forgery, not a valid spelling:
+  // rebuild the frame with code byte 0 and a fixed-up CRC.
+  Bytes forged = hh_wire;
+  // Both images are identical up to the inserted code byte, so the first
+  // difference past the version word locates it.
+  size_t code_off = 0;
+  for (size_t i = 8; i < rs_wire.size(); ++i) {
+    if (hh_wire[i] != rs_wire[i]) {
+      code_off = i;
+      break;
+    }
+  }
+  ASSERT_GT(code_off, 0u);
+  ASSERT_EQ(forged[code_off], static_cast<uint8_t>(ec::CodeId::kHh));
+  forged[code_off] = 0;  // kRs
+  uint32_t crc = crc32c(BytesView(forged.data(), forged.size() - 4));
+  for (int i = 0; i < 4; ++i) {
+    forged[forged.size() - 4 + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(crc >> (8 * i));
+  }
+  EXPECT_FALSE(SnapshotManifest::decode(forged).is_ok());
+}
+
 TEST(MemStore, SaveLoadReplace) {
   MemSnapshotStore store;
   EXPECT_TRUE(store.load_manifest().is_ok() == false);
