@@ -19,6 +19,12 @@
 #                               # cluster) + bench_codes --smoke, gated on the
 #                               # JSON showing lrc single-failure repair
 #                               # strictly below the rs baseline.
+#   scripts/check.sh --reshard  # elastic-resharding lane: the migration /
+#                               # balancer / routing suites (sim + real-socket)
+#                               # plus an ASan rerun of the sim suite, then
+#                               # bench_reshard --smoke gated on the JSON
+#                               # showing the migration completed with sane
+#                               # copy amplification.
 #
 # The sanitizer presets build into their own trees (build-asan/ build-tsan/
 # build-ubsan/) and run curated subsets: ASan+UBSan runs everything, TSan
@@ -35,6 +41,7 @@ OBS=0
 SAT=0
 URING=0
 CODES=0
+RESHARD=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
@@ -43,7 +50,8 @@ for arg in "$@"; do
     --sat) SAT=1 ;;
     --uring) URING=1 ;;
     --codes) CODES=1 ;;
-    *) echo "usage: $0 [--fast] [--san] [--obs] [--sat] [--uring] [--codes]" >&2; exit 2 ;;
+    --reshard) RESHARD=1 ;;
+    *) echo "usage: $0 [--fast] [--san] [--obs] [--sat] [--uring] [--codes] [--reshard]" >&2; exit 2 ;;
   esac
 done
 
@@ -115,6 +123,37 @@ print("check.sh: code zoo ok — lrc repairs at "
       "of rs bytes")
 EOF
   echo "check.sh: code-policy suites passed"
+  exit 0
+fi
+
+if [[ "$RESHARD" == 1 ]]; then
+  # Elastic-resharding lane (DESIGN.md §14): the sim migration/balancer suite,
+  # the real-socket migration-under-load suite, and the wire/client suites
+  # that pin the routing trailer and per-shard cache invalidation. The sim
+  # suite reruns under ASan — the migration driver and chunk path are the
+  # newest ownership-heavy code in the tree. Then a smoke bench_reshard whose
+  # JSON must show the move completed (epoch advanced past prepare+flip) and
+  # copied roughly the seeded payload, not a multiple of it.
+  run_preset default -R 'reshard_test|reshard_tcp_test|msg_test|kv_test'
+  run_preset asan -R 'reshard_test'
+  echo "=== [default] bench_reshard --smoke ==="
+  (cd build/bench && timeout 300 ./bench_reshard --smoke)
+  python3 - <<'EOF'
+import json
+with open("build/bench/BENCH_reshard.json") as f:
+    doc = json.load(f)
+cells = doc["cells"]
+assert len(cells) >= 1, cells
+for c in cells:
+    assert c["final_epoch"] >= 2, c            # prepare + flip both committed
+    assert c["migration_s"] > 0, c
+    assert c["moved_bytes"] >= c["seeded_bytes"], c   # whole payload crossed
+    assert c["copy_amplification"] < 2.0, c    # ...without gross re-copying
+c = cells[0]
+print(f"check.sh: reshard smoke ok — moved {c['moved_bytes']} B "
+      f"({c['copy_amplification']:.2f}x of seeded) in {c['migration_s']:.3f} s")
+EOF
+  echo "check.sh: resharding suites passed"
   exit 0
 fi
 

@@ -229,6 +229,7 @@ void Replica::on_promise(NodeId from, PromiseMsg msg) {
 void Replica::become_leader() {
   role_ = Role::kLeader;
   leader_ = ctx_->id();
+  leader_mirror_.store(leader_, std::memory_order_relaxed);
   m_.times_elected.inc();
   if (election_timer_ != 0) {
     ctx_->cancel_timer(election_timer_);
@@ -287,13 +288,17 @@ void Replica::become_leader() {
              << snap_ckpt_id_;
     start_install(snap_ckpt_id_);
   }
+  if (on_role_change_) on_role_change_(true);
 }
 
 void Replica::become_follower(Ballot seen, NodeId leader) {
   bool was_leader = (role_ == Role::kLeader);
   role_ = Role::kFollower;
   ballot_ = std::max(ballot_, seen);
-  if (leader != kNoNode) leader_ = leader;
+  if (leader != kNoNode) {
+    leader_ = leader;
+    leader_mirror_.store(leader_, std::memory_order_relaxed);
+  }
   if (heartbeat_timer_ != 0) {
     ctx_->cancel_timer(heartbeat_timer_);
     heartbeat_timer_ = 0;
@@ -306,6 +311,16 @@ void Replica::become_follower(Ballot seen, NodeId leader) {
     inflight_.clear();  // abandoned traces age out of the tracer's active set
   }
   arm_election_timer();
+  if (was_leader && on_role_change_) on_role_change_(false);
+}
+
+void Replica::transfer_leadership(NodeId target) {
+  if (role_ != Role::kLeader || target == ctx_->id()) return;
+  bool member = false;
+  for (NodeId m : cfg_.members) member = member || (m == target);
+  if (!member) return;
+  RSP_INFO << "leader " << ctx_->id() << " nudging " << target << " to campaign";
+  ctx_->send(target, MsgType::kLeaderTransfer, Bytes{});
 }
 
 void Replica::send_heartbeat() {
@@ -697,6 +712,7 @@ void Replica::on_accept(NodeId from, AcceptMsg msg) {
   }
   ballot_ = std::max(ballot_, msg.ballot);
   leader_ = msg.ballot.node;
+  leader_mirror_.store(leader_, std::memory_order_relaxed);
   last_leader_contact_ = ctx_->now();
   follower_lease_until_ = ctx_->now() + opts_.lease_duration + opts_.max_clock_drift;
   arm_election_timer();
@@ -758,6 +774,7 @@ void Replica::on_commit(NodeId from, CommitMsg msg) {
     ballot_ = msg.ballot;
   }
   leader_ = msg.ballot.node;
+  leader_mirror_.store(leader_, std::memory_order_relaxed);
   last_leader_contact_ = ctx_->now();
   follower_lease_until_ = ctx_->now() + opts_.lease_duration + opts_.max_clock_drift;
   arm_election_timer();
@@ -1097,6 +1114,13 @@ void Replica::on_message(NodeId from, MsgType type, BytesView payload) {
     case MsgType::kSnapshotFetchRep: {
       auto m = SnapshotFetchRepMsg::decode(payload);
       if (m.is_ok()) on_snapshot_fetch_rep(from, std::move(m).value());
+      return;
+    }
+    case MsgType::kLeaderTransfer: {
+      // Balancer-initiated leader move: campaign now, outside the normal
+      // election timer (start_campaign does not consult follower_lease_until_,
+      // so the incumbent's still-valid lease cannot veto its own transfer).
+      if (role_ != Role::kLeader && started_) start_campaign();
       return;
     }
     default:

@@ -22,6 +22,7 @@
 //     quorums and coding (§4.6).
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <map>
@@ -153,6 +154,12 @@ class Replica final : public MessageHandler {
   /// Registers the state-machine hook. Must be set before start().
   void set_apply(ApplyFn fn) { apply_ = std::move(fn); }
   void set_on_config_change(ConfigChangeFn fn) { on_config_change_ = std::move(fn); }
+  /// Fired with `true` when this replica wins an election and with `false`
+  /// when it steps down from leadership (not on follower->follower ballot
+  /// bumps). The KV layer uses it to adopt or abort shard migrations whose
+  /// driver must live on the source-group leader (DESIGN.md §14).
+  using RoleChangeFn = std::function<void(bool is_leader)>;
+  void set_on_role_change(RoleChangeFn fn) { on_role_change_ = std::move(fn); }
 
   /// Registers the durable home of this node's checkpoint fragment. Must be
   /// set before start(); without it checkpointing and snapshot install are
@@ -181,12 +188,21 @@ class Replica final : public MessageHandler {
   /// decoded payload (§4.4 recovery read). Works on any replica.
   void recover_payload(Slot slot, RecoverFn cb);
 
+  /// Leader-only, best-effort: nudge `target` to campaign (kLeaderTransfer).
+  /// The balancer's leader-move primitive. No-op when not leader or target
+  /// is not a member; the transfer is advisory — if the target's campaign
+  /// fails, the incumbent simply keeps the lease.
+  void transfer_leadership(NodeId target);
+
   void on_message(NodeId from, MsgType type, BytesView payload) override;
 
   // --- introspection ---
   bool is_leader() const { return role_ == Role::kLeader; }
   /// Best-known leader (kNoNode if unknown).
   NodeId leader_hint() const;
+  /// Lock-free leader hint readable from any thread (relaxed; may lag a few
+  /// messages behind leader_hint()). Used by the cross-reactor balancer.
+  NodeId leader_hint_relaxed() const { return leader_mirror_.load(std::memory_order_relaxed); }
   /// True while the §4.3 lease makes a leader-local fast read safe.
   bool lease_valid() const;
   Slot commit_index() const { return commit_index_; }
@@ -391,6 +407,7 @@ class Replica final : public MessageHandler {
   ReplicaOptions opts_;
   ApplyFn apply_;
   ConfigChangeFn on_config_change_;
+  RoleChangeFn on_role_change_;
   snapshot::SnapshotStore* snap_store_ = nullptr;
   BuildStateFn build_state_;
   InstallStateFn install_state_;
@@ -400,6 +417,9 @@ class Replica final : public MessageHandler {
   Ballot ballot_;            // highest ballot seen/owned
   Ballot promised_;          // durable promise covering all slots
   NodeId leader_ = kNoNode;  // current leader hint
+  /// Relaxed mirror of leader_, maintained at every assignment; see
+  /// leader_hint_relaxed().
+  std::atomic<NodeId> leader_mirror_{kNoNode};
   uint64_t vid_seq_ = 1;
 
   std::map<Slot, LogEntry> log_;

@@ -31,8 +31,15 @@ size_t shard_of(const std::string& key, size_t num_shards) {
 KvClient::KvClient(NodeContext* ctx, RoutingTable routing, Options opts)
     : ctx_(ctx), routing_(std::move(routing)), opts_(opts),
       wheel_(static_cast<int64_t>(opts.timer_tick > 0 ? opts.timer_tick : 1)),
-      backoff_rng_(0x5a7f00d5ull ^ (static_cast<uint64_t>(ctx->id()) << 17)),
-      leader_cache_(routing_.num_shards(), kNoNode) {
+      backoff_rng_(0x5a7f00d5ull ^ (static_cast<uint64_t>(ctx->id()) << 17)) {
+  if (routing_.map.num_shards() == 0) {
+    // Table built with membership only: default to the epoch-0 one-shard-
+    // per-group identity map (the frozen pre-resharding contract).
+    routing_.map = ShardMap::identity(
+        static_cast<uint32_t>(routing_.num_groups()),
+        static_cast<uint32_t>(routing_.num_groups()));
+  }
+  leader_cache_.assign(routing_.num_shards(), kNoNode);
   auto& reg = obs::MetricsRegistry::global();
   std::string node = std::to_string(ctx_->id());
   inflight_gauge_ = &reg.gauge_family("rsp_client_inflight",
@@ -101,7 +108,8 @@ void KvClient::submit(Outstanding&& o) {
   // client from the wrong loop — fail loudly instead of silently racing.
   assert(ctx_->on_context_thread());
   o.req.req_id = next_req_id_++;
-  o.shard = shard_of(o.req.key, routing_.num_shards());
+  o.meta = is_meta_key(o.req.key);
+  o.shard = o.meta ? 0 : shard_of(o.req.key, routing_.num_shards());
   uint64_t id = o.req.req_id;
   bool has_slot = inflight_ < opts_.max_inflight;
   o.state = has_slot ? OpState::kInflight : OpState::kQueued;
@@ -116,9 +124,14 @@ void KvClient::submit(Outstanding&& o) {
   }
 }
 
+NodeId& KvClient::leader_slot(Outstanding& o) {
+  return o.meta ? meta_leader_ : leader_cache_[o.shard];
+}
+
 NodeId KvClient::pick_target(Outstanding& o) {
-  NodeId leader = leader_cache_[o.shard];
-  const auto& members = routing_.shard_members[o.shard];
+  NodeId leader = leader_slot(o);
+  uint32_t group = o.meta ? kMetaGroup : routing_.map.group_of(o.shard);
+  const auto& members = routing_.members_of_group(group);
   if (leader != kNoNode) return leader;
   NodeId t = members[o.next_member % members.size()];
   o.next_member++;
@@ -170,9 +183,11 @@ void KvClient::on_tick() {
     if (o == nullptr || o->timer_gen != e.gen) continue;  // lazily cancelled
     switch (o->state) {
       case OpState::kInflight:
-        // No reply in time: forget the cached leader and try the next member.
+        // No reply in time: forget the cached leader (ONLY this shard's
+        // entry — other shards' leaders are unrelated) and try the next
+        // member.
         stats_.timeouts++;
-        leader_cache_[o->shard] = kNoNode;
+        leader_slot(*o) = kNoNode;
         dispatch(e.id);
         break;
       case OpState::kWaitRetry:
@@ -263,16 +278,38 @@ void KvClient::on_message(NodeId from, MsgType type, BytesView payload) {
   // A reply for a queued op is impossible (never dispatched); a reply during
   // kWaitRetry is a late duplicate of the attempt we already acted on.
   if (o->state != OpState::kInflight) return;
+  note_epoch(rep.routing_epoch);
+  // note_epoch may kick off a routing refresh whose submit() grows (and can
+  // reallocate) outstanding_ — re-resolve the entry before touching it.
+  o = outstanding_.find(rep.req_id);
+  if (o == nullptr || o->state != OpState::kInflight) return;
 
   switch (rep.code) {
     case ReplyCode::kNotLeader: {
-      // Follow the hint; if there is none, probe the next member.
-      leader_cache_[o->shard] = (rep.leader_hint != kNoNode) ? rep.leader_hint : kNoNode;
+      // Follow the hint; if there is none, probe the next member. Only THIS
+      // shard's cache entry moves — a migrated/failed-over shard must not
+      // nuke unrelated shards' leaders.
+      leader_slot(*o) = (rep.leader_hint != kNoNode) ? rep.leader_hint : kNoNode;
       if (rep.leader_hint == kNoNode || rep.leader_hint == from) {
-        leader_cache_[o->shard] = kNoNode;
+        leader_slot(*o) = kNoNode;
       }
       // Small delay avoids hammering a group mid-election.
       schedule_event(rep.req_id, *o, 10 * kMillis, OpState::kWaitRetry);
+      return;
+    }
+    case ReplyCode::kWrongShard: {
+      // The shard moved. Patch just this shard's map entry from the hint
+      // (the full map arrives via the refresh note_epoch scheduled above),
+      // drop just this shard's cached leader, and retry against the new
+      // owning group almost immediately.
+      stats_.wrong_shard++;
+      if (!o->meta && rep.group_hint != kNoNode &&
+          rep.group_hint < routing_.num_groups() &&
+          o->shard < routing_.map.shard_group.size()) {
+        routing_.map.shard_group[o->shard] = rep.group_hint;
+      }
+      leader_slot(*o) = kNoNode;
+      schedule_event(rep.req_id, *o, 1 * kMillis, OpState::kWaitRetry);
       return;
     }
     case ReplyCode::kRetry: {
@@ -299,12 +336,46 @@ void KvClient::on_message(NodeId from, MsgType type, BytesView payload) {
     }
     case ReplyCode::kOk:
     case ReplyCode::kNotFound: {
-      leader_cache_[o->shard] = from;
+      leader_slot(*o) = from;
       finish(rep.req_id, Status::ok(), std::move(rep.value),
              rep.code == ReplyCode::kOk);
       return;
     }
   }
+}
+
+void KvClient::note_epoch(uint64_t epoch) {
+  if (epoch > newest_epoch_seen_) newest_epoch_seen_ = epoch;
+  if (newest_epoch_seen_ > routing_.map.epoch && !refresh_inflight_) {
+    refresh_routing();
+  }
+}
+
+void KvClient::refresh_routing() {
+  refresh_inflight_ = true;
+  stats_.routing_refreshes++;
+  get(kRoutingKey, [this](StatusOr<Bytes> r) {
+    refresh_inflight_ = false;
+    if (!r.is_ok()) return;  // not written yet / transient; piggybacks re-arm
+    auto m = ShardMap::decode(r.value());
+    if (m.is_ok()) adopt_map(std::move(m).value());
+  });
+}
+
+void KvClient::adopt_map(ShardMap m) {
+  if (m.epoch <= routing_.map.epoch) return;
+  if (m.num_shards() != routing_.map.num_shards()) {
+    // Shard-count changes (split/merge) are not part of this protocol yet;
+    // never adopt a map we cannot route the outstanding table against.
+    return;
+  }
+  for (size_t s = 0; s < m.num_shards(); ++s) {
+    if (m.shard_group[s] != routing_.map.shard_group[s] &&
+        s < leader_cache_.size()) {
+      leader_cache_[s] = kNoNode;  // moved shards only; others keep leaders
+    }
+  }
+  routing_.map = std::move(m);
 }
 
 }  // namespace rspaxos::kv

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "kv/command.h"
+#include "kv/shard_map.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -49,14 +50,22 @@ inline constexpr uint32_t kShardHashVersion = 2;
 /// mapping function"). See kShardHashVersion for the exact contract.
 size_t shard_of(const std::string& key, size_t num_shards);
 
-/// Static routing table: for each shard, the server endpoints of its Paxos
-/// group (composite per-group node ids; see cluster.h).
+/// Client routing state: the (static) server endpoints of every Paxos group
+/// plus the (versioned, migration-aware) shard -> group map. The membership
+/// half never changes at runtime; the map half is refreshed from kWrongShard
+/// redirects and the routing epoch piggybacked on replies (DESIGN.md §14).
 struct RoutingTable {
-  std::vector<std::vector<NodeId>> shard_members;
+  std::vector<std::vector<NodeId>> group_members;  // per group
+  ShardMap map;                                    // shard -> owning group
 
-  size_t num_shards() const { return shard_members.size(); }
+  size_t num_shards() const { return map.num_shards(); }
+  size_t num_groups() const { return group_members.size(); }
+  const std::vector<NodeId>& members_of_group(uint32_t g) const {
+    return group_members[g < group_members.size() ? g : 0];
+  }
   const std::vector<NodeId>& members_for(const std::string& key) const {
-    return shard_members[shard_of(key, shard_members.size())];
+    if (is_meta_key(key)) return members_of_group(kMetaGroup);
+    return members_of_group(map.group_of(shard_of(key, map.num_shards())));
   }
 };
 
@@ -92,6 +101,8 @@ class KvClient final : public MessageHandler {
     uint64_t failed = 0;             // ops failed definitively
     uint64_t overload_backoffs = 0;  // kOverloaded replies absorbed
     uint64_t timeouts = 0;           // per-attempt timeouts fired
+    uint64_t wrong_shard = 0;        // kWrongShard redirects followed
+    uint64_t routing_refreshes = 0;  // full "!routing" map fetches issued
   };
 
   KvClient(NodeContext* ctx, RoutingTable routing, Options opts);
@@ -126,6 +137,12 @@ class KvClient final : public MessageHandler {
   NodeId cached_leader(size_t shard) const {
     return shard < leader_cache_.size() ? leader_cache_[shard] : kNoNode;
   }
+  /// Routing epoch of the map this client currently dispatches with.
+  uint64_t routing_epoch() const { return routing_.map.epoch; }
+  const RoutingTable& routing() const { return routing_; }
+  /// Adopts `m` iff strictly newer, invalidating the leader cache of exactly
+  /// the shards whose owning group changed. Exposed for tests.
+  void adopt_map(ShardMap m);
 
  private:
   enum class OpState : uint8_t {
@@ -137,6 +154,7 @@ class KvClient final : public MessageHandler {
   struct Outstanding {
     ClientRequest req;
     size_t shard = 0;
+    bool meta = false;  // '!' key: pinned to the meta group, meta_leader_ cache
     int attempts = 0;
     int overloads = 0;  // consecutive kOverloaded replies (backoff exponent)
     size_t next_member = 0;  // round-robin fallback when no leader known
@@ -165,6 +183,13 @@ class KvClient final : public MessageHandler {
   void drain_queue();
   NodeId pick_target(Outstanding& o);
   void set_inflight_gauge();
+  /// The leader-cache slot `o` routes through (per-shard entry, or the
+  /// dedicated meta-group slot for '!' keys).
+  NodeId& leader_slot(Outstanding& o);
+  /// Notes a piggybacked routing epoch; schedules one "!routing" fetch when
+  /// the server knows a newer map than we dispatch with.
+  void note_epoch(uint64_t epoch);
+  void refresh_routing();
 
   NodeContext* ctx_;
   RoutingTable routing_;
@@ -179,6 +204,9 @@ class KvClient final : public MessageHandler {
   std::vector<TimingWheel::Entry> due_;  // scratch for on_tick
   Rng backoff_rng_;
   std::vector<NodeId> leader_cache_;  // per shard; kNoNode if unknown
+  NodeId meta_leader_ = kNoNode;      // meta-group leader ('!' keys)
+  uint64_t newest_epoch_seen_ = 0;    // highest piggybacked routing epoch
+  bool refresh_inflight_ = false;     // at most one "!routing" fetch at a time
   obs::Gauge* inflight_gauge_;
   obs::Gauge* queue_gauge_;
   obs::Counter* overload_counter_;

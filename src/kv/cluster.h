@@ -20,6 +20,7 @@
 #include "kv/client.h"
 #include "kv/server.h"
 #include "net/routing.h"
+#include "node/balancer.h"
 #include "node/node_host.h"
 #include "obs/admin_server.h"
 #include "sim/sim_disk.h"
@@ -41,6 +42,9 @@ using net::server_of_endpoint;
 struct SimClusterOptions {
   int num_servers = 5;
   int num_groups = 1;
+  /// Key-space shards for elastic resharding. 0 = num_groups (the historical
+  /// one-shard-per-group contract as epoch 0 of a live routing table).
+  int num_shards = 0;
   /// Reactors per machine (clamped to [1, num_groups] at construction). The
   /// sim stays single-threaded; what reactors model here is the per-reactor
   /// storage split — reactor r gets its OWN multiplexed SimWal on the shared
@@ -76,6 +80,10 @@ struct SimClusterOptions {
   /// the tracer, and boards published by sim-time probes — never live
   /// protocol state, so the admin thread cannot race the sim thread.
   bool admin = false;
+  /// Run a background Balancer on every server (the meta-group leader's is
+  /// the one that acts; see node/balancer.h).
+  bool balancer = false;
+  node::BalancerOptions balancer_opts;
 };
 
 /// Owns everything: network, disks, WALs, hosts. Crash/restart a whole
@@ -92,6 +100,10 @@ class SimCluster {
     return h ? h->server(static_cast<uint32_t>(g)) : nullptr;
   }
   node::NodeHost* host(int s) { return hosts_[static_cast<size_t>(s)].get(); }
+  node::Balancer* balancer(int s) {
+    size_t i = static_cast<size_t>(s);
+    return i < balancers_.size() ? balancers_[i].get() : nullptr;
+  }
   sim::SimNetwork& network() { return network_; }
   sim::SimDisk& disk(int s) { return *disks_[static_cast<size_t>(s)]; }
   /// Group g's view of its reactor's log on server s (the Wal the replica
@@ -152,6 +164,7 @@ class SimCluster {
   std::vector<std::unique_ptr<storage::SimWal>> wals_;              // [s * reactors + r]
   std::vector<std::unique_ptr<snapshot::SimSnapshotStore>> snaps_;  // per (s, g)
   std::vector<std::unique_ptr<node::NodeHost>> hosts_;              // per server
+  std::vector<std::unique_ptr<node::Balancer>> balancers_;          // per server
   std::vector<std::unique_ptr<obs::AdminServer>> admins_;           // per server
   std::vector<bool> alive_;
   int next_client_ = 0;

@@ -14,7 +14,7 @@ StatusOr<CommandHeader> CommandHeader::decode(BytesView b) {
   CommandHeader h;
   uint8_t op;
   RSP_RETURN_IF_ERROR(r.u8(op));
-  if (op < 1 || op > 3) return Status::corruption("bad command op");
+  if (op < 1 || op == 4 || op > 7) return Status::corruption("bad command op");
   h.op = static_cast<Op>(op);
   RSP_RETURN_IF_ERROR(r.str(h.key));
   return h;
@@ -64,7 +64,7 @@ StatusOr<Op> peek_op(BytesView header) {
   Reader r(header);
   uint8_t op;
   RSP_RETURN_IF_ERROR(r.u8(op));
-  if (op < 1 || op > 4) return Status::corruption("bad op discriminator");
+  if (op < 1 || op > 7) return Status::corruption("bad op discriminator");
   return static_cast<Op>(op);
 }
 
@@ -91,11 +91,13 @@ StatusOr<ClientRequest> ClientRequest::decode(BytesView b) {
 }
 
 Bytes ClientReply::encode() const {
-  Writer w(24 + value.size());
+  Writer w(40 + value.size());
   w.u64(req_id);
   w.u8(static_cast<uint8_t>(code));
   w.u32(leader_hint);
   w.bytes(value);
+  w.varint(routing_epoch);
+  w.u32(group_hint);
   return w.take();
 }
 
@@ -105,10 +107,14 @@ StatusOr<ClientReply> ClientReply::decode(BytesView b) {
   RSP_RETURN_IF_ERROR(r.u64(m.req_id));
   uint8_t code;
   RSP_RETURN_IF_ERROR(r.u8(code));
-  if (code > 4) return Status::corruption("bad reply code");
+  if (code > 5) return Status::corruption("bad reply code");
   m.code = static_cast<ReplyCode>(code);
   RSP_RETURN_IF_ERROR(r.u32(m.leader_hint));
   RSP_RETURN_IF_ERROR(r.bytes(m.value));
+  if (!r.done()) {  // trailing-optional resharding piggyback (pre-PR10 peers omit it)
+    RSP_RETURN_IF_ERROR(r.varint(m.routing_epoch));
+    RSP_RETURN_IF_ERROR(r.u32(m.group_hint));
+  }
   return m;
 }
 

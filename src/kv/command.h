@@ -21,6 +21,11 @@ enum class Op : uint8_t {
   kDelete = 2,
   kReadMarker = 3,  // consistent read: an explicit no-effect instance (§4.4)
   kBatch = 4,       // composite instance: several writes share one commit
+  // Elastic resharding (DESIGN.md §14). key = decimal shard index; these
+  // commit in the *source group's* log so the fence survives crashes.
+  kShardSeal = 5,    // stop serving the shard (reads and writes) on apply
+  kShardUnseal = 6,  // abort path: resume serving
+  kShardGc = 7,      // drop all rows of the shard from the local store
 };
 
 /// The uncoded header of a replicated command.
@@ -81,6 +86,7 @@ enum class ReplyCode : uint8_t {
   kNotLeader = 2,   // leader_hint is set
   kRetry = 3,       // transient (e.g. mid-failover); try again
   kOverloaded = 4,  // admission control shed the request; back off, then retry
+  kWrongShard = 5,  // shard moved; group_hint names the new owner group
 };
 
 struct ClientReply {
@@ -88,6 +94,11 @@ struct ClientReply {
   ReplyCode code = ReplyCode::kOk;
   uint32_t leader_hint = 0xffffffffu;
   Bytes value;
+  // Resharding piggyback (trailing-optional on the wire; absent = 0 / none).
+  // routing_epoch is the replying server's newest applied ShardMap epoch, so
+  // clients notice staleness on *every* reply, not just redirects.
+  uint64_t routing_epoch = 0;
+  uint32_t group_hint = 0xffffffffu;  // kWrongShard: the owning group
 
   Bytes encode() const;
   static StatusOr<ClientReply> decode(BytesView b);

@@ -1,0 +1,197 @@
+// Online shard migration between Paxos groups (DESIGN.md §14).
+//
+// A MigrationDriver runs on the SOURCE group's leader and walks one shard
+// through Prepare -> Copy -> CatchUp -> Seal -> FinalCopy -> Flip -> GC:
+//
+//   Prepare    commit {shard, from, to, id} into the meta group's routing
+//              map (epoch+1) so every machine — and any source leader
+//              elected mid-copy — can see the move and fence or abort it.
+//   Copy       stream the shard's rows to the destination leader in bounded
+//              chunks (stop-and-wait, committed into the DEST group's log
+//              before each ack). Rows this replica holds only a coded share
+//              of are first recovered via the group's cheapest repair plan
+//              (EcPolicy::plan_repair under recover_payload).
+//   CatchUp    rows written behind the copy cursor are tracked as a dirty
+//              set and re-streamed until the delta is small.
+//   Seal       commit kShardSeal in the SOURCE log: every source replica
+//              stops serving the shard (reads AND writes bounce kRetry), so
+//              the fence itself is crash-durable. Then drain the admission
+//              window: async EC encode can slot a pre-seal write AFTER the
+//              seal, so the final dirty set is only collected once no
+//              admitted write of this shard is still in flight.
+//   FinalCopy  stream the post-seal dirty remainder (zero acked-write loss:
+//              an acked write has applied on the source, and every applied
+//              write is either in a previous chunk or in this one).
+//   Flip       commit the new map (shard -> dest, migration removed,
+//              epoch+1) into the meta group. Clients chasing the old group
+//              now get kWrongShard{epoch, dest} and converge.
+//   GC         commit kShardGc in the source log: drop the moved rows.
+//
+// Abort (lost leadership, stalled peer, crashed dest): unseal if sealed,
+// remove the migration from the map. The destination never serves the shard
+// before the flip, so aborting after any prefix of the copy is safe.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "kv/command.h"
+#include "kv/shard_map.h"
+#include "net/transport.h"
+
+namespace rspaxos::kv {
+
+class KvServer;
+
+/// One bounded chunk of shard rows, source leader -> dest leader. `header`
+/// is an encoded BatchHeader and `payload` the matching concatenated values
+/// — exactly the composite-instance format, so the dest leader commits the
+/// chunk by proposing (header, payload) verbatim into its own log.
+struct MigrateDataMsg {
+  uint64_t migration_id = 0;
+  uint32_t shard = 0;
+  uint64_t seq = 0;       // stop-and-wait sequence, starts at 1
+  uint8_t flags = 0;      // bit0: first chunk (dest GCs orphan rows first)
+  Bytes header;           // encoded BatchHeader
+  Bytes payload;
+
+  static constexpr uint8_t kFirst = 1;
+  static constexpr uint8_t kFinal = 2;
+
+  Bytes encode() const;
+  static StatusOr<MigrateDataMsg> decode(BytesView b);
+};
+
+struct MigrateAckMsg {
+  enum Status : uint8_t { kOk = 0, kNotLeader = 1, kReject = 2 };
+  uint64_t migration_id = 0;
+  uint64_t seq = 0;
+  uint8_t status = kOk;
+  uint32_t leader_hint = kNoNode;
+
+  Bytes encode() const;
+  static StatusOr<MigrateAckMsg> decode(BytesView b);
+};
+
+/// Balancer -> source group members: start migrating `shard` to `to_group`.
+/// Only the current leader acts; everyone else drops it.
+struct MigrateCmdMsg {
+  uint32_t shard = 0;
+  uint32_t to_group = 0;
+
+  Bytes encode() const;
+  static StatusOr<MigrateCmdMsg> decode(BytesView b);
+};
+
+class MigrationDriver {
+ public:
+  MigrationDriver(KvServer* kv, uint32_t shard, uint32_t to_group, uint64_t id);
+  ~MigrationDriver();
+
+  void start();
+  /// Abort-only mode (janitor adopting an orphaned migration record): unseal
+  /// if sealed, remove the record from the map, never copy anything.
+  void start_abort();
+  /// Local teardown only (this node lost source-group leadership): cancels
+  /// timers and goes quiescent without proposing anything. The migration
+  /// record stays in the map; the next source leader's janitor aborts it.
+  void cancel();
+
+  /// Apply-path hook: a write/delete of `key` in `shard` just applied.
+  void note_applied(uint32_t shard, const std::string& key);
+  /// Apply-path hook: kShardSeal for `shard` applied locally.
+  void note_sealed(uint32_t shard);
+  void on_migrate_ack(NodeId from, const MigrateAckMsg& msg);
+  /// Reply to one of the driver's own meta-group writes.
+  void on_client_reply(const ClientReply& rep);
+
+  bool finished() const { return phase_ == Phase::kDone || phase_ == Phase::kAborted; }
+  bool aborted() const { return phase_ == Phase::kAborted; }
+  uint32_t shard() const { return shard_; }
+  uint32_t to_group() const { return to_group_; }
+  uint64_t id() const { return id_; }
+  uint64_t moved_bytes() const { return moved_bytes_; }
+  const char* phase_name() const;
+
+ private:
+  enum class Phase {
+    kPrepare,     // meta write in flight / awaiting local view
+    kCopy,        // initial scan + catch-up rounds
+    kSealing,     // kShardSeal proposed, waiting for apply + window drain
+    kFinalCopy,   // post-seal dirty remainder
+    kFlip,        // meta write in flight / awaiting local view
+    kGc,          // kShardGc proposed in source log
+    kDone,
+    kAborted,
+  };
+
+  void enter_copy();
+  /// Builds and sends the next chunk from queue_; recovers share-only rows
+  /// first. No-op while a chunk is outstanding.
+  void pump();
+  void send_chunk();
+  void chunk_acked();
+  void begin_seal();
+  void poll_drain();
+  void begin_flip();
+  void begin_gc();
+  void abort(const char* why);
+  void finish(bool ok);
+
+  /// Sends a read-modify-write of "!routing" built by `mutate` to the meta
+  /// group; `then` runs once the write is acked AND the local RoutingView
+  /// has caught up to the written epoch.
+  void meta_write(std::function<bool(ShardMap&)> mutate, std::function<void()> then);
+  void send_meta_request();
+  void poll_view(uint64_t epoch, std::function<void()> then);
+  NodeId meta_target();
+  NodeId dest_target();
+  void arm(DurationMicros delay, std::function<void()> fn);
+  void disarm();
+
+  KvServer* kv_;
+  const uint32_t shard_;
+  const uint32_t to_group_;
+  const uint64_t id_;
+  Phase phase_ = Phase::kPrepare;
+  bool aborting_ = false;  // unwinding: meta failures finish instead of re-abort
+  /// Captured by every async continuation (propose / recover callbacks the
+  /// driver cannot cancel); the destructor flips it so a late completion
+  /// against a replaced driver is a no-op instead of a use-after-free.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+
+  // Copy state.
+  std::deque<std::string> queue_;   // keys awaiting (re-)send
+  std::set<std::string> dirty_;     // keys written since their last send
+  bool scanned_ = false;
+  int catchup_rounds_ = 0;
+  bool chunk_outstanding_ = false;
+  bool sealed_applied_ = false;
+  uint64_t seq_ = 0;                // last sent chunk seq
+  uint64_t moved_bytes_ = 0;
+  int chunk_attempts_ = 0;
+  MigrateDataMsg out_;              // retransmission buffer
+  std::vector<NodeId> dest_members_;
+  size_t dest_rr_ = 0;              // round-robin cursor when no leader known
+  NodeId dest_leader_ = kNoNode;
+
+  // Meta-write state.
+  uint64_t meta_req_id_ = 0;        // outstanding meta request (0 = none)
+  Bytes meta_value_;                // encoded map being written
+  uint64_t meta_epoch_ = 0;         // epoch of that map
+  std::function<void()> meta_then_;
+  std::vector<NodeId> meta_members_;
+  size_t meta_rr_ = 0;
+  NodeId meta_leader_ = kNoNode;
+  int meta_attempts_ = 0;
+
+  NodeContext::TimerId timer_ = 0;
+  uint64_t req_seq_ = 0;            // driver-local req-id suffix
+};
+
+}  // namespace rspaxos::kv

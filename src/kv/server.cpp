@@ -1,5 +1,9 @@
 #include "kv/server.h"
 
+#include <cstdlib>
+
+#include "kv/client.h"  // shard_of
+#include "net/routing.h"
 #include "util/logging.h"
 
 namespace rspaxos::kv {
@@ -12,8 +16,10 @@ using consensus::ReplicaOptions;
 KvServer::KvServer(NodeContext* ctx, storage::Wal* wal, GroupConfig cfg,
                    ReplicaOptions opts, KvServerOptions kv_opts,
                    snapshot::SnapshotStore* snap)
-    : ctx_(ctx), kv_opts_(kv_opts), replica_(ctx, wal, std::move(cfg), opts) {
+    : ctx_(ctx), kv_opts_(kv_opts), group_(opts.group_id),
+      replica_(ctx, wal, std::move(cfg), opts) {
   replica_.set_apply([this](const ApplyView& view) { apply_entry(view); });
+  replica_.set_on_role_change([this](bool leader) { on_role_change(leader); });
   replica_.set_on_config_change(
       [this](const GroupConfig& o, const GroupConfig& n, ReencodeAction a) {
         on_config_change(o, n, a);
@@ -57,6 +63,20 @@ KvServer::KvServer(NodeContext* ctx, storage::Wal* wal, GroupConfig cfg,
   m_.shed_inflight = shed("inflight");
   m_.shed_queue_bytes = shed("queue_bytes");
   m_.shed_health = shed("health");
+  m_.wrong_shard = counter("rsp_kv_wrong_shard_total",
+                           "Client requests bounced to the shard's owning group");
+  auto reshard = [&](const char* result) {
+    return obs::CounterView(
+        &reg.counter_family("rsp_reshard_migrations_total",
+                            "Shard migrations driven by this server, by outcome",
+                            {"node", "group", "result"})
+             .with({node, group, result}));
+  };
+  m_.reshard_ok = reshard("ok");
+  m_.reshard_aborted = reshard("aborted");
+  m_.reshard_moved_bytes =
+      counter("rsp_reshard_moved_bytes_total",
+              "Shard-migration chunk bytes acknowledged by the destination");
   m_.adm_inflight =
       &reg.gauge_family("rsp_admission_inflight",
                         "Replication ops accepted but not yet committed",
@@ -119,6 +139,7 @@ KvServerStats KvServer::stats() const {
   s.batches_committed = m_.batches_committed.value();
   s.admission_shed =
       m_.shed_inflight.value() + m_.shed_queue_bytes.value() + m_.shed_health.value();
+  s.wrong_shard = m_.wrong_shard.value();
   return s;
 }
 
@@ -128,24 +149,78 @@ void KvServer::on_message(NodeId from, MsgType type, BytesView payload) {
     if (req.is_ok()) handle_client(from, std::move(req).value());
     return;
   }
+  if (type == MsgType::kMigrateData) {
+    auto m = MigrateDataMsg::decode(payload);
+    if (m.is_ok()) handle_migrate_data(from, std::move(m).value());
+    return;
+  }
+  if (type == MsgType::kMigrateAck) {
+    auto m = MigrateAckMsg::decode(payload);
+    if (m.is_ok() && migration_ != nullptr) {
+      migration_->on_migrate_ack(from, m.value());
+    }
+    return;
+  }
+  if (type == MsgType::kMigrateCmd) {
+    auto m = MigrateCmdMsg::decode(payload);
+    if (m.is_ok()) handle_migrate_cmd(m.value());
+    return;
+  }
+  if (type == MsgType::kClientReply) {
+    // Replies to the migration driver's own meta-group writes come back
+    // addressed to this server endpoint.
+    auto m = ClientReply::decode(payload);
+    if (m.is_ok() && migration_ != nullptr) {
+      migration_->on_client_reply(m.value());
+    }
+    return;
+  }
   replica_.on_message(from, type, payload);
 }
 
-void KvServer::reply(NodeId to, uint64_t req_id, ReplyCode code, Bytes value) {
+void KvServer::reply(NodeId to, uint64_t req_id, ReplyCode code, Bytes value,
+                     uint32_t group_hint) {
   ClientReply rep;
   rep.req_id = req_id;
   rep.code = code;
   rep.leader_hint = replica_.leader_hint();
   rep.value = std::move(value);
+  rep.routing_epoch = routing_ != nullptr ? routing_->epoch() : 0;
+  rep.group_hint = group_hint;
   ctx_->send(to, MsgType::kClientReply, rep.encode());
 }
 
+uint32_t KvServer::shard_of_key(const std::string& key) const {
+  if (routing_ == nullptr) return group_;
+  return static_cast<uint32_t>(shard_of(key, routing_->snapshot()->num_shards()));
+}
+
 void KvServer::handle_client(NodeId from, ClientRequest req) {
+  // Ownership first (any replica knows the map — no need to bounce through
+  // the leader of the wrong group), then leadership, then the seal fence.
+  uint32_t shard = group_;
+  if (routing_ != nullptr && !is_meta_key(req.key)) {
+    auto map = routing_->snapshot();
+    shard = static_cast<uint32_t>(shard_of(req.key, map->num_shards()));
+    uint32_t owner = map->group_of(shard);
+    if (owner != group_) {
+      m_.wrong_shard.inc();
+      reply(from, req.req_id, ReplyCode::kWrongShard, {}, owner);
+      return;
+    }
+  }
   // All consistency-bearing requests go through the leader (§1: "a follower
   // ... redirects all consistent requests to the leader").
   if (!replica_.is_leader()) {
     m_.redirects.inc();
     reply(from, req.req_id, ReplyCode::kNotLeader);
+    return;
+  }
+  // Sealed shard: mid-migration fence. Blocks READS too — after the routing
+  // flip the destination serves newer writes, so a leader-local read here
+  // could travel back in time (DESIGN.md §14 fencing argument).
+  if (!sealed_.empty() && sealed_.count(shard) > 0 && !is_meta_key(req.key)) {
+    reply(from, req.req_id, ReplyCode::kRetry);
     return;
   }
   switch (req.op) {
@@ -171,9 +246,14 @@ void KvServer::handle_client(NodeId from, ClientRequest req) {
 void KvServer::do_put(NodeId from, ClientRequest req) {
   m_.puts.inc();
   size_t bytes = req.value.size();
+  uint32_t shard = shard_of_key(req.key);
   admission_acquire(bytes);
-  if (kv_opts_.batch_window > 0) {
-    enqueue_batch(from, req.req_id, Op::kPut, std::move(req.key), std::move(req.value));
+  shard_inflight_acquire(shard);
+  // Meta keys bypass batching: the routing map must never hide inside a
+  // composite instance (followers publish it via a single-slot recovery).
+  if (kv_opts_.batch_window > 0 && !is_meta_key(req.key)) {
+    enqueue_batch(from, req.req_id, Op::kPut, std::move(req.key), std::move(req.value),
+                  shard);
     return;
   }
   CommandHeader h;
@@ -181,8 +261,9 @@ void KvServer::do_put(NodeId from, ClientRequest req) {
   h.key = req.key;
   uint64_t req_id = req.req_id;
   replica_.propose(h.encode(), std::move(req.value),
-                   [this, from, req_id, bytes](StatusOr<consensus::Slot> r) {
+                   [this, from, req_id, bytes, shard](StatusOr<consensus::Slot> r) {
                      admission_release(bytes);
+                     shard_inflight_release(shard);
                      if (r.is_ok()) {
                        reply(from, req_id, ReplyCode::kOk);
                      } else {
@@ -193,9 +274,11 @@ void KvServer::do_put(NodeId from, ClientRequest req) {
 
 void KvServer::do_delete(NodeId from, ClientRequest req) {
   // "Delete operations are treated as write(key, NULL)" (§4.4).
+  uint32_t shard = shard_of_key(req.key);
   admission_acquire(0);
-  if (kv_opts_.batch_window > 0) {
-    enqueue_batch(from, req.req_id, Op::kDelete, std::move(req.key), Bytes{});
+  shard_inflight_acquire(shard);
+  if (kv_opts_.batch_window > 0 && !is_meta_key(req.key)) {
+    enqueue_batch(from, req.req_id, Op::kDelete, std::move(req.key), Bytes{}, shard);
     return;
   }
   CommandHeader h;
@@ -203,14 +286,15 @@ void KvServer::do_delete(NodeId from, ClientRequest req) {
   h.key = req.key;
   uint64_t req_id = req.req_id;
   replica_.propose(h.encode(), Bytes{},
-                   [this, from, req_id](StatusOr<consensus::Slot> r) {
+                   [this, from, req_id, shard](StatusOr<consensus::Slot> r) {
                      admission_release(0);
+                     shard_inflight_release(shard);
                      reply(from, req_id, r.is_ok() ? ReplyCode::kOk : ReplyCode::kRetry);
                    });
 }
 
 void KvServer::enqueue_batch(NodeId from, uint64_t req_id, Op op, std::string key,
-                             Bytes value) {
+                             Bytes value, uint32_t shard) {
   BatchItem item;
   item.op = op;
   item.key = std::move(key);
@@ -218,7 +302,7 @@ void KvServer::enqueue_batch(NodeId from, uint64_t req_id, Op op, std::string ke
   item.len = value.size();
   batch_.items.push_back(std::move(item));
   batch_.payload.insert(batch_.payload.end(), value.begin(), value.end());
-  batch_.waiters.emplace_back(from, req_id);
+  batch_.waiters.push_back(BatchWaiter{from, req_id, shard});
 
   if (batch_.payload.size() >= kv_opts_.batch_max_bytes ||
       batch_.items.size() >= kv_opts_.batch_max_count) {
@@ -254,9 +338,10 @@ void KvServer::flush_batch() {
                      // acquired the batch's payload bytes.
                      for (size_t i = 0; i < waiters.size(); ++i) {
                        admission_release(i == 0 ? batch_bytes : 0);
+                       shard_inflight_release(waiters[i].shard);
                      }
-                     for (const auto& [client, req_id] : waiters) {
-                       reply(client, req_id, code);
+                     for (const BatchWaiter& w : waiters) {
+                       reply(w.client, w.req_id, code);
                      }
                    });
 }
@@ -358,9 +443,19 @@ void KvServer::apply_entry(const ApplyView& view) {
         store_.put_share(cmd.key, view.share->data, view.share->value_len, view.slot,
                          0, view.share->value_len);
       }
+      note_applied_write(cmd.key);
+      maybe_publish_routing(view, 0, view.full_payload != nullptr
+                                         ? view.full_payload->size()
+                                         : (view.share != nullptr ? view.share->value_len : 0));
       return;
     case Op::kDelete:
       store_.erase(cmd.key);
+      note_applied_write(cmd.key);
+      return;
+    case Op::kShardSeal:
+    case Op::kShardUnseal:
+    case Op::kShardGc:
+      apply_shard_ctl(cmd.op, cmd.key);
       return;
     case Op::kReadMarker:
     case Op::kBatch:
@@ -377,6 +472,7 @@ void KvServer::apply_batch(const ApplyView& view) {
   for (const BatchItem& item : h.value().items) {
     if (item.op == Op::kDelete) {
       store_.erase(item.key);
+      note_applied_write(item.key);
       continue;
     }
     if (view.full_payload != nullptr) {
@@ -391,11 +487,95 @@ void KvServer::apply_batch(const ApplyView& view) {
       store_.put_share(item.key, view.share->data, view.share->value_len, view.slot,
                        item.offset, item.len);
     }
+    note_applied_write(item.key);
+    if (item.key == kRoutingKey) maybe_publish_routing(view, item.offset, item.len);
+  }
+}
+
+void KvServer::note_applied_write(const std::string& key) {
+  if (is_meta_key(key)) return;
+  if (routing_ == nullptr && shard_write_ == nullptr && migration_ == nullptr) return;
+  uint32_t shard = shard_of_key(key);
+  if (shard_write_) shard_write_(shard);
+  if (migration_ != nullptr && !migration_->finished()) {
+    migration_->note_applied(shard, key);
+  }
+}
+
+void KvServer::maybe_publish_routing(const ApplyView& view, uint64_t off, uint64_t len) {
+  if (routing_ == nullptr || group_ != kMetaGroup) return;
+  // Only the "!routing" row carries the map. Unbatched applies call this for
+  // every put; bail early on other keys.
+  {
+    auto h = peek_op(*view.header);
+    if (h.is_ok() && h.value() == Op::kPut) {
+      auto cmd = CommandHeader::decode(*view.header);
+      if (!cmd.is_ok() || cmd.value().key != kRoutingKey) return;
+    }
+  }
+  if (view.full_payload != nullptr) {
+    if (off + len > view.full_payload->size()) return;
+    auto m = ShardMap::decode(BytesView(view.full_payload->data() + off, len));
+    if (m.is_ok()) routing_->publish(std::move(m).value());
+    return;
+  }
+  // Follower: only a coded share of the map landed here. Recover the full
+  // payload (map writes are rare and small — one decode per epoch bump per
+  // machine) and publish; also complete the local row so the next client
+  // refresh read served from this node (post-failover) has the full value.
+  uint64_t slot = view.slot;
+  replica_.recover_payload(slot, [this, slot, off, len](StatusOr<Bytes> r) {
+    if (!r.is_ok()) return;  // transient; the next epoch bump retries
+    const Bytes& payload = r.value();
+    if (off + len > payload.size()) return;
+    auto m = ShardMap::decode(BytesView(payload.data() + off, len));
+    if (!m.is_ok()) return;
+    const LocalStore::Record* cur = store_.find(kRoutingKey);
+    if (cur != nullptr && cur->slot == slot && !cur->complete) {
+      store_.put_complete(kRoutingKey,
+                          Bytes(payload.begin() + static_cast<long>(off),
+                                payload.begin() + static_cast<long>(off + len)),
+                          slot);
+    }
+    routing_->publish(std::move(m).value());
+  });
+}
+
+void KvServer::apply_shard_ctl(Op op, const std::string& key) {
+  uint32_t shard = 0;
+  if (!key.empty()) shard = static_cast<uint32_t>(std::strtoul(key.c_str(), nullptr, 10));
+  switch (op) {
+    case Op::kShardSeal:
+      sealed_.insert(shard);
+      if (migration_ != nullptr && !migration_->finished()) {
+        migration_->note_sealed(shard);
+      }
+      return;
+    case Op::kShardUnseal:
+      sealed_.erase(shard);
+      return;
+    case Op::kShardGc: {
+      sealed_.erase(shard);
+      if (routing_ == nullptr) return;
+      size_t nshards = routing_->snapshot()->num_shards();
+      std::vector<std::string> victims;
+      store_.for_each([&](const std::string& k, const LocalStore::Record&) {
+        if (!is_meta_key(k) && shard_of(k, nshards) == shard) victims.push_back(k);
+      });
+      for (const std::string& k : victims) store_.erase(k);
+      RSP_INFO << "kv node " << ctx_->id() << " GCed " << victims.size()
+               << " rows of shard " << shard;
+      return;
+    }
+    default:
+      return;
   }
 }
 
 // State image wire format: varint row count, then per row: key (str), last
-// write slot (varint), complete value (bytes). Rows are emitted in map order,
+// write slot (varint), complete value (bytes); then a trailing-optional
+// sealed-shard section (varint count + varint shard ids) so the migration
+// fence survives checkpoint-truncated WALs. Rows are emitted in map order,
 // so the image (and thus every fragment and CRC) is deterministic.
 StatusOr<Bytes> KvServer::build_state() const {
   if (store_.incomplete_count() != 0) {
@@ -408,6 +588,8 @@ StatusOr<Bytes> KvServer::build_state() const {
     w.varint(rec.slot);
     w.bytes(rec.data);
   });
+  w.varint(sealed_.size());
+  for (uint32_t s : sealed_) w.varint(s);
   return w.take();
 }
 
@@ -440,6 +622,28 @@ void KvServer::install_state(BytesView image, consensus::Slot snap_slot) {
       }
     }
   }
+  // Trailing-optional sealed-shard section (images cut before resharding
+  // simply end here). Full install adopts it; upgrade mode merges (the local
+  // log may have applied seals past the image's barrier).
+  if (!r.done()) {
+    uint64_t nsealed = 0;
+    if (r.varint(nsealed).is_ok() && nsealed <= (1u << 20)) {
+      std::set<uint32_t> sealed;
+      bool ok = true;
+      for (uint64_t i = 0; i < nsealed && ok; ++i) {
+        uint64_t s = 0;
+        ok = r.varint(s).is_ok();
+        if (ok) sealed.insert(static_cast<uint32_t>(s));
+      }
+      if (ok) {
+        if (full) {
+          sealed_ = std::move(sealed);
+        } else {
+          sealed_.insert(sealed.begin(), sealed.end());
+        }
+      }
+    }
+  }
   RSP_INFO << "kv node " << ctx_->id() << (full ? " installed " : " upgraded ")
            << upgraded << "/" << count << " rows from snapshot at slot " << snap_slot;
 }
@@ -450,6 +654,143 @@ void KvServer::on_config_change(const GroupConfig& old_cfg, const GroupConfig& n
   (void)new_cfg;
   if (action == ReencodeAction::kRecode && replica_.is_leader()) {
     reseal_all();
+  }
+}
+
+void KvServer::shard_inflight_acquire(uint32_t shard) { ++shard_inflight_[shard]; }
+
+void KvServer::shard_inflight_release(uint32_t shard) {
+  auto it = shard_inflight_.find(shard);
+  if (it == shard_inflight_.end()) return;
+  if (--it->second == 0) shard_inflight_.erase(it);
+}
+
+void KvServer::start_migration(uint32_t shard, uint32_t to_group) {
+  if (routing_ == nullptr || !replica_.is_leader()) return;
+  if (migration_active()) return;
+  auto map = routing_->snapshot();
+  if (shard >= map->num_shards() || to_group >= map->num_groups) return;
+  if (map->group_of(shard) != group_ || to_group == group_) return;
+  if (map->migration_of(shard) != nullptr) return;
+  // Unique per attempt (fences stale chunk traffic at the dest): local clock
+  // salted with the node id and a per-server counter.
+  static uint64_t seq = 0;
+  uint64_t id = (static_cast<uint64_t>(ctx_->now()) << 12) ^
+                (static_cast<uint64_t>(ctx_->id()) << 4) ^ ++seq;
+  if (id == 0) id = 1;
+  RSP_INFO << "kv node " << ctx_->id() << " starting migration of shard " << shard
+           << " from group " << group_ << " to group " << to_group << " (id " << id
+           << ")";
+  migration_ = std::make_unique<MigrationDriver>(this, shard, to_group, id);
+  migration_->start();
+}
+
+void KvServer::handle_migrate_cmd(const MigrateCmdMsg& msg) {
+  // Balancer broadcast: only the source group's current leader acts.
+  if (!replica_.is_leader()) return;
+  start_migration(msg.shard, msg.to_group);
+}
+
+void KvServer::handle_migrate_data(NodeId from, MigrateDataMsg msg) {
+  MigrateAckMsg ack;
+  ack.migration_id = msg.migration_id;
+  ack.seq = msg.seq;
+  if (!replica_.is_leader()) {
+    ack.status = MigrateAckMsg::kNotLeader;
+    ack.leader_hint = replica_.leader_hint();
+    ctx_->send(from, MsgType::kMigrateAck, ack.encode());
+    return;
+  }
+  uint64_t last = mig_last_seq_[msg.migration_id];
+  if (msg.seq <= last) {
+    // Duplicate of a chunk this leader already committed — re-ack. (The map
+    // is volatile: a fresh dest leader re-commits the in-flight chunk, which
+    // is idempotent — same keys, same values.)
+    ack.status = MigrateAckMsg::kOk;
+    ctx_->send(from, MsgType::kMigrateAck, ack.encode());
+    return;
+  }
+  if (msg.flags & MigrateDataMsg::kFirst) {
+    // A previous aborted attempt may have parked orphan rows here — among
+    // them rows for keys since deleted at the source. Drop them in OUR log
+    // before the first chunk lands so dead keys cannot resurrect.
+    CommandHeader gc;
+    gc.op = Op::kShardGc;
+    gc.key = std::to_string(msg.shard);
+    replica_.propose(gc.encode(), Bytes{}, nullptr);
+  }
+  uint64_t mid = msg.migration_id;
+  uint64_t seq = msg.seq;
+  replica_.propose(std::move(msg.header), std::move(msg.payload),
+                   [this, from, mid, seq](StatusOr<consensus::Slot> r) {
+                     if (!r.is_ok()) return;  // deposed mid-commit; source retries
+                     uint64_t& last = mig_last_seq_[mid];
+                     if (seq > last) last = seq;
+                     MigrateAckMsg ok;
+                     ok.migration_id = mid;
+                     ok.seq = seq;
+                     ok.status = MigrateAckMsg::kOk;
+                     ctx_->send(from, MsgType::kMigrateAck, ok.encode());
+                   });
+}
+
+void KvServer::on_role_change(bool is_leader) {
+  if (!is_leader) {
+    // The driver must run on the source leader: go quiescent locally. The
+    // migration record stays in the map; the NEXT leader's janitor aborts it.
+    if (migration_ != nullptr && !migration_->finished()) migration_->cancel();
+    if (janitor_timer_ != 0) {
+      ctx_->cancel_timer(janitor_timer_);
+      janitor_timer_ = 0;
+    }
+    return;
+  }
+  if (routing_ != nullptr && janitor_timer_ == 0) {
+    janitor_timer_ = ctx_->set_timer(500 * kMillis, [this] {
+      janitor_timer_ = 0;
+      migration_janitor();
+    });
+  }
+}
+
+void KvServer::migration_janitor() {
+  if (!replica_.is_leader() || routing_ == nullptr) return;
+  auto map = routing_->snapshot();
+  // Orphaned migration out of this group with no live driver — the previous
+  // source leader crashed or was deposed mid-copy. Abort it: unseal if the
+  // seal committed, then remove the record from the map. Safe because the
+  // destination never serves the shard before the flip, so no acked write
+  // can exist only at the dest.
+  for (const ShardMigration& mig : map->migrations) {
+    if (mig.from_group != group_) continue;
+    if (migration_ != nullptr && migration_->id() == mig.id &&
+        !migration_->finished()) {
+      continue;  // healthy driver on this node
+    }
+    if (migration_ != nullptr && !migration_->finished()) break;  // busy aborting
+    RSP_INFO << "kv node " << ctx_->id() << " aborting orphaned migration of shard "
+             << mig.shard << " (id " << mig.id << ")";
+    migration_ = std::make_unique<MigrationDriver>(this, mig.shard, mig.to_group, mig.id);
+    migration_->start_abort();
+    break;  // one at a time; the next sweep picks up any others
+  }
+  // Crash between flip and GC: we are sealed on a shard the map says we no
+  // longer own and that is not migrating — finish the GC tail.
+  std::vector<uint32_t> gone;
+  for (uint32_t s : sealed_) {
+    if (map->group_of(s) != group_ && map->migration_of(s) == nullptr) gone.push_back(s);
+  }
+  for (uint32_t s : gone) {
+    CommandHeader gc;
+    gc.op = Op::kShardGc;
+    gc.key = std::to_string(s);
+    replica_.propose(gc.encode(), Bytes{}, nullptr);
+  }
+  if (janitor_timer_ == 0) {
+    janitor_timer_ = ctx_->set_timer(500 * kMillis, [this] {
+      janitor_timer_ = 0;
+      migration_janitor();
+    });
   }
 }
 

@@ -11,9 +11,12 @@
 
 #include <map>
 #include <memory>
+#include <set>
 
 #include "consensus/replica.h"
 #include "kv/command.h"
+#include "kv/migration.h"
+#include "kv/shard_map.h"
 #include "kv/store.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
@@ -31,6 +34,7 @@ struct KvServerStats {
   uint64_t redirects = 0;
   uint64_t batches_committed = 0;
   uint64_t admission_shed = 0;  // requests bounced with kOverloaded (all reasons)
+  uint64_t wrong_shard = 0;     // requests bounced with kWrongShard
 };
 
 /// Per-group admission control: overload is answered with kOverloaded (the
@@ -84,6 +88,31 @@ class KvServer final : public MessageHandler {
   /// the monitor must outlive this server's message processing.
   void set_health(const obs::HealthMonitor* health) { health_ = health; }
 
+  /// Wires the machine-wide routing view (elastic resharding, DESIGN.md
+  /// §14). Set before start(); the view must outlive the server. Without it
+  /// the server keeps the frozen shard==group contract: no ownership checks,
+  /// no redirects, no migrations.
+  void set_routing(RoutingView* routing) { routing_ = routing; }
+  /// Apply-path hook bumping the host's per-shard write counters (balancer
+  /// input). Runs on this server's reactor for every applied write.
+  using ShardWriteFn = std::function<void(uint32_t shard)>;
+  void set_shard_write_hook(ShardWriteFn fn) { shard_write_ = std::move(fn); }
+
+  /// Leader-only: begin migrating `shard` (which this group must own) to
+  /// `to_group`. No-op when not leader, already migrating, or the routing
+  /// view disagrees. Driven to completion asynchronously; watch
+  /// migration_active() / the routing epoch.
+  void start_migration(uint32_t shard, uint32_t to_group);
+  bool migration_active() const {
+    return migration_ != nullptr && !migration_->finished();
+  }
+  bool shard_sealed(uint32_t shard) const { return sealed_.count(shard) > 0; }
+  /// Admitted-but-unresolved writes of `shard` (the seal drain fence).
+  size_t shard_inflight(uint32_t shard) const {
+    auto it = shard_inflight_.find(shard);
+    return it == shard_inflight_.end() ? 0 : it->second;
+  }
+
   consensus::Replica& replica() { return replica_; }
   const consensus::Replica& replica() const { return replica_; }
   const LocalStore& store() const { return store_; }
@@ -98,19 +127,43 @@ class KvServer final : public MessageHandler {
   void reseal_all();
 
  private:
+  friend class MigrationDriver;
+
   void handle_client(NodeId from, ClientRequest req);
   /// Admission check for a request wanting `bytes` of queue budget. When it
   /// sheds, the kOverloaded reply has already been sent.
   bool admit(NodeId from, uint64_t req_id, size_t bytes, bool replicating);
   void admission_acquire(size_t bytes);
   void admission_release(size_t bytes);
-  void reply(NodeId to, uint64_t req_id, ReplyCode code, Bytes value = {});
+  void reply(NodeId to, uint64_t req_id, ReplyCode code, Bytes value = {},
+             uint32_t group_hint = kNoNode);
+  /// Shard of a (non-meta) key under the current routing view; 0 without one.
+  uint32_t shard_of_key(const std::string& key) const;
+  void shard_inflight_acquire(uint32_t shard);
+  void shard_inflight_release(uint32_t shard);
+  /// Applied write of `key` at the KV layer: balancer counters + migration
+  /// dirty tracking.
+  void note_applied_write(const std::string& key);
+  /// Meta-group only: an applied write of "!routing" publishes the new map
+  /// machine-wide. Followers hold only a coded share of the value, so they
+  /// recover the payload (cheap, rare) before decoding.
+  void maybe_publish_routing(const consensus::ApplyView& view, uint64_t off,
+                             uint64_t len);
+  void apply_shard_ctl(Op op, const std::string& key);
+  void handle_migrate_data(NodeId from, MigrateDataMsg msg);
+  void handle_migrate_cmd(const MigrateCmdMsg& msg);
+  void on_role_change(bool is_leader);
+  /// Leader-side recurring sweep: aborts orphaned migrations out of the map
+  /// (source leader crashed mid-copy) and finishes the seal->GC tail after a
+  /// crash between flip and GC.
+  void migration_janitor();
   void do_put(NodeId from, ClientRequest req);
   void do_fast_get(NodeId from, ClientRequest req);
   void do_consistent_get(NodeId from, ClientRequest req);
   void finish_get(NodeId from, uint64_t req_id, const std::string& key);
   void do_delete(NodeId from, ClientRequest req);
-  void enqueue_batch(NodeId from, uint64_t req_id, Op op, std::string key, Bytes value);
+  void enqueue_batch(NodeId from, uint64_t req_id, Op op, std::string key, Bytes value,
+                     uint32_t shard);
   void flush_batch();
   void apply_entry(const consensus::ApplyView& view);
   void apply_batch(const consensus::ApplyView& view);
@@ -131,6 +184,18 @@ class KvServer final : public MessageHandler {
   KvServerOptions kv_opts_;
   LocalStore store_;
   const obs::HealthMonitor* health_ = nullptr;
+  RoutingView* routing_ = nullptr;
+  ShardWriteFn shard_write_;
+  uint32_t group_ = 0;
+  /// Shards this group has stopped serving (kShardSeal applied; crash-safe
+  /// via WAL replay and the state-image trailer).
+  std::set<uint32_t> sealed_;
+  /// Admitted-but-unresolved writes per shard (seal drain fence).
+  std::map<uint32_t, size_t> shard_inflight_;
+  /// Dest-side chunk dedup: migration id -> highest committed chunk seq.
+  std::map<uint64_t, uint64_t> mig_last_seq_;
+  std::unique_ptr<MigrationDriver> migration_;
+  NodeContext::TimerId janitor_timer_ = 0;
   // Admission occupancy: replication ops accepted but not yet resolved, and
   // the client value bytes they hold. Released when the commit callback runs
   // (ok or failed), so leadership loss can never leak budget.
@@ -146,15 +211,23 @@ class KvServer final : public MessageHandler {
     /// the legacy recovery-read series.
     obs::CounterView ec_degraded_reads;
     obs::CounterView shed_inflight, shed_queue_bytes, shed_health;
+    obs::CounterView wrong_shard;       // requests bounced to the owning group
+    obs::CounterView reshard_ok, reshard_aborted;  // migrations by outcome
+    obs::CounterView reshard_moved_bytes;          // chunk bytes acked by dest
     obs::Gauge* adm_inflight = nullptr;
     obs::Gauge* adm_queue_bytes = nullptr;
   } m_;
 
   // Pending composite instance (leader only; see KvServerOptions).
+  struct BatchWaiter {
+    NodeId client = kNoNode;
+    uint64_t req_id = 0;
+    uint32_t shard = 0;  // for the per-shard inflight release
+  };
   struct PendingBatch {
     std::vector<BatchItem> items;
     Bytes payload;
-    std::vector<std::pair<NodeId, uint64_t>> waiters;  // (client, req_id)
+    std::vector<BatchWaiter> waiters;
   };
   PendingBatch batch_;
   NodeContext::TimerId batch_timer_ = 0;

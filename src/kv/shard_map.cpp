@@ -1,0 +1,124 @@
+#include "kv/shard_map.h"
+
+namespace rspaxos::kv {
+
+ShardMap ShardMap::identity(uint32_t num_shards, uint32_t num_groups) {
+  ShardMap m;
+  m.epoch = 0;
+  m.num_groups = num_groups > 0 ? num_groups : 1;
+  if (num_shards == 0) num_shards = m.num_groups;
+  m.shard_group.resize(num_shards);
+  for (uint32_t i = 0; i < num_shards; ++i) m.shard_group[i] = i % m.num_groups;
+  return m;
+}
+
+const ShardMigration* ShardMap::migration_of(uint32_t shard) const {
+  for (const ShardMigration& mig : migrations) {
+    if (mig.shard == shard) return &mig;
+  }
+  return nullptr;
+}
+
+Bytes ShardMap::encode() const {
+  Writer w(32 + shard_group.size() * 2 + migrations.size() * 16);
+  w.varint(epoch);
+  w.varint(num_groups);
+  w.varint(shard_group.size());
+  for (uint32_t g : shard_group) w.varint(g);
+  w.varint(migrations.size());
+  for (const ShardMigration& m : migrations) {
+    w.varint(m.shard);
+    w.varint(m.from_group);
+    w.varint(m.to_group);
+    w.varint(m.id);
+  }
+  return w.take();
+}
+
+StatusOr<ShardMap> ShardMap::decode(BytesView b) {
+  Reader r(b);
+  ShardMap m;
+  uint64_t v = 0;
+  RSP_RETURN_IF_ERROR(r.varint(m.epoch));
+  RSP_RETURN_IF_ERROR(r.varint(v));
+  m.num_groups = static_cast<uint32_t>(v);
+  if (m.num_groups == 0) return Status::corruption("shard map: zero groups");
+  uint64_t shards = 0;
+  RSP_RETURN_IF_ERROR(r.varint(shards));
+  if (shards == 0 || shards > (1u << 20)) {
+    return Status::corruption("shard map: bad shard count");
+  }
+  m.shard_group.resize(shards);
+  for (uint64_t i = 0; i < shards; ++i) {
+    RSP_RETURN_IF_ERROR(r.varint(v));
+    if (v >= m.num_groups) return Status::corruption("shard map: group out of range");
+    m.shard_group[i] = static_cast<uint32_t>(v);
+  }
+  uint64_t migs = 0;
+  RSP_RETURN_IF_ERROR(r.varint(migs));
+  if (migs > shards) return Status::corruption("shard map: too many migrations");
+  m.migrations.resize(migs);
+  for (uint64_t i = 0; i < migs; ++i) {
+    ShardMigration& mig = m.migrations[i];
+    RSP_RETURN_IF_ERROR(r.varint(v));
+    mig.shard = static_cast<uint32_t>(v);
+    RSP_RETURN_IF_ERROR(r.varint(v));
+    mig.from_group = static_cast<uint32_t>(v);
+    RSP_RETURN_IF_ERROR(r.varint(v));
+    mig.to_group = static_cast<uint32_t>(v);
+    RSP_RETURN_IF_ERROR(r.varint(mig.id));
+  }
+  return m;
+}
+
+std::string ShardMap::to_json() const {
+  std::string out = "{";
+  out += "\"epoch\":" + std::to_string(epoch);
+  out += ",\"num_groups\":" + std::to_string(num_groups);
+  out += ",\"shards\":[";
+  for (size_t i = 0; i < shard_group.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(shard_group[i]);
+  }
+  out += "],\"migrations\":[";
+  for (size_t i = 0; i < migrations.size(); ++i) {
+    const ShardMigration& m = migrations[i];
+    if (i > 0) out += ",";
+    out += "{\"shard\":" + std::to_string(m.shard) +
+           ",\"from\":" + std::to_string(m.from_group) +
+           ",\"to\":" + std::to_string(m.to_group) +
+           ",\"id\":" + std::to_string(m.id) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+RoutingView::RoutingView(int server, ShardMap initial)
+    : map_(std::make_shared<const ShardMap>(std::move(initial))) {
+  epoch_gauge_ = &obs::MetricsRegistry::global()
+                      .gauge_family("rsp_routing_epoch",
+                                    "Newest routing-table epoch applied by this machine",
+                                    {"server"})
+                      .with({std::to_string(server)});
+  epoch_gauge_->set(static_cast<int64_t>(map_->epoch));
+}
+
+std::shared_ptr<const ShardMap> RoutingView::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return map_;
+}
+
+uint64_t RoutingView::epoch() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return map_->epoch;
+}
+
+bool RoutingView::publish(ShardMap m) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (m.epoch <= map_->epoch) return false;
+  map_ = std::make_shared<const ShardMap>(std::move(m));
+  epoch_gauge_->set(static_cast<int64_t>(map_->epoch));
+  return true;
+}
+
+}  // namespace rspaxos::kv

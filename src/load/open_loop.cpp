@@ -2,12 +2,34 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace rspaxos::load {
 
 OpenLoopGen::OpenLoopGen(NodeContext* ctx, kv::KvClient* client, OpenLoopSpec spec)
     : ctx_(ctx), client_(client), spec_(spec), rng_(spec.seed), value_(spec.value_size) {
   rng_.fill(value_.data(), std::min<size_t>(value_.size(), 4096));
+  if (spec_.zipf_s > 0 && spec_.key_space > 1) {
+    // Zipf(s) over ranks: P(rank r) ∝ 1/(r+1)^s. Precompute the normalized
+    // CDF once; each draw is then one uniform + one binary search, keeping
+    // the per-op cost flat no matter how large the key space is.
+    zipf_cdf_.resize(static_cast<size_t>(spec_.key_space));
+    double sum = 0;
+    for (size_t r = 0; r < zipf_cdf_.size(); ++r) {
+      sum += 1.0 / std::pow(static_cast<double>(r + 1), spec_.zipf_s);
+      zipf_cdf_[r] = sum;
+    }
+    for (auto& c : zipf_cdf_) c /= sum;
+  }
+}
+
+uint64_t OpenLoopGen::pick_key() {
+  if (zipf_cdf_.empty()) {
+    return rng_.next_below(static_cast<uint64_t>(spec_.key_space));
+  }
+  auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), rng_.next_double());
+  if (it == zipf_cdf_.end()) --it;  // guard the p == 1.0 edge
+  return static_cast<uint64_t>(it - zipf_cdf_.begin());
 }
 
 void OpenLoopGen::start(std::function<void()> on_done) {
@@ -83,8 +105,7 @@ void OpenLoopGen::issue(int64_t intended_us) {
     on_op_done(intended_us, actual_us, false);
     return;
   }
-  std::string key =
-      "k-" + std::to_string(rng_.next_below(static_cast<uint64_t>(spec_.key_space)));
+  std::string key = "k-" + std::to_string(pick_key());
   if (spec_.read_ratio > 0 && rng_.next_double() < spec_.read_ratio) {
     client_->get(key, [this, intended_us, actual_us](StatusOr<Bytes> r) {
       on_op_done(intended_us, actual_us, r.is_ok());

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "kv/client.h"
 #include "load/latency_recorder.h"
@@ -28,7 +29,12 @@ struct OpenLoopSpec {
   double qps = 1000.0;        // target offered load (Poisson arrival rate)
   double read_ratio = 0.0;    // fraction of arrivals that are fast reads
   size_t value_size = 1024;   // write payload bytes
-  int key_space = 64;         // distinct keys, uniformly chosen
+  int key_space = 64;         // distinct keys
+  /// Key-popularity skew: 0 = uniform (the historical default); s > 0 draws
+  /// keys from Zipf(s) over key_space with rank 0 ("k-0") the hottest. s ≈ 1
+  /// gives the classic web-cache skew; larger s concentrates load further —
+  /// the hot-shard shapes the resharding balancer exists to fix.
+  double zipf_s = 0.0;
   uint64_t seed = 1;
   /// Arrival window: ops are generated for exactly this long.
   DurationMicros duration = 10 * kSeconds;
@@ -72,6 +78,7 @@ class OpenLoopGen {
  private:
   void pump();
   void issue(int64_t intended_us);
+  uint64_t pick_key();
   void on_op_done(int64_t intended_us, int64_t actual_us, bool ok);
   void maybe_finish();
   void arm(DurationMicros delay);
@@ -82,6 +89,9 @@ class OpenLoopGen {
   Rng rng_;
   LatencyRecorder recorder_;
   Bytes value_;  // one shared payload; contents don't affect the protocol
+  /// Normalized Zipf CDF over ranks [0, key_space); empty when zipf_s == 0.
+  /// A uniform draw binary-searched into it yields the rank (= key index).
+  std::vector<double> zipf_cdf_;
 
   int64_t start_us_ = 0;
   int64_t end_arrivals_us_ = 0;   // start + duration

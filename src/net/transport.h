@@ -42,10 +42,16 @@ enum class MsgType : uint16_t {
   kSnapshotOffer = 11,
   kSnapshotFetchReq = 12,
   kSnapshotFetchRep = 13,
+  kLeaderTransfer = 14,  // ask the recipient to campaign (balancer leader move)
 
   // KV client protocol (src/kv)
   kClientRequest = 100,
   kClientReply = 101,
+
+  // Shard migration (src/kv, elastic resharding — DESIGN.md §14)
+  kMigrateData = 102,  // source leader -> dest leader: chunk of shard rows
+  kMigrateAck = 103,   // dest -> source: chunk committed (or redirect hint)
+  kMigrateCmd = 104,   // balancer -> source group: start a migration
 
   // Tests / diagnostics
   kTestPing = 1000,

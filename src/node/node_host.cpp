@@ -35,6 +35,11 @@ NodeHost::NodeHost(int server, uint32_t num_groups, EndpointFn endpoints,
   }
   queue_samplers_.resize(R);
   boards_.resize(R);
+  num_shards_ = opts_.num_shards != 0 ? opts_.num_shards : num_groups_;
+  routing_ = std::make_unique<kv::RoutingView>(
+      server_, kv::ShardMap::identity(num_shards_, num_groups_));
+  shard_writes_ = std::make_unique<std::atomic<uint64_t>[]>(num_shards_);
+  for (uint32_t s = 0; s < num_shards_; ++s) shard_writes_[s].store(0);
 }
 
 NodeHost::NodeHost(int server, uint32_t num_groups, EndpointFn endpoints,
@@ -82,6 +87,12 @@ void NodeHost::start() {
                                                  snap_fn_ ? snap_fn_(g) : nullptr);
     kv::KvServer* srv = servers_[g].get();
     if (!health_.empty()) srv->set_health(health_[r].get());
+    srv->set_routing(routing_.get());
+    srv->set_shard_write_hook([this](uint32_t shard) {
+      if (shard < num_shards_) {
+        shard_writes_[shard].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
     auto bring_up = [ctx, srv] {
       ctx->set_handler(srv);
       srv->start();
@@ -231,6 +242,20 @@ std::string NodeHost::compose_board_locked() const {
   out += "]";
   if (!health_.empty()) out += ",\"health\":" + healthz_json();
   out += "}";
+  return out;
+}
+
+std::string NodeHost::routing_json() const {
+  auto map = routing_->snapshot();
+  std::string out = "{";
+  out += "\"server\":" + std::to_string(server_);
+  out += ",\"routing\":" + map->to_json();
+  out += ",\"shard_writes\":[";
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    if (s > 0) out += ",";
+    out += std::to_string(shard_writes_[s].load(std::memory_order_relaxed));
+  }
+  out += "]}";
   return out;
 }
 

@@ -23,6 +23,7 @@
 // config / snapshot factories and one MuxWal per reactor.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -31,6 +32,7 @@
 
 #include "consensus/replica.h"
 #include "kv/server.h"
+#include "kv/shard_map.h"
 #include "net/routing.h"
 #include "obs/health.h"
 #include "snapshot/snapshot_store.h"
@@ -48,6 +50,11 @@ struct NodeHostOptions {
   /// republishes the machine status board.
   obs::HealthOptions health;
   bool watchdog = true;
+  /// Key-space shards for elastic resharding (DESIGN.md §14). 0 = one shard
+  /// per group (the historical frozen shard==group contract, as epoch 0 of a
+  /// live routing table). More shards than groups gives migrations something
+  /// to move without splitting key ranges.
+  uint32_t num_shards = 0;
 };
 
 class NodeHost {
@@ -146,6 +153,25 @@ class NodeHost {
   /// every reactor before composing a fresh document.
   void refresh_board(uint32_t reactor);
 
+  // --- elastic resharding (DESIGN.md §14) ---
+
+  /// Machine-wide routing view: the newest ShardMap any of this host's
+  /// meta-group applies has published. Thread-safe; never null after
+  /// construction.
+  kv::RoutingView* routing() { return routing_.get(); }
+  const kv::RoutingView* routing() const { return routing_.get(); }
+  uint32_t num_shards() const { return num_shards_; }
+  /// Total applied writes of `shard` on this machine since boot (balancer
+  /// input; relaxed — any thread).
+  uint64_t shard_writes(uint32_t shard) const {
+    return shard < num_shards_
+               ? shard_writes_[shard].load(std::memory_order_relaxed)
+               : 0;
+  }
+  /// JSON document of the current routing view plus this machine's per-shard
+  /// write counters (the /routing admin endpoint). Any thread.
+  std::string routing_json() const;
+
  private:
   /// One reactor's last-published board slice.
   struct ReactorBoard {
@@ -168,6 +194,11 @@ class NodeHost {
   std::vector<NodeContext*> endpoints_;          // per group
   std::vector<std::unique_ptr<kv::KvServer>> servers_;  // per group
   bool started_ = false;
+
+  uint32_t num_shards_ = 0;
+  std::unique_ptr<kv::RoutingView> routing_;
+  /// Applied-write counters per shard, bumped from any reactor's apply path.
+  std::unique_ptr<std::atomic<uint64_t>[]> shard_writes_;
 
   std::vector<std::function<int64_t()>> queue_samplers_;       // per reactor
   std::vector<std::unique_ptr<obs::HealthMonitor>> health_;    // per reactor

@@ -25,6 +25,7 @@ SimCluster::SimCluster(sim::SimWorld* world, SimClusterOptions opts)
   }
   wals_.resize(static_cast<size_t>(opts_.num_servers) * static_cast<size_t>(R));
   hosts_.resize(static_cast<size_t>(opts_.num_servers));
+  balancers_.resize(static_cast<size_t>(opts_.num_servers));
   snaps_.resize(static_cast<size_t>(opts_.num_servers) *
                 static_cast<size_t>(opts_.num_groups));
   alive_.assign(static_cast<size_t>(opts_.num_servers), true);
@@ -73,6 +74,7 @@ void SimCluster::build_host(int s, bool initial) {
   hopts.kv = opts_.kv;
   hopts.health = opts_.health;
   hopts.watchdog = opts_.watchdog;
+  hopts.num_shards = static_cast<uint32_t>(std::max(0, opts_.num_shards));
   node::NodeHost::BootstrapFn boot;  // restarts never campaign immediately
   if (initial) {
     if (opts_.spread_leaders) {
@@ -95,6 +97,11 @@ void SimCluster::build_host(int s, bool initial) {
       [this](uint32_t g) { return group_config(static_cast<int>(g)); }, hopts,
       std::move(boot));  // PostFn empty: the sim is single-threaded, inline is safe
   host->start();
+  if (opts_.balancer) {
+    auto& bal = balancers_[static_cast<size_t>(s)];
+    bal = std::make_unique<node::Balancer>(host.get(), opts_.balancer_opts);
+    bal->start();
+  }
   if (opts_.admin) start_admin(s);
 }
 
@@ -146,6 +153,15 @@ void SimCluster::start_admin(int s) {
                                  : obs::Tracer::global().recent_json(32);
     return r;
   });
+  // Routing view + per-shard write counters: published from the sim thread's
+  // apply path into the thread-safe RoutingView / atomic counters, so the
+  // admin thread may read them directly.
+  admin->route("/routing", [host](const obs::AdminRequest&) {
+    obs::AdminResponse r;
+    r.content_type = "application/json";
+    r.body = host->routing_json();
+    return r;
+  });
   Status st = admin->start({});
   if (!st.is_ok()) {
     RSP_WARN << "sim admin server for s" << s << " failed: " << st.to_string();
@@ -172,12 +188,17 @@ void SimCluster::wait_for_leaders(DurationMicros max_wait) {
 
 RoutingTable SimCluster::routing() const {
   RoutingTable rt;
-  rt.shard_members.resize(static_cast<size_t>(opts_.num_groups));
+  rt.group_members.resize(static_cast<size_t>(opts_.num_groups));
   for (int g = 0; g < opts_.num_groups; ++g) {
     for (int s = 0; s < opts_.num_servers; ++s) {
-      rt.shard_members[static_cast<size_t>(g)].push_back(endpoint_id(s, g));
+      rt.group_members[static_cast<size_t>(g)].push_back(endpoint_id(s, g));
     }
   }
+  // Fresh clients boot on the epoch-0 identity map and self-heal from
+  // kWrongShard redirects / piggybacked epochs if shards have since moved.
+  uint32_t shards = opts_.num_shards > 0 ? static_cast<uint32_t>(opts_.num_shards)
+                                         : static_cast<uint32_t>(opts_.num_groups);
+  rt.map = ShardMap::identity(shards, static_cast<uint32_t>(opts_.num_groups));
   return rt;
 }
 
@@ -191,8 +212,10 @@ std::unique_ptr<KvClient> SimCluster::make_client(int client_idx, KvClient::Opti
 
 void SimCluster::crash_server(int s) {
   alive_[static_cast<size_t>(s)] = false;
-  // Admin handlers hold the host pointer; kill the server before the host.
+  // Admin handlers and the balancer hold the host pointer; kill both before
+  // the host.
   admins_[static_cast<size_t>(s)].reset();
+  balancers_[static_cast<size_t>(s)].reset();
   for (int g = 0; g < opts_.num_groups; ++g) {
     network_.crash(endpoint_id(s, g));
     snaps_[idx(s, g)]->drop_unflushed();  // in-flight snapshot saves gone

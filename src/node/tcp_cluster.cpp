@@ -116,6 +116,7 @@ Status TcpCluster::boot() {
     hopts.kv = opts_.kv;
     hopts.health = opts_.health;
     hopts.watchdog = opts_.watchdog;
+    hopts.num_shards = opts_.num_shards;
     hosts_[static_cast<size_t>(s)] = std::make_unique<NodeHost>(
         s, groups, [this](NodeId id) -> NodeContext* { return endpoints_.at(id); },
         std::move(host_wals),
@@ -139,6 +140,15 @@ Status TcpCluster::boot() {
           [epr] { return static_cast<int64_t>(epr->max_peer_queue_depth()); });
     }
     hosts_[static_cast<size_t>(s)]->start();
+  }
+
+  if (opts_.balancer) {
+    balancers_.resize(static_cast<size_t>(servers));
+    for (int s = 0; s < servers; ++s) {
+      balancers_[static_cast<size_t>(s)] =
+          std::make_unique<Balancer>(hosts_[static_cast<size_t>(s)].get(), opts_.balancer_opts);
+      balancers_[static_cast<size_t>(s)]->start();
+    }
   }
 
   if (opts_.admin) {
@@ -208,6 +218,15 @@ Status TcpCluster::start_admin(int s) {
     return r;
   });
 
+  // Routing view + per-shard write counters (RoutingView and the counters
+  // are thread-safe by construction; no loop posting needed).
+  admin->route("/routing", [host](const obs::AdminRequest&) {
+    obs::AdminResponse r;
+    r.content_type = "application/json";
+    r.body = host->routing_json();
+    return r;
+  });
+
   obs::AdminServer::Options aopts;
   if (opts_.admin_base_port != 0) {
     aopts.port = static_cast<uint16_t>(opts_.admin_base_port + s);
@@ -227,11 +246,17 @@ TcpCluster::~TcpCluster() {
   for (auto& a : admins_) {
     if (a) a->stop();
   }
+  // Balancer ticks run on reactor-0 loops and touch host state; quiesce them
+  // while the loops are still alive (a late-firing timer sees the dead flag).
+  for (auto& b : balancers_) {
+    if (b) b->stop();
+  }
   for (auto& h : hosts_) {
     if (h) h->stop();
   }
   ec_pool_.reset();
   transport_.reset();
+  balancers_.clear();
   hosts_.clear();
   admins_.clear();
 }
@@ -269,12 +294,16 @@ consensus::GroupConfig TcpCluster::group_config(uint32_t g) const {
 
 kv::RoutingTable TcpCluster::routing() const {
   kv::RoutingTable rt;
-  rt.shard_members.resize(opts_.num_groups);
+  rt.group_members.resize(opts_.num_groups);
   for (uint32_t g = 0; g < opts_.num_groups; ++g) {
     for (int s = 0; s < opts_.num_servers; ++s) {
-      rt.shard_members[g].push_back(net::endpoint_id(s, static_cast<int>(g)));
+      rt.group_members[g].push_back(net::endpoint_id(s, static_cast<int>(g)));
     }
   }
+  // Fresh clients boot on the epoch-0 identity map and self-heal from
+  // kWrongShard redirects / piggybacked epochs if shards have since moved.
+  uint32_t shards = opts_.num_shards != 0 ? opts_.num_shards : opts_.num_groups;
+  rt.map = kv::ShardMap::identity(shards, opts_.num_groups);
   return rt;
 }
 

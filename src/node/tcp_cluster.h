@@ -27,6 +27,7 @@
 #include "ec/ec_pool.h"
 #include "kv/client.h"
 #include "net/tcp_transport.h"
+#include "node/balancer.h"
 #include "node/node_host.h"
 #include "obs/admin_server.h"
 #include "snapshot/snapshot_store.h"
@@ -37,6 +38,9 @@ namespace rspaxos::node {
 struct TcpClusterOptions {
   int num_servers = 3;
   uint32_t num_groups = 1;
+  /// Key-space shards for elastic resharding. 0 = num_groups (the historical
+  /// one-shard-per-group contract as epoch 0 of a live routing table).
+  uint32_t num_shards = 0;
   /// Reactors (event loop + socket + WAL + watchdog) per server. 0 = auto:
   /// min(num_groups, hardware cores). Always clamped to [1, num_groups].
   int reactors = 1;
@@ -72,6 +76,10 @@ struct TcpClusterOptions {
   /// Health watchdog configuration forwarded to every NodeHost.
   obs::HealthOptions health;
   bool watchdog = true;
+  /// Run a background Balancer on every server (the meta-group leader's is
+  /// the one that acts; see node/balancer.h).
+  bool balancer = false;
+  BalancerOptions balancer_opts;
 };
 
 /// Owns the transport, per-server WALs/snapshot stores and NodeHosts. start()
@@ -89,6 +97,10 @@ class TcpCluster {
   /// Resolved reactor count (after the 0 = auto rule), fixed at boot.
   int reactors() const { return reactors_; }
   NodeHost& host(int s) { return *hosts_[static_cast<size_t>(s)]; }
+  Balancer* balancer(int s) {
+    size_t i = static_cast<size_t>(s);
+    return i < balancers_.size() ? balancers_[i].get() : nullptr;
+  }
   kv::KvServer* server(int s, uint32_t g) { return hosts_[static_cast<size_t>(s)]->server(g); }
   net::TcpNode* endpoint(int s, uint32_t g);
   /// Reactor r's multiplexed log on server s (its groups share the flushes).
@@ -134,6 +146,7 @@ class TcpCluster {
   std::vector<std::unique_ptr<storage::FileWal>> wals_;  // [s * reactors_ + r]
   std::vector<std::unique_ptr<snapshot::GroupedSnapshotStore>> snaps_;  // per server
   std::vector<std::unique_ptr<NodeHost>> hosts_;                        // per server
+  std::vector<std::unique_ptr<Balancer>> balancers_;                    // per server
   std::vector<std::unique_ptr<obs::AdminServer>> admins_;               // per server
   std::map<NodeId, net::TcpNode*> endpoints_;  // every started server endpoint
   int next_client_ = 0;

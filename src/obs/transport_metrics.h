@@ -32,6 +32,10 @@ inline const char* msg_type_name(MsgType t) {
     case MsgType::kSnapshotFetchRep: return "SNAPSHOT_FETCH_REP";
     case MsgType::kClientRequest: return "CLIENT_REQUEST";
     case MsgType::kClientReply: return "CLIENT_REPLY";
+    case MsgType::kLeaderTransfer: return "LEADER_TRANSFER";
+    case MsgType::kMigrateData: return "MIGRATE_DATA";
+    case MsgType::kMigrateAck: return "MIGRATE_ACK";
+    case MsgType::kMigrateCmd: return "MIGRATE_CMD";
     case MsgType::kTestPing: return "TEST_PING";
     case MsgType::kTestPong: return "TEST_PONG";
   }
@@ -66,22 +70,22 @@ class TransportMetrics {
   }
 
  private:
-  // Dense slot mapping: consensus types 1..13 -> 0..12, client 100/101 ->
-  // 13/14, test 1000/1001 -> 15/16, anything else -> 17.
-  static constexpr size_t kSlots = 18;
+  // Dense slot mapping: consensus types 1..14 -> 0..13, client + migration
+  // 100..104 -> 14..18, test 1000/1001 -> 19/20, anything else -> 21.
+  static constexpr size_t kSlots = 22;
 
   static size_t slot_of(MsgType t) {
     auto v = static_cast<uint16_t>(t);
-    if (v >= 1 && v <= 13) return v - 1;
-    if (v == 100 || v == 101) return 13 + (v - 100);
-    if (v == 1000 || v == 1001) return 15 + (v - 1000);
-    return 17;
+    if (v >= 1 && v <= 14) return v - 1;
+    if (v >= 100 && v <= 104) return 14 + (v - 100);
+    if (v == 1000 || v == 1001) return 19 + (v - 1000);
+    return 21;
   }
 
   static const char* slot_name(size_t s) {
-    if (s < 13) return msg_type_name(static_cast<MsgType>(s + 1));
-    if (s < 15) return msg_type_name(static_cast<MsgType>(100 + (s - 13)));
-    if (s < 17) return msg_type_name(static_cast<MsgType>(1000 + (s - 15)));
+    if (s < 14) return msg_type_name(static_cast<MsgType>(s + 1));
+    if (s < 19) return msg_type_name(static_cast<MsgType>(100 + (s - 14)));
+    if (s < 21) return msg_type_name(static_cast<MsgType>(1000 + (s - 19)));
     return "OTHER";
   }
 

@@ -99,6 +99,7 @@ struct ClusterFixture {
   std::unique_ptr<node::TcpCluster> cluster;
   net::TcpNode* cnode = nullptr;
   std::unique_ptr<kv::KvClient> client;
+  uint32_t num_shards = 0;  // 0 = one shard per group (the identity default)
 
   void start() {
     dir = std::filesystem::temp_directory_path() /
@@ -107,6 +108,7 @@ struct ClusterFixture {
     node::TcpClusterOptions opts;
     opts.num_servers = kServers;
     opts.num_groups = kGroups;
+    opts.num_shards = num_shards;
     // Two reactors (one group each): scrapes must compose per-reactor boards
     // and aggregate worst-reactor health, not just read one loop's state.
     opts.reactors = 2;
@@ -231,6 +233,85 @@ TEST(AdminHttp, EndpointsServeLiveClusterState) {
   EXPECT_EQ(http_get(port0, "/traces/recent?slow").status, 200);
 
   EXPECT_EQ(http_get(port0, "/nope").status, 404);
+
+  f.stop();
+}
+
+// The resharding surface of the admin plane: /routing serves the machine's
+// live RoutingView plus its per-shard write counters, and a completed
+// migration shows up in the rsp_reshard_* / rsp_routing_epoch series exactly
+// the way the balancer's operator dashboard consumes them.
+TEST(AdminHttp, RoutingEndpointAndReshardMetrics) {
+  ClusterFixture f;
+  f.num_shards = 4;
+  f.start();
+  if (HasFatalFailure()) return;
+  uint16_t port0 = f.cluster->admin_port(0);
+
+  // Epoch-0 identity map on every machine, with per-shard write counters.
+  for (int s = 0; s < kServers; ++s) {
+    HttpReply r = http_get(f.cluster->admin_port(s), "/routing");
+    ASSERT_EQ(r.status, 200) << "server " << s << ": " << r.raw;
+    EXPECT_NE(r.body.find("\"server\":" + std::to_string(s)), std::string::npos) << r.body;
+    EXPECT_NE(r.body.find("\"epoch\":0"), std::string::npos) << r.body;
+    EXPECT_NE(r.body.find("\"shards\":[0,1,0,1]"), std::string::npos) << r.body;
+    EXPECT_NE(r.body.find("\"migrations\":[]"), std::string::npos) << r.body;
+    EXPECT_NE(r.body.find("\"shard_writes\":[0,0,0,0]"), std::string::npos) << r.body;
+  }
+
+  // Find a key in shard 2 (owned by group 0), write it, and migrate the
+  // shard to group 1.
+  std::string key;
+  for (int n = 0; key.empty(); ++n) {
+    std::string probe = "route/" + std::to_string(n);
+    if (kv::shard_of(probe, 4) == 2) key = probe;
+  }
+  ASSERT_TRUE(f.put(key, Bytes(256, 0x5a)).is_ok());
+  int src = f.cluster->leader_server_of(0);
+  ASSERT_GE(src, 0);
+  kv::KvServer* srv = f.cluster->server(src, 0);
+  f.cluster->endpoint(src, 0)->loop().post([srv] { srv->start_migration(2, 1); });
+
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  auto flipped = [&] {
+    HttpReply r = http_get(port0, "/routing");
+    return r.status == 200 &&
+           r.body.find("\"shards\":[0,1,1,1]") != std::string::npos &&
+           r.body.find("\"migrations\":[]") != std::string::npos;
+  };
+  while (!flipped() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_TRUE(flipped()) << http_get(port0, "/routing").body;
+
+  // The write counters moved off zero on the machines that applied the put.
+  bool counted = false;
+  for (int s = 0; s < kServers && !counted; ++s) {
+    HttpReply r = http_get(f.cluster->admin_port(s), "/routing");
+    counted = r.status == 200 &&
+              r.body.find("\"shard_writes\":[0,0,0,0]") == std::string::npos;
+  }
+  EXPECT_TRUE(counted) << "no machine counted the shard-2 write";
+
+  // Metrics: one completed migration, a non-zero moved-bytes total, and the
+  // epoch gauge at the flip value (prepare + flip = 2) on the source leader.
+  HttpReply m = http_get(f.cluster->admin_port(src), "/metrics");
+  ASSERT_EQ(m.status, 200) << m.raw;
+  size_t ok_at = m.body.find("rsp_reshard_migrations_total{");
+  ASSERT_NE(ok_at, std::string::npos) << m.body.substr(0, 2048);
+  EXPECT_NE(m.body.find("result=\"ok\""), std::string::npos);
+  size_t moved_at = m.body.find("rsp_reshard_moved_bytes_total{");
+  ASSERT_NE(moved_at, std::string::npos);
+  // The series' sample value follows the label block on the same line.
+  size_t line_end = m.body.find('\n', moved_at);
+  std::string line = m.body.substr(moved_at, line_end - moved_at);
+  double moved = std::stod(line.substr(line.rfind(' ') + 1));
+  EXPECT_GT(moved, 0.0) << line;
+  size_t epoch_at = m.body.find("rsp_routing_epoch{");
+  ASSERT_NE(epoch_at, std::string::npos);
+  line_end = m.body.find('\n', epoch_at);
+  line = m.body.substr(epoch_at, line_end - epoch_at);
+  EXPECT_GE(std::stod(line.substr(line.rfind(' ') + 1)), 2.0) << line;
 
   f.stop();
 }

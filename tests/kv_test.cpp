@@ -304,6 +304,51 @@ TEST(Kv, LeaderCacheIsPerShardAcrossFailover) {
   }
 }
 
+// Adopting a newer routing map must invalidate the leader cache of EXACTLY
+// the shards whose owning group changed: moved shards must not keep sending
+// to the old group's leader, and untouched shards must not be forced back
+// through a round of kNotLeader discovery (the staleness bug this pins was a
+// whole-cache flush on every epoch bump).
+TEST(Kv, AdoptMapInvalidatesOnlyMovedShards) {
+  SimClusterOptions opts;
+  opts.num_groups = 4;
+  opts.spread_leaders = true;
+  KvFixture f(opts);
+  // Warm every shard's cache entry.
+  std::vector<std::string> shard_key(4);
+  for (int i = 0, covered = 0; covered < 4 && i < 4096; ++i) {
+    std::string key = "warm/" + std::to_string(i);
+    size_t g = shard_of(key, 4);
+    if (!shard_key[g].empty()) continue;
+    shard_key[g] = key;
+    covered++;
+    ASSERT_TRUE(f.put(key, to_bytes("v")).is_ok());
+  }
+  std::array<NodeId, 4> before{};
+  for (size_t s = 0; s < 4; ++s) {
+    before[s] = f.client->cached_leader(s);
+    ASSERT_NE(before[s], kNoNode) << "shard " << s;
+  }
+
+  // Epoch 1: shard 2 moves from group 2 to group 0; everything else stays.
+  ShardMap next = f.client->routing().map;
+  next.epoch += 1;
+  next.shard_group[2] = 0;
+  f.client->adopt_map(next);
+  EXPECT_EQ(f.client->routing_epoch(), next.epoch);
+  EXPECT_EQ(f.client->cached_leader(2), kNoNode) << "moved shard must drop its entry";
+  for (size_t s : {0u, 1u, 3u}) {
+    EXPECT_EQ(f.client->cached_leader(s), before[s]) << "shard " << s << " disturbed";
+  }
+
+  // A stale map (same epoch, different placement) must be ignored outright.
+  ShardMap stale = next;
+  stale.shard_group[1] = 0;
+  f.client->adopt_map(stale);
+  EXPECT_EQ(f.client->cached_leader(1), before[1]);
+  EXPECT_EQ(f.client->routing().map.group_of(1), 1u);
+}
+
 TEST(Kv, FailoverServesOldDataViaRecoveryRead) {
   KvFixture f;
   Bytes value(6000, 0x2d);

@@ -6,6 +6,8 @@
 
 #include "consensus/msg.h"
 #include "kv/command.h"
+#include "kv/migration.h"
+#include "kv/shard_map.h"
 #include "util/rng.h"
 
 namespace rspaxos::consensus {
@@ -477,6 +479,103 @@ TEST(KvMsg, ClientReplyRoundTrip) {
   ASSERT_TRUE(d.is_ok());
   EXPECT_EQ(d.value().code, ReplyCode::kNotLeader);
   EXPECT_EQ(d.value().leader_hint, 4097u);
+}
+
+// The resharding piggyback rides as trailing-optional fields: a full reply
+// round-trips them, and a legacy-length encoding (no trailer) decodes to the
+// zero/none defaults instead of failing.
+TEST(KvMsg, ClientReplyRoutingTrailerRoundTrip) {
+  ClientReply r;
+  r.req_id = 9;
+  r.code = ReplyCode::kWrongShard;
+  r.leader_hint = 4097;
+  r.routing_epoch = 7;
+  r.group_hint = 3;
+  auto d = ClientReply::decode(r.encode());
+  ASSERT_TRUE(d.is_ok());
+  EXPECT_EQ(d.value().code, ReplyCode::kWrongShard);
+  EXPECT_EQ(d.value().routing_epoch, 7u);
+  EXPECT_EQ(d.value().group_hint, 3u);
+
+  // A pre-resharding peer stops after the value field. With epoch 0 the
+  // trailer is exactly varint(0) + u32 = 5 bytes; chopping it yields the
+  // legacy layout, which must decode to the zero/none defaults.
+  ClientReply legacy;
+  legacy.req_id = 10;
+  legacy.code = ReplyCode::kOk;
+  legacy.value = to_bytes("v");
+  Bytes enc = legacy.encode();
+  ASSERT_GT(enc.size(), 5u);
+  auto old = ClientReply::decode(BytesView(enc.data(), enc.size() - 5));
+  ASSERT_TRUE(old.is_ok());
+  EXPECT_EQ(old.value().routing_epoch, 0u);
+  EXPECT_EQ(old.value().group_hint, 0xffffffffu);
+}
+
+TEST(KvMsg, ShardMapRoundTrip) {
+  ShardMap m;
+  m.epoch = 42;
+  m.num_groups = 3;
+  m.shard_group = {0, 1, 2, 1};
+  m.migrations.push_back(ShardMigration{3, 1, 2, 0xdeadbeefULL});
+  auto d = ShardMap::decode(m.encode());
+  ASSERT_TRUE(d.is_ok());
+  EXPECT_EQ(d.value().epoch, 42u);
+  EXPECT_EQ(d.value().num_groups, 3u);
+  EXPECT_EQ(d.value().shard_group, m.shard_group);
+  ASSERT_EQ(d.value().migrations.size(), 1u);
+  EXPECT_EQ(d.value().migrations[0].shard, 3u);
+  EXPECT_EQ(d.value().migrations[0].from_group, 1u);
+  EXPECT_EQ(d.value().migrations[0].to_group, 2u);
+  EXPECT_EQ(d.value().migrations[0].id, 0xdeadbeefULL);
+  EXPECT_NE(d.value().migration_of(3), nullptr);
+  EXPECT_EQ(d.value().migration_of(0), nullptr);
+}
+
+TEST(KvMsg, MigrateDataRoundTrip) {
+  MigrateDataMsg m;
+  m.migration_id = 0x1122334455667788ULL;
+  m.shard = 6;
+  m.seq = 12;
+  m.flags = MigrateDataMsg::kFirst | MigrateDataMsg::kFinal;
+  m.header = to_bytes("batch-header");
+  m.payload = to_bytes("concatenated-values");
+  auto d = MigrateDataMsg::decode(m.encode());
+  ASSERT_TRUE(d.is_ok());
+  EXPECT_EQ(d.value().migration_id, m.migration_id);
+  EXPECT_EQ(d.value().shard, 6u);
+  EXPECT_EQ(d.value().seq, 12u);
+  EXPECT_EQ(d.value().flags, m.flags);
+  EXPECT_EQ(d.value().header, m.header);
+  EXPECT_EQ(d.value().payload, m.payload);
+}
+
+TEST(KvMsg, MigrateAckRoundTripAndBadStatusRejected) {
+  MigrateAckMsg a;
+  a.migration_id = 77;
+  a.seq = 3;
+  a.status = MigrateAckMsg::kNotLeader;
+  a.leader_hint = 8193;
+  auto d = MigrateAckMsg::decode(a.encode());
+  ASSERT_TRUE(d.is_ok());
+  EXPECT_EQ(d.value().migration_id, 77u);
+  EXPECT_EQ(d.value().seq, 3u);
+  EXPECT_EQ(d.value().status, MigrateAckMsg::kNotLeader);
+  EXPECT_EQ(d.value().leader_hint, 8193u);
+
+  a.status = 9;  // out of range on the wire
+  EXPECT_FALSE(MigrateAckMsg::decode(a.encode()).is_ok());
+}
+
+TEST(KvMsg, MigrateCmdRoundTrip) {
+  MigrateCmdMsg c;
+  c.shard = 5;
+  c.to_group = 2;
+  auto d = MigrateCmdMsg::decode(c.encode());
+  ASSERT_TRUE(d.is_ok());
+  EXPECT_EQ(d.value().shard, 5u);
+  EXPECT_EQ(d.value().to_group, 2u);
+  EXPECT_FALSE(MigrateCmdMsg::decode(BytesView{}).is_ok());
 }
 
 TEST(KvMsg, BadOpRejected) {

@@ -113,7 +113,8 @@ TEST(SnapshotTcp, LateReplicaConvergesViaInstallSnapshot) {
   auto cnode = transport->start_node(kClientId);
   ASSERT_TRUE(cnode.is_ok());
   kv::RoutingTable routing;
-  routing.shard_members.push_back(members);
+  routing.group_members.push_back(members);
+  routing.map = kv::ShardMap::identity(1, 1);
   kv::KvClient::Options copts;
   copts.request_timeout = 2000 * kMillis;
   kv::KvClient client(cnode.value(), routing, copts);
